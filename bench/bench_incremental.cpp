@@ -1,0 +1,84 @@
+//===- bench/bench_incremental.cpp - A4: incremental closure --------------===//
+///
+/// \file
+/// Experiment A4 (Section 5.6): on an almost-closed DBM — a strongly
+/// closed matrix with one variable's band tightened, the situation after
+/// every assignment — the incremental closure restores strong closure in
+/// quadratic time versus the cubic full closure.
+///
+//===----------------------------------------------------------------------===//
+
+#include "baseline/closure_apron.h"
+#include "oct/closure_dense.h"
+#include "oct/closure_incremental.h"
+#include "oct/dbm.h"
+#include "support/random.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace optoct;
+
+namespace {
+
+/// A closed matrix plus one tightened band around variable 0.
+HalfDbm makeAlmostClosed(unsigned NumVars) {
+  Rng R(4321 + NumVars);
+  HalfDbm M(NumVars);
+  M.initTop();
+  for (unsigned I = 0, D = M.dim(); I != D; ++I)
+    for (unsigned J = 0; J <= (I | 1u); ++J)
+      if (I != J && R.chance(0.6))
+        M.at(I, J) = R.intIn(0, 40);
+  ClosureScratch Scratch;
+  closureDense(M, Scratch);
+  // Tighten a few entries in variable 0's band.
+  for (unsigned I = 2; I != std::min(M.dim(), 10u); ++I)
+    M.set(I, 0, 1.0);
+  return M;
+}
+
+void BM_IncrementalClosure(benchmark::State &State) {
+  unsigned N = static_cast<unsigned>(State.range(0));
+  HalfDbm Input = makeAlmostClosed(N);
+  HalfDbm Work(N);
+  ClosureScratch Scratch;
+  std::vector<unsigned> Touched;
+  // The tightened arcs touch variable 0 and variables 1..4.
+  for (unsigned V = 0; V != std::min(N, 5u); ++V)
+    Touched.push_back(V);
+  for (auto _ : State) {
+    Work = Input;
+    benchmark::DoNotOptimize(incrementalClosureDense(Work, Touched, Scratch));
+  }
+}
+BENCHMARK(BM_IncrementalClosure)->Arg(16)->Arg(32)->Arg(64)->Arg(96);
+
+void BM_FullClosureAfterUpdate(benchmark::State &State) {
+  unsigned N = static_cast<unsigned>(State.range(0));
+  HalfDbm Input = makeAlmostClosed(N);
+  HalfDbm Work(N);
+  ClosureScratch Scratch;
+  for (auto _ : State) {
+    Work = Input;
+    benchmark::DoNotOptimize(closureDense(Work, Scratch));
+  }
+}
+BENCHMARK(BM_FullClosureAfterUpdate)->Arg(16)->Arg(32)->Arg(64)->Arg(96);
+
+void BM_ApronIncrementalClosure(benchmark::State &State) {
+  unsigned N = static_cast<unsigned>(State.range(0));
+  HalfDbm Input = makeAlmostClosed(N);
+  HalfDbm Work(N);
+  std::vector<unsigned> Touched;
+  for (unsigned V = 0; V != std::min(N, 5u); ++V)
+    Touched.push_back(V);
+  for (auto _ : State) {
+    Work = Input;
+    benchmark::DoNotOptimize(baseline::incrementalClosureApron(Work, Touched));
+  }
+}
+BENCHMARK(BM_ApronIncrementalClosure)->Arg(16)->Arg(32)->Arg(64)->Arg(96);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,138 @@
+//===- bench/bench_operators.cpp - A2: operator costs by type -------------===//
+///
+/// \file
+/// Experiment A2 (Table 1 / Section 4.5): the quadratic operators —
+/// join, meet, widening — on Dense octagons versus Decomposed octagons
+/// with k independent components. Join and widening on the Decomposed
+/// type only touch the intersected components' submatrices; meet merges
+/// components.
+///
+//===----------------------------------------------------------------------===//
+
+#include "oct/config.h"
+#include "oct/octagon.h"
+#include "support/random.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace optoct;
+
+namespace {
+
+/// An octagon over \p NumVars variables split into \p NumComps relational
+/// chains (no unary bounds, so the components survive closure).
+Octagon makeDecomposed(unsigned NumVars, unsigned NumComps,
+                       std::uint64_t Seed) {
+  Rng R(Seed);
+  Octagon O(NumVars);
+  unsigned PerComp = NumVars / NumComps;
+  std::vector<OctCons> Cs;
+  for (unsigned C = 0; C != NumComps; ++C) {
+    unsigned Base = C * PerComp;
+    for (unsigned V = 1; V != PerComp; ++V) {
+      double Bound = R.intIn(0, 20);
+      Cs.push_back(OctCons::diff(Base + V, Base + V - 1, Bound));
+      Cs.push_back(OctCons::diff(Base + V - 1, Base + V, 8 - Bound));
+    }
+  }
+  O.addConstraints(Cs);
+  O.close();
+  return O;
+}
+
+/// A dense octagon: one whole-matrix component with unary bounds (the
+/// strengthening fills in every entry).
+Octagon makeDense(unsigned NumVars, std::uint64_t Seed) {
+  Rng R(Seed);
+  Octagon O(NumVars);
+  std::vector<OctCons> Cs;
+  for (unsigned V = 0; V != NumVars; ++V) {
+    Cs.push_back(OctCons::upper(V, R.intIn(10, 40)));
+    Cs.push_back(OctCons::lower(V, 0.0));
+  }
+  O.addConstraints(Cs);
+  O.close();
+  return O;
+}
+
+void BM_JoinDense(benchmark::State &State) {
+  unsigned N = static_cast<unsigned>(State.range(0));
+  Octagon A = makeDense(N, 7), B = makeDense(N, 8);
+  for (auto _ : State) {
+    Octagon J = Octagon::join(A, B);
+    benchmark::DoNotOptimize(J);
+  }
+}
+BENCHMARK(BM_JoinDense)->Arg(32)->Arg(64)->Arg(96);
+
+void BM_JoinDecomposed(benchmark::State &State) {
+  unsigned N = static_cast<unsigned>(State.range(0));
+  unsigned K = static_cast<unsigned>(State.range(1));
+  Octagon A = makeDecomposed(N, K, 7), B = makeDecomposed(N, K, 8);
+  for (auto _ : State) {
+    Octagon J = Octagon::join(A, B);
+    benchmark::DoNotOptimize(J);
+  }
+}
+BENCHMARK(BM_JoinDecomposed)
+    ->Args({64, 2})
+    ->Args({64, 4})
+    ->Args({64, 8})
+    ->Args({64, 16})
+    ->Args({96, 8});
+
+void BM_MeetDense(benchmark::State &State) {
+  unsigned N = static_cast<unsigned>(State.range(0));
+  Octagon A = makeDense(N, 7), B = makeDense(N, 8);
+  for (auto _ : State) {
+    Octagon M = Octagon::meet(A, B);
+    benchmark::DoNotOptimize(M);
+  }
+}
+BENCHMARK(BM_MeetDense)->Arg(32)->Arg(64)->Arg(96);
+
+void BM_MeetDecomposed(benchmark::State &State) {
+  unsigned N = static_cast<unsigned>(State.range(0));
+  unsigned K = static_cast<unsigned>(State.range(1));
+  Octagon A = makeDecomposed(N, K, 7), B = makeDecomposed(N, K, 8);
+  for (auto _ : State) {
+    Octagon M = Octagon::meet(A, B);
+    benchmark::DoNotOptimize(M);
+  }
+}
+BENCHMARK(BM_MeetDecomposed)->Args({64, 4})->Args({64, 16});
+
+void BM_WidenDense(benchmark::State &State) {
+  unsigned N = static_cast<unsigned>(State.range(0));
+  Octagon A = makeDense(N, 7), B = makeDense(N, 8);
+  for (auto _ : State) {
+    Octagon W = Octagon::widen(A, B);
+    benchmark::DoNotOptimize(W);
+  }
+}
+BENCHMARK(BM_WidenDense)->Arg(32)->Arg(64)->Arg(96);
+
+void BM_WidenDecomposed(benchmark::State &State) {
+  unsigned N = static_cast<unsigned>(State.range(0));
+  unsigned K = static_cast<unsigned>(State.range(1));
+  Octagon A = makeDecomposed(N, K, 7), B = makeDecomposed(N, K, 8);
+  for (auto _ : State) {
+    Octagon W = Octagon::widen(A, B);
+    benchmark::DoNotOptimize(W);
+  }
+}
+BENCHMARK(BM_WidenDecomposed)->Args({64, 4})->Args({64, 16});
+
+/// Inclusion test, which reads only the right argument's components.
+void BM_LeqDecomposed(benchmark::State &State) {
+  unsigned N = static_cast<unsigned>(State.range(0));
+  unsigned K = static_cast<unsigned>(State.range(1));
+  Octagon A = makeDecomposed(N, K, 7), B = makeDecomposed(N, K, 7);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(A.leq(B));
+}
+BENCHMARK(BM_LeqDecomposed)->Args({64, 4})->Args({64, 16});
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,113 @@
+//===- bench/bench_sparse_crossover.cpp - A3: density crossover -----------===//
+///
+/// \file
+/// Experiment A3: where does the sparse closure stop paying off? The
+/// paper's type-switching rule (Section 3.5) treats a DBM as dense when
+/// D = 1 - nni/(2n^2+2n) < t with t = 0.75. This bench sweeps the input
+/// density at fixed n and compares the dense (Algorithm 3, vectorized)
+/// and sparse closures, locating the empirical crossover that justifies
+/// the threshold.
+///
+//===----------------------------------------------------------------------===//
+
+#include "oct/closure_dense.h"
+#include "oct/closure_sparse.h"
+#include "oct/dbm.h"
+#include "support/random.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace optoct;
+
+namespace {
+
+HalfDbm makeInput(unsigned NumVars, double Density) {
+  Rng R(99 + static_cast<std::uint64_t>(Density * 1000));
+  HalfDbm M(NumVars);
+  M.initTop();
+  for (unsigned I = 0, D = M.dim(); I != D; ++I)
+    for (unsigned J = 0; J <= (I | 1u); ++J)
+      if (I != J && R.chance(Density))
+        M.at(I, J) = R.intIn(0, 40);
+  return M;
+}
+
+void BM_DenseAtDensity(benchmark::State &State) {
+  unsigned N = 64;
+  double Density = static_cast<double>(State.range(0)) / 100.0;
+  HalfDbm Input = makeInput(N, Density);
+  HalfDbm Work(N);
+  ClosureScratch Scratch;
+  for (auto _ : State) {
+    Work = Input;
+    benchmark::DoNotOptimize(closureDense(Work, Scratch));
+  }
+}
+BENCHMARK(BM_DenseAtDensity)->DenseRange(1, 9, 2)->Arg(15)->Arg(25)->Arg(50)->Arg(75);
+
+void BM_SparseAtDensity(benchmark::State &State) {
+  unsigned N = 64;
+  double Density = static_cast<double>(State.range(0)) / 100.0;
+  HalfDbm Input = makeInput(N, Density);
+  HalfDbm Work(N);
+  ClosureScratch Scratch;
+  std::size_t Nni = 0;
+  for (auto _ : State) {
+    Work = Input;
+    benchmark::DoNotOptimize(closureSparse(Work, Scratch, Nni));
+  }
+}
+BENCHMARK(BM_SparseAtDensity)->DenseRange(1, 9, 2)->Arg(15)->Arg(25)->Arg(50)->Arg(75);
+
+// Uniformly random sparse DBMs *fill in* under closure (the transitive
+// completion of a random graph is nearly complete), so the sparse
+// closure only wins at very low uniform density. Program DBMs are
+// sparse in a structured way — disjoint variable blocks — and stay
+// sparse through closure; that is the regime the paper's sparse and
+// decomposed algorithms target. These variants fix the block count and
+// measure dense vs sparse closure on block-structured matrices
+// (argument = variables per block, n = 64).
+HalfDbm makeBlockInput(unsigned NumVars, unsigned BlockSize) {
+  Rng R(7 + BlockSize);
+  HalfDbm M(NumVars);
+  M.initTop();
+  for (unsigned Base = 0; Base + BlockSize <= NumVars; Base += BlockSize)
+    for (unsigned A = 0; A != BlockSize; ++A)
+      for (unsigned B = 0; B <= A; ++B)
+        for (unsigned RR = 0; RR != 2; ++RR)
+          for (unsigned S = 0; S != 2; ++S) {
+            unsigned I = 2 * (Base + A) + RR, J = 2 * (Base + B) + S;
+            if (I != J && R.chance(0.9))
+              M.at(I, J) = R.intIn(0, 40);
+          }
+  return M;
+}
+
+void BM_DenseOnBlocks(benchmark::State &State) {
+  unsigned BlockSize = static_cast<unsigned>(State.range(0));
+  HalfDbm Input = makeBlockInput(64, BlockSize);
+  HalfDbm Work(64);
+  ClosureScratch Scratch;
+  for (auto _ : State) {
+    Work = Input;
+    benchmark::DoNotOptimize(closureDense(Work, Scratch));
+  }
+}
+BENCHMARK(BM_DenseOnBlocks)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_SparseOnBlocks(benchmark::State &State) {
+  unsigned BlockSize = static_cast<unsigned>(State.range(0));
+  HalfDbm Input = makeBlockInput(64, BlockSize);
+  HalfDbm Work(64);
+  ClosureScratch Scratch;
+  std::size_t Nni = 0;
+  for (auto _ : State) {
+    Work = Input;
+    benchmark::DoNotOptimize(closureSparse(Work, Scratch, Nni));
+  }
+}
+BENCHMARK(BM_SparseOnBlocks)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+} // namespace
+
+BENCHMARK_MAIN();

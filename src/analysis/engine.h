@@ -1,0 +1,211 @@
+//===- analysis/engine.h - Worklist fixpoint engine -------------*- C++ -*-===//
+///
+/// \file
+/// The abstract-interpretation fixpoint engine, templated over the
+/// octagon implementation so the identical analysis runs against
+/// OptOctagon and the APRON-style baseline (the paper's methodology:
+/// same analyzer, different library).
+///
+/// Classic worklist algorithm in reverse post-order with widening at
+/// loop heads after a configurable delay, followed by optional
+/// narrowing sweeps, then one final pass that checks assertions and
+/// records invariants.
+///
+/// Octagon work is timed with the cycle counter around every domain
+/// call so the harnesses can report the Fig. 8 octagon-analysis time
+/// and the Table 3 %oct share.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPTOCT_ANALYSIS_ENGINE_H
+#define OPTOCT_ANALYSIS_ENGINE_H
+
+#include "analysis/transfer.h"
+#include "cfg/cfg.h"
+#include "support/stats.h"
+#include "support/timing.h"
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace optoct::analysis {
+
+/// Engine knobs.
+struct AnalysisOptions {
+  /// Joins performed at a loop head before switching to widening.
+  unsigned WideningDelay = 2;
+  /// Descending (narrowing) sweeps after stabilization.
+  unsigned NarrowingPasses = 1;
+  /// Hard iteration cap (safety net; analysis asserts if exceeded).
+  unsigned MaxBlockVisits = 100000;
+  /// Interval-linearize non-octagonal guards (a sound precision
+  /// extension in the spirit of APRON's tree-constraint handling).
+  bool LinearizeGuards = true;
+  /// Widening thresholds (variable-level bounds, ascending). When
+  /// non-empty, growing bounds land on the next threshold before
+  /// +infinity, often recovering loop bounds without narrowing.
+  std::vector<double> WideningThresholds;
+};
+
+/// Per-run results.
+template <typename DomainT> struct AnalysisResult {
+  /// Invariant at each block entry; nullopt = unreachable.
+  std::vector<std::optional<DomainT>> BlockInvariant;
+  std::vector<AssertOutcome> Asserts;
+  std::uint64_t BlockVisits = 0;
+  std::uint64_t OctagonCycles = 0; ///< Cycles spent in domain operations.
+
+  unsigned assertsProven() const {
+    unsigned N = 0;
+    for (const AssertOutcome &A : Asserts)
+      N += A.Proven;
+    return N;
+  }
+};
+
+/// Runs the analysis of \p G with domain \p DomainT.
+template <typename DomainT>
+AnalysisResult<DomainT> analyze(const cfg::Cfg &G,
+                                const AnalysisOptions &Opts = {}) {
+  AnalysisResult<DomainT> Result;
+  std::size_t NumBlocks = G.size();
+  Result.BlockInvariant.resize(NumBlocks);
+  std::vector<unsigned> JoinCount(NumBlocks, 0);
+
+  std::uint64_t OctCycles = 0;
+
+  // Worklist ordered by reverse post-order index.
+  auto Less = [&G](unsigned A, unsigned B) {
+    return G.rpoIndex(A) < G.rpoIndex(B) || (G.rpoIndex(A) == G.rpoIndex(B) && A < B);
+  };
+  std::set<unsigned, decltype(Less)> Worklist(Less);
+
+  Result.BlockInvariant[G.entry()] =
+      DomainT::makeTop(G.block(G.entry()).NumSlots);
+  Worklist.insert(G.entry());
+
+  // Propagates the post-state of \p From along \p E, merging into the
+  // target. Returns true when the target changed.
+  auto propagate = [&](DomainT Out, const cfg::Edge &E, bool Widen) {
+    std::uint64_t Begin = readCycles();
+    bool Changed = false;
+    applyEdge(Out, E, Opts.LinearizeGuards);
+    if (!Out.isBottom()) {
+      std::optional<DomainT> &Target = Result.BlockInvariant[E.Target];
+      if (!Target) {
+        Target = std::move(Out);
+        Changed = true;
+      } else {
+        // The stored value is kept pristine (in particular, a widening
+        // result stays unclosed — required for termination): join and
+        // leq work on copies.
+        DomainT TargetCopy = *Target;
+        DomainT Joined = DomainT::join(TargetCopy, Out);
+        if (Widen)
+          Joined = Opts.WideningThresholds.empty()
+                       ? DomainT::widen(*Target, Joined)
+                       : DomainT::widenWithThresholds(
+                             *Target, Joined, Opts.WideningThresholds);
+        DomainT Probe = Joined;
+        if (!Probe.leq(*Target)) {
+          *Target = std::move(Joined);
+          Changed = true;
+        }
+      }
+    }
+    OctCycles += readCycles() - Begin;
+    return Changed;
+  };
+
+  while (!Worklist.empty()) {
+    unsigned B = *Worklist.begin();
+    Worklist.erase(Worklist.begin());
+    ++Result.BlockVisits;
+    assert(Result.BlockVisits <= Opts.MaxBlockVisits &&
+           "fixpoint iteration bound exceeded — widening broken?");
+
+    const cfg::BasicBlock &Block = G.block(B);
+    DomainT State = *Result.BlockInvariant[B];
+    {
+      std::uint64_t Begin = readCycles();
+      for (const lang::Stmt *S : Block.Stmts)
+        applyStmt(State, *S, nullptr, Opts.LinearizeGuards);
+      OctCycles += readCycles() - Begin;
+    }
+
+    for (const cfg::Edge &E : Block.Succs) {
+      bool TargetIsLoopHead = G.block(E.Target).IsLoopHead;
+      bool Widen = false;
+      if (TargetIsLoopHead && Result.BlockInvariant[E.Target]) {
+        // Count merges into the loop head; widen once the delay is
+        // spent.
+        Widen = ++JoinCount[E.Target] > Opts.WideningDelay;
+      }
+      if (propagate(State, E, Widen))
+        Worklist.insert(E.Target);
+    }
+  }
+
+  // Narrowing: decreasing sweeps from the reached post-fixpoint.
+  // Each block's input is recomputed from its predecessors' post-states;
+  // loop heads tighten with the narrowing operator, other blocks take
+  // the recomputed value (sound: transfer functions are monotone and
+  // the iteration starts at a post-fixpoint).
+  for (unsigned Pass = 0; Pass != Opts.NarrowingPasses; ++Pass) {
+    std::uint64_t Begin = readCycles();
+    for (unsigned B : G.rpo()) {
+      if (B == G.entry())
+        continue;
+      std::optional<DomainT> NewIn;
+      for (unsigned P : G.preds()[B]) {
+        if (!Result.BlockInvariant[P])
+          continue;
+        for (const cfg::Edge &E : G.block(P).Succs) {
+          if (E.Target != B)
+            continue;
+          DomainT Out = *Result.BlockInvariant[P];
+          for (const lang::Stmt *S : G.block(P).Stmts)
+            applyStmt(Out, *S, nullptr, Opts.LinearizeGuards);
+          applyEdge(Out, E, Opts.LinearizeGuards);
+          if (Out.isBottom())
+            continue;
+          NewIn = NewIn ? std::optional<DomainT>(DomainT::join(*NewIn, Out))
+                        : std::optional<DomainT>(std::move(Out));
+        }
+      }
+      if (!NewIn || !Result.BlockInvariant[B])
+        continue;
+      if (G.block(B).IsLoopHead)
+        Result.BlockInvariant[B] =
+            DomainT::narrow(*Result.BlockInvariant[B], *NewIn);
+      else
+        Result.BlockInvariant[B] = std::move(*NewIn);
+    }
+    OctCycles += readCycles() - Begin;
+  }
+
+  // Final pass: recheck assertions under the stable invariants.
+  for (unsigned B : G.rpo()) {
+    if (!Result.BlockInvariant[B]) {
+      // Unreachable block: its assertions hold vacuously.
+      for (const lang::Stmt *S : G.block(B).Stmts)
+        if (S->Kind == lang::StmtKind::Assert)
+          Result.Asserts.push_back({S->Line, true});
+      continue;
+    }
+    DomainT State = *Result.BlockInvariant[B];
+    std::uint64_t Begin = readCycles();
+    for (const lang::Stmt *S : G.block(B).Stmts)
+      applyStmt(State, *S, &Result.Asserts, Opts.LinearizeGuards);
+    OctCycles += readCycles() - Begin;
+  }
+
+  Result.OctagonCycles = OctCycles;
+  return Result;
+}
+
+} // namespace optoct::analysis
+
+#endif // OPTOCT_ANALYSIS_ENGINE_H

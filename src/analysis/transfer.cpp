@@ -1,0 +1,154 @@
+//===- analysis/transfer.cpp - Guard-to-constraint conversion ------------===//
+
+#include "analysis/transfer.h"
+
+#include <cmath>
+
+using namespace optoct;
+using namespace optoct::analysis;
+
+namespace {
+
+std::vector<std::pair<int, unsigned>>
+negateTerms(const std::vector<std::pair<int, unsigned>> &Terms) {
+  std::vector<std::pair<int, unsigned>> Out = Terms;
+  for (auto &[Coef, Var] : Out)
+    Coef = -Coef;
+  return Out;
+}
+
+} // namespace
+
+/// Emits constraints for "Terms <= Bound" (integer semantics).
+/// Returns true when the emission is exact.
+bool optoct::analysis::emitLeConstraints(
+    const std::vector<std::pair<int, unsigned>> &Terms, double Bound,
+    GuardConstraints &Out) {
+  if (Terms.empty()) {
+    if (0.0 <= Bound)
+      return true; // trivially true
+    Out.Infeasible = true;
+    return true;
+  }
+  if (Terms.size() == 1) {
+    auto [A, X] = Terms[0];
+    // a*x <= c  <=>  x <= floor(c/a)   (a > 0)
+    //           <=> -x <= floor(c/-a)  (a < 0)
+    if (A > 0)
+      Out.Cons.push_back(OctCons::upper(X, std::floor(Bound / A)));
+    else
+      Out.Cons.push_back(OctCons::lower(X, std::floor(Bound / -A)));
+    return true;
+  }
+  if (Terms.size() == 2) {
+    auto [A, X] = Terms[0];
+    auto [B, Y] = Terms[1];
+    int AbsA = A < 0 ? -A : A, AbsB = B < 0 ? -B : B;
+    if (AbsA != AbsB)
+      return false;
+    // k*(sx*x + sy*y) <= c  <=>  sx*x + sy*y <= floor(c/k).
+    double C = std::floor(Bound / AbsA);
+    int SX = A > 0 ? 1 : -1, SY = B > 0 ? 1 : -1;
+    if (SX == 1 && SY == -1)
+      Out.Cons.push_back(OctCons::diff(X, Y, C));
+    else if (SX == -1 && SY == 1)
+      Out.Cons.push_back(OctCons::diff(Y, X, C));
+    else if (SX == 1 && SY == 1)
+      Out.Cons.push_back(OctCons::sum(X, Y, C));
+    else
+      Out.Cons.push_back(OctCons::negSum(X, Y, C));
+    return true;
+  }
+  return false;
+}
+
+bool optoct::analysis::normalizeCmp(const lang::Cmp &C, bool Negated,
+                                    std::vector<NormalizedLe> &Out) {
+  lang::RelOp Op = C.Op;
+  if (Negated) {
+    switch (Op) {
+    case lang::RelOp::LE:
+      Op = lang::RelOp::GT;
+      break;
+    case lang::RelOp::LT:
+      Op = lang::RelOp::GE;
+      break;
+    case lang::RelOp::GE:
+      Op = lang::RelOp::LT;
+      break;
+    case lang::RelOp::GT:
+      Op = lang::RelOp::LE;
+      break;
+    case lang::RelOp::EQ:
+      return false; // not(a == b) is a disjunction
+    case lang::RelOp::NE:
+      Op = lang::RelOp::EQ;
+      break;
+    }
+  }
+
+  // E = Lhs - Rhs.
+  LinExpr E = C.Lhs;
+  for (const auto &[Coef, Var] : C.Rhs.Terms)
+    E.addTerm(-Coef, Var);
+  E.Const -= C.Rhs.Const;
+
+  switch (Op) {
+  case lang::RelOp::LE: // E <= 0: Terms <= -Const
+    Out.push_back({E.Terms, -E.Const});
+    return true;
+  case lang::RelOp::LT: // E < 0, integers: Terms <= -Const - 1
+    Out.push_back({E.Terms, -E.Const - 1.0});
+    return true;
+  case lang::RelOp::GE: // -E <= 0
+    Out.push_back({negateTerms(E.Terms), E.Const});
+    return true;
+  case lang::RelOp::GT: // -E < 0
+    Out.push_back({negateTerms(E.Terms), E.Const - 1.0});
+    return true;
+  case lang::RelOp::EQ:
+    Out.push_back({E.Terms, -E.Const});
+    Out.push_back({negateTerms(E.Terms), E.Const});
+    return true;
+  case lang::RelOp::NE:
+    return false; // a disjunction; sound to drop
+  }
+  return false;
+}
+
+GuardConstraints optoct::analysis::cmpToConstraints(const lang::Cmp &C,
+                                                    bool Negated) {
+  GuardConstraints Out;
+  std::vector<NormalizedLe> Forms;
+  if (!normalizeCmp(C, Negated, Forms)) {
+    Out.Exact = false;
+    return Out;
+  }
+  for (const NormalizedLe &F : Forms)
+    Out.Exact &= emitLeConstraints(F.Terms, F.Bound, Out);
+  return Out;
+}
+
+GuardConstraints optoct::analysis::guardToConstraints(const cfg::Guard &G) {
+  GuardConstraints Out;
+  const lang::Cond &Cond = *G.Condition;
+  if (Cond.Nondet) {
+    Out.Exact = true; // "*" is exactly "no information"
+    return Out;
+  }
+  if (!G.Negated) {
+    for (const lang::Cmp &C : Cond.Conjuncts) {
+      GuardConstraints One = cmpToConstraints(C, false);
+      Out.Exact &= One.Exact;
+      Out.Infeasible |= One.Infeasible;
+      Out.Cons.insert(Out.Cons.end(), One.Cons.begin(), One.Cons.end());
+    }
+    return Out;
+  }
+  // Negated conjunction of several comparisons is a disjunction.
+  if (Cond.Conjuncts.size() != 1) {
+    Out.Exact = false;
+    return Out;
+  }
+  return cmpToConstraints(Cond.Conjuncts[0], /*Negated=*/true);
+}

@@ -1,0 +1,247 @@
+//===- analysis/transfer.h - Abstract transfer functions --------*- C++ -*-===//
+///
+/// \file
+/// Shared transfer-function machinery of the analyzer, parameterized
+/// over the octagon implementation (optoct::Octagon or
+/// baseline::ApronOctagon — both expose the same interface):
+///
+///   * conversion of mini-IMP comparisons (over integers) into
+///     octagonal constraints, with integer tightening of strict
+///     inequalities, constant-coefficient normalization, and sound
+///     dropping of non-octagonal conditions,
+///   * statement application (assign / havoc / assume / assert),
+///   * edge application (guards and scope push/pop).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPTOCT_ANALYSIS_TRANSFER_H
+#define OPTOCT_ANALYSIS_TRANSFER_H
+
+#include "cfg/cfg.h"
+#include "lang/ast.h"
+#include "oct/constraint.h"
+
+#include <cassert>
+#include <vector>
+
+namespace optoct::analysis {
+
+/// Octagonal translation of a condition.
+struct GuardConstraints {
+  std::vector<OctCons> Cons;
+  /// True when Cons captures the condition exactly (for assertion
+  /// proofs); when false, Cons is a sound over-approximation.
+  bool Exact = true;
+  /// The condition is constant-false (e.g. assume(1 <= 0)).
+  bool Infeasible = false;
+};
+
+/// Converts one comparison (negated if requested) into octagonal
+/// constraints under integer semantics.
+GuardConstraints cmpToConstraints(const lang::Cmp &C, bool Negated);
+
+/// A comparison normalized to "sum(Terms) <= Bound" (integer
+/// semantics). EQ normalizes to two of these; NE and negated EQ are
+/// disjunctions and produce none.
+struct NormalizedLe {
+  std::vector<std::pair<int, unsigned>> Terms;
+  double Bound;
+};
+bool normalizeCmp(const lang::Cmp &C, bool Negated,
+                  std::vector<NormalizedLe> &Out);
+
+/// Emits octagonal constraints for "sum(Terms) <= Bound" when the term
+/// list is octagonal (<= 2 terms of equal magnitude); returns true when
+/// exact. Exposed for the linearization below.
+bool emitLeConstraints(const std::vector<std::pair<int, unsigned>> &Terms,
+                       double Bound, GuardConstraints &Out);
+
+/// Converts a CFG guard into octagonal constraints. Negations of
+/// multi-conjunct conditions are disjunctions and contribute no
+/// refinement (sound).
+GuardConstraints guardToConstraints(const cfg::Guard &G);
+
+/// Result of checking one assertion.
+struct AssertOutcome {
+  int Line;
+  bool Proven;
+};
+
+/// Refines \p D with the translated condition.
+template <typename DomainT>
+void applyGuard(DomainT &D, const GuardConstraints &G) {
+  if (G.Infeasible) {
+    // Constant-false condition: dead branch.
+    D = DomainT::makeBottom(D.numVars());
+    return;
+  }
+  if (!G.Cons.empty())
+    D.addConstraints(G.Cons);
+}
+
+/// Interval linearization of a non-octagonal "Terms <= Bound": every
+/// unit or pair sub-expression is refined by bounding the remaining
+/// terms with \p D's current intervals (APRON applies the same idea to
+/// its non-octagonal tree constraints). Sound: the rest of the sum is
+/// at least its interval lower bound on every state of D.
+template <typename DomainT>
+void refineLinearized(DomainT &D, const NormalizedLe &F) {
+  const auto &Terms = F.Terms;
+  if (Terms.size() < 2)
+    return; // single-term forms are handled exactly
+  auto restLowerBound = [&](int SkipA, int SkipB) {
+    LinExpr Rest;
+    for (int K = 0; K != static_cast<int>(Terms.size()); ++K)
+      if (K != SkipA && K != SkipB)
+        Rest.addTerm(Terms[static_cast<std::size_t>(K)].first,
+                     Terms[static_cast<std::size_t>(K)].second);
+    return D.evalInterval(Rest).Lo;
+  };
+
+  GuardConstraints Out;
+  for (int K = 0; K != static_cast<int>(Terms.size()); ++K) {
+    double RestLo = restLowerBound(K, -1);
+    if (RestLo == -Infinity)
+      continue;
+    emitLeConstraints({Terms[static_cast<std::size_t>(K)]}, F.Bound - RestLo,
+                      Out);
+  }
+  for (int K = 0; K != static_cast<int>(Terms.size()); ++K)
+    for (int L = K + 1; L != static_cast<int>(Terms.size()); ++L) {
+      const auto &TK = Terms[static_cast<std::size_t>(K)];
+      const auto &TL = Terms[static_cast<std::size_t>(L)];
+      int AbsK = TK.first < 0 ? -TK.first : TK.first;
+      int AbsL = TL.first < 0 ? -TL.first : TL.first;
+      if (AbsK != AbsL)
+        continue;
+      double RestLo = restLowerBound(K, L);
+      if (RestLo == -Infinity)
+        continue;
+      emitLeConstraints({TK, TL}, F.Bound - RestLo, Out);
+    }
+  applyGuard(D, Out);
+}
+
+/// Refines \p D with a (possibly negated) condition, using exact
+/// octagonal constraints plus optional interval linearization of the
+/// non-octagonal comparisons.
+template <typename DomainT>
+void applyCond(DomainT &D, const lang::Cond &Cond, bool Negated,
+               bool Linearize) {
+  if (Cond.Nondet)
+    return;
+  if (Negated && Cond.Conjuncts.size() != 1)
+    return; // a disjunction: no refinement (sound)
+  for (const lang::Cmp &C : Cond.Conjuncts) {
+    GuardConstraints G = cmpToConstraints(C, Negated);
+    applyGuard(D, G);
+    if (G.Infeasible)
+      return;
+    if (G.Exact || !Linearize)
+      continue;
+    std::vector<NormalizedLe> Forms;
+    if (normalizeCmp(C, Negated, Forms))
+      for (const NormalizedLe &F : Forms)
+        refineLinearized(D, F);
+  }
+}
+
+/// True when \p D proves the (conjunctive) condition. Closes \p D.
+template <typename DomainT>
+bool checkAssert(DomainT &D, const lang::Cond &Cond) {
+  if (D.isBottom())
+    return true; // unreachable code satisfies everything
+  if (Cond.Nondet)
+    return false;
+  for (const lang::Cmp &C : Cond.Conjuncts) {
+    GuardConstraints G = cmpToConstraints(C, /*Negated=*/false);
+    if (G.Infeasible)
+      return false;
+    if (G.Exact) {
+      // Relational check against the strongly closed matrix (isBottom
+      // above closed D).
+      bool Ok = true;
+      // boundOf and toEntry() both scale unary bounds by 2, so the
+      // comparison is at the DBM-entry level.
+      for (const OctCons &K : G.Cons)
+        Ok = Ok && D.boundOf(K) <= K.toEntry().Bound;
+      if (!Ok)
+        return false;
+      continue;
+    }
+    // Non-octagonal comparison: interval fallback on E = Lhs - Rhs.
+    LinExpr E = C.Lhs;
+    for (const auto &[Coef, Var] : C.Rhs.Terms)
+      E.addTerm(-Coef, Var);
+    E.Const -= C.Rhs.Const;
+    Interval Iv = D.evalInterval(E);
+    switch (C.Op) {
+    case lang::RelOp::LE:
+      if (!(Iv.Hi <= 0.0))
+        return false;
+      break;
+    case lang::RelOp::LT:
+      if (!(Iv.Hi < 0.0))
+        return false;
+      break;
+    case lang::RelOp::GE:
+      if (!(Iv.Lo >= 0.0))
+        return false;
+      break;
+    case lang::RelOp::GT:
+      if (!(Iv.Lo > 0.0))
+        return false;
+      break;
+    case lang::RelOp::EQ:
+      if (!(Iv.Lo >= 0.0 && Iv.Hi <= 0.0))
+        return false;
+      break;
+    case lang::RelOp::NE:
+      if (!(Iv.Hi < 0.0 || Iv.Lo > 0.0))
+        return false;
+      break;
+    }
+  }
+  return true;
+}
+
+/// Applies a straight-line statement to \p D. Assertion outcomes are
+/// appended to \p Asserts when provided.
+template <typename DomainT>
+void applyStmt(DomainT &D, const lang::Stmt &S,
+               std::vector<AssertOutcome> *Asserts = nullptr,
+               bool Linearize = true) {
+  switch (S.Kind) {
+  case lang::StmtKind::Assign:
+    D.assign(S.TargetSlot, S.Value);
+    return;
+  case lang::StmtKind::Havoc:
+    D.havoc(S.TargetSlot);
+    return;
+  case lang::StmtKind::Assume:
+    applyCond(D, S.Condition, /*Negated=*/false, Linearize);
+    return;
+  case lang::StmtKind::Assert: {
+    if (Asserts)
+      Asserts->push_back({S.Line, checkAssert(D, S.Condition)});
+    return;
+  }
+  default:
+    assert(false && "control-flow statement inside a basic block");
+  }
+}
+
+/// Applies an edge's guard and scope action to \p D.
+template <typename DomainT>
+void applyEdge(DomainT &D, const cfg::Edge &E, bool Linearize = true) {
+  if (E.Cond)
+    applyCond(D, *E.Cond->Condition, E.Cond->Negated, Linearize);
+  if (E.SlotDelta > 0)
+    D.addVars(static_cast<unsigned>(E.SlotDelta));
+  else if (E.SlotDelta < 0)
+    D.removeTrailingVars(static_cast<unsigned>(-E.SlotDelta));
+}
+
+} // namespace optoct::analysis
+
+#endif // OPTOCT_ANALYSIS_TRANSFER_H

@@ -1,0 +1,86 @@
+//===- baseline/closure_apron.cpp - APRON's closure algorithm ------------===//
+
+#include "baseline/closure_apron.h"
+
+#include "oct/closure_reference.h"
+
+using namespace optoct;
+using namespace optoct::baseline;
+
+static BaselineClosureMode ClosureMode = BaselineClosureMode::Apron;
+
+void optoct::baseline::setBaselineClosureMode(BaselineClosureMode Mode) {
+  ClosureMode = Mode;
+}
+BaselineClosureMode optoct::baseline::baselineClosureMode() {
+  return ClosureMode;
+}
+
+bool optoct::baseline::closureVectorizedFW(HalfDbm &M) {
+  FullDbm Full(M);
+  if (!closureFullVectorized(Full))
+    return false;
+  Full.toHalf(M);
+  return true;
+}
+
+namespace {
+
+/// Strengthening + emptiness check + diagonal normalization shared by
+/// the full and incremental closures.
+bool strengthenAndCheck(HalfDbm &M) {
+  unsigned D = M.dim();
+  for (unsigned I = 0; I != D; ++I) {
+    double Di = M.get(I, I ^ 1u);
+    double *Row = M.row(I);
+    for (unsigned J = 0; J <= (I | 1u); ++J) {
+      double S = (Di + M.get(J ^ 1u, J)) * 0.5;
+      if (S < Row[J])
+        Row[J] = S;
+    }
+  }
+  for (unsigned I = 0; I != D; ++I)
+    if (M.at(I, I) < 0.0)
+      return false;
+  for (unsigned I = 0; I != D; ++I)
+    M.at(I, I) = 0.0;
+  return true;
+}
+
+/// One iteration of Algorithm 2's outermost loop for extended index K:
+/// two min operations per entry, with the coherent mirror access pattern
+/// of the original library.
+void apronIteration(HalfDbm &M, unsigned K) {
+  unsigned D = M.dim();
+  for (unsigned I = 0; I != D; ++I) {
+    double Ik = M.get(I, K);
+    double Ik1 = M.get(I, K ^ 1u);
+    double *Row = M.row(I);
+    for (unsigned J = 0; J <= (I | 1u); ++J) {
+      double T1 = Ik + M.get(K, J);
+      if (T1 < Row[J])
+        Row[J] = T1;
+      double T2 = Ik1 + M.get(K ^ 1u, J);
+      if (T2 < Row[J])
+        Row[J] = T2;
+    }
+  }
+}
+
+} // namespace
+
+bool optoct::baseline::closureApron(HalfDbm &M) {
+  unsigned D = M.dim();
+  for (unsigned K = 0; K != D; ++K)
+    apronIteration(M, K);
+  return strengthenAndCheck(M);
+}
+
+bool optoct::baseline::incrementalClosureApron(
+    HalfDbm &M, const std::vector<unsigned> &Touched) {
+  for (unsigned V : Touched) {
+    apronIteration(M, 2 * V);
+    apronIteration(M, 2 * V + 1);
+  }
+  return strengthenAndCheck(M);
+}

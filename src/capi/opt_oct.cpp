@@ -1,0 +1,106 @@
+//===- capi/opt_oct.cpp - APRON-style C API over OptOctagon ---------------===//
+
+#include "capi/opt_oct.h"
+
+#include "oct/octagon.h"
+
+#include <cassert>
+
+using namespace optoct;
+
+/// The opaque element: a thin wrapper so the C type stays distinct.
+struct opt_oct_t {
+  Octagon O;
+};
+
+namespace {
+
+Octagon &oct(opt_oct_t *P) { return P->O; }
+const Octagon &oct(const opt_oct_t *P) { return P->O; }
+
+} // namespace
+
+opt_oct_t *opt_oct_top(unsigned NumVars) {
+  return new opt_oct_t{Octagon::makeTop(NumVars)};
+}
+
+opt_oct_t *opt_oct_bottom(unsigned NumVars) {
+  return new opt_oct_t{Octagon::makeBottom(NumVars)};
+}
+
+opt_oct_t *opt_oct_copy(const opt_oct_t *O) { return new opt_oct_t{*O}; }
+
+void opt_oct_free(opt_oct_t *O) { delete O; }
+
+unsigned opt_oct_dimension(const opt_oct_t *O) { return oct(O).numVars(); }
+
+int opt_oct_is_bottom(opt_oct_t *O) { return oct(O).isBottom(); }
+
+int opt_oct_is_top(const opt_oct_t *O) { return oct(O).isTop(); }
+
+int opt_oct_is_leq(opt_oct_t *A, opt_oct_t *B) { return oct(A).leq(oct(B)); }
+
+int opt_oct_is_eq(opt_oct_t *A, opt_oct_t *B) {
+  return oct(A).equals(oct(B));
+}
+
+void opt_oct_bounds(opt_oct_t *O, unsigned V, double *Lo, double *Hi) {
+  Interval Iv = oct(O).bounds(V);
+  if (Lo)
+    *Lo = Iv.Lo;
+  if (Hi)
+    *Hi = Iv.Hi;
+}
+
+size_t opt_oct_num_components(const opt_oct_t *O) {
+  return oct(O).partition().numComponents();
+}
+
+opt_oct_t *opt_oct_meet(const opt_oct_t *A, const opt_oct_t *B) {
+  return new opt_oct_t{Octagon::meet(oct(A), oct(B))};
+}
+
+opt_oct_t *opt_oct_join(opt_oct_t *A, opt_oct_t *B) {
+  return new opt_oct_t{Octagon::join(oct(A), oct(B))};
+}
+
+opt_oct_t *opt_oct_widening(const opt_oct_t *Old, opt_oct_t *New) {
+  return new opt_oct_t{Octagon::widen(oct(Old), oct(New))};
+}
+
+opt_oct_t *opt_oct_narrowing(opt_oct_t *Old, const opt_oct_t *New) {
+  return new opt_oct_t{Octagon::narrow(oct(Old), oct(New))};
+}
+
+void opt_oct_close(opt_oct_t *O) { oct(O).close(); }
+
+void opt_oct_add_constraint(opt_oct_t *O, int CoefI, unsigned I, int CoefJ,
+                            unsigned J, double Bound) {
+  assert((CoefI == 1 || CoefI == -1) && "coef_i must be +-1");
+  assert((CoefJ == 0 || CoefJ == 1 || CoefJ == -1) && "coef_j in {-1,0,1}");
+  OctCons C{CoefI, I, CoefJ, CoefJ == 0 ? I : J, Bound};
+  oct(O).addConstraint(C);
+}
+
+void opt_oct_assign_var(opt_oct_t *O, unsigned X, int Coef, unsigned Y,
+                        double Const) {
+  assert((Coef == 1 || Coef == -1) && "coef must be +-1");
+  LinExpr E;
+  E.Terms = {{Coef, Y}};
+  E.Const = Const;
+  oct(O).assign(X, E);
+}
+
+void opt_oct_assign_const(opt_oct_t *O, unsigned X, double Const) {
+  oct(O).assign(X, LinExpr::constant(Const));
+}
+
+void opt_oct_forget(opt_oct_t *O, unsigned X) { oct(O).havoc(X); }
+
+void opt_oct_add_vars(opt_oct_t *O, unsigned Count) {
+  oct(O).addVars(Count);
+}
+
+void opt_oct_remove_trailing_vars(opt_oct_t *O, unsigned Count) {
+  oct(O).removeTrailingVars(Count);
+}

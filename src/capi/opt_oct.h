@@ -1,0 +1,74 @@
+/*===- capi/opt_oct.h - APRON-style C API over OptOctagon -------*- C -*-===*
+ *
+ * The paper's deliverable is a drop-in replacement for APRON's octagon
+ * domain: existing analyzers keep their C call sites and gain the new
+ * algorithms underneath. This header is that surface — a C-linkage
+ * octagon API in the style of APRON's opt_oct entry points, implemented
+ * on top of optoct::Octagon.
+ *
+ * Conventions:
+ *   - variables are dimensions 0..n-1;
+ *   - constraints are  coef_i*v_i + coef_j*v_j <= bound  with
+ *     coef in {-1, 0, +1} (coef_j = 0 for unary constraints);
+ *   - functions taking non-const elements may close them in place
+ *     (APRON's lazy-closure behavior).
+ *
+ *===---------------------------------------------------------------------===*/
+
+#ifndef OPTOCT_CAPI_OPT_OCT_H
+#define OPTOCT_CAPI_OPT_OCT_H
+
+#include <stddef.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+typedef struct opt_oct_t opt_oct_t;
+
+/* Element lifecycle. */
+opt_oct_t *opt_oct_top(unsigned num_vars);
+opt_oct_t *opt_oct_bottom(unsigned num_vars);
+opt_oct_t *opt_oct_copy(const opt_oct_t *o);
+void opt_oct_free(opt_oct_t *o);
+
+/* Queries. */
+unsigned opt_oct_dimension(const opt_oct_t *o);
+int opt_oct_is_bottom(opt_oct_t *o);
+int opt_oct_is_top(const opt_oct_t *o);
+int opt_oct_is_leq(opt_oct_t *a, opt_oct_t *b);
+int opt_oct_is_eq(opt_oct_t *a, opt_oct_t *b);
+/* Writes the bounds of dimension v (HUGE_VAL when unbounded). */
+void opt_oct_bounds(opt_oct_t *o, unsigned v, double *lo, double *hi);
+/* Number of independent components currently maintained. */
+size_t opt_oct_num_components(const opt_oct_t *o);
+
+/* Lattice operators (results are freshly allocated). */
+opt_oct_t *opt_oct_meet(const opt_oct_t *a, const opt_oct_t *b);
+opt_oct_t *opt_oct_join(opt_oct_t *a, opt_oct_t *b);
+opt_oct_t *opt_oct_widening(const opt_oct_t *old_value, opt_oct_t *new_value);
+opt_oct_t *opt_oct_narrowing(opt_oct_t *old_value, const opt_oct_t *new_value);
+
+/* Strong closure (Section 5 of the paper); cached and kind-dispatched. */
+void opt_oct_close(opt_oct_t *o);
+
+/* Transfer functions (destructive). */
+void opt_oct_add_constraint(opt_oct_t *o, int coef_i, unsigned i, int coef_j,
+                            unsigned j, double bound);
+/* x := coef*y + c with coef in {-1, +1} (y may equal x). */
+void opt_oct_assign_var(opt_oct_t *o, unsigned x, int coef, unsigned y,
+                        double c);
+/* x := c. */
+void opt_oct_assign_const(opt_oct_t *o, unsigned x, double c);
+/* Forget all constraints on x. */
+void opt_oct_forget(opt_oct_t *o, unsigned x);
+
+/* Dimension management (trailing dimensions only). */
+void opt_oct_add_vars(opt_oct_t *o, unsigned count);
+void opt_oct_remove_trailing_vars(opt_oct_t *o, unsigned count);
+
+#ifdef __cplusplus
+} /* extern "C" */
+#endif
+
+#endif /* OPTOCT_CAPI_OPT_OCT_H */

@@ -1,0 +1,197 @@
+//===- cfg/cfg.cpp - Control-flow graph construction ----------------------===//
+
+#include "cfg/cfg.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+using namespace optoct;
+using namespace optoct::cfg;
+
+namespace optoct::cfg {
+
+/// Recursive-descent CFG builder following the AST block structure.
+class Builder {
+public:
+  explicit Builder(const lang::Program &P) : Prog(P) {}
+
+  Cfg run() {
+    Cfg G;
+    // Top-level slots are live from the start.
+    for (const std::string &Name : Prog.Top.DeclNames)
+      Names.push_back(Name);
+    unsigned Entry = newBlock(G);
+    G.Entry = Entry;
+    unsigned Cur = Entry;
+    buildStmts(G, Prog.Top, Cur);
+    G.Exit = Cur;
+    G.computeOrders();
+    return G;
+  }
+
+private:
+  unsigned newBlock(Cfg &G) {
+    BasicBlock B;
+    B.Id = static_cast<unsigned>(G.Blocks.size());
+    B.NumSlots = static_cast<unsigned>(Names.size());
+    B.SlotNames = Names;
+    G.Blocks.push_back(std::move(B));
+    return G.Blocks.back().Id;
+  }
+
+  static void link(Cfg &G, unsigned From, unsigned To,
+                   std::optional<Guard> Cond = std::nullopt,
+                   int SlotDelta = 0) {
+    G.Blocks[From].Succs.push_back({To, Cond, SlotDelta});
+  }
+
+  void pushScope(const lang::Block &B) {
+    for (const std::string &Name : B.DeclNames)
+      Names.push_back(Name);
+  }
+  void popScope(const lang::Block &B) {
+    Names.resize(Names.size() - B.DeclNames.size());
+  }
+
+  /// Builds the statements of \p B starting in block \p Cur; on return
+  /// \p Cur is the (possibly new) block where control continues.
+  void buildStmts(Cfg &G, const lang::Block &B, unsigned &Cur) {
+    for (const lang::StmtPtr &SP : B.Stmts) {
+      const lang::Stmt &S = *SP;
+      switch (S.Kind) {
+      case lang::StmtKind::Assign:
+      case lang::StmtKind::Havoc:
+      case lang::StmtKind::Assume:
+      case lang::StmtKind::Assert:
+        G.Blocks[Cur].Stmts.push_back(&S);
+        break;
+
+      case lang::StmtKind::Scope: {
+        int Delta = static_cast<int>(S.Then.numDecls());
+        pushScope(S.Then);
+        unsigned Inner = newBlock(G);
+        link(G, Cur, Inner, std::nullopt, Delta);
+        unsigned InnerExit = Inner;
+        buildStmts(G, S.Then, InnerExit);
+        popScope(S.Then);
+        unsigned After = newBlock(G);
+        link(G, InnerExit, After, std::nullopt, -Delta);
+        Cur = After;
+        break;
+      }
+
+      case lang::StmtKind::If: {
+        unsigned Head = Cur;
+        int ThenDelta = static_cast<int>(S.Then.numDecls());
+        pushScope(S.Then);
+        unsigned ThenEntry = newBlock(G);
+        link(G, Head, ThenEntry, Guard{&S.Condition, false}, ThenDelta);
+        unsigned ThenExit = ThenEntry;
+        buildStmts(G, S.Then, ThenExit);
+        popScope(S.Then);
+
+        unsigned ElseExit = Head;
+        int ElseDelta = 0;
+        unsigned ElseEntry = 0;
+        if (S.HasElse) {
+          ElseDelta = static_cast<int>(S.Else.numDecls());
+          pushScope(S.Else);
+          ElseEntry = newBlock(G);
+          link(G, Head, ElseEntry, Guard{&S.Condition, true}, ElseDelta);
+          ElseExit = ElseEntry;
+          buildStmts(G, S.Else, ElseExit);
+          popScope(S.Else);
+        }
+
+        unsigned Merge = newBlock(G);
+        link(G, ThenExit, Merge, std::nullopt, -ThenDelta);
+        if (S.HasElse)
+          link(G, ElseExit, Merge, std::nullopt, -ElseDelta);
+        else
+          link(G, Head, Merge, Guard{&S.Condition, true});
+        Cur = Merge;
+        break;
+      }
+
+      case lang::StmtKind::While: {
+        unsigned Head = newBlock(G);
+        G.Blocks[Head].IsLoopHead = true;
+        link(G, Cur, Head);
+
+        int Delta = static_cast<int>(S.Then.numDecls());
+        pushScope(S.Then);
+        unsigned BodyEntry = newBlock(G);
+        link(G, Head, BodyEntry, Guard{&S.Condition, false}, Delta);
+        unsigned BodyExit = BodyEntry;
+        buildStmts(G, S.Then, BodyExit);
+        popScope(S.Then);
+        link(G, BodyExit, Head, std::nullopt, -Delta); // back edge
+
+        unsigned After = newBlock(G);
+        link(G, Head, After, Guard{&S.Condition, true});
+        Cur = After;
+        break;
+      }
+      }
+    }
+  }
+
+  const lang::Program &Prog;
+  std::vector<std::string> Names;
+};
+
+} // namespace optoct::cfg
+
+Cfg Cfg::build(const lang::Program &P) { return Builder(P).run(); }
+
+void Cfg::computeOrders() {
+  // Iterative post-order DFS from the entry.
+  std::vector<unsigned> Post;
+  std::vector<int> State(Blocks.size(), 0); // 0 unvisited, 1 open, 2 done
+  std::vector<std::pair<unsigned, std::size_t>> Stack;
+  Stack.push_back({Entry, 0});
+  State[Entry] = 1;
+  while (!Stack.empty()) {
+    auto &[B, NextSucc] = Stack.back();
+    if (NextSucc < Blocks[B].Succs.size()) {
+      unsigned T = Blocks[B].Succs[NextSucc++].Target;
+      if (State[T] == 0) {
+        State[T] = 1;
+        Stack.push_back({T, 0});
+      }
+      continue;
+    }
+    State[B] = 2;
+    Post.push_back(B);
+    Stack.pop_back();
+  }
+  Rpo.assign(Post.rbegin(), Post.rend());
+  RpoIndex.assign(Blocks.size(), 0);
+  for (unsigned I = 0; I != Rpo.size(); ++I)
+    RpoIndex[Rpo[I]] = I;
+
+  Preds.assign(Blocks.size(), {});
+  for (const BasicBlock &B : Blocks)
+    for (const Edge &E : B.Succs)
+      Preds[E.Target].push_back(B.Id);
+}
+
+std::string Cfg::str() const {
+  std::string Out;
+  char Buf[128];
+  for (const BasicBlock &B : Blocks) {
+    std::snprintf(Buf, sizeof(Buf), "bb%u (slots=%u%s): %zu stmts ->", B.Id,
+                  B.NumSlots, B.IsLoopHead ? ", loop-head" : "",
+                  B.Stmts.size());
+    Out += Buf;
+    for (const Edge &E : B.Succs) {
+      std::snprintf(Buf, sizeof(Buf), " bb%u%s%s", E.Target,
+                    E.Cond ? (E.Cond->Negated ? "[!g]" : "[g]") : "",
+                    E.SlotDelta ? (E.SlotDelta > 0 ? "+" : "-") : "");
+      Out += Buf;
+    }
+    Out += '\n';
+  }
+  return Out;
+}

@@ -1,0 +1,90 @@
+//===- cfg/cfg.h - Control-flow graph ----------------------------*- C++ -*-===//
+///
+/// \file
+/// Control-flow graphs over mini-IMP programs. Blocks hold straight-line
+/// statements (assign / havoc / assume / assert); edges carry optional
+/// branch guards (possibly negated for else/exit edges) and scope
+/// actions (push/pop of trailing variable slots). While-loop heads are
+/// marked so the fixpoint engine knows where to widen.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPTOCT_CFG_CFG_H
+#define OPTOCT_CFG_CFG_H
+
+#include "lang/ast.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace optoct::cfg {
+
+/// A guard on a CFG edge. When Negated, the analyzer must refine with
+/// the *complement* of Condition (exactly representable only for
+/// single-comparison conditions).
+struct Guard {
+  const lang::Cond *Condition;
+  bool Negated;
+};
+
+/// One directed edge.
+struct Edge {
+  unsigned Target;
+  std::optional<Guard> Cond;
+  /// Slots pushed (> 0) or popped (< 0) when traversing this edge;
+  /// applied after the guard (guards mention outer-scope slots only).
+  int SlotDelta = 0;
+};
+
+/// A basic block.
+struct BasicBlock {
+  unsigned Id = 0;
+  /// Number of live variable slots within this block.
+  unsigned NumSlots = 0;
+  /// Names of the live slots (index = slot), for invariant printing.
+  std::vector<std::string> SlotNames;
+  /// Straight-line statements (Assign/Havoc/Assume/Assert nodes).
+  std::vector<const lang::Stmt *> Stmts;
+  std::vector<Edge> Succs;
+  bool IsLoopHead = false;
+};
+
+/// A whole-program CFG. Keeps a reference to the AST (the program must
+/// outlive the CFG).
+class Cfg {
+public:
+  /// Builds the CFG of \p P.
+  static Cfg build(const lang::Program &P);
+
+  const std::vector<BasicBlock> &blocks() const { return Blocks; }
+  const BasicBlock &block(unsigned Id) const { return Blocks[Id]; }
+  unsigned entry() const { return Entry; }
+  unsigned exit() const { return Exit; }
+  std::size_t size() const { return Blocks.size(); }
+
+  /// Reverse post-order over the blocks (entry first).
+  const std::vector<unsigned> &rpo() const { return Rpo; }
+  /// Position of each block in the RPO (priority for the worklist).
+  unsigned rpoIndex(unsigned Block) const { return RpoIndex[Block]; }
+
+  /// Predecessor lists.
+  const std::vector<std::vector<unsigned>> &preds() const { return Preds; }
+
+  /// Human-readable dump for tests/debugging.
+  std::string str() const;
+
+private:
+  friend class Builder;
+  std::vector<BasicBlock> Blocks;
+  unsigned Entry = 0, Exit = 0;
+  std::vector<unsigned> Rpo;
+  std::vector<unsigned> RpoIndex;
+  std::vector<std::vector<unsigned>> Preds;
+
+  void computeOrders();
+};
+
+} // namespace optoct::cfg
+
+#endif // OPTOCT_CFG_CFG_H

@@ -1,0 +1,170 @@
+//===- dataflow/dataflow.cpp - Client bit-vector analyses -----------------===//
+
+#include "dataflow/dataflow.h"
+
+#include <algorithm>
+
+using namespace optoct;
+using namespace optoct::dataflow;
+
+namespace {
+
+/// Collects the slots read by a linear expression.
+void exprUses(const LinExpr &E, BitVector &Uses) {
+  for (const auto &[Coef, Var] : E.Terms)
+    if (Var < Uses.size())
+      Uses.set(Var);
+}
+
+void condUses(const lang::Cond &C, BitVector &Uses) {
+  for (const lang::Cmp &Cmp : C.Conjuncts) {
+    exprUses(Cmp.Lhs, Uses);
+    exprUses(Cmp.Rhs, Uses);
+  }
+}
+
+/// Maximum slot count over all blocks (slot universe for bit vectors).
+std::size_t slotUniverse(const cfg::Cfg &G) {
+  std::size_t Max = 0;
+  for (const cfg::BasicBlock &B : G.blocks())
+    Max = std::max(Max, static_cast<std::size_t>(B.NumSlots));
+  return Max;
+}
+
+} // namespace
+
+LivenessResult optoct::dataflow::runLiveness(const cfg::Cfg &G) {
+  std::size_t N = slotUniverse(G);
+  std::size_t NumBlocks = G.size();
+  LivenessResult R;
+  R.LiveIn.assign(NumBlocks, BitVector(N));
+  R.LiveOut.assign(NumBlocks, BitVector(N));
+
+  // Per-block use/def sets (uses before defs within the block).
+  std::vector<BitVector> Use(NumBlocks, BitVector(N));
+  std::vector<BitVector> Def(NumBlocks, BitVector(N));
+  for (const cfg::BasicBlock &B : G.blocks()) {
+    for (const lang::Stmt *S : B.Stmts) {
+      BitVector StmtUses(N);
+      switch (S->Kind) {
+      case lang::StmtKind::Assign:
+        exprUses(S->Value, StmtUses);
+        break;
+      case lang::StmtKind::Assume:
+      case lang::StmtKind::Assert:
+        condUses(S->Condition, StmtUses);
+        break;
+      default:
+        break;
+      }
+      StmtUses.subtract(Def[B.Id]);
+      Use[B.Id].orWith(StmtUses);
+      if (S->Kind == lang::StmtKind::Assign ||
+          S->Kind == lang::StmtKind::Havoc)
+        Def[B.Id].set(S->TargetSlot);
+    }
+    // Edge guards read their variables at the end of the block.
+    for (const cfg::Edge &E : B.Succs)
+      if (E.Cond) {
+        BitVector GuardUses(N);
+        condUses(*E.Cond->Condition, GuardUses);
+        GuardUses.subtract(Def[B.Id]);
+        Use[B.Id].orWith(GuardUses);
+      }
+  }
+
+  // Round-robin backward iteration (post-order would converge faster;
+  // simplicity wins for a client workload).
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    ++R.Iterations;
+    for (std::size_t I = G.rpo().size(); I-- > 0;) {
+      unsigned B = G.rpo()[I];
+      BitVector Out(N);
+      for (const cfg::Edge &E : G.block(B).Succs)
+        Out.orWith(R.LiveIn[E.Target]);
+      R.LiveOut[B] = Out;
+      Out.subtract(Def[B]);
+      Out.orWith(Use[B]);
+      if (!(Out == R.LiveIn[B])) {
+        R.LiveIn[B] = std::move(Out);
+        Changed = true;
+      }
+    }
+  }
+  return R;
+}
+
+ReachingDefsResult optoct::dataflow::runReachingDefs(const cfg::Cfg &G) {
+  std::size_t NumBlocks = G.size();
+  std::size_t N = slotUniverse(G);
+
+  // Number the definition sites.
+  std::vector<std::vector<std::pair<unsigned, unsigned>>> BlockDefs(
+      NumBlocks); // (def id, slot)
+  unsigned NumDefs = 0;
+  for (const cfg::BasicBlock &B : G.blocks())
+    for (const lang::Stmt *S : B.Stmts)
+      if (S->Kind == lang::StmtKind::Assign ||
+          S->Kind == lang::StmtKind::Havoc)
+        BlockDefs[B.Id].push_back({NumDefs++, S->TargetSlot});
+
+  // Defs per slot, for kill sets.
+  std::vector<std::vector<unsigned>> DefsOfSlot(N);
+  for (const auto &Defs : BlockDefs)
+    for (auto [Id, Slot] : Defs)
+      DefsOfSlot[Slot].push_back(Id);
+
+  std::vector<BitVector> Gen(NumBlocks, BitVector(NumDefs));
+  std::vector<BitVector> Kill(NumBlocks, BitVector(NumDefs));
+  for (const cfg::BasicBlock &B : G.blocks())
+    for (auto [Id, Slot] : BlockDefs[B.Id]) {
+      // A later def of the same slot in this block kills earlier gens;
+      // processing in order with overwrite handles it.
+      for (unsigned Other : DefsOfSlot[Slot]) {
+        Kill[B.Id].set(Other);
+        Gen[B.Id].reset(Other);
+      }
+      Gen[B.Id].set(Id);
+    }
+
+  ReachingDefsResult R;
+  R.NumDefs = NumDefs;
+  R.In.assign(NumBlocks, BitVector(NumDefs));
+  R.Out.assign(NumBlocks, BitVector(NumDefs));
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    ++R.Iterations;
+    for (unsigned B : G.rpo()) {
+      BitVector In(NumDefs);
+      for (unsigned P : G.preds()[B])
+        In.orWith(R.Out[P]);
+      R.In[B] = In;
+      In.subtract(Kill[B]);
+      In.orWith(Gen[B]);
+      if (!(In == R.Out[B])) {
+        R.Out[B] = std::move(In);
+        Changed = true;
+      }
+    }
+  }
+  return R;
+}
+
+std::uint64_t optoct::dataflow::runClientAnalyses(const cfg::Cfg &G,
+                                                  unsigned Repetitions) {
+  std::uint64_t Checksum = 0;
+  for (unsigned Rep = 0; Rep != Repetitions; ++Rep) {
+    LivenessResult L = runLiveness(G);
+    ReachingDefsResult D = runReachingDefs(G);
+    for (const BitVector &BV : L.LiveIn)
+      Checksum += BV.count();
+    for (const BitVector &BV : D.Out)
+      Checksum += BV.count();
+    Checksum ^= Checksum << 7;
+  }
+  return Checksum;
+}

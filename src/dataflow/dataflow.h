@@ -1,0 +1,58 @@
+//===- dataflow/dataflow.h - Client bit-vector analyses ---------*- C++ -*-===//
+///
+/// \file
+/// Classic bit-vector dataflow analyses over the mini-IMP CFG: liveness
+/// (backward) and reaching definitions (forward). In the paper's
+/// evaluation, octagon analysis is one component of larger analyzers
+/// (CPAchecker's CEGAR machinery, DPS's pointer analysis, DIZY's
+/// differencing); these passes play that role here — genuine
+/// non-numerical analysis work whose share of the end-to-end time gives
+/// Table 3's %oct column.
+///
+/// Slots are block-scoped in mini-IMP; the analyses conservatively
+/// treat a slot index as one variable across scopes (sound for the
+/// client role these passes play).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPTOCT_DATAFLOW_DATAFLOW_H
+#define OPTOCT_DATAFLOW_DATAFLOW_H
+
+#include "cfg/cfg.h"
+#include "support/bitvector.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace optoct::dataflow {
+
+/// Liveness result: live-in/live-out slot sets per block.
+struct LivenessResult {
+  std::vector<BitVector> LiveIn, LiveOut;
+  std::uint64_t Iterations = 0;
+};
+
+/// Backward may-analysis: a slot is live when a later use may read it.
+LivenessResult runLiveness(const cfg::Cfg &G);
+
+/// Reaching-definitions result: per block, the set of definition sites
+/// (indexed densely over all Assign/Havoc statements) that may reach
+/// the block entry/exit.
+struct ReachingDefsResult {
+  std::vector<BitVector> In, Out;
+  std::uint64_t NumDefs = 0;
+  std::uint64_t Iterations = 0;
+};
+
+/// Forward may-analysis over definition sites.
+ReachingDefsResult runReachingDefs(const cfg::Cfg &G);
+
+/// Runs both client analyses \p Repetitions times and returns a
+/// checksum (so the work cannot be optimized away). Used by the
+/// Table 3 harness to model the analyzer components that are not the
+/// octagon domain.
+std::uint64_t runClientAnalyses(const cfg::Cfg &G, unsigned Repetitions);
+
+} // namespace optoct::dataflow
+
+#endif // OPTOCT_DATAFLOW_DATAFLOW_H

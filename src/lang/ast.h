@@ -1,0 +1,97 @@
+//===- lang/ast.h - Mini-IMP abstract syntax ---------------------*- C++ -*-===//
+///
+/// \file
+/// The abstract syntax of mini-IMP, the integer imperative language the
+/// analyzer substrate consumes (standing in for the paper's C / Java /
+/// TouchDevelop benchmark programs). Variables are resolved to *slots*
+/// at parse time; slots obey stack discipline — a nested block's
+/// declarations occupy trailing slot indices and are popped on scope
+/// exit — which maps directly onto the octagon's addVars /
+/// removeTrailingVars and makes the DBM dimension vary during analysis
+/// (the n_min/n_max spread of Table 2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPTOCT_LANG_AST_H
+#define OPTOCT_LANG_AST_H
+
+#include "oct/constraint.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace optoct::lang {
+
+/// Comparison operators of conditions.
+enum class RelOp { LE, LT, GE, GT, EQ, NE };
+
+/// One comparison Lhs op Rhs over linear expressions of slots.
+struct Cmp {
+  LinExpr Lhs;
+  RelOp Op;
+  LinExpr Rhs;
+};
+
+/// A condition: nondeterministic ("*") or a conjunction of comparisons.
+struct Cond {
+  bool Nondet = false;
+  std::vector<Cmp> Conjuncts;
+
+  static Cond nondet() {
+    Cond C;
+    C.Nondet = true;
+    return C;
+  }
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// A scope: declarations (slot range) plus statements.
+struct Block {
+  unsigned FirstSlot = 0; ///< First slot declared by this block.
+  std::vector<std::string> DeclNames;
+  std::vector<StmtPtr> Stmts;
+
+  unsigned numDecls() const {
+    return static_cast<unsigned>(DeclNames.size());
+  }
+};
+
+/// Statement kinds.
+enum class StmtKind { Assign, Havoc, Assume, Assert, If, While, Scope };
+
+/// A statement node (tagged union in the classic style).
+struct Stmt {
+  StmtKind Kind;
+
+  // Assign / Havoc.
+  unsigned TargetSlot = 0;
+  LinExpr Value; ///< Assign only.
+
+  // Assume / Assert / If / While.
+  Cond Condition;
+  int Line = 0; ///< Source line, for assertion reporting.
+
+  // If / While / Scope bodies.
+  Block Then;  ///< If-then, While-body, or Scope body.
+  Block Else;  ///< If-else only.
+  bool HasElse = false;
+};
+
+/// A parsed program: top-level scope plus the slot-name table for the
+/// outermost declarations.
+struct Program {
+  Block Top;
+  /// Maximum number of simultaneously live slots (octagon dimension
+  /// high-water mark).
+  unsigned MaxSlots = 0;
+  /// Names of the top-level slots (inner scopes shadow by reusing
+  /// trailing indices).
+  std::vector<std::string> TopNames;
+};
+
+} // namespace optoct::lang
+
+#endif // OPTOCT_LANG_AST_H

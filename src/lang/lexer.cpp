@@ -1,0 +1,146 @@
+//===- lang/lexer.cpp - Mini-IMP tokenizer --------------------------------===//
+
+#include "lang/lexer.h"
+
+#include <cctype>
+#include <cstdio>
+
+using namespace optoct::lang;
+
+bool optoct::lang::tokenize(std::string_view Source, std::vector<Token> &Out,
+                            std::string &Error) {
+  Out.clear();
+  int Line = 1;
+  std::size_t I = 0, E = Source.size();
+
+  auto push = [&](TokKind K, std::string Text, long Value = 0) {
+    Out.push_back({K, std::move(Text), Value, Line});
+  };
+
+  while (I != E) {
+    char C = Source[I];
+    if (C == '\n') {
+      ++Line;
+      ++I;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      ++I;
+      continue;
+    }
+    // Line comments: // ... and # ...
+    if (C == '#' || (C == '/' && I + 1 != E && Source[I + 1] == '/')) {
+      while (I != E && Source[I] != '\n')
+        ++I;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      std::size_t Begin = I;
+      while (I != E && (std::isalnum(static_cast<unsigned char>(Source[I])) ||
+                        Source[I] == '_'))
+        ++I;
+      std::string Word(Source.substr(Begin, I - Begin));
+      if (Word == "var")
+        push(TokKind::KwVar, Word);
+      else if (Word == "if")
+        push(TokKind::KwIf, Word);
+      else if (Word == "else")
+        push(TokKind::KwElse, Word);
+      else if (Word == "while")
+        push(TokKind::KwWhile, Word);
+      else if (Word == "assume")
+        push(TokKind::KwAssume, Word);
+      else if (Word == "assert")
+        push(TokKind::KwAssert, Word);
+      else if (Word == "havoc")
+        push(TokKind::KwHavoc, Word);
+      else
+        push(TokKind::Ident, Word);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      std::size_t Begin = I;
+      while (I != E && std::isdigit(static_cast<unsigned char>(Source[I])))
+        ++I;
+      std::string Digits(Source.substr(Begin, I - Begin));
+      push(TokKind::Number, Digits, std::stol(Digits));
+      continue;
+    }
+    auto twoChar = [&](char First, char Second) {
+      return C == First && I + 1 != E && Source[I + 1] == Second;
+    };
+    if (twoChar('<', '=')) {
+      push(TokKind::Le, "<=");
+      I += 2;
+      continue;
+    }
+    if (twoChar('>', '=')) {
+      push(TokKind::Ge, ">=");
+      I += 2;
+      continue;
+    }
+    if (twoChar('=', '=')) {
+      push(TokKind::EqEq, "==");
+      I += 2;
+      continue;
+    }
+    if (twoChar('!', '=')) {
+      push(TokKind::Ne, "!=");
+      I += 2;
+      continue;
+    }
+    if (twoChar('&', '&')) {
+      push(TokKind::AndAnd, "&&");
+      I += 2;
+      continue;
+    }
+    switch (C) {
+    case '(':
+      push(TokKind::LParen, "(");
+      break;
+    case ')':
+      push(TokKind::RParen, ")");
+      break;
+    case '{':
+      push(TokKind::LBrace, "{");
+      break;
+    case '}':
+      push(TokKind::RBrace, "}");
+      break;
+    case ';':
+      push(TokKind::Semi, ";");
+      break;
+    case ',':
+      push(TokKind::Comma, ",");
+      break;
+    case '=':
+      push(TokKind::Assign, "=");
+      break;
+    case '+':
+      push(TokKind::Plus, "+");
+      break;
+    case '-':
+      push(TokKind::Minus, "-");
+      break;
+    case '*':
+      push(TokKind::Star, "*");
+      break;
+    case '<':
+      push(TokKind::Lt, "<");
+      break;
+    case '>':
+      push(TokKind::Gt, ">");
+      break;
+    default: {
+      char Buf[64];
+      std::snprintf(Buf, sizeof(Buf), "line %d: unexpected character '%c'",
+                    Line, C);
+      Error = Buf;
+      return false;
+    }
+    }
+    ++I;
+  }
+  push(TokKind::Eof, "");
+  return true;
+}

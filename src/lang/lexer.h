@@ -1,0 +1,58 @@
+//===- lang/lexer.h - Mini-IMP tokenizer -------------------------*- C++ -*-===//
+
+#ifndef OPTOCT_LANG_LEXER_H
+#define OPTOCT_LANG_LEXER_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace optoct::lang {
+
+/// Token kinds of mini-IMP.
+enum class TokKind {
+  Eof,
+  Ident,
+  Number,
+  KwVar,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwAssume,
+  KwAssert,
+  KwHavoc,
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  Semi,
+  Comma,
+  Assign, // =
+  Plus,
+  Minus,
+  Star,
+  Le, // <=
+  Lt,
+  Ge, // >=
+  Gt,
+  EqEq,
+  Ne, // !=
+  AndAnd,
+};
+
+/// One token with its source position.
+struct Token {
+  TokKind Kind;
+  std::string Text;
+  long Value = 0; ///< Number tokens only.
+  int Line = 1;
+};
+
+/// Tokenizes \p Source. On a lexical error, returns false and fills
+/// \p Error with a message of the form "line N: ...".
+bool tokenize(std::string_view Source, std::vector<Token> &Out,
+              std::string &Error);
+
+} // namespace optoct::lang
+
+#endif // OPTOCT_LANG_LEXER_H

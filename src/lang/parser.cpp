@@ -1,0 +1,300 @@
+//===- lang/parser.cpp - Mini-IMP recursive-descent parser ----------------===//
+
+#include "lang/parser.h"
+
+#include "lang/lexer.h"
+
+#include <cstdio>
+
+using namespace optoct;
+using namespace optoct::lang;
+
+namespace {
+
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, std::string &Error)
+      : Tokens(std::move(Tokens)), Error(Error) {}
+
+  std::optional<Program> run() {
+    Program P;
+    if (!parseBlockItems(P.Top, /*Braced=*/false))
+      return std::nullopt;
+    P.TopNames = P.Top.DeclNames;
+    P.MaxSlots = MaxSlots;
+    return P;
+  }
+
+private:
+  const Token &peek() const { return Tokens[Pos]; }
+
+  /// Consumes and returns the current token (Eof is sticky).
+  const Token &get() {
+    const Token &T = Tokens[Pos];
+    if (T.Kind != TokKind::Eof)
+      ++Pos;
+    return T;
+  }
+
+  bool check(TokKind K) const { return peek().Kind == K; }
+
+  bool accept(TokKind K) {
+    if (!check(K))
+      return false;
+    ++Pos;
+    return true;
+  }
+
+  bool expect(TokKind K, const char *What) {
+    if (accept(K))
+      return true;
+    return fail(std::string("expected ") + What + ", found '" + peek().Text +
+                "'");
+  }
+
+  bool fail(const std::string &Message) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "line %d: ", peek().Line);
+    Error = Buf + Message;
+    return false;
+  }
+
+  int lookupSlot(const std::string &Name) const {
+    // Innermost binding wins.
+    for (std::size_t I = Scope.size(); I-- > 0;)
+      if (Scope[I].first == Name)
+        return static_cast<int>(Scope[I].second);
+    return -1;
+  }
+
+  /// Parses "var a, b;" declarations and statements into \p B.
+  /// Declarations must come first so the scope's slot range is
+  /// contiguous and trailing.
+  bool parseBlockItems(Block &B, bool Braced) {
+    std::size_t ScopeBase = Scope.size();
+    B.FirstSlot = static_cast<unsigned>(ScopeBase);
+    bool SeenStmt = false;
+    while (!check(TokKind::Eof) && !(Braced && check(TokKind::RBrace))) {
+      if (check(TokKind::KwVar)) {
+        if (SeenStmt)
+          return fail("declarations must precede statements in a block");
+        ++Pos;
+        do {
+          if (!check(TokKind::Ident))
+            return fail("expected variable name");
+          std::string Name = get().Text;
+          Scope.emplace_back(Name, static_cast<unsigned>(Scope.size()));
+          B.DeclNames.push_back(std::move(Name));
+          if (Scope.size() > MaxSlots)
+            MaxSlots = static_cast<unsigned>(Scope.size());
+        } while (accept(TokKind::Comma));
+        if (!expect(TokKind::Semi, "';'"))
+          return false;
+        continue;
+      }
+      SeenStmt = true;
+      StmtPtr S = parseStmt();
+      if (!S)
+        return false;
+      B.Stmts.push_back(std::move(S));
+    }
+    if (Braced && !expect(TokKind::RBrace, "'}'"))
+      return false;
+    Scope.resize(ScopeBase);
+    return true;
+  }
+
+  StmtPtr parseStmt() {
+    int Line = peek().Line;
+    if (check(TokKind::LBrace)) {
+      ++Pos;
+      auto S = std::make_unique<Stmt>();
+      S->Kind = StmtKind::Scope;
+      S->Line = Line;
+      if (!parseBlockItems(S->Then, /*Braced=*/true))
+        return nullptr;
+      return S;
+    }
+    if (accept(TokKind::KwIf)) {
+      auto S = std::make_unique<Stmt>();
+      S->Kind = StmtKind::If;
+      S->Line = Line;
+      if (!expect(TokKind::LParen, "'('") || !parseCond(S->Condition) ||
+          !expect(TokKind::RParen, "')'") || !expect(TokKind::LBrace, "'{'") ||
+          !parseBlockItems(S->Then, /*Braced=*/true))
+        return nullptr;
+      if (accept(TokKind::KwElse)) {
+        S->HasElse = true;
+        if (!expect(TokKind::LBrace, "'{'") ||
+            !parseBlockItems(S->Else, /*Braced=*/true))
+          return nullptr;
+      }
+      return S;
+    }
+    if (accept(TokKind::KwWhile)) {
+      auto S = std::make_unique<Stmt>();
+      S->Kind = StmtKind::While;
+      S->Line = Line;
+      if (!expect(TokKind::LParen, "'('") || !parseCond(S->Condition) ||
+          !expect(TokKind::RParen, "')'") || !expect(TokKind::LBrace, "'{'") ||
+          !parseBlockItems(S->Then, /*Braced=*/true))
+        return nullptr;
+      return S;
+    }
+    if (accept(TokKind::KwAssume) || check(TokKind::KwAssert)) {
+      bool IsAssert = check(TokKind::KwAssert);
+      if (IsAssert)
+        ++Pos;
+      auto S = std::make_unique<Stmt>();
+      S->Kind = IsAssert ? StmtKind::Assert : StmtKind::Assume;
+      S->Line = Line;
+      if (!expect(TokKind::LParen, "'('") || !parseCond(S->Condition) ||
+          !expect(TokKind::RParen, "')'") || !expect(TokKind::Semi, "';'"))
+        return nullptr;
+      return S;
+    }
+    if (accept(TokKind::KwHavoc)) {
+      // havoc(x);
+      auto S = std::make_unique<Stmt>();
+      S->Kind = StmtKind::Havoc;
+      S->Line = Line;
+      if (!expect(TokKind::LParen, "'('"))
+        return nullptr;
+      if (!check(TokKind::Ident)) {
+        fail("expected variable in havoc()");
+        return nullptr;
+      }
+      int Slot = lookupSlot(get().Text);
+      if (Slot < 0) {
+        fail("havoc of undeclared variable");
+        return nullptr;
+      }
+      S->TargetSlot = static_cast<unsigned>(Slot);
+      if (!expect(TokKind::RParen, "')'") || !expect(TokKind::Semi, "';'"))
+        return nullptr;
+      return S;
+    }
+    if (check(TokKind::Ident)) {
+      std::string Name = get().Text;
+      int Slot = lookupSlot(Name);
+      if (Slot < 0) {
+        fail("use of undeclared variable '" + Name + "'");
+        return nullptr;
+      }
+      if (!expect(TokKind::Assign, "'='"))
+        return nullptr;
+      auto S = std::make_unique<Stmt>();
+      S->Line = Line;
+      S->TargetSlot = static_cast<unsigned>(Slot);
+      if (accept(TokKind::KwHavoc)) {
+        // x = havoc();
+        S->Kind = StmtKind::Havoc;
+        if (!expect(TokKind::LParen, "'('") ||
+            !expect(TokKind::RParen, "')'") || !expect(TokKind::Semi, "';'"))
+          return nullptr;
+        return S;
+      }
+      S->Kind = StmtKind::Assign;
+      if (!parseExpr(S->Value) || !expect(TokKind::Semi, "';'"))
+        return nullptr;
+      return S;
+    }
+    fail("expected statement, found '" + peek().Text + "'");
+    return nullptr;
+  }
+
+  bool parseCond(Cond &C) {
+    if (accept(TokKind::Star)) {
+      C = Cond::nondet();
+      return true;
+    }
+    do {
+      Cmp Comparison;
+      if (!parseExpr(Comparison.Lhs))
+        return false;
+      switch (peek().Kind) {
+      case TokKind::Le:
+        Comparison.Op = RelOp::LE;
+        break;
+      case TokKind::Lt:
+        Comparison.Op = RelOp::LT;
+        break;
+      case TokKind::Ge:
+        Comparison.Op = RelOp::GE;
+        break;
+      case TokKind::Gt:
+        Comparison.Op = RelOp::GT;
+        break;
+      case TokKind::EqEq:
+        Comparison.Op = RelOp::EQ;
+        break;
+      case TokKind::Ne:
+        Comparison.Op = RelOp::NE;
+        break;
+      default:
+        return fail("expected comparison operator");
+      }
+      ++Pos;
+      if (!parseExpr(Comparison.Rhs))
+        return false;
+      C.Conjuncts.push_back(std::move(Comparison));
+    } while (accept(TokKind::AndAnd));
+    return true;
+  }
+
+  bool parseExpr(LinExpr &E) {
+    E = LinExpr{};
+    int Sign = accept(TokKind::Minus) ? -1 : 1;
+    if (!parseTerm(E, Sign))
+      return false;
+    while (check(TokKind::Plus) || check(TokKind::Minus)) {
+      Sign = get().Kind == TokKind::Plus ? 1 : -1;
+      if (!parseTerm(E, Sign))
+        return false;
+    }
+    return true;
+  }
+
+  bool parseTerm(LinExpr &E, int Sign) {
+    if (check(TokKind::Number)) {
+      long Value = get().Value;
+      if (accept(TokKind::Star)) {
+        if (!check(TokKind::Ident))
+          return fail("expected variable after '*'");
+        int Slot = lookupSlot(get().Text);
+        if (Slot < 0)
+          return fail("use of undeclared variable");
+        E.addTerm(Sign * static_cast<int>(Value),
+                  static_cast<unsigned>(Slot));
+        return true;
+      }
+      E.Const += Sign * static_cast<double>(Value);
+      return true;
+    }
+    if (check(TokKind::Ident)) {
+      int Slot = lookupSlot(get().Text);
+      if (Slot < 0)
+        return fail("use of undeclared variable");
+      E.addTerm(Sign, static_cast<unsigned>(Slot));
+      return true;
+    }
+    return fail("expected number or variable");
+  }
+
+  std::vector<Token> Tokens;
+  std::string &Error;
+  std::size_t Pos = 0;
+  std::vector<std::pair<std::string, unsigned>> Scope;
+  unsigned MaxSlots = 0;
+};
+
+} // namespace
+
+std::optional<Program> optoct::lang::parseProgram(std::string_view Source,
+                                                  std::string &Error) {
+  std::vector<Token> Tokens;
+  if (!tokenize(Source, Tokens, Error))
+    return std::nullopt;
+  Parser P(std::move(Tokens), Error);
+  return P.run();
+}

@@ -1,0 +1,44 @@
+//===- lang/parser.h - Mini-IMP recursive-descent parser --------*- C++ -*-===//
+///
+/// \file
+/// Parses mini-IMP source into the AST of ast.h, resolving variable
+/// names to stack-disciplined slots. Grammar (declarations must precede
+/// statements within a block):
+///
+///   program := item*
+///   item    := "var" ident ("," ident)* ";" | stmt
+///   stmt    := ident "=" expr ";"
+///            | ident "=" "havoc" "(" ")" ";"
+///            | "havoc" "(" ident ")" ";"
+///            | "assume" "(" cond ")" ";"
+///            | "assert" "(" cond ")" ";"
+///            | "if" "(" cond ")" block ("else" block)?
+///            | "while" "(" cond ")" block
+///            | block
+///   block   := "{" item* "}"
+///   expr    := ["-"] term (("+"|"-") term)*
+///   term    := number ["*" ident] | ident
+///   cond    := "*" | cmp ("&&" cmp)*
+///   cmp     := expr ("<="|"<"|">="|">"|"=="|"!=") expr
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPTOCT_LANG_PARSER_H
+#define OPTOCT_LANG_PARSER_H
+
+#include "lang/ast.h"
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace optoct::lang {
+
+/// Parses \p Source; returns the program or std::nullopt with \p Error
+/// set to a "line N: ..." diagnostic.
+std::optional<Program> parseProgram(std::string_view Source,
+                                    std::string &Error);
+
+} // namespace optoct::lang
+
+#endif // OPTOCT_LANG_PARSER_H

@@ -1,0 +1,86 @@
+//===- oct/closure_reference.h - Full-DBM closure baselines -----*- C++ -*-===//
+///
+/// \file
+/// Octagon closure on the full (2n x 2n, redundant) DBM representation:
+///
+///   * closureFullReference — Algorithm 1 of the paper verbatim:
+///     Floyd-Warshall shortest-path closure followed by the
+///     strengthening step. This is the executable specification that
+///     every optimized closure is differentially tested against.
+///   * closureFullVectorized — the "FW" baseline of Fig. 6(a): the same
+///     algorithm with processor-specific optimizations (AVX
+///     vectorization, scalar replacement) but *without* the operation
+///     count reduction of Algorithm 3.
+///
+/// FullDbm is the plain row-major 2n x 2n matrix with conversions to and
+/// from the packed half representation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPTOCT_OCT_CLOSURE_REFERENCE_H
+#define OPTOCT_OCT_CLOSURE_REFERENCE_H
+
+#include "oct/dbm.h"
+#include "support/aligned.h"
+
+namespace optoct {
+
+/// Row-major full 2n x 2n DBM (both coherent copies of each inequality
+/// are stored).
+class FullDbm {
+public:
+  explicit FullDbm(unsigned NumVars)
+      : N(NumVars), M(4 * static_cast<std::size_t>(NumVars) * NumVars) {}
+
+  /// Builds the full matrix from a half DBM, mirroring entries by
+  /// coherence.
+  explicit FullDbm(const HalfDbm &Half);
+
+  unsigned numVars() const { return N; }
+  unsigned dim() const { return 2 * N; }
+
+  double &at(unsigned I, unsigned J) {
+    return M[static_cast<std::size_t>(I) * dim() + J];
+  }
+  double at(unsigned I, unsigned J) const {
+    return M[static_cast<std::size_t>(I) * dim() + J];
+  }
+
+  double *row(unsigned I) { return M.data() + static_cast<std::size_t>(I) * dim(); }
+  const double *row(unsigned I) const {
+    return M.data() + static_cast<std::size_t>(I) * dim();
+  }
+
+  void initTop() {
+    M.fill(Infinity);
+    for (unsigned I = 0, D = dim(); I != D; ++I)
+      at(I, I) = 0.0;
+  }
+
+  /// Copies the lower-triangle entries back into a half DBM.
+  void toHalf(HalfDbm &Out) const;
+
+  /// True if the matrix is coherent: at(i,j) == at(j^1, i^1).
+  bool isCoherent() const;
+
+private:
+  unsigned N;
+  AlignedBuffer<double> M;
+};
+
+/// Algorithm 1: Floyd-Warshall + strengthening on the full DBM.
+/// Returns false if the octagon is empty (negative diagonal); on true
+/// the matrix is strongly closed with a zero diagonal.
+bool closureFullReference(FullDbm &O);
+
+/// Shortest-path step of Algorithm 1 only (no strengthening). Exposed
+/// for the decomposed-closure differential tests.
+void shortestPathFullReference(FullDbm &O);
+
+/// The Fig. 6(a) "FW" baseline: Algorithm 1 with AVX vectorization and
+/// scalar replacement, same operation count.
+bool closureFullVectorized(FullDbm &O);
+
+} // namespace optoct
+
+#endif // OPTOCT_OCT_CLOSURE_REFERENCE_H

@@ -1,0 +1,49 @@
+//===- oct/config.h - Runtime configuration of the library ------*- C++ -*-===//
+///
+/// \file
+/// Global knobs corresponding to the paper's design choices, exposed so
+/// the ablation benchmarks (bench_ablation) can toggle each optimization
+/// independently:
+///   * SparsityThreshold — the t in "use Dense if D < t" (Section 3.5).
+///   * EnableVectorization — AVX kernels vs scalar loops (Section 5.2).
+///   * EnableDecomposition — maintain independent components (Section 3.3).
+///   * EnableSparse — use the sparse closure for sparse DBMs (Section 5.3).
+///   * LazyStrengthening — optional extension (follow-on ELINA work): skip
+///     materializing entailed cross-component constraints in decomposed
+///     strengthening, keeping components separate. Off by default to match
+///     the 2015 paper (Section 5.4 merges such components).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPTOCT_OCT_CONFIG_H
+#define OPTOCT_OCT_CONFIG_H
+
+namespace optoct {
+
+/// Mutable global configuration. Not thread-safe by design: benchmarks
+/// flip these between single-threaded runs.
+struct OctConfig {
+  /// Sparsity decision threshold t (Section 3.5): a DBM with sparsity
+  /// D = 1 - nni/(2n^2+2n) is treated as dense when D < t.
+  double SparsityThreshold = 0.75;
+
+  /// Use AVX kernels in dense closure/strengthening and dense operators.
+  bool EnableVectorization = true;
+
+  /// Maintain and exploit independent components (online decomposition).
+  bool EnableDecomposition = true;
+
+  /// Use the index-driven sparse closure when D >= SparsityThreshold.
+  bool EnableSparse = true;
+
+  /// Extension beyond the 2015 paper: leave cross-component entailed
+  /// constraints implicit during decomposed strengthening.
+  bool LazyStrengthening = false;
+};
+
+/// Library-wide configuration instance.
+OctConfig &octConfig();
+
+} // namespace optoct
+
+#endif // OPTOCT_OCT_CONFIG_H

@@ -1,0 +1,43 @@
+//===- oct/constraint.cpp - Linear expression helpers --------------------===//
+
+#include "oct/constraint.h"
+
+#include <cstdio>
+
+using namespace optoct;
+
+void LinExpr::addTerm(int Coef, unsigned Var) {
+  if (Coef == 0)
+    return;
+  for (std::size_t I = 0; I != Terms.size(); ++I) {
+    if (Terms[I].second != Var)
+      continue;
+    Terms[I].first += Coef;
+    if (Terms[I].first == 0)
+      Terms.erase(Terms.begin() + static_cast<std::ptrdiff_t>(I));
+    return;
+  }
+  Terms.emplace_back(Coef, Var);
+}
+
+std::string LinExpr::str() const {
+  std::string Out;
+  char Buf[48];
+  for (const auto &[C, V] : Terms) {
+    int Abs = C >= 0 ? C : -C;
+    const char *Sign = Out.empty() ? (C < 0 ? "-" : "") : (C < 0 ? " - " : " + ");
+    if (Abs == 1)
+      std::snprintf(Buf, sizeof(Buf), "%sv%u", Sign, V);
+    else
+      std::snprintf(Buf, sizeof(Buf), "%s%d*v%u", Sign, Abs, V);
+    Out += Buf;
+  }
+  if (Const != 0.0 || Out.empty()) {
+    double Abs = Const >= 0 ? Const : -Const;
+    const char *Sign =
+        Out.empty() ? (Const < 0 ? "-" : "") : (Const < 0 ? " - " : " + ");
+    std::snprintf(Buf, sizeof(Buf), "%s%g", Sign, Abs);
+    Out += Buf;
+  }
+  return Out;
+}

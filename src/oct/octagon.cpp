@@ -1,0 +1,452 @@
+//===- oct/octagon.cpp - The OptOctagon abstract domain ------------------===//
+
+#include "oct/octagon.h"
+
+#include "oct/closure_dense.h"
+#include "oct/closure_incremental.h"
+#include "oct/closure_sparse.h"
+#include "oct/config.h"
+#include "oct/vector_min.h"
+#include "support/timing.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace optoct;
+
+OctConfig &optoct::octConfig() {
+  static OctConfig Config;
+  return Config;
+}
+
+static OctStats *StatsSink = nullptr;
+
+void optoct::setOctStatsSink(OctStats *Sink) { StatsSink = Sink; }
+OctStats *optoct::octStatsSink() { return StatsSink; }
+
+ClosureScratch &Octagon::scratch() {
+  static thread_local ClosureScratch S;
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Construction
+//===----------------------------------------------------------------------===//
+
+Octagon::Octagon(unsigned NumVars, PrivateTag)
+    : M(NumVars), P(NumVars), Kind(DbmKind::Top), Closed(false) {}
+
+Octagon::Octagon(unsigned NumVars) : M(NumVars), P(NumVars) {
+  if (octConfig().EnableDecomposition) {
+    // Top type (Section 3.4): the matrix is allocated but left
+    // uninitialized; the empty partition makes every entry implicitly
+    // trivial.
+    Kind = DbmKind::Top;
+    Closed = true;
+    return;
+  }
+  // Decomposition disabled (ablation): everything is a whole-matrix
+  // octagon, fully materialized from the start.
+  M.initTop();
+  P = Partition::whole(NumVars);
+  Kind = DbmKind::Dense;
+  FullyInit = true;
+  Closed = true;
+  NniExplicit = 2 * static_cast<std::size_t>(NumVars);
+}
+
+Octagon Octagon::makeBottom(unsigned NumVars) {
+  Octagon O(NumVars);
+  O.markEmpty();
+  return O;
+}
+
+void Octagon::markEmpty() {
+  Empty = true;
+  Closed = true;
+}
+
+//===----------------------------------------------------------------------===//
+// Entry access and simple queries
+//===----------------------------------------------------------------------===//
+
+double Octagon::entry(unsigned I, unsigned J) const {
+  assert(!Empty && "entry() on the empty octagon");
+  if (FullyInit)
+    return M.get(I, J);
+  if (I == J)
+    return 0.0;
+  unsigned U = I / 2, V = J / 2;
+  if (U == V)
+    return P.contains(U) ? M.get(I, J) : Infinity;
+  int CU = P.componentOf(U);
+  if (CU < 0 || CU != P.componentOf(V))
+    return Infinity;
+  return M.get(I, J);
+}
+
+std::size_t Octagon::nni() const {
+  if (FullyInit)
+    return NniExplicit;
+  // Uncovered variables contribute their two implicit diagonal zeros.
+  return NniExplicit + 2 * (numVars() - P.coveredVars());
+}
+
+double Octagon::sparsity() const {
+  unsigned N = numVars();
+  std::size_t Total = HalfDbm::matSize(N);
+  if (Total == 0)
+    return 0.0;
+  return 1.0 - static_cast<double>(nni()) / static_cast<double>(Total);
+}
+
+bool Octagon::isBottom() {
+  close();
+  return Empty;
+}
+
+//===----------------------------------------------------------------------===//
+// Lazy initialization of component entries
+//===----------------------------------------------------------------------===//
+
+void Octagon::setEntry(unsigned I, unsigned J, double Value) {
+  double Old = M.get(I, J);
+  M.set(I, J, Value);
+  NniExplicit += static_cast<std::size_t>(isFinite(Value)) -
+                 static_cast<std::size_t>(isFinite(Old));
+}
+
+int Octagon::mergeComponentsInit(const std::vector<std::size_t> &CompIndices) {
+  if (!FullyInit) {
+    // Initialize the cross entries between every pair of distinct
+    // blocks being merged (Section 3: trivial entries are inserted only
+    // when needed). Each covered variable's own block entries are
+    // already valid.
+    for (std::size_t A = 0; A != CompIndices.size(); ++A)
+      for (std::size_t B = 0; B != A; ++B) {
+        if (CompIndices[A] == CompIndices[B])
+          continue;
+        for (unsigned U : P.component(CompIndices[A]))
+          for (unsigned V : P.component(CompIndices[B]))
+            M.initPairTrivial(U, V);
+      }
+  }
+  return P.mergeComponents(CompIndices);
+}
+
+void Octagon::relateInit(unsigned U, unsigned V) {
+  if (!octConfig().EnableDecomposition)
+    return; // partition is permanently whole
+  int CU = P.componentOf(U);
+  if (CU < 0) {
+    if (!FullyInit)
+      M.initPairTrivial(U, U);
+    NniExplicit += 2; // the two diagonal zeros become explicit
+    CU = static_cast<int>(P.addSingleton(U));
+  }
+  if (U == V)
+    return;
+  int CV = P.componentOf(V);
+  if (CV < 0) {
+    if (!FullyInit)
+      M.initPairTrivial(V, V);
+    NniExplicit += 2;
+    CV = static_cast<int>(P.addSingleton(V));
+  }
+  if (CU != CV)
+    mergeComponentsInit({static_cast<std::size_t>(CU),
+                         static_cast<std::size_t>(CV)});
+}
+
+void Octagon::materialize() {
+  if (FullyInit)
+    return;
+  unsigned N = numVars();
+  for (unsigned U = 0; U != N; ++U) {
+    if (!P.contains(U))
+      M.initPairTrivial(U, U);
+    int CU = P.componentOf(U);
+    for (unsigned V = 0; V != U; ++V) {
+      int CV = P.componentOf(V);
+      if (CU < 0 || CU != CV)
+        M.initPairTrivial(U, V);
+    }
+  }
+  NniExplicit += 2 * (N - P.coveredVars());
+  FullyInit = true;
+}
+
+//===----------------------------------------------------------------------===//
+// Closure dispatch (Section 5)
+//===----------------------------------------------------------------------===//
+
+void Octagon::close() {
+  if (Closed || Empty)
+    return;
+  std::uint64_t Begin = StatsSink ? readCycles() : 0;
+  int Tag;
+
+  // A whole partition means every pair lies inside the single
+  // component, so the buffer is in fact fully initialized.
+  if (P.isWhole() && !FullyInit)
+    FullyInit = true;
+
+  if (P.empty()) {
+    // Top closure (Section 5.5): nothing to minimize.
+    Kind = DbmKind::Top;
+    Tag = CK_Top;
+  } else if (!octConfig().EnableDecomposition || P.isWhole()) {
+    Tag = sparsity() >= octConfig().SparsityThreshold &&
+                  octConfig().EnableSparse
+              ? CK_Sparse
+              : CK_Dense;
+    closeMonolithic();
+  } else {
+    Tag = CK_Decomposed;
+    closeDecomposed();
+  }
+
+  Closed = true;
+  if (StatsSink)
+    StatsSink->recordClosure(readCycles() - Begin, numVars(), Tag);
+}
+
+void Octagon::closeMonolithic() {
+  assert(FullyInit && "monolithic closure needs a materialized matrix");
+  OctConfig &Cfg = octConfig();
+  if (Cfg.EnableSparse && sparsity() >= Cfg.SparsityThreshold) {
+    std::size_t Nni = 0;
+    if (!closureSparse(M, scratch(), Nni)) {
+      markEmpty();
+      return;
+    }
+    NniExplicit = Nni;
+    // Piggyback the exact recomputation of the independent components
+    // on the sparse closure (Section 3.5).
+    if (Cfg.EnableDecomposition)
+      P = extractPartition(M);
+    reclassify();
+    return;
+  }
+  if (!closureDense(M, scratch())) {
+    markEmpty();
+    return;
+  }
+  // Dense operators over-approximate nni as 2n^2+2n (Section 4.1).
+  NniExplicit = M.size();
+  reclassify();
+}
+
+void Octagon::closeDecomposed() {
+  OctConfig &Cfg = octConfig();
+
+  // Shortest-path closure per component; it cannot connect variables in
+  // different components (Section 5.4).
+  for (std::size_t C = 0, E = P.numComponents(); C != E; ++C) {
+    const std::vector<unsigned> &Vars = P.component(C);
+    // Decide dense vs sparse from the submatrix's own sparsity,
+    // computed on the fly before each closure (Section 3.3).
+    std::size_t SubSize = HalfDbm::matSize(static_cast<unsigned>(Vars.size()));
+    std::size_t SubNni = 0;
+    for (unsigned A = 0; A != Vars.size(); ++A)
+      for (unsigned B = 0; B <= A; ++B) {
+        unsigned Hi = Vars[A], Lo = Vars[B];
+        for (unsigned R = 0; R != 2; ++R)
+          for (unsigned S = 0; S != 2; ++S)
+            SubNni += isFinite(M.at(2 * Hi + R, 2 * Lo + S));
+      }
+    double SubD =
+        1.0 - static_cast<double>(SubNni) / static_cast<double>(SubSize);
+
+    if (Cfg.EnableSparse && SubD >= Cfg.SparsityThreshold) {
+      shortestPathSparseRestricted(M, Vars, scratch());
+      continue;
+    }
+    // Dense submatrix: copy into a contiguous temporary so the
+    // vectorized Algorithm 3 applies, then copy back (Section 4.3).
+    unsigned SubN = static_cast<unsigned>(Vars.size());
+    HalfDbm Tmp(SubN);
+    for (unsigned A = 0; A != SubN; ++A)
+      for (unsigned B = 0; B <= A; ++B)
+        for (unsigned R = 0; R != 2; ++R)
+          for (unsigned S = 0; S != 2; ++S)
+            Tmp.at(2 * A + R, 2 * B + S) =
+                M.at(2 * Vars[A] + R, 2 * Vars[B] + S);
+    shortestPathDense(Tmp, scratch());
+    for (unsigned A = 0; A != SubN; ++A)
+      for (unsigned B = 0; B <= A; ++B)
+        for (unsigned R = 0; R != 2; ++R)
+          for (unsigned S = 0; S != 2; ++S)
+            M.at(2 * Vars[A] + R, 2 * Vars[B] + S) =
+                Tmp.at(2 * A + R, 2 * B + S);
+  }
+
+  strengthenAndMerge();
+
+  // Emptiness check over the covered diagonal, then normalize it.
+  std::vector<unsigned> Covered = P.sortedVars();
+  for (unsigned V : Covered)
+    if (M.at(2 * V, 2 * V) < 0.0 || M.at(2 * V + 1, 2 * V + 1) < 0.0) {
+      markEmpty();
+      return;
+    }
+  for (unsigned V : Covered) {
+    M.at(2 * V, 2 * V) = 0.0;
+    M.at(2 * V + 1, 2 * V + 1) = 0.0;
+  }
+
+  // Exact recomputation of the components within each (possibly merged)
+  // block, then recount nni (Section 3.5).
+  Partition NewP(numVars());
+  std::size_t Nni = 0;
+  for (std::size_t C = 0, E = P.numComponents(); C != E; ++C) {
+    Partition Sub = extractPartition(M, P.component(C));
+    for (std::size_t S = 0; S != Sub.numComponents(); ++S) {
+      const std::vector<unsigned> &Block = Sub.component(S);
+      NewP.addSingleton(Block[0]);
+      for (std::size_t I = 1; I < Block.size(); ++I)
+        NewP.relate(Block[0], Block[I]);
+    }
+  }
+  P = std::move(NewP);
+  for (std::size_t C = 0, E = P.numComponents(); C != E; ++C) {
+    const std::vector<unsigned> &Vars = P.component(C);
+    for (unsigned A = 0; A != Vars.size(); ++A)
+      for (unsigned B = 0; B <= A; ++B)
+        for (unsigned R = 0; R != 2; ++R)
+          for (unsigned S = 0; S != 2; ++S)
+            Nni += isFinite(M.at(2 * Vars[A] + R, 2 * Vars[B] + S));
+  }
+  if (FullyInit)
+    Nni += 2 * (numVars() - P.coveredVars());
+  NniExplicit = Nni;
+  reclassify();
+}
+
+void Octagon::strengthenAndMerge() {
+  // Components holding a finite unary (diagonal-block) bound: only those
+  // participate in strengthening, and in the faithful 2015 semantics
+  // they merge into a single component (Section 5.4).
+  std::vector<std::size_t> Bounded;
+  for (std::size_t C = 0, E = P.numComponents(); C != E; ++C) {
+    for (unsigned V : P.component(C))
+      if (isFinite(M.at(2 * V, 2 * V + 1)) ||
+          isFinite(M.at(2 * V + 1, 2 * V))) {
+        Bounded.push_back(C);
+        break;
+      }
+  }
+  if (Bounded.empty())
+    return;
+
+  if (octConfig().LazyStrengthening) {
+    // Extension: strengthen within each component only, leaving the
+    // entailed cross-component constraints implicit.
+    for (std::size_t C : Bounded)
+      strengthenSparseRestricted(M, P.component(C), scratch());
+    return;
+  }
+
+  int Merged = mergeComponentsInit(Bounded);
+  assert(Merged >= 0 && "merge of a non-empty list cannot fail");
+  // The merged submatrix is likely sparse: use the sparse strengthening
+  // (Section 5.4).
+  strengthenSparseRestricted(M, P.component(static_cast<std::size_t>(Merged)),
+                             scratch());
+}
+
+void Octagon::reclassify() {
+  if (Empty)
+    return;
+  unsigned N = numVars();
+  if (!octConfig().EnableDecomposition) {
+    Kind = sparsity() >= octConfig().SparsityThreshold ? DbmKind::Sparse
+                                                       : DbmKind::Dense;
+    return;
+  }
+  if (P.empty()) {
+    Kind = DbmKind::Top;
+    return;
+  }
+  if (sparsity() < octConfig().SparsityThreshold) {
+    // Switch to the Dense type (Section 3.5): requires a fully
+    // initialized matrix.
+    materialize();
+    P = Partition::whole(N);
+    Kind = DbmKind::Dense;
+    return;
+  }
+  Kind = P.isWhole() || (P.numComponents() == 1 && FullyInit)
+             ? DbmKind::Sparse
+             : DbmKind::Decomposed;
+}
+
+//===----------------------------------------------------------------------===//
+// Incremental closure (Section 5.6)
+//===----------------------------------------------------------------------===//
+
+void Octagon::incrementalClose(const std::vector<unsigned> &Touched) {
+  if (Empty)
+    return;
+  if (FullyInit && (P.isWhole() || !octConfig().EnableDecomposition)) {
+    if (!incrementalClosureDense(M, Touched, scratch())) {
+      markEmpty();
+      return;
+    }
+    if (Kind == DbmKind::Dense)
+      NniExplicit = M.size(); // dense over-approximation (Section 4.1)
+    else
+      NniExplicit = M.countFinite();
+    Closed = true;
+    return;
+  }
+
+  // Decomposed: the touched variables already share one component with
+  // everything the new constraints relate them to; run restricted pivot
+  // passes there, then the global strengthening phase.
+  std::vector<std::size_t> TouchedComps;
+  for (unsigned V : Touched) {
+    int C = P.componentOf(V);
+    if (C >= 0)
+      TouchedComps.push_back(static_cast<std::size_t>(C));
+  }
+  std::sort(TouchedComps.begin(), TouchedComps.end());
+  TouchedComps.erase(std::unique(TouchedComps.begin(), TouchedComps.end()),
+                     TouchedComps.end());
+  for (std::size_t C : TouchedComps) {
+    const std::vector<unsigned> &Vars = P.component(C);
+    std::vector<unsigned> Local;
+    for (unsigned V : Touched)
+      if (P.componentOf(V) == static_cast<int>(C))
+        Local.push_back(V);
+    incrementalClosureRestricted(M, Vars, Local, scratch());
+  }
+  strengthenAndMerge();
+
+  std::vector<unsigned> Covered = P.sortedVars();
+  for (unsigned V : Covered)
+    if (M.at(2 * V, 2 * V) < 0.0 || M.at(2 * V + 1, 2 * V + 1) < 0.0) {
+      markEmpty();
+      return;
+    }
+  for (unsigned V : Covered) {
+    M.at(2 * V, 2 * V) = 0.0;
+    M.at(2 * V + 1, 2 * V + 1) = 0.0;
+  }
+  // Recount nni within the affected components (cheap relative to the
+  // pivot passes); untouched components kept their counts, but a full
+  // per-component recount keeps the bookkeeping simple and exact.
+  std::size_t Nni = 0;
+  for (std::size_t C = 0, E = P.numComponents(); C != E; ++C) {
+    const std::vector<unsigned> &Vars = P.component(C);
+    for (unsigned A = 0; A != Vars.size(); ++A)
+      for (unsigned B = 0; B <= A; ++B)
+        for (unsigned R = 0; R != 2; ++R)
+          for (unsigned S = 0; S != 2; ++S)
+            Nni += isFinite(M.at(2 * Vars[A] + R, 2 * Vars[B] + S));
+  }
+  if (FullyInit)
+    Nni += 2 * (numVars() - P.coveredVars());
+  NniExplicit = Nni;
+  Closed = true;
+}

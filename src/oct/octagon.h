@@ -1,0 +1,233 @@
+//===- oct/octagon.h - The OptOctagon abstract domain -----------*- C++ -*-===//
+///
+/// \file
+/// The paper's optimized Octagon abstract domain element. An Octagon
+/// owns a complete pre-allocated half DBM augmented with:
+///
+///   * a Kind (Top / Decomposed / Sparse / Dense, Section 3) describing
+///     how the buffer is interpreted,
+///   * the independent-component partition (Section 3.3): entries whose
+///     variable pair is not inside one component are *implicitly* +inf
+///     (0 on the diagonal) and may be uninitialized in the buffer,
+///   * the number nni of finite entries, used for the sparsity decision
+///     D = 1 - nni/(2n^2+2n) at closure points (Section 3.5).
+///
+/// Operators follow Section 4: they work on the submatrices induced by
+/// the partition (meet merges components, join/widening intersect
+/// them), and closure dispatches between the dense (Algorithm 3),
+/// sparse, and decomposed algorithms of Section 5, recomputing the
+/// exact partition when the sparse paths run.
+///
+/// Closure/consistency conventions:
+///   * close() is idempotent and cached via the Closed flag; emptiness
+///     is detected by closure and cached in the Empty flag.
+///   * join requires closed arguments and therefore takes mutable
+///     references (it closes them in place, like APRON's lazy closure);
+///     its result is closed.
+///   * widen never closes its first (older) argument — required for
+///     termination — and leaves its result unclosed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPTOCT_OCT_OCTAGON_H
+#define OPTOCT_OCT_OCTAGON_H
+
+#include "oct/closure_common.h"
+#include "oct/constraint.h"
+#include "oct/dbm.h"
+#include "oct/partition.h"
+#include "support/stats.h"
+
+#include <string>
+#include <vector>
+
+namespace optoct {
+
+/// The four DBM types of Section 3.
+enum class DbmKind {
+  Top,        ///< No non-trivial inequality; empty partition.
+  Decomposed, ///< Valid only inside components; lazily initialized.
+  Sparse,     ///< Fully initialized, sparsity D >= t; partition exact.
+  Dense,      ///< Fully initialized, treated as one whole component.
+};
+
+/// Kind tags recorded in closure trace events (Fig. 7).
+enum ClosureKindTag {
+  CK_Top = 0,
+  CK_Dense = 1,
+  CK_Sparse = 2,
+  CK_Decomposed = 3,
+};
+
+/// Installs a statistics sink that all Octagon closures report to
+/// (nullptr to disable). Used by the analyzer adapters and benches.
+void setOctStatsSink(OctStats *Sink);
+OctStats *octStatsSink();
+
+/// An element of the optimized Octagon domain over a fixed set of
+/// variables 0..numVars()-1.
+class Octagon {
+public:
+  /// Constructs the top element (no constraints).
+  explicit Octagon(unsigned NumVars);
+
+  static Octagon makeTop(unsigned NumVars) { return Octagon(NumVars); }
+  static Octagon makeBottom(unsigned NumVars);
+
+  unsigned numVars() const { return M.numVars(); }
+  DbmKind kind() const { return Kind; }
+  const Partition &partition() const { return P; }
+  bool isClosed() const { return Closed; }
+
+  /// Number of finite entries the materialized half DBM would have
+  /// (including the implicit diagonal of uncovered variables).
+  std::size_t nni() const;
+
+  /// Sparsity D = 1 - nni/(2n^2 + 2n)  (Section 3.5).
+  double sparsity() const;
+
+  /// Emptiness test; closes first (emptiness is only decidable on the
+  /// strongly closed form).
+  bool isBottom();
+
+  /// Trivially-true test: no non-trivial constraint is stored. (A
+  /// non-closed octagon may still be semantically top; callers close
+  /// first when they need the semantic test.)
+  bool isTop() const { return !Empty && P.empty(); }
+
+  /// Reads the conceptual full-DBM entry (i, j), honoring the implicit
+  /// trivial values outside the partition.
+  double entry(unsigned I, unsigned J) const;
+
+  /// The tightest stored bound for an octagonal constraint's left-hand
+  /// side (2x the variable bound for unary constraints).
+  double boundOf(const OctCons &C) const {
+    auto E = C.toEntry();
+    return entry(E.Row, E.Col);
+  }
+
+  /// Strong closure with kind dispatch (Section 5); cached. After the
+  /// call the octagon is closed (or known empty).
+  void close();
+
+  /// Lattice operators (Section 4). join closes both arguments.
+  static Octagon meet(const Octagon &A, const Octagon &B);
+  static Octagon join(Octagon &A, Octagon &B);
+  static Octagon widen(const Octagon &Old, Octagon &New);
+  static Octagon narrow(Octagon &Old, const Octagon &New);
+
+  /// Widening with thresholds (Mine): a growing bound jumps to the
+  /// smallest threshold in \p Thresholds (sorted ascending) that still
+  /// dominates the new value, instead of straight to +inf. Plain
+  /// widening is the empty-threshold special case.
+  static Octagon widenWithThresholds(const Octagon &Old, Octagon &New,
+                                     const std::vector<double> &Thresholds);
+
+  /// Inclusion gamma(this) ⊆ gamma(Other); closes *this.
+  bool leq(Octagon &Other);
+  bool equals(Octagon &Other);
+
+  /// Meets with one octagonal constraint, then restores closure
+  /// incrementally (Section 5.6) when the octagon was closed.
+  void addConstraint(const OctCons &C);
+
+  /// Meets with several constraints at once (single incremental-closure
+  /// pass over all touched variables).
+  void addConstraints(const std::vector<OctCons> &Cs);
+
+  /// Assignment transfer function x := e. Exact for the octagonal forms
+  /// x := c, x := +-y + c (including y == x); otherwise falls back to
+  /// the interval approximation of e.
+  void assign(unsigned X, const LinExpr &E);
+
+  /// Forgets all constraints on \p X (non-deterministic assignment).
+  void havoc(unsigned X);
+
+  /// Variable bounds [lo, hi] of \p V; closes first.
+  Interval bounds(unsigned V);
+
+  /// Interval value of a linear expression under the current bounds.
+  Interval evalInterval(const LinExpr &E);
+
+  /// All non-trivial constraints of the (closed) octagon, without
+  /// coherent duplicates. Closes first.
+  std::vector<OctCons> constraints();
+
+  /// Appends \p Count fresh unconstrained variables (indices at the
+  /// end). Preserves closure.
+  void addVars(unsigned Count);
+
+  /// Removes the last \p Count variables and all their constraints.
+  /// Requires a closed octagon to preserve the remaining relations.
+  void removeTrailingVars(unsigned Count);
+
+  /// Human-readable dump (for tests/examples).
+  std::string str(const std::vector<std::string> *Names = nullptr);
+
+private:
+  struct PrivateTag {};
+  Octagon(unsigned NumVars, PrivateTag); ///< No buffer initialization.
+
+  double entryRaw(unsigned I, unsigned J) const { return M.get(I, J); }
+
+  /// True when every entry of the buffer is meaningful.
+  bool fullyInit() const { return FullyInit; }
+
+  /// Makes the whole buffer meaningful by materializing the implicit
+  /// trivial entries outside the partition.
+  void materialize();
+
+  /// Merges partition blocks, initializing the cross entries between
+  /// previously distinct blocks to +inf. Returns the merged block index.
+  int mergeComponentsInit(const std::vector<std::size_t> &CompIndices);
+
+  /// Ensures U and V are covered and share a block (initializing new
+  /// trivial entries as needed).
+  void relateInit(unsigned U, unsigned V);
+
+  /// Writes one full-DBM entry assuming its pair is inside a component.
+  void setEntry(unsigned I, unsigned J, double Value);
+
+  /// Closure back ends (Section 5.2-5.5).
+  void closeMonolithic();
+  void closeDecomposed();
+
+  /// Strengthening phase of the decomposed closure: merges components
+  /// holding finite unary bounds, then strengthens (Section 5.4).
+  void strengthenAndMerge();
+
+  /// Incremental closure after constraints touching \p Touched
+  /// (Section 5.6).
+  void incrementalClose(const std::vector<unsigned> &Touched);
+
+  /// Recomputes Kind from the partition/sparsity after a closure.
+  void reclassify();
+
+  /// Forgets X's constraints and removes it from the partition
+  /// (expects a closed octagon so no transitive information is lost).
+  void forgetVar(unsigned X);
+
+  /// Exact assignment x := x + c: shifts all bounds mentioning x.
+  /// Preserves closure.
+  void shiftVar(unsigned X, double C);
+
+  /// Exact assignment x := -x + c: swaps x's positive/negative rows and
+  /// shifts. Preserves closure.
+  void negateShiftVar(unsigned X, double C);
+
+  void markEmpty();
+
+  HalfDbm M;
+  Partition P;
+  DbmKind Kind = DbmKind::Top;
+  std::size_t NniExplicit = 0; ///< Finite entries inside components.
+  bool FullyInit = false;
+  bool Closed = true; ///< Top is closed.
+  bool Empty = false;
+
+  static ClosureScratch &scratch();
+};
+
+} // namespace optoct
+
+#endif // OPTOCT_OCT_OCTAGON_H

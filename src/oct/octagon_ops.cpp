@@ -1,0 +1,267 @@
+//===- oct/octagon_ops.cpp - Lattice operators of the Octagon domain -----===//
+///
+/// \file
+/// meet / join / widening / narrowing / inclusion / equality (Section 4).
+/// Each operator works on the submatrices induced by the independent
+/// components: meet merges components (union of the connectivity
+/// relations), join and widening intersect them (common refinement), so
+/// only the relevant parts of the matrices are accessed (Fig. 4).
+///
+//===----------------------------------------------------------------------===//
+
+#include "oct/config.h"
+#include "oct/octagon.h"
+#include "oct/vector_min.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace optoct;
+
+namespace {
+
+/// Applies \p Fn(I, J) to every stored (lower-triangle) full-DBM slot
+/// whose variable pair lies inside \p Vars.
+template <typename FnT>
+void forEachComponentSlot(const std::vector<unsigned> &Vars, FnT Fn) {
+  for (std::size_t A = 0; A != Vars.size(); ++A)
+    for (std::size_t B = 0; B <= A; ++B) {
+      unsigned Hi = Vars[A], Lo = Vars[B];
+      for (unsigned R = 0; R != 2; ++R)
+        for (unsigned S = 0; S != 2; ++S)
+          Fn(2 * Hi + R, 2 * Lo + S);
+    }
+}
+
+} // namespace
+
+Octagon Octagon::meet(const Octagon &A, const Octagon &B) {
+  assert(A.numVars() == B.numVars() && "dimension mismatch");
+  unsigned N = A.numVars();
+  if (A.Empty || B.Empty)
+    return makeBottom(N);
+  if (A.P.empty() && !A.FullyInit)
+    return B; // meet with Top
+  if (B.P.empty() && !B.FullyInit)
+    return A;
+
+  Octagon R(N, PrivateTag{});
+  R.P = Partition::unionMerge(A.P, B.P);
+
+  if (A.FullyInit && B.FullyInit) {
+    // Dense fast path (Table 1: meet with a Dense input yields Dense
+    // with O(n^2) vectorized work over the packed buffer).
+    R.M = A.M;
+    minRows(R.M.data(), B.M.data(), R.M.size());
+    R.FullyInit = true;
+    R.NniExplicit = (A.P.isWhole() || B.P.isWhole())
+                        ? R.M.size() // Section 4.1 over-approximation
+                        : R.M.countFinite();
+  } else {
+    std::size_t Count = 0;
+    for (std::size_t C = 0, E = R.P.numComponents(); C != E; ++C)
+      forEachComponentSlot(R.P.component(C), [&](unsigned I, unsigned J) {
+        double VA = A.entry(I, J);
+        double VB = B.entry(I, J);
+        double V = VA < VB ? VA : VB;
+        R.M.at(I, J) = V;
+        Count += isFinite(V);
+      });
+    R.FullyInit = R.P.isWhole();
+    R.NniExplicit = Count;
+  }
+
+  R.Closed = false;
+  R.Kind = R.P.empty()    ? DbmKind::Top
+           : R.P.isWhole() ? DbmKind::Dense
+                           : DbmKind::Decomposed;
+  if (R.Kind == DbmKind::Top)
+    R.Closed = true;
+  return R;
+}
+
+Octagon Octagon::join(Octagon &A, Octagon &B) {
+  assert(A.numVars() == B.numVars() && "dimension mismatch");
+  unsigned N = A.numVars();
+  A.close();
+  B.close();
+  if (A.Empty)
+    return B;
+  if (B.Empty)
+    return A;
+  if (A.P.empty() || B.P.empty())
+    return makeTop(N); // join with Top is Top (Table 1)
+
+  Octagon R(N, PrivateTag{});
+  R.P = Partition::refine(A.P, B.P);
+
+  if (A.FullyInit && B.FullyInit && A.P.isWhole() && B.P.isWhole()) {
+    // Dense/Dense fast path: one vectorized max over the packed buffer.
+    R.M = A.M;
+    maxRows(R.M.data(), B.M.data(), R.M.size());
+    R.FullyInit = true;
+    R.NniExplicit = R.M.size(); // Section 4.1 over-approximation
+  } else {
+    // Only the submatrices of the *intersected* components are read and
+    // written (Fig. 4); everything else is implicitly trivial. A pair
+    // inside a refined component lies inside one component of *each*
+    // input, so both buffers are initialized there and the raw reads
+    // skip the per-entry partition lookups.
+    std::size_t Count = 0;
+    for (std::size_t C = 0, E = R.P.numComponents(); C != E; ++C)
+      forEachComponentSlot(R.P.component(C), [&](unsigned I, unsigned J) {
+        double VA = A.M.at(I, J);
+        double VB = B.M.at(I, J);
+        double V = VA > VB ? VA : VB;
+        R.M.at(I, J) = V;
+        Count += isFinite(V);
+      });
+    R.FullyInit = R.P.isWhole();
+    R.NniExplicit = Count;
+  }
+
+  // The pointwise max of two strongly closed DBMs is strongly closed.
+  R.Closed = true;
+  R.Kind = R.P.empty()    ? DbmKind::Top
+           : R.P.isWhole() ? DbmKind::Dense
+                           : DbmKind::Decomposed;
+  return R;
+}
+
+Octagon Octagon::widen(const Octagon &Old, Octagon &New) {
+  static const std::vector<double> NoThresholds;
+  return widenWithThresholds(Old, New, NoThresholds);
+}
+
+Octagon Octagon::widenWithThresholds(const Octagon &Old, Octagon &New,
+                                     const std::vector<double> &Thresholds) {
+  assert(Old.numVars() == New.numVars() && "dimension mismatch");
+  assert(std::is_sorted(Thresholds.begin(), Thresholds.end()) &&
+         "thresholds must be sorted ascending");
+  unsigned N = Old.numVars();
+  // Standard octagon widening: close the new argument for precision,
+  // never the old one (termination).
+  New.close();
+  if (Old.Empty)
+    return New;
+  if (New.Empty)
+    return Old;
+  if (Old.P.empty() && !Old.FullyInit)
+    return makeTop(N); // widening away from Top stays Top
+
+  Octagon R(N, PrivateTag{});
+  R.P = Partition::refine(Old.P, New.P);
+
+  // Thresholds are variable-level bounds: unary DBM entries (which
+  // encode 2x the variable bound) land on 2t, binary entries on t.
+  std::vector<double> Doubled;
+  Doubled.reserve(Thresholds.size());
+  for (double T : Thresholds)
+    Doubled.push_back(2 * T);
+  auto widenEntry = [&](double VO, double VN, bool Unary) {
+    if (VN <= VO)
+      return VO; // stable: keep the old bound
+    const std::vector<double> &Set = Unary ? Doubled : Thresholds;
+    auto It = std::lower_bound(Set.begin(), Set.end(), VN);
+    return It == Set.end() ? Infinity : *It;
+  };
+
+  // A bound survives iff it did not grow; growing bounds jump to the
+  // next threshold or +inf. nni is counted exactly — widening is where
+  // sparsity reappears during analysis (Fig. 7), so the count must be
+  // real, not the dense over-approximation.
+  // As in join, refined pairs are covered by both inputs' components,
+  // so the raw buffer reads are valid and cheaper than entry().
+  std::size_t Count = 0;
+  for (std::size_t C = 0, E = R.P.numComponents(); C != E; ++C)
+    forEachComponentSlot(R.P.component(C), [&](unsigned I, unsigned J) {
+      double V =
+          widenEntry(Old.M.at(I, J), New.M.at(I, J), I / 2 == J / 2);
+      R.M.at(I, J) = V;
+      Count += isFinite(V);
+    });
+  R.FullyInit = R.P.isWhole();
+  R.NniExplicit = Count;
+  R.Closed = false;
+  R.Kind = R.P.empty()    ? DbmKind::Top
+           : R.P.isWhole() ? DbmKind::Dense
+                           : DbmKind::Decomposed;
+  if (R.Kind == DbmKind::Top)
+    R.Closed = true;
+  return R;
+}
+
+Octagon Octagon::narrow(Octagon &Old, const Octagon &New) {
+  assert(Old.numVars() == New.numVars() && "dimension mismatch");
+  unsigned N = Old.numVars();
+  Old.close();
+  if (Old.Empty || New.Empty)
+    return makeBottom(N);
+
+  Octagon R(N, PrivateTag{});
+  R.P = Partition::unionMerge(Old.P, New.P);
+
+  // Standard narrowing: refine only the unbounded entries.
+  std::size_t Count = 0;
+  for (std::size_t C = 0, E = R.P.numComponents(); C != E; ++C)
+    forEachComponentSlot(R.P.component(C), [&](unsigned I, unsigned J) {
+      double VO = Old.entry(I, J);
+      double V = isFinite(VO) ? VO : New.entry(I, J);
+      R.M.at(I, J) = V;
+      Count += isFinite(V);
+    });
+  R.FullyInit = R.P.isWhole();
+  R.NniExplicit = Count;
+  R.Closed = false;
+  R.Kind = R.P.empty()    ? DbmKind::Top
+           : R.P.isWhole() ? DbmKind::Dense
+                           : DbmKind::Decomposed;
+  if (R.Kind == DbmKind::Top)
+    R.Closed = true;
+  return R;
+}
+
+bool Octagon::leq(Octagon &Other) {
+  assert(numVars() == Other.numVars() && "dimension mismatch");
+  close();
+  if (Empty)
+    return true;
+  if (Other.Empty)
+    return false;
+  // gamma(this) ⊆ gamma(Other) iff every bound of Other is implied:
+  // this*(i,j) <= Other(i,j). Entries of Other outside its components
+  // are +inf and need no check, so only Other's submatrices are read.
+  // (Other is deliberately not closed here: the test is sound either
+  // way, and closing a stored widening iterate would endanger
+  // termination.)
+  for (std::size_t C = 0, E = Other.P.numComponents(); C != E; ++C) {
+    const std::vector<unsigned> &Vars = Other.P.component(C);
+    for (std::size_t A = 0; A != Vars.size(); ++A)
+      for (std::size_t B = 0; B <= A; ++B)
+        for (unsigned R = 0; R != 2; ++R)
+          for (unsigned S = 0; S != 2; ++S) {
+            unsigned I = 2 * Vars[A] + R, J = 2 * Vars[B] + S;
+            if (entry(I, J) > Other.M.at(I, J))
+              return false;
+          }
+  }
+  // When Other is fully materialized but its partition lags behind (it
+  // over-approximates), uncovered entries are still genuinely trivial,
+  // so the component scan above remains complete.
+  return true;
+}
+
+bool Octagon::equals(Octagon &Other) {
+  assert(numVars() == Other.numVars() && "dimension mismatch");
+  close();
+  Other.close();
+  if (Empty || Other.Empty)
+    return Empty == Other.Empty;
+  // The strongly closed form is canonical for non-empty octagons.
+  unsigned D = M.dim();
+  for (unsigned I = 0; I != D; ++I)
+    for (unsigned J = 0; J <= (I | 1u); ++J)
+      if (entry(I, J) != Other.entry(I, J))
+        return false;
+  return true;
+}

@@ -1,0 +1,241 @@
+//===- oct/partition.cpp - Independent variable components ---------------===//
+
+#include "oct/partition.h"
+
+#include "oct/dbm.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+using namespace optoct;
+
+namespace {
+
+/// Small union-find over variable indices.
+class UnionFind {
+public:
+  explicit UnionFind(unsigned N) : Parent(N) {
+    std::iota(Parent.begin(), Parent.end(), 0u);
+  }
+
+  unsigned find(unsigned X) {
+    while (Parent[X] != X) {
+      Parent[X] = Parent[Parent[X]];
+      X = Parent[X];
+    }
+    return X;
+  }
+
+  void merge(unsigned A, unsigned B) { Parent[find(A)] = find(B); }
+
+private:
+  std::vector<unsigned> Parent;
+};
+
+} // namespace
+
+Partition Partition::whole(unsigned NumVars) {
+  Partition P(NumVars);
+  if (NumVars == 0)
+    return P;
+  std::vector<unsigned> All(NumVars);
+  std::iota(All.begin(), All.end(), 0u);
+  P.Comps.push_back(std::move(All));
+  std::fill(P.CompOf.begin(), P.CompOf.end(), 0);
+  return P;
+}
+
+std::size_t Partition::coveredVars() const {
+  std::size_t Total = 0;
+  for (const auto &C : Comps)
+    Total += C.size();
+  return Total;
+}
+
+std::size_t Partition::addSingleton(unsigned Var) {
+  assert(Var < CompOf.size() && "variable out of range");
+  if (CompOf[Var] >= 0)
+    return static_cast<std::size_t>(CompOf[Var]);
+  Comps.push_back({Var});
+  CompOf[Var] = static_cast<int>(Comps.size() - 1);
+  return Comps.size() - 1;
+}
+
+std::size_t Partition::relate(unsigned U, unsigned V) {
+  std::size_t CU = addSingleton(U);
+  if (U == V)
+    return CU;
+  std::size_t CV = addSingleton(V);
+  CU = static_cast<std::size_t>(CompOf[U]); // may have changed via push
+  if (CU == CV)
+    return CU;
+  return static_cast<std::size_t>(
+      mergeComponents({CU, CV}));
+}
+
+int Partition::mergeComponents(const std::vector<std::size_t> &CompIndices) {
+  if (CompIndices.empty())
+    return -1;
+  std::vector<std::size_t> Unique(CompIndices);
+  std::sort(Unique.begin(), Unique.end());
+  Unique.erase(std::unique(Unique.begin(), Unique.end()), Unique.end());
+  if (Unique.size() == 1)
+    return static_cast<int>(Unique[0]);
+
+  std::vector<unsigned> Merged;
+  for (std::size_t C : Unique)
+    Merged.insert(Merged.end(), Comps[C].begin(), Comps[C].end());
+  std::sort(Merged.begin(), Merged.end());
+
+  // Replace the first listed block and erase the rest (back to front so
+  // indices stay valid). Erased indices are all greater than Unique[0],
+  // so the merged block keeps index Unique[0].
+  Comps[Unique[0]] = std::move(Merged);
+  for (std::size_t I = Unique.size(); I-- > 1;)
+    Comps.erase(Comps.begin() + static_cast<std::ptrdiff_t>(Unique[I]));
+  rebuildIndex();
+  return static_cast<int>(Unique[0]);
+}
+
+void Partition::removeVar(unsigned Var) {
+  assert(Var < CompOf.size() && "variable out of range");
+  int C = CompOf[Var];
+  if (C < 0)
+    return;
+  auto &Block = Comps[static_cast<std::size_t>(C)];
+  Block.erase(std::find(Block.begin(), Block.end(), Var));
+  if (Block.empty())
+    Comps.erase(Comps.begin() + C);
+  rebuildIndex();
+}
+
+std::vector<unsigned> Partition::sortedVars() const {
+  std::vector<unsigned> Vars;
+  for (const auto &C : Comps)
+    Vars.insert(Vars.end(), C.begin(), C.end());
+  std::sort(Vars.begin(), Vars.end());
+  return Vars;
+}
+
+Partition Partition::unionMerge(const Partition &A, const Partition &B) {
+  assert(A.numVars() == B.numVars() && "dimension mismatch");
+  unsigned N = A.numVars();
+  UnionFind UF(N);
+  std::vector<bool> Covered(N, false);
+  for (const Partition *P : {&A, &B})
+    for (const auto &C : P->Comps) {
+      for (unsigned Var : C)
+        Covered[Var] = true;
+      for (std::size_t I = 1; I < C.size(); ++I)
+        UF.merge(C[0], C[I]);
+    }
+
+  Partition Result(N);
+  std::vector<int> RootToComp(N, -1);
+  for (unsigned Var = 0; Var != N; ++Var) {
+    if (!Covered[Var])
+      continue;
+    unsigned Root = UF.find(Var);
+    if (RootToComp[Root] < 0) {
+      RootToComp[Root] = static_cast<int>(Result.Comps.size());
+      Result.Comps.emplace_back();
+    }
+    Result.Comps[static_cast<std::size_t>(RootToComp[Root])].push_back(Var);
+  }
+  Result.rebuildIndex();
+  return Result;
+}
+
+Partition Partition::refine(const Partition &A, const Partition &B) {
+  assert(A.numVars() == B.numVars() && "dimension mismatch");
+  unsigned N = A.numVars();
+  Partition Result(N);
+  // A variable survives iff covered by both; two survivors share a block
+  // iff they share a block in both inputs. Key each survivor by its
+  // (A-block, B-block) pair.
+  std::vector<std::vector<int>> Key; // per new block: {a, b}
+  for (unsigned Var = 0; Var != N; ++Var) {
+    int CA = A.CompOf[Var], CB = B.CompOf[Var];
+    if (CA < 0 || CB < 0)
+      continue;
+    int Found = -1;
+    for (std::size_t I = 0; I != Key.size(); ++I)
+      if (Key[I][0] == CA && Key[I][1] == CB) {
+        Found = static_cast<int>(I);
+        break;
+      }
+    if (Found < 0) {
+      Found = static_cast<int>(Key.size());
+      Key.push_back({CA, CB});
+      Result.Comps.emplace_back();
+    }
+    Result.Comps[static_cast<std::size_t>(Found)].push_back(Var);
+  }
+  Result.rebuildIndex();
+  return Result;
+}
+
+bool Partition::coarsens(const Partition &Finer) const {
+  assert(numVars() == Finer.numVars() && "dimension mismatch");
+  for (const auto &Block : Finer.Comps) {
+    int C = CompOf[Block[0]];
+    if (C < 0)
+      return false;
+    for (unsigned Var : Block)
+      if (CompOf[Var] != C)
+        return false;
+  }
+  return true;
+}
+
+bool Partition::operator==(const Partition &Other) const {
+  if (CompOf.size() != Other.CompOf.size() ||
+      Comps.size() != Other.Comps.size())
+    return false;
+  // Blocks are sorted internally; compare as canonical sorted multisets.
+  auto Canon = [](const Partition &P) {
+    std::vector<std::vector<unsigned>> C = P.Comps;
+    std::sort(C.begin(), C.end());
+    return C;
+  };
+  return Canon(*this) == Canon(Other);
+}
+
+void Partition::rebuildIndex() {
+  std::fill(CompOf.begin(), CompOf.end(), -1);
+  for (std::size_t C = 0; C != Comps.size(); ++C)
+    for (unsigned Var : Comps[C])
+      CompOf[Var] = static_cast<int>(C);
+}
+
+Partition optoct::extractPartition(const HalfDbm &M,
+                                   const std::vector<unsigned> &Vars) {
+  unsigned N = M.numVars();
+  Partition Result(N);
+
+  for (std::size_t A = 0; A != Vars.size(); ++A) {
+    unsigned V = Vars[A];
+    // Unary constraints: the off-diagonal entries of the 2x2 diagonal
+    // block encode +-2v <= c.
+    if (isFinite(M.at(2 * V, 2 * V + 1)) || isFinite(M.at(2 * V + 1, 2 * V)))
+      Result.addSingleton(V);
+    for (std::size_t B = 0; B != A; ++B) {
+      unsigned U = Vars[B];
+      unsigned Lo = U < V ? U : V, Hi = U < V ? V : U;
+      bool Related = false;
+      for (unsigned I = 0; I != 2 && !Related; ++I)
+        for (unsigned J = 0; J != 2 && !Related; ++J)
+          Related = isFinite(M.at(2 * Hi + I, 2 * Lo + J));
+      if (Related)
+        Result.relate(U, V);
+    }
+  }
+  return Result;
+}
+
+Partition optoct::extractPartition(const HalfDbm &M) {
+  std::vector<unsigned> Vars(M.numVars());
+  std::iota(Vars.begin(), Vars.end(), 0u);
+  return extractPartition(M, Vars);
+}

@@ -1,0 +1,75 @@
+//===- oct/serialize.cpp - Octagon text serialization ---------------------===//
+
+#include "oct/serialize.h"
+
+#include <cstdio>
+#include <sstream>
+
+using namespace optoct;
+
+std::string optoct::serializeOctagon(Octagon &O) {
+  std::string Out;
+  char Buf[96];
+  std::snprintf(Buf, sizeof(Buf), "octagon %u\n", O.numVars());
+  Out += Buf;
+  if (O.isBottom()) {
+    Out += "bottom\nend\n";
+    return Out;
+  }
+  for (const OctCons &C : O.constraints()) {
+    // %.17g round-trips doubles exactly.
+    std::snprintf(Buf, sizeof(Buf), "c %d %u %d %u %.17g\n", C.CoefI, C.I,
+                  C.CoefJ, C.isUnary() ? C.I : C.J, C.Bound);
+    Out += Buf;
+  }
+  Out += "end\n";
+  return Out;
+}
+
+std::optional<Octagon>
+optoct::deserializeOctagon(const std::string &Text, std::string &Error) {
+  std::istringstream In(Text);
+  std::string Word;
+  if (!(In >> Word) || Word != "octagon") {
+    Error = "expected 'octagon <numVars>' header";
+    return std::nullopt;
+  }
+  unsigned NumVars = 0;
+  if (!(In >> NumVars)) {
+    Error = "malformed variable count";
+    return std::nullopt;
+  }
+  Octagon O(NumVars);
+  std::vector<OctCons> Cs;
+  bool Bottom = false;
+  while (In >> Word) {
+    if (Word == "end") {
+      if (Bottom)
+        return Octagon::makeBottom(NumVars);
+      O.addConstraints(Cs);
+      return O;
+    }
+    if (Word == "bottom") {
+      Bottom = true;
+      continue;
+    }
+    if (Word != "c") {
+      Error = "unexpected token '" + Word + "'";
+      return std::nullopt;
+    }
+    OctCons C{};
+    if (!(In >> C.CoefI >> C.I >> C.CoefJ >> C.J >> C.Bound)) {
+      Error = "malformed constraint line";
+      return std::nullopt;
+    }
+    if ((C.CoefI != 1 && C.CoefI != -1) ||
+        (C.CoefJ != 0 && C.CoefJ != 1 && C.CoefJ != -1) || C.I >= NumVars ||
+        C.J >= NumVars || (C.CoefJ != 0 && C.I == C.J)) {
+      Error = "constraint out of the octagon fragment";
+      return std::nullopt;
+    }
+    Cs.push_back(C);
+  }
+  Error = "missing 'end'";
+  return std::nullopt;
+}

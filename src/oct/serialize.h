@@ -1,0 +1,39 @@
+//===- oct/serialize.h - Octagon text serialization -------------*- C++ -*-===//
+///
+/// \file
+/// Lossless text serialization of octagon elements, for checkpointing
+/// analysis states and exchanging invariants between tools. The format
+/// stores the constraint list of the strongly closed form:
+///
+///   octagon <numVars>
+///   bottom                          (empty octagons only)
+///   c <coefI> <varI> <coefJ> <varJ> <bound>
+///   ...
+///   end
+///
+/// Deserializing re-adds the constraints; because the closed form is
+/// canonical, serialize/deserialize round-trips to an equal element.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPTOCT_OCT_SERIALIZE_H
+#define OPTOCT_OCT_SERIALIZE_H
+
+#include "oct/octagon.h"
+
+#include <optional>
+#include <string>
+
+namespace optoct {
+
+/// Renders \p O (closing it first) in the text format above.
+std::string serializeOctagon(Octagon &O);
+
+/// Parses the text format; returns std::nullopt and fills \p Error on
+/// malformed input.
+std::optional<Octagon> deserializeOctagon(const std::string &Text,
+                                          std::string &Error);
+
+} // namespace optoct
+
+#endif // OPTOCT_OCT_SERIALIZE_H

@@ -1,0 +1,25 @@
+//===- oct/value.h - Bound values for DBM entries ---------------*- C++ -*-===//
+///
+/// \file
+/// DBM entries are inequality bounds in R ∪ {+∞}, stored as doubles like
+/// the paper's released double-precision implementation. +∞ encodes the
+/// trivial (always true) inequality.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPTOCT_OCT_VALUE_H
+#define OPTOCT_OCT_VALUE_H
+
+#include <limits>
+
+namespace optoct {
+
+/// The trivial bound: v_j - v_i <= +inf always holds.
+inline constexpr double Infinity = std::numeric_limits<double>::infinity();
+
+/// True for a non-trivial (constraining) bound.
+inline bool isFinite(double Bound) { return Bound != Infinity; }
+
+} // namespace optoct
+
+#endif // OPTOCT_OCT_VALUE_H

@@ -1,0 +1,78 @@
+//===- support/bitvector.h - Dense bit vector -------------------*- C++ -*-===//
+///
+/// \file
+/// Fixed-width dense bit vector used by the client dataflow analyses
+/// (liveness, reaching definitions).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPTOCT_SUPPORT_BITVECTOR_H
+#define OPTOCT_SUPPORT_BITVECTOR_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace optoct {
+
+/// A fixed-size vector of bits with the set operations dataflow needs.
+class BitVector {
+public:
+  BitVector() = default;
+  explicit BitVector(std::size_t NumBits)
+      : NumBits(NumBits), Words((NumBits + 63) / 64, 0) {}
+
+  std::size_t size() const { return NumBits; }
+
+  void set(std::size_t I) {
+    assert(I < NumBits && "bit index out of range");
+    Words[I / 64] |= std::uint64_t(1) << (I % 64);
+  }
+  void reset(std::size_t I) {
+    assert(I < NumBits && "bit index out of range");
+    Words[I / 64] &= ~(std::uint64_t(1) << (I % 64));
+  }
+  bool test(std::size_t I) const {
+    assert(I < NumBits && "bit index out of range");
+    return (Words[I / 64] >> (I % 64)) & 1;
+  }
+
+  /// this |= Other. Returns true if any bit changed.
+  bool orWith(const BitVector &Other) {
+    assert(NumBits == Other.NumBits && "size mismatch");
+    std::uint64_t Changed = 0;
+    for (std::size_t W = 0; W != Words.size(); ++W) {
+      std::uint64_t New = Words[W] | Other.Words[W];
+      Changed |= New ^ Words[W];
+      Words[W] = New;
+    }
+    return Changed != 0;
+  }
+
+  /// this &= ~Other.
+  void subtract(const BitVector &Other) {
+    assert(NumBits == Other.NumBits && "size mismatch");
+    for (std::size_t W = 0; W != Words.size(); ++W)
+      Words[W] &= ~Other.Words[W];
+  }
+
+  std::size_t count() const {
+    std::size_t N = 0;
+    for (std::uint64_t W : Words)
+      N += static_cast<std::size_t>(__builtin_popcountll(W));
+    return N;
+  }
+
+  bool operator==(const BitVector &Other) const {
+    return NumBits == Other.NumBits && Words == Other.Words;
+  }
+
+private:
+  std::size_t NumBits = 0;
+  std::vector<std::uint64_t> Words;
+};
+
+} // namespace optoct
+
+#endif // OPTOCT_SUPPORT_BITVECTOR_H

@@ -1,0 +1,51 @@
+//===- support/random.h - Deterministic random generation ------*- C++ -*-===//
+///
+/// \file
+/// Seeded RNG wrapper so tests, benchmarks, and the workload generator
+/// are reproducible run-to-run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPTOCT_SUPPORT_RANDOM_H
+#define OPTOCT_SUPPORT_RANDOM_H
+
+#include <cstdint>
+#include <random>
+
+namespace optoct {
+
+/// Deterministic pseudo-random source. All randomized components in the
+/// repo draw from this class with explicit seeds.
+class Rng {
+public:
+  explicit Rng(std::uint64_t Seed) : Engine(Seed) {}
+
+  /// Uniform integer in [Lo, Hi] inclusive.
+  int intIn(int Lo, int Hi) {
+    return std::uniform_int_distribution<int>(Lo, Hi)(Engine);
+  }
+
+  /// Uniform size_t in [0, Hi) — handy for index selection.
+  std::size_t indexBelow(std::size_t Hi) {
+    return std::uniform_int_distribution<std::size_t>(0, Hi - 1)(Engine);
+  }
+
+  /// Uniform double in [Lo, Hi).
+  double doubleIn(double Lo, double Hi) {
+    return std::uniform_real_distribution<double>(Lo, Hi)(Engine);
+  }
+
+  /// Bernoulli draw with probability \p P of returning true.
+  bool chance(double P) {
+    return std::bernoulli_distribution(P)(Engine);
+  }
+
+  std::mt19937_64 &engine() { return Engine; }
+
+private:
+  std::mt19937_64 Engine;
+};
+
+} // namespace optoct
+
+#endif // OPTOCT_SUPPORT_RANDOM_H

@@ -1,0 +1,6 @@
+//===- support/stats.cpp -------------------------------------------------===//
+
+#include "support/stats.h"
+
+// OctStats is header-only today; this TU anchors the library and keeps a
+// place for future out-of-line statistics sinks.

@@ -1,0 +1,53 @@
+//===- support/table.cpp -------------------------------------------------===//
+
+#include "support/table.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace optoct;
+
+TextTable::TextTable(std::vector<std::string> Header)
+    : NumCols(Header.size()) {
+  Rows.push_back(std::move(Header));
+}
+
+void TextTable::addRow(std::vector<std::string> Row) {
+  assert(Row.size() == NumCols && "row arity mismatch");
+  Rows.push_back(std::move(Row));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> Widths(NumCols, 0);
+  for (const auto &Row : Rows)
+    for (std::size_t C = 0; C != NumCols; ++C)
+      if (Row[C].size() > Widths[C])
+        Widths[C] = Row[C].size();
+
+  std::string Out;
+  auto emitRow = [&](const std::vector<std::string> &Row) {
+    for (std::size_t C = 0; C != NumCols; ++C) {
+      Out += Row[C];
+      if (C + 1 == NumCols)
+        break;
+      Out.append(Widths[C] - Row[C].size() + 2, ' ');
+    }
+    Out += '\n';
+  };
+
+  emitRow(Rows.front());
+  std::size_t RuleLen = 0;
+  for (std::size_t C = 0; C != NumCols; ++C)
+    RuleLen += Widths[C] + (C + 1 == NumCols ? 0 : 2);
+  Out.append(RuleLen, '-');
+  Out += '\n';
+  for (std::size_t R = 1; R != Rows.size(); ++R)
+    emitRow(Rows[R]);
+  return Out;
+}
+
+std::string TextTable::num(double Value, int Precision) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Precision, Value);
+  return Buf;
+}

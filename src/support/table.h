@@ -1,0 +1,38 @@
+//===- support/table.h - ASCII table printing for harnesses ----*- C++ -*-===//
+///
+/// \file
+/// Minimal column-aligned table printer used by the bench harnesses to
+/// emit the paper's tables and figure series in a readable form.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPTOCT_SUPPORT_TABLE_H
+#define OPTOCT_SUPPORT_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace optoct {
+
+/// Accumulates rows of strings and prints them with aligned columns.
+class TextTable {
+public:
+  explicit TextTable(std::vector<std::string> Header);
+
+  /// Appends one row; must have the same arity as the header.
+  void addRow(std::vector<std::string> Row);
+
+  /// Renders the table (header, rule, rows) to a string.
+  std::string render() const;
+
+  /// Formats a double with \p Precision fractional digits.
+  static std::string num(double Value, int Precision = 2);
+
+private:
+  std::vector<std::vector<std::string>> Rows;
+  std::size_t NumCols;
+};
+
+} // namespace optoct
+
+#endif // OPTOCT_SUPPORT_TABLE_H

@@ -1,0 +1,21 @@
+//===- support/timing.cpp ------------------------------------------------===//
+
+#include "support/timing.h"
+
+#if defined(__x86_64__) || defined(_M_X64) || defined(__i386__)
+#include <x86intrin.h>
+#endif
+
+namespace optoct {
+
+std::uint64_t readCycles() {
+#if defined(__x86_64__) || defined(_M_X64) || defined(__i386__)
+  return __rdtsc();
+#else
+  auto Now = std::chrono::steady_clock::now().time_since_epoch();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Now).count());
+#endif
+}
+
+} // namespace optoct

@@ -1,0 +1,73 @@
+//===- support/timing.h - Cycle and wall-clock timers ----------*- C++ -*-===//
+///
+/// \file
+/// Cycle-accurate (rdtsc) and wall-clock timers used by the benchmark
+/// harnesses and by the analyzer's per-operator statistics. The paper
+/// reports per-closure runtimes in CPU cycles (Fig. 7); readCycles()
+/// provides the same measurement here.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPTOCT_SUPPORT_TIMING_H
+#define OPTOCT_SUPPORT_TIMING_H
+
+#include <chrono>
+#include <cstdint>
+
+namespace optoct {
+
+/// Reads the CPU timestamp counter. On x86 this is rdtsc; elsewhere it
+/// falls back to a steady_clock-derived tick so the code stays portable.
+std::uint64_t readCycles();
+
+/// Accumulating wall-clock timer with start/stop semantics.
+class WallTimer {
+public:
+  void start() { Begin = Clock::now(); Running = true; }
+
+  void stop() {
+    if (!Running)
+      return;
+    Accumulated += Clock::now() - Begin;
+    Running = false;
+  }
+
+  void reset() {
+    Accumulated = Duration::zero();
+    Running = false;
+  }
+
+  /// Total accumulated time in seconds.
+  double seconds() const {
+    Duration Total = Accumulated;
+    if (Running)
+      Total += Clock::now() - Begin;
+    return std::chrono::duration<double>(Total).count();
+  }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  using Duration = Clock::duration;
+  Clock::time_point Begin;
+  Duration Accumulated = Duration::zero();
+  bool Running = false;
+};
+
+/// RAII helper that adds the scope's duration (in cycles) to a counter.
+class ScopedCycleTimer {
+public:
+  explicit ScopedCycleTimer(std::uint64_t &Sink)
+      : Sink(Sink), Begin(readCycles()) {}
+  ~ScopedCycleTimer() { Sink += readCycles() - Begin; }
+
+  ScopedCycleTimer(const ScopedCycleTimer &) = delete;
+  ScopedCycleTimer &operator=(const ScopedCycleTimer &) = delete;
+
+private:
+  std::uint64_t &Sink;
+  std::uint64_t Begin;
+};
+
+} // namespace optoct
+
+#endif // OPTOCT_SUPPORT_TIMING_H

@@ -1,0 +1,78 @@
+//===- workloads/workload.h - Synthetic benchmark programs ------*- C++ -*-===//
+///
+/// \file
+/// Generator of synthetic mini-IMP programs that reproduce the shape of
+/// the paper's benchmark suite (Table 2): per-benchmark variable counts
+/// (n_min through scoped declarations up to n_max), closure counts
+/// (through the number of loop phases and branches), decomposability
+/// (independent variable groups with occasional cross links), and the
+/// widening-induced dense-to-sparse transition of Fig. 7 (bounded
+/// counters whose bounds widen away, leaving pure relations).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPTOCT_WORKLOADS_WORKLOAD_H
+#define OPTOCT_WORKLOADS_WORKLOAD_H
+
+#include <string>
+#include <vector>
+
+namespace optoct::workloads {
+
+/// Parameters of one synthetic benchmark.
+struct WorkloadSpec {
+  std::string Name;     ///< Benchmark name (paper's Table 2 rows).
+  std::string Analyzer; ///< Which analyzer the paper ran it under.
+
+  unsigned Groups = 2;     ///< Independent variable groups.
+  unsigned GroupSize = 4;  ///< Variables per group.
+  unsigned ScopeVars = 0;  ///< Extra variables in scoped phases
+                           ///< (n_max - n_min).
+  unsigned Phases = 4;     ///< Sequential loop phases.
+  unsigned StmtsPerLoop = 4; ///< Statements per loop body.
+  double BoundedFrac = 0.7;  ///< Fraction of constant-initialized vars
+                             ///< (within bounded groups).
+  /// Fraction of *relational* groups: havoc-rooted variable chains
+  /// iterated by nondeterministic while(*) loops, carrying binary
+  /// relations but no unary bounds. These are what decomposition
+  /// thrives on — unary-bounded components merge during strengthening
+  /// (Section 5.4), relational ones stay independent.
+  double RelationalFrac = 0.5;
+  double CrossLinkProb = 0.0; ///< Probability of cross-group statements.
+  /// Probability that a loop-body statement havocs its target (models
+  /// reading fresh input). Havoc is what erases unary bounds during the
+  /// fixpoint and lets jwgqbjzs's DBMs turn sparse midway (Fig. 7).
+  double HavocProb = 0.0;
+  /// jwgqbjzs-style program evolution (Fig. 7): the first half is fully
+  /// bounded arithmetic (dense DBMs); at the midpoint every group is
+  /// re-rooted at fresh inputs and iterated nondeterministically, so
+  /// unary bounds disappear and the DBMs decompose.
+  bool RelationalSecondHalf = false;
+  double BranchProb = 0.5;    ///< Probability of an if inside a loop.
+  unsigned Seed = 1;
+
+  /// Paper-reported reference values (for EXPERIMENTS.md comparison).
+  unsigned PaperNMin = 0, PaperNMax = 0;
+  unsigned PaperClosures = 0;   ///< Table 2 #closures.
+  double PaperOctSpeedup = 0.0; ///< Fig. 8 octagon-analysis speedup
+                                ///< (read off the log-scale plot;
+                                ///< approximate except where the text
+                                ///< gives exact numbers).
+  double PaperPctOct = 0.0;     ///< Table 3 %oct under APRON.
+  double PaperEndSpeedup = 0.0; ///< Table 3 end-to-end speedup.
+};
+
+/// Renders the mini-IMP source for \p Spec (deterministic in the seed).
+std::string generateProgram(const WorkloadSpec &Spec);
+
+/// The 17 benchmarks of the paper's evaluation, calibrated to this
+/// machine (sizes scaled to keep the full suite runnable in minutes;
+/// the Paper* fields carry the published values).
+const std::vector<WorkloadSpec> &paperBenchmarks();
+
+/// Looks up a benchmark by name; returns nullptr if unknown.
+const WorkloadSpec *findBenchmark(const std::string &Name);
+
+} // namespace optoct::workloads
+
+#endif // OPTOCT_WORKLOADS_WORKLOAD_H

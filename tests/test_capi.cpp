@@ -1,0 +1,119 @@
+//===- tests/test_capi.cpp - C API shim tests ------------------------------===//
+
+#include "capi/opt_oct.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+TEST(CApi, TopBottomLifecycle) {
+  opt_oct_t *Top = opt_oct_top(4);
+  opt_oct_t *Bot = opt_oct_bottom(4);
+  EXPECT_EQ(opt_oct_dimension(Top), 4u);
+  EXPECT_TRUE(opt_oct_is_top(Top));
+  EXPECT_FALSE(opt_oct_is_bottom(Top));
+  EXPECT_TRUE(opt_oct_is_bottom(Bot));
+  EXPECT_TRUE(opt_oct_is_leq(Bot, Top));
+  EXPECT_FALSE(opt_oct_is_leq(Top, Bot));
+  opt_oct_free(Top);
+  opt_oct_free(Bot);
+}
+
+TEST(CApi, ConstraintsAndBounds) {
+  opt_oct_t *O = opt_oct_top(3);
+  opt_oct_add_constraint(O, +1, 0, 0, 0, 7.0);  //  v0 <= 7
+  opt_oct_add_constraint(O, -1, 0, 0, 0, -2.0); // -v0 <= -2
+  opt_oct_add_constraint(O, +1, 1, -1, 0, 1.0); //  v1 - v0 <= 1
+  opt_oct_add_constraint(O, -1, 1, +1, 0, 0.0); //  v0 - v1 <= 0
+  double Lo = 0, Hi = 0;
+  opt_oct_bounds(O, 1, &Lo, &Hi);
+  EXPECT_EQ(Lo, 2.0);
+  EXPECT_EQ(Hi, 8.0);
+  opt_oct_free(O);
+}
+
+TEST(CApi, AssignAndForget) {
+  opt_oct_t *O = opt_oct_top(2);
+  opt_oct_assign_const(O, 0, 5.0);
+  opt_oct_assign_var(O, 1, +1, 0, 3.0); // v1 := v0 + 3
+  double Lo = 0, Hi = 0;
+  opt_oct_bounds(O, 1, &Lo, &Hi);
+  EXPECT_EQ(Lo, 8.0);
+  EXPECT_EQ(Hi, 8.0);
+  opt_oct_forget(O, 0);
+  opt_oct_bounds(O, 0, &Lo, &Hi);
+  EXPECT_TRUE(std::isinf(Hi));
+  opt_oct_bounds(O, 1, &Lo, &Hi);
+  EXPECT_EQ(Lo, 8.0); // v1 keeps its derived value
+  opt_oct_free(O);
+}
+
+TEST(CApi, MeetJoinWidening) {
+  opt_oct_t *A = opt_oct_top(2);
+  opt_oct_add_constraint(A, +1, 0, 0, 0, 1.0);
+  opt_oct_t *B = opt_oct_top(2);
+  opt_oct_add_constraint(B, +1, 0, 0, 0, 5.0);
+
+  opt_oct_t *M = opt_oct_meet(A, B);
+  double Lo = 0, Hi = 0;
+  opt_oct_bounds(M, 0, &Lo, &Hi);
+  EXPECT_EQ(Hi, 1.0);
+
+  opt_oct_t *J = opt_oct_join(A, B);
+  opt_oct_bounds(J, 0, &Lo, &Hi);
+  EXPECT_EQ(Hi, 5.0);
+
+  opt_oct_t *W = opt_oct_widening(A, B);
+  opt_oct_bounds(W, 0, &Lo, &Hi);
+  EXPECT_TRUE(std::isinf(Hi)); // bound grew: widened away
+
+  opt_oct_t *N = opt_oct_narrowing(W, B);
+  opt_oct_bounds(N, 0, &Lo, &Hi);
+  EXPECT_EQ(Hi, 5.0); // narrowing recovers the finite bound
+
+  opt_oct_free(A);
+  opt_oct_free(B);
+  opt_oct_free(M);
+  opt_oct_free(J);
+  opt_oct_free(W);
+  opt_oct_free(N);
+}
+
+TEST(CApi, EqualityAndCopy) {
+  opt_oct_t *A = opt_oct_top(2);
+  opt_oct_add_constraint(A, +1, 0, +1, 1, 4.0);
+  opt_oct_t *B = opt_oct_copy(A);
+  EXPECT_TRUE(opt_oct_is_eq(A, B));
+  opt_oct_add_constraint(B, +1, 0, +1, 1, 2.0);
+  EXPECT_FALSE(opt_oct_is_eq(A, B));
+  EXPECT_TRUE(opt_oct_is_leq(B, A));
+  opt_oct_free(A);
+  opt_oct_free(B);
+}
+
+TEST(CApi, ComponentsAndDimensions) {
+  opt_oct_t *O = opt_oct_top(6);
+  EXPECT_EQ(opt_oct_num_components(O), 0u);
+  opt_oct_add_constraint(O, +1, 0, -1, 1, 3.0);
+  opt_oct_add_constraint(O, +1, 2, -1, 3, 3.0);
+  EXPECT_EQ(opt_oct_num_components(O), 2u);
+  opt_oct_add_vars(O, 2);
+  EXPECT_EQ(opt_oct_dimension(O), 8u);
+  opt_oct_remove_trailing_vars(O, 4);
+  EXPECT_EQ(opt_oct_dimension(O), 4u);
+  // The 0-1 and 2-3 relations survive the removal of dimensions 4..7.
+  EXPECT_EQ(opt_oct_num_components(O), 2u);
+  opt_oct_free(O);
+}
+
+TEST(CApi, ContradictionBecomesBottom) {
+  opt_oct_t *O = opt_oct_top(2);
+  opt_oct_add_constraint(O, +1, 0, -1, 1, -1.0); // v0 - v1 <= -1
+  opt_oct_add_constraint(O, +1, 1, -1, 0, -1.0); // v1 - v0 <= -1
+  EXPECT_TRUE(opt_oct_is_bottom(O));
+  opt_oct_free(O);
+}
+
+} // namespace

@@ -1,0 +1,125 @@
+//===- tests/test_cfg.cpp - CFG construction tests ------------------------===//
+
+#include "cfg/cfg.h"
+
+#include "lang/parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace optoct;
+using namespace optoct::cfg;
+
+namespace {
+
+Cfg buildCfg(const char *Source, lang::Program &Storage) {
+  std::string Error;
+  auto P = lang::parseProgram(Source, Error);
+  EXPECT_TRUE(P) << Error;
+  Storage = std::move(*P);
+  return Cfg::build(Storage);
+}
+
+TEST(Cfg, StraightLineIsOneBlock) {
+  lang::Program P;
+  Cfg G = buildCfg("var x, y; x = 1; y = x;", P);
+  EXPECT_EQ(G.size(), 1u);
+  EXPECT_EQ(G.block(G.entry()).Stmts.size(), 2u);
+  EXPECT_EQ(G.block(G.entry()).NumSlots, 2u);
+}
+
+TEST(Cfg, IfElseShape) {
+  lang::Program P;
+  Cfg G = buildCfg("var x; if (x <= 0) { x = 1; } else { x = 2; } x = 3;", P);
+  const BasicBlock &Entry = G.block(G.entry());
+  ASSERT_EQ(Entry.Succs.size(), 2u);
+  EXPECT_FALSE(Entry.Succs[0].Cond->Negated);
+  EXPECT_TRUE(Entry.Succs[1].Cond->Negated);
+  // Then and else blocks both reach the merge.
+  unsigned Then = Entry.Succs[0].Target, Else = Entry.Succs[1].Target;
+  ASSERT_EQ(G.block(Then).Succs.size(), 1u);
+  ASSERT_EQ(G.block(Else).Succs.size(), 1u);
+  EXPECT_EQ(G.block(Then).Succs[0].Target, G.block(Else).Succs[0].Target);
+}
+
+TEST(Cfg, IfWithoutElseBypassEdge) {
+  lang::Program P;
+  Cfg G = buildCfg("var x; if (x <= 0) { x = 1; } x = 3;", P);
+  const BasicBlock &Entry = G.block(G.entry());
+  ASSERT_EQ(Entry.Succs.size(), 2u);
+  unsigned Then = Entry.Succs[0].Target;
+  unsigned Merge = Entry.Succs[1].Target;
+  EXPECT_TRUE(Entry.Succs[1].Cond->Negated);
+  EXPECT_EQ(G.block(Then).Succs[0].Target, Merge);
+}
+
+TEST(Cfg, WhileLoopHeadAndBackEdge) {
+  lang::Program P;
+  Cfg G = buildCfg("var x, m; x = 0; while (x <= m) { x = x + 1; } m = 0;",
+                   P);
+  // Find the loop head.
+  int Head = -1;
+  for (const BasicBlock &B : G.blocks())
+    if (B.IsLoopHead) {
+      ASSERT_EQ(Head, -1);
+      Head = static_cast<int>(B.Id);
+    }
+  ASSERT_GE(Head, 0);
+  const BasicBlock &H = G.block(static_cast<unsigned>(Head));
+  ASSERT_EQ(H.Succs.size(), 2u);
+  unsigned Body = H.Succs[0].Target;
+  EXPECT_FALSE(H.Succs[0].Cond->Negated);
+  EXPECT_TRUE(H.Succs[1].Cond->Negated);
+  // The body's last block loops back to the head.
+  EXPECT_EQ(G.block(Body).Succs[0].Target, static_cast<unsigned>(Head));
+}
+
+TEST(Cfg, ScopeEdgesCarrySlotDeltas) {
+  lang::Program P;
+  Cfg G = buildCfg("var a; { var b, c; b = a; } a = 1;", P);
+  const BasicBlock &Entry = G.block(G.entry());
+  ASSERT_EQ(Entry.Succs.size(), 1u);
+  EXPECT_EQ(Entry.Succs[0].SlotDelta, 2);
+  unsigned Inner = Entry.Succs[0].Target;
+  EXPECT_EQ(G.block(Inner).NumSlots, 3u);
+  ASSERT_EQ(G.block(Inner).Succs.size(), 1u);
+  EXPECT_EQ(G.block(Inner).Succs[0].SlotDelta, -2);
+  unsigned After = G.block(Inner).Succs[0].Target;
+  EXPECT_EQ(G.block(After).NumSlots, 1u);
+}
+
+TEST(Cfg, RpoStartsAtEntryAndCoversReachable) {
+  lang::Program P;
+  Cfg G = buildCfg("var x; while (x <= 9) { if (x <= 4) { x = x + 1; } "
+                   "else { x = x + 2; } } x = 0;",
+                   P);
+  ASSERT_FALSE(G.rpo().empty());
+  EXPECT_EQ(G.rpo()[0], G.entry());
+  // RPO index of a block is before its (non-back-edge) successors.
+  for (const BasicBlock &B : G.blocks())
+    for (const Edge &E : B.Succs)
+      if (!G.block(E.Target).IsLoopHead) {
+        EXPECT_LT(G.rpoIndex(B.Id), G.rpoIndex(E.Target));
+      }
+}
+
+TEST(Cfg, PredsMatchSuccs) {
+  lang::Program P;
+  Cfg G = buildCfg("var x; if (x <= 0) { x = 1; } x = 2;", P);
+  std::size_t EdgeCount = 0, PredCount = 0;
+  for (const BasicBlock &B : G.blocks())
+    EdgeCount += B.Succs.size();
+  for (const auto &Ps : G.preds())
+    PredCount += Ps.size();
+  EXPECT_EQ(EdgeCount, PredCount);
+}
+
+TEST(Cfg, SlotNamesTrackScopes) {
+  lang::Program P;
+  Cfg G = buildCfg("var a; { var b; b = 1; }", P);
+  const BasicBlock &Entry = G.block(G.entry());
+  EXPECT_EQ(Entry.SlotNames, (std::vector<std::string>{"a"}));
+  unsigned Inner = Entry.Succs[0].Target;
+  EXPECT_EQ(G.block(Inner).SlotNames, (std::vector<std::string>{"a", "b"}));
+}
+
+} // namespace

@@ -1,0 +1,257 @@
+//===- tests/test_closure.cpp - Differential closure tests ----------------===//
+///
+/// \file
+/// Every optimized closure (dense Algorithm 3, sparse, vectorized
+/// full-DBM FW, APRON Algorithm 2, incremental) is compared against the
+/// executable specification closureFullReference on random DBMs across
+/// sizes and densities, including empty (negative-cycle) cases, plus
+/// algebraic property tests (idempotence, decrease-only, coherence).
+///
+//===----------------------------------------------------------------------===//
+
+#include "baseline/closure_apron.h"
+#include "oct/closure_dense.h"
+#include "oct/closure_incremental.h"
+#include "oct/closure_reference.h"
+#include "oct/closure_sparse.h"
+#include "oct/config.h"
+
+#include "oct_test_util.h"
+
+#include <gtest/gtest.h>
+
+using namespace optoct;
+using namespace optoct::test;
+
+namespace {
+
+struct ClosureCase {
+  unsigned NumVars;
+  double Density;
+  std::uint64_t Seed;
+};
+
+void PrintTo(const ClosureCase &C, std::ostream *OS) {
+  *OS << "n=" << C.NumVars << " d=" << C.Density << " seed=" << C.Seed;
+}
+
+class ClosureDifferential : public ::testing::TestWithParam<ClosureCase> {};
+
+TEST_P(ClosureDifferential, DenseMatchesReference) {
+  ClosureCase C = GetParam();
+  Rng R(C.Seed);
+  HalfDbm M(C.NumVars);
+  randomizeDbm(M, R, C.Density);
+  HalfDbm Ref = M;
+  bool RefOk = referenceClose(Ref);
+
+  ClosureScratch Scratch;
+  bool Ok = closureDense(M, Scratch);
+  ASSERT_EQ(Ok, RefOk);
+  if (Ok)
+    expectDbmEq(M, Ref, "dense closure");
+}
+
+TEST_P(ClosureDifferential, DenseScalarMatchesReference) {
+  ClosureCase C = GetParam();
+  bool Saved = octConfig().EnableVectorization;
+  octConfig().EnableVectorization = false;
+  Rng R(C.Seed);
+  HalfDbm M(C.NumVars);
+  randomizeDbm(M, R, C.Density);
+  HalfDbm Ref = M;
+  bool RefOk = referenceClose(Ref);
+
+  ClosureScratch Scratch;
+  bool Ok = closureDense(M, Scratch);
+  octConfig().EnableVectorization = Saved;
+  ASSERT_EQ(Ok, RefOk);
+  if (Ok)
+    expectDbmEq(M, Ref, "scalar dense closure");
+}
+
+TEST_P(ClosureDifferential, SparseMatchesReference) {
+  ClosureCase C = GetParam();
+  Rng R(C.Seed);
+  HalfDbm M(C.NumVars);
+  randomizeDbm(M, R, C.Density);
+  HalfDbm Ref = M;
+  bool RefOk = referenceClose(Ref);
+
+  ClosureScratch Scratch;
+  std::size_t Nni = 0;
+  bool Ok = closureSparse(M, Scratch, Nni);
+  ASSERT_EQ(Ok, RefOk);
+  if (Ok) {
+    expectDbmEq(M, Ref, "sparse closure");
+    EXPECT_EQ(Nni, M.countFinite());
+  }
+}
+
+TEST_P(ClosureDifferential, VectorizedFullMatchesReference) {
+  ClosureCase C = GetParam();
+  Rng R(C.Seed);
+  HalfDbm M(C.NumVars);
+  randomizeDbm(M, R, C.Density);
+  HalfDbm Ref = M;
+  bool RefOk = referenceClose(Ref);
+
+  FullDbm Full(M);
+  bool Ok = closureFullVectorized(Full);
+  ASSERT_EQ(Ok, RefOk);
+  if (Ok) {
+    HalfDbm Out(C.NumVars);
+    Full.toHalf(Out);
+    expectDbmEq(Out, Ref, "vectorized full closure");
+  }
+}
+
+TEST_P(ClosureDifferential, ApronMatchesReference) {
+  ClosureCase C = GetParam();
+  Rng R(C.Seed);
+  HalfDbm M(C.NumVars);
+  randomizeDbm(M, R, C.Density);
+  HalfDbm Ref = M;
+  bool RefOk = referenceClose(Ref);
+
+  bool Ok = baseline::closureApron(M);
+  ASSERT_EQ(Ok, RefOk);
+  if (Ok)
+    expectDbmEq(M, Ref, "APRON closure");
+}
+
+TEST_P(ClosureDifferential, RestrictedSparseOnBlocksMatchesReference) {
+  ClosureCase C = GetParam();
+  if (C.NumVars < 4)
+    return;
+  Rng R(C.Seed);
+  HalfDbm M(C.NumVars);
+  // Two independent blocks: even and odd variables.
+  std::vector<unsigned> Even, Odd;
+  for (unsigned V = 0; V != C.NumVars; ++V)
+    (V % 2 ? Odd : Even).push_back(V);
+  randomizeBlockDbm(M, R, {Even, Odd}, C.Density);
+  HalfDbm Ref = M;
+  bool RefOk = referenceClose(Ref);
+
+  // Closure per block + strengthening over all variables must equal the
+  // monolithic strong closure on block-structured matrices.
+  ClosureScratch Scratch;
+  shortestPathSparseRestricted(M, Even, Scratch);
+  shortestPathSparseRestricted(M, Odd, Scratch);
+  std::vector<unsigned> All(C.NumVars);
+  for (unsigned V = 0; V != C.NumVars; ++V)
+    All[V] = V;
+  strengthenSparseRestricted(M, All, Scratch);
+  bool Ok = true;
+  for (unsigned I = 0; I != M.dim() && Ok; ++I)
+    Ok = M.at(I, I) >= 0.0;
+  for (unsigned I = 0; I != M.dim(); ++I)
+    M.at(I, I) = Ok ? 0.0 : M.at(I, I);
+  ASSERT_EQ(Ok, RefOk);
+  if (Ok)
+    expectDbmEq(M, Ref, "restricted block closure");
+}
+
+TEST_P(ClosureDifferential, ClosureIsIdempotent) {
+  ClosureCase C = GetParam();
+  Rng R(C.Seed + 1);
+  HalfDbm M(C.NumVars);
+  randomizeDbm(M, R, C.Density);
+  ClosureScratch Scratch;
+  if (!closureDense(M, Scratch))
+    return;
+  HalfDbm Again = M;
+  ASSERT_TRUE(closureDense(Again, Scratch));
+  expectDbmEq(Again, M, "idempotence");
+}
+
+TEST_P(ClosureDifferential, ClosureOnlyDecreasesEntries) {
+  ClosureCase C = GetParam();
+  Rng R(C.Seed + 2);
+  HalfDbm M(C.NumVars);
+  randomizeDbm(M, R, C.Density);
+  HalfDbm Before = M;
+  ClosureScratch Scratch;
+  if (!closureDense(M, Scratch))
+    return;
+  for (unsigned I = 0; I != M.dim(); ++I)
+    for (unsigned J = 0; J <= (I | 1u); ++J)
+      EXPECT_LE(M.at(I, J), Before.at(I, J));
+}
+
+TEST_P(ClosureDifferential, IncrementalMatchesFullAfterConstraint) {
+  ClosureCase C = GetParam();
+  if (C.NumVars < 2)
+    return;
+  Rng R(C.Seed + 3);
+  HalfDbm M(C.NumVars);
+  randomizeDbm(M, R, C.Density);
+  ClosureScratch Scratch;
+  if (!closureDense(M, Scratch))
+    return;
+
+  // Tighten a few entries; the touched set must contain both endpoint
+  // variables of every modified arc (the incremental-closure
+  // precondition: modifications confined to the touched rows/columns).
+  std::vector<unsigned> Touched;
+  for (int T = 0; T != 3; ++T) {
+    unsigned I = static_cast<unsigned>(R.indexBelow(M.dim()));
+    unsigned J = static_cast<unsigned>(R.indexBelow(M.dim()));
+    if (I == J)
+      continue;
+    double NewBound = R.intIn(-3, 10);
+    if (NewBound < M.get(I, J)) {
+      M.set(I, J, NewBound);
+      Touched.push_back(I / 2);
+      Touched.push_back(J / 2);
+    }
+  }
+
+  HalfDbm Ref = M;
+  bool RefOk = referenceClose(Ref);
+  bool Ok = incrementalClosureDense(M, Touched, Scratch);
+  ASSERT_EQ(Ok, RefOk);
+  if (Ok)
+    expectDbmEq(M, Ref, "incremental closure");
+}
+
+TEST_P(ClosureDifferential, ApronIncrementalMatchesFull) {
+  ClosureCase C = GetParam();
+  if (C.NumVars < 2)
+    return;
+  Rng R(C.Seed + 4);
+  HalfDbm M(C.NumVars);
+  randomizeDbm(M, R, C.Density);
+  if (!baseline::closureApron(M))
+    return;
+  unsigned X = static_cast<unsigned>(R.indexBelow(C.NumVars));
+  unsigned I = 2 * X, J = (2 * X + 2) % M.dim();
+  if (I != J) {
+    double NewBound = R.intIn(-3, 8);
+    if (NewBound < M.get(I, J))
+      M.set(I, J, NewBound);
+  }
+  HalfDbm Ref = M;
+  bool RefOk = referenceClose(Ref);
+  // The modified arc joins X and X+1 (mod n): pivot both endpoints.
+  bool Ok = baseline::incrementalClosureApron(M, {X, (X + 1) % C.NumVars});
+  ASSERT_EQ(Ok, RefOk);
+  if (Ok)
+    expectDbmEq(M, Ref, "APRON incremental closure");
+}
+
+std::vector<ClosureCase> closureCases() {
+  std::vector<ClosureCase> Cases;
+  std::uint64_t Seed = 1000;
+  for (unsigned N : {1u, 2u, 3u, 5u, 8u, 13u, 21u, 32u})
+    for (double Density : {0.02, 0.1, 0.3, 0.7, 1.0})
+      for (int Rep = 0; Rep != 2; ++Rep)
+        Cases.push_back({N, Density, Seed++});
+  return Cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ClosureDifferential,
+                         ::testing::ValuesIn(closureCases()));
+
+} // namespace

@@ -1,0 +1,117 @@
+//===- tests/test_dataflow.cpp - Client dataflow analysis tests ------------===//
+
+#include "dataflow/dataflow.h"
+
+#include "lang/parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace optoct;
+using namespace optoct::dataflow;
+
+namespace {
+
+struct Built {
+  lang::Program Prog;
+  cfg::Cfg Graph;
+};
+
+Built build(const char *Source) {
+  std::string Error;
+  auto P = lang::parseProgram(Source, Error);
+  EXPECT_TRUE(P) << Error;
+  Built B{std::move(*P), cfg::Cfg()};
+  B.Graph = cfg::Cfg::build(B.Prog);
+  return B;
+}
+
+TEST(Liveness, StraightLine) {
+  // y = x; z = y;  -- x live at entry, y live after first stmt, z dead.
+  Built B = build("var x, y, z; y = x; z = y;");
+  LivenessResult L = runLiveness(B.Graph);
+  unsigned Entry = B.Graph.entry();
+  EXPECT_TRUE(L.LiveIn[Entry].test(0));  // x used before def
+  EXPECT_FALSE(L.LiveIn[Entry].test(1)); // y defined before use
+  EXPECT_FALSE(L.LiveIn[Entry].test(2)); // z never used
+}
+
+TEST(Liveness, LoopKeepsGuardVarsLive) {
+  Built B = build("var i, n; i = 0; while (i < n) { i = i + 1; }");
+  LivenessResult L = runLiveness(B.Graph);
+  // n is live throughout the loop (used by the guard each iteration).
+  for (const cfg::BasicBlock &Block : B.Graph.blocks())
+    if (Block.IsLoopHead) {
+      EXPECT_TRUE(L.LiveIn[Block.Id].test(1));
+    }
+}
+
+TEST(Liveness, BranchUnion) {
+  Built B = build("var a, b, c;\n"
+                  "if (c <= 0) { a = 1; } else { a = b; }\n"
+                  "c = a;");
+  LivenessResult L = runLiveness(B.Graph);
+  unsigned Entry = B.Graph.entry();
+  EXPECT_TRUE(L.LiveIn[Entry].test(1)); // b used on the else path
+  EXPECT_TRUE(L.LiveIn[Entry].test(2)); // c used by the guard
+  EXPECT_FALSE(L.LiveIn[Entry].test(0)); // a redefined on both paths
+}
+
+TEST(ReachingDefs, CountsDefinitionSites) {
+  Built B = build("var x; x = 1; x = 2; x = 3;");
+  ReachingDefsResult R = runReachingDefs(B.Graph);
+  EXPECT_EQ(R.NumDefs, 3u);
+  // Only the last definition reaches the block exit.
+  EXPECT_EQ(R.Out[B.Graph.entry()].count(), 1u);
+}
+
+TEST(ReachingDefs, LoopMergesDefs) {
+  Built B = build("var x; x = 0; while (*) { x = x + 1; }");
+  ReachingDefsResult R = runReachingDefs(B.Graph);
+  // At the loop head both the initial and the loop definition reach.
+  int Head = -1;
+  for (const cfg::BasicBlock &Block : B.Graph.blocks())
+    if (Block.IsLoopHead)
+      Head = static_cast<int>(Block.Id);
+  ASSERT_GE(Head, 0);
+  EXPECT_EQ(R.In[static_cast<unsigned>(Head)].count(), 2u);
+}
+
+TEST(ReachingDefs, HavocIsADefinition) {
+  Built B = build("var x, y; x = havoc(); y = x;");
+  ReachingDefsResult R = runReachingDefs(B.Graph);
+  EXPECT_EQ(R.NumDefs, 2u);
+}
+
+TEST(ClientAnalyses, DeterministicChecksum) {
+  Built B = build("var a, b; a = 0; while (a < 10) { a = a + 1; b = a; }");
+  std::uint64_t C1 = runClientAnalyses(B.Graph, 3);
+  std::uint64_t C2 = runClientAnalyses(B.Graph, 3);
+  EXPECT_EQ(C1, C2);
+  EXPECT_NE(runClientAnalyses(B.Graph, 1), 0u);
+}
+
+TEST(BitVector, Operations) {
+  BitVector A(130), B(130);
+  A.set(0);
+  A.set(64);
+  A.set(129);
+  B.set(64);
+  EXPECT_EQ(A.count(), 3u);
+  EXPECT_TRUE(A.test(64));
+  EXPECT_FALSE(A.test(63));
+  BitVector C = A;
+  EXPECT_FALSE(C.orWith(A)); // no change
+  EXPECT_TRUE(C.orWith([&] {
+    BitVector D(130);
+    D.set(5);
+    return D;
+  }()));
+  EXPECT_EQ(C.count(), 4u);
+  C.subtract(B);
+  EXPECT_FALSE(C.test(64));
+  EXPECT_EQ(C.count(), 3u);
+  A.reset(0);
+  EXPECT_FALSE(A.test(0));
+}
+
+} // namespace

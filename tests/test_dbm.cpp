@@ -1,0 +1,103 @@
+//===- tests/test_dbm.cpp - Half-DBM storage tests ------------------------===//
+
+#include "oct/dbm.h"
+
+#include "oct/closure_reference.h"
+#include "support/random.h"
+
+#include <gtest/gtest.h>
+
+using namespace optoct;
+
+TEST(HalfDbm, MatSizeFormula) {
+  EXPECT_EQ(HalfDbm::matSize(0), 0u);
+  EXPECT_EQ(HalfDbm::matSize(1), 4u);
+  EXPECT_EQ(HalfDbm::matSize(2), 12u);
+  EXPECT_EQ(HalfDbm::matSize(3), 24u);
+  EXPECT_EQ(HalfDbm::matSize(10), 220u);
+}
+
+TEST(HalfDbm, IndexIsPackedAndInjective) {
+  // Row i holds entries j = 0..(i|1); indices must tile [0, matSize).
+  unsigned N = 5;
+  std::vector<bool> Seen(HalfDbm::matSize(N), false);
+  for (unsigned I = 0; I != 2 * N; ++I)
+    for (unsigned J = 0; J <= (I | 1u); ++J) {
+      std::size_t Idx = HalfDbm::index(I, J);
+      ASSERT_LT(Idx, Seen.size());
+      EXPECT_FALSE(Seen[Idx]) << "duplicate index at (" << I << "," << J << ")";
+      Seen[Idx] = true;
+    }
+  for (std::size_t I = 0; I != Seen.size(); ++I)
+    EXPECT_TRUE(Seen[I]) << "hole at packed index " << I;
+}
+
+TEST(HalfDbm, RowPointerMatchesIndex) {
+  HalfDbm M(4);
+  for (unsigned I = 0; I != M.dim(); ++I)
+    EXPECT_EQ(M.row(I), M.data() + HalfDbm::index(I, 0));
+}
+
+TEST(HalfDbm, CoherentGetSetRoundTrips) {
+  HalfDbm M(3);
+  M.initTop();
+  // (i, j) with j > (i|1) must alias (j^1, i^1).
+  M.set(0, 4, 7.0); // upper-triangle write
+  EXPECT_EQ(M.get(0, 4), 7.0);
+  EXPECT_EQ(M.at(5, 1), 7.0); // the stored mirror
+  M.set(5, 1, 3.0);
+  EXPECT_EQ(M.get(0, 4), 3.0);
+}
+
+TEST(HalfDbm, InitTopSetsDiagonalZero) {
+  HalfDbm M(3);
+  M.initTop();
+  for (unsigned I = 0; I != M.dim(); ++I)
+    for (unsigned J = 0; J != M.dim(); ++J)
+      EXPECT_EQ(M.get(I, J), I == J ? 0.0 : Infinity);
+  EXPECT_EQ(M.countFinite(), 2 * 3u);
+}
+
+TEST(HalfDbm, InitPairTrivialUnary) {
+  HalfDbm M(3);
+  // Initialize only variable 1's diagonal block.
+  M.initPairTrivial(1, 1);
+  EXPECT_EQ(M.at(2, 2), 0.0);
+  EXPECT_EQ(M.at(3, 3), 0.0);
+  EXPECT_EQ(M.at(2, 3), Infinity);
+  EXPECT_EQ(M.at(3, 2), Infinity);
+}
+
+TEST(HalfDbm, InitPairTrivialCross) {
+  HalfDbm M(3);
+  M.initPairTrivial(0, 2); // order-insensitive
+  for (unsigned R = 0; R != 2; ++R)
+    for (unsigned S = 0; S != 2; ++S)
+      EXPECT_EQ(M.at(4 + R, 0 + S), Infinity);
+}
+
+TEST(FullDbm, ConversionRoundTrip) {
+  Rng R(7);
+  HalfDbm M(6);
+  M.initTop();
+  for (unsigned I = 0; I != M.dim(); ++I)
+    for (unsigned J = 0; J <= (I | 1u); ++J)
+      if (I != J && R.chance(0.5))
+        M.at(I, J) = R.intIn(-5, 20);
+  FullDbm Full(M);
+  EXPECT_TRUE(Full.isCoherent());
+  HalfDbm Back(6);
+  Full.toHalf(Back);
+  for (unsigned I = 0; I != M.dim(); ++I)
+    for (unsigned J = 0; J <= (I | 1u); ++J)
+      EXPECT_EQ(M.at(I, J), Back.at(I, J));
+}
+
+TEST(HalfDbm, CountFinite) {
+  HalfDbm M(2);
+  M.initTop();
+  EXPECT_EQ(M.countFinite(), 4u);
+  M.at(2, 0) = 1.0;
+  M.at(3, 1) = -2.0;
+  EXPECT_EQ(M.countFinite(), 6u);
+}

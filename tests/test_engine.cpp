@@ -1,0 +1,114 @@
+//===- tests/test_engine.cpp - Fixpoint engine property tests --------------===//
+
+#include "analysis/engine.h"
+
+#include "lang/parser.h"
+#include "oct/octagon.h"
+
+#include <gtest/gtest.h>
+
+using namespace optoct;
+using namespace optoct::analysis;
+
+namespace {
+
+struct Built {
+  lang::Program Prog;
+  cfg::Cfg Graph;
+};
+
+Built build(const char *Source) {
+  std::string Error;
+  auto P = lang::parseProgram(Source, Error);
+  EXPECT_TRUE(P) << Error;
+  Built B{std::move(*P), cfg::Cfg()};
+  B.Graph = cfg::Cfg::build(B.Prog);
+  return B;
+}
+
+const char *LoopProgram = "var x, y, n;\n"
+                          "n = havoc(); assume(n >= 0 && n <= 40);\n"
+                          "x = 0; y = 0;\n"
+                          "while (x < n) {\n"
+                          "  x = x + 1;\n"
+                          "  if (y < x) { y = y + 1; }\n"
+                          "}\n"
+                          "assert(y <= x);\n"
+                          "assert(x <= 40);\n";
+
+TEST(Engine, NarrowingOnlyTightens) {
+  Built B = build(LoopProgram);
+  AnalysisOptions NoNarrow;
+  NoNarrow.NarrowingPasses = 0;
+  AnalysisOptions TwoPasses;
+  TwoPasses.NarrowingPasses = 2;
+  auto Wide = analyze<Octagon>(B.Graph, NoNarrow);
+  auto Tight = analyze<Octagon>(B.Graph, TwoPasses);
+  for (unsigned Blk = 0; Blk != B.Graph.size(); ++Blk) {
+    if (!Wide.BlockInvariant[Blk] || !Tight.BlockInvariant[Blk])
+      continue;
+    Octagon T = *Tight.BlockInvariant[Blk];
+    Octagon W = *Wide.BlockInvariant[Blk];
+    EXPECT_TRUE(T.leq(W)) << "block " << Blk;
+  }
+  // Narrowing can only prove more.
+  EXPECT_GE(Tight.assertsProven(), Wide.assertsProven());
+}
+
+TEST(Engine, WideningDelaysAllTerminateAndAgreeOnVerdicts) {
+  Built B = build(LoopProgram);
+  for (unsigned Delay : {0u, 1u, 2u, 5u, 10u}) {
+    AnalysisOptions Opts;
+    Opts.WideningDelay = Delay;
+    auto R = analyze<Octagon>(B.Graph, Opts);
+    EXPECT_LT(R.BlockVisits, 1000u) << "delay " << Delay;
+    EXPECT_EQ(R.assertsProven(), 2u) << "delay " << Delay;
+  }
+}
+
+TEST(Engine, EntryInvariantIsTop) {
+  Built B = build("var a; a = 1;");
+  auto R = analyze<Octagon>(B.Graph);
+  ASSERT_TRUE(R.BlockInvariant[B.Graph.entry()]);
+  EXPECT_TRUE(R.BlockInvariant[B.Graph.entry()]->isTop());
+}
+
+TEST(Engine, UnreachableBlocksStayUnset) {
+  Built B = build("var x;\n"
+                  "x = 1;\n"
+                  "if (x >= 5) { x = 2; }\n"
+                  "x = 3;\n");
+  auto R = analyze<Octagon>(B.Graph);
+  unsigned Unreachable = 0;
+  for (unsigned Blk = 0; Blk != B.Graph.size(); ++Blk)
+    Unreachable += !R.BlockInvariant[Blk];
+  EXPECT_EQ(Unreachable, 1u); // exactly the then-branch
+}
+
+TEST(Engine, OctagonCyclesAreMeasured) {
+  Built B = build(LoopProgram);
+  auto R = analyze<Octagon>(B.Graph);
+  EXPECT_GT(R.OctagonCycles, 0u);
+  EXPECT_GT(R.BlockVisits, B.Graph.size() / 2);
+}
+
+TEST(Engine, DeterministicAcrossRuns) {
+  Built B = build(LoopProgram);
+  auto R1 = analyze<Octagon>(B.Graph);
+  auto R2 = analyze<Octagon>(B.Graph);
+  ASSERT_EQ(R1.Asserts.size(), R2.Asserts.size());
+  for (std::size_t I = 0; I != R1.Asserts.size(); ++I)
+    EXPECT_EQ(R1.Asserts[I].Proven, R2.Asserts[I].Proven);
+  EXPECT_EQ(R1.BlockVisits, R2.BlockVisits);
+  for (unsigned Blk = 0; Blk != B.Graph.size(); ++Blk) {
+    ASSERT_EQ(R1.BlockInvariant[Blk].has_value(),
+              R2.BlockInvariant[Blk].has_value());
+    if (!R1.BlockInvariant[Blk])
+      continue;
+    Octagon A = *R1.BlockInvariant[Blk];
+    Octagon C = *R2.BlockInvariant[Blk];
+    EXPECT_TRUE(A.equals(C));
+  }
+}
+
+} // namespace

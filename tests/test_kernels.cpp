@@ -1,0 +1,116 @@
+//===- tests/test_kernels.cpp - Vector kernel tests ------------------------===//
+///
+/// \file
+/// Direct tests of the AVX min-plus kernels against their scalar
+/// fallbacks on random data with infinities, across lengths that
+/// exercise the vector body and the scalar remainder.
+///
+//===----------------------------------------------------------------------===//
+
+#include "oct/vector_min.h"
+
+#include "oct/config.h"
+#include "oct/value.h"
+#include "support/random.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace optoct;
+
+namespace {
+
+std::vector<double> randomRow(Rng &R, std::size_t Len, double InfProb) {
+  std::vector<double> Row(Len);
+  for (double &V : Row)
+    V = R.chance(InfProb) ? Infinity : R.intIn(-20, 20);
+  return Row;
+}
+
+class KernelTest : public ::testing::TestWithParam<std::size_t> {
+protected:
+  void SetUp() override { Saved = octConfig().EnableVectorization; }
+  void TearDown() override { octConfig().EnableVectorization = Saved; }
+  bool Saved;
+};
+
+TEST_P(KernelTest, MinPlusRow2MatchesScalar) {
+  std::size_t Len = GetParam();
+  Rng R(Len * 7 + 1);
+  std::vector<double> Dst = randomRow(R, Len, 0.3);
+  std::vector<double> RowA = randomRow(R, Len, 0.3);
+  std::vector<double> RowB = randomRow(R, Len, 0.3);
+  double A = R.chance(0.2) ? Infinity : R.intIn(-10, 10);
+  double B = R.chance(0.2) ? Infinity : R.intIn(-10, 10);
+
+  std::vector<double> VecOut = Dst, ScalarOut = Dst;
+  octConfig().EnableVectorization = true;
+  minPlusRow2(VecOut.data(), RowA.data(), A, RowB.data(), B, Len);
+  octConfig().EnableVectorization = false;
+  minPlusRow2(ScalarOut.data(), RowA.data(), A, RowB.data(), B, Len);
+  EXPECT_EQ(VecOut, ScalarOut);
+  for (std::size_t I = 0; I != Len; ++I)
+    EXPECT_LE(VecOut[I], Dst[I]); // minimization only lowers
+}
+
+TEST_P(KernelTest, MinPlusRow1MatchesScalar) {
+  std::size_t Len = GetParam();
+  Rng R(Len * 7 + 2);
+  std::vector<double> Dst = randomRow(R, Len, 0.3);
+  std::vector<double> RowA = randomRow(R, Len, 0.3);
+  double A = R.intIn(-10, 10);
+  std::vector<double> VecOut = Dst, ScalarOut = Dst;
+  octConfig().EnableVectorization = true;
+  minPlusRow1(VecOut.data(), RowA.data(), A, Len);
+  octConfig().EnableVectorization = false;
+  minPlusRow1(ScalarOut.data(), RowA.data(), A, Len);
+  EXPECT_EQ(VecOut, ScalarOut);
+}
+
+TEST_P(KernelTest, StrengthenRowMatchesScalar) {
+  std::size_t Len = GetParam();
+  Rng R(Len * 7 + 3);
+  std::vector<double> Dst = randomRow(R, Len, 0.3);
+  std::vector<double> T = randomRow(R, Len, 0.4);
+  double Di = R.chance(0.3) ? Infinity : R.intIn(-10, 10);
+  std::vector<double> VecOut = Dst, ScalarOut = Dst;
+  octConfig().EnableVectorization = true;
+  strengthenRow(VecOut.data(), T.data(), Di, Len);
+  octConfig().EnableVectorization = false;
+  strengthenRow(ScalarOut.data(), T.data(), Di, Len);
+  EXPECT_EQ(VecOut, ScalarOut);
+}
+
+TEST_P(KernelTest, MinMaxRowsMatchScalar) {
+  std::size_t Len = GetParam();
+  Rng R(Len * 7 + 4);
+  std::vector<double> Dst = randomRow(R, Len, 0.3);
+  std::vector<double> Src = randomRow(R, Len, 0.3);
+
+  std::vector<double> VecMin = Dst, ScalarMin = Dst;
+  octConfig().EnableVectorization = true;
+  minRows(VecMin.data(), Src.data(), Len);
+  octConfig().EnableVectorization = false;
+  minRows(ScalarMin.data(), Src.data(), Len);
+  EXPECT_EQ(VecMin, ScalarMin);
+
+  std::vector<double> VecMax = Dst, ScalarMax = Dst;
+  octConfig().EnableVectorization = true;
+  maxRows(VecMax.data(), Src.data(), Len);
+  octConfig().EnableVectorization = false;
+  maxRows(ScalarMax.data(), Src.data(), Len);
+  EXPECT_EQ(VecMax, ScalarMax);
+  for (std::size_t I = 0; I != Len; ++I) {
+    EXPECT_EQ(VecMin[I], std::min(Dst[I], Src[I]));
+    EXPECT_EQ(VecMax[I], std::max(Dst[I], Src[I]));
+  }
+}
+
+// Lengths straddling the 4-wide vector body: empty, sub-vector,
+// exact multiples, and multiples plus remainders.
+INSTANTIATE_TEST_SUITE_P(Lengths, KernelTest,
+                         ::testing::Values(0u, 1u, 3u, 4u, 5u, 8u, 15u, 16u,
+                                           17u, 64u, 127u));
+
+} // namespace

@@ -1,0 +1,179 @@
+//===- tests/test_lang.cpp - Lexer and parser tests -----------------------===//
+
+#include "lang/parser.h"
+
+#include "lang/lexer.h"
+#include "oct/constraint.h"
+
+#include <gtest/gtest.h>
+
+using namespace optoct;
+using namespace optoct::lang;
+
+namespace {
+
+TEST(Lexer, TokenKinds) {
+  std::vector<Token> Toks;
+  std::string Error;
+  ASSERT_TRUE(tokenize("var x; x = 3*y + 2; // comment\nif (x <= 2) {}",
+                       Toks, Error))
+      << Error;
+  std::vector<TokKind> Kinds;
+  for (const Token &T : Toks)
+    Kinds.push_back(T.Kind);
+  std::vector<TokKind> Expected = {
+      TokKind::KwVar, TokKind::Ident,  TokKind::Semi,   TokKind::Ident,
+      TokKind::Assign, TokKind::Number, TokKind::Star,  TokKind::Ident,
+      TokKind::Plus,  TokKind::Number, TokKind::Semi,   TokKind::KwIf,
+      TokKind::LParen, TokKind::Ident, TokKind::Le,     TokKind::Number,
+      TokKind::RParen, TokKind::LBrace, TokKind::RBrace, TokKind::Eof};
+  EXPECT_EQ(Kinds, Expected);
+}
+
+TEST(Lexer, TracksLines) {
+  std::vector<Token> Toks;
+  std::string Error;
+  ASSERT_TRUE(tokenize("x\n\ny", Toks, Error));
+  EXPECT_EQ(Toks[0].Line, 1);
+  EXPECT_EQ(Toks[1].Line, 3);
+}
+
+TEST(Lexer, RejectsUnknownCharacter) {
+  std::vector<Token> Toks;
+  std::string Error;
+  EXPECT_FALSE(tokenize("x = 3 @ 4;", Toks, Error));
+  EXPECT_NE(Error.find("line 1"), std::string::npos);
+}
+
+TEST(Parser, SimpleProgram) {
+  std::string Error;
+  auto P = parseProgram("var x, y;\n"
+                        "x = 1;\n"
+                        "y = x + 2;\n",
+                        Error);
+  ASSERT_TRUE(P) << Error;
+  EXPECT_EQ(P->TopNames, (std::vector<std::string>{"x", "y"}));
+  EXPECT_EQ(P->MaxSlots, 2u);
+  ASSERT_EQ(P->Top.Stmts.size(), 2u);
+  const Stmt &S0 = *P->Top.Stmts[0];
+  EXPECT_EQ(S0.Kind, StmtKind::Assign);
+  EXPECT_EQ(S0.TargetSlot, 0u);
+  EXPECT_TRUE(S0.Value.Terms.empty());
+  EXPECT_EQ(S0.Value.Const, 1.0);
+  const Stmt &S1 = *P->Top.Stmts[1];
+  ASSERT_EQ(S1.Value.Terms.size(), 1u);
+  EXPECT_EQ(S1.Value.Terms[0], (std::pair<int, unsigned>{1, 0u}));
+  EXPECT_EQ(S1.Value.Const, 2.0);
+}
+
+TEST(Parser, WhileAndIf) {
+  std::string Error;
+  auto P = parseProgram("var x, m;\n"
+                        "x = 0;\n"
+                        "while (x <= m) { x = x + 1; }\n"
+                        "if (x > 0) { x = 0; } else { x = 1; }\n",
+                        Error);
+  ASSERT_TRUE(P) << Error;
+  ASSERT_EQ(P->Top.Stmts.size(), 3u);
+  EXPECT_EQ(P->Top.Stmts[1]->Kind, StmtKind::While);
+  const Stmt &If = *P->Top.Stmts[2];
+  EXPECT_EQ(If.Kind, StmtKind::If);
+  EXPECT_TRUE(If.HasElse);
+  ASSERT_EQ(If.Condition.Conjuncts.size(), 1u);
+  EXPECT_EQ(If.Condition.Conjuncts[0].Op, RelOp::GT);
+}
+
+TEST(Parser, NestedScopesReuseTrailingSlots) {
+  std::string Error;
+  auto P = parseProgram("var a;\n"
+                        "{ var b; b = a; }\n"
+                        "{ var c, d; c = a; d = c; }\n",
+                        Error);
+  ASSERT_TRUE(P) << Error;
+  EXPECT_EQ(P->MaxSlots, 3u); // a + {c, d}
+  const Stmt &Scope1 = *P->Top.Stmts[0];
+  ASSERT_EQ(Scope1.Kind, StmtKind::Scope);
+  // b occupies slot 1.
+  EXPECT_EQ(Scope1.Then.Stmts[0]->TargetSlot, 1u);
+  const Stmt &Scope2 = *P->Top.Stmts[1];
+  // c reuses slot 1, d takes slot 2.
+  EXPECT_EQ(Scope2.Then.Stmts[0]->TargetSlot, 1u);
+  EXPECT_EQ(Scope2.Then.Stmts[1]->TargetSlot, 2u);
+}
+
+TEST(Parser, ShadowingBindsInnermost) {
+  std::string Error;
+  auto P = parseProgram("var x;\n"
+                        "{ var x; x = 1; }\n",
+                        Error);
+  ASSERT_TRUE(P) << Error;
+  EXPECT_EQ(P->Top.Stmts[0]->Then.Stmts[0]->TargetSlot, 1u);
+}
+
+TEST(Parser, HavocForms) {
+  std::string Error;
+  auto P = parseProgram("var x; x = havoc(); havoc(x);", Error);
+  ASSERT_TRUE(P) << Error;
+  EXPECT_EQ(P->Top.Stmts[0]->Kind, StmtKind::Havoc);
+  EXPECT_EQ(P->Top.Stmts[1]->Kind, StmtKind::Havoc);
+}
+
+TEST(Parser, NondetAndConjunctiveConds) {
+  std::string Error;
+  auto P = parseProgram("var x, y;\n"
+                        "while (*) { x = x + 1; }\n"
+                        "assume(x >= 0 && y <= x);\n",
+                        Error);
+  ASSERT_TRUE(P) << Error;
+  EXPECT_TRUE(P->Top.Stmts[0]->Condition.Nondet);
+  EXPECT_EQ(P->Top.Stmts[1]->Condition.Conjuncts.size(), 2u);
+}
+
+TEST(Parser, NegativeNumbersAndCoefficients) {
+  std::string Error;
+  auto P = parseProgram("var x, y; x = -3; y = -2*x - 1;", Error);
+  ASSERT_TRUE(P) << Error;
+  EXPECT_EQ(P->Top.Stmts[0]->Value.Const, -3.0);
+  const LinExpr &E = P->Top.Stmts[1]->Value;
+  ASSERT_EQ(E.Terms.size(), 1u);
+  EXPECT_EQ(E.Terms[0], (std::pair<int, unsigned>{-2, 0u}));
+  EXPECT_EQ(E.Const, -1.0);
+}
+
+TEST(LinExprApi, AddTermCombinesAndCancels) {
+  LinExpr E;
+  E.addTerm(2, 0);
+  E.addTerm(-1, 0);
+  ASSERT_EQ(E.Terms.size(), 1u);
+  EXPECT_EQ(E.Terms[0].first, 1);
+  E.addTerm(-1, 0); // cancels to zero: term disappears
+  EXPECT_TRUE(E.Terms.empty());
+  E.addTerm(0, 3); // zero coefficient is a no-op
+  EXPECT_TRUE(E.Terms.empty());
+}
+
+TEST(LinExprApi, StrRendersSignsAndCoefficients) {
+  LinExpr E;
+  E.addTerm(1, 0);
+  E.addTerm(-2, 1);
+  E.Const = -3.0;
+  EXPECT_EQ(E.str(), "v0 - 2*v1 - 3");
+  LinExpr OnlyConst = LinExpr::constant(4.0);
+  EXPECT_EQ(OnlyConst.str(), "4");
+  LinExpr Neg;
+  Neg.addTerm(-1, 2);
+  EXPECT_EQ(Neg.str(), "-v2");
+}
+
+TEST(Parser, Errors) {
+  std::string Error;
+  EXPECT_FALSE(parseProgram("x = 1;", Error));
+  EXPECT_NE(Error.find("undeclared"), std::string::npos);
+  EXPECT_FALSE(parseProgram("var x; x = 1", Error)); // missing ';'
+  EXPECT_FALSE(parseProgram("var x; if x <= 1 {}", Error)); // missing '('
+  EXPECT_FALSE(parseProgram("var x; x = 1; var y;", Error));
+  EXPECT_NE(Error.find("precede"), std::string::npos);
+  EXPECT_FALSE(parseProgram("{ var x; } x = 1;", Error)); // out of scope
+}
+
+} // namespace

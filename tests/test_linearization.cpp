@@ -1,0 +1,155 @@
+//===- tests/test_linearization.cpp - Guard linearization tests ------------===//
+///
+/// \file
+/// The interval-linearization extension: non-octagonal guards
+/// (coefficients outside {-1,0,1} or more than two variables) yield
+/// sound octagonal consequences by bounding the residual terms with the
+/// current intervals. These tests check the direct refinement and the
+/// end-to-end precision gain (with the engine flag on vs. off).
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/engine.h"
+#include "baseline/apron_octagon.h"
+#include "lang/parser.h"
+#include "oct/octagon.h"
+
+#include <gtest/gtest.h>
+
+using namespace optoct;
+using namespace optoct::analysis;
+
+namespace {
+
+lang::Cmp cmp(LinExpr Lhs, lang::RelOp Op, LinExpr Rhs) {
+  return {std::move(Lhs), Op, std::move(Rhs)};
+}
+
+TEST(Linearization, ScaledPartnerBoundedByInterval) {
+  // y in [0, 3]; x + 2y <= 10 should give x <= 10 (rest >= 0).
+  Octagon O(2);
+  O.addConstraint(OctCons::lower(1, 0.0));
+  O.addConstraint(OctCons::upper(1, 3.0));
+  LinExpr E = LinExpr::variable(0);
+  E.addTerm(2, 1);
+  lang::Cond C;
+  C.Conjuncts.push_back(cmp(E, lang::RelOp::LE, LinExpr::constant(10)));
+  applyCond(O, C, /*Negated=*/false, /*Linearize=*/true);
+  EXPECT_EQ(O.bounds(0).Hi, 10.0);
+}
+
+TEST(Linearization, ThreeTermPairExtraction) {
+  // z >= 1; x + y + z <= 5 should give x + y <= 4 (and x <= ..., y <= ...).
+  Octagon O(3);
+  O.addConstraint(OctCons::lower(2, -1.0)); // z >= 1
+  LinExpr E = LinExpr::variable(0);
+  E.addTerm(1, 1);
+  E.addTerm(1, 2);
+  lang::Cond C;
+  C.Conjuncts.push_back(cmp(E, lang::RelOp::LE, LinExpr::constant(5)));
+  applyCond(O, C, false, true);
+  EXPECT_EQ(O.boundOf(OctCons::sum(0, 1, 0)), 4.0);
+}
+
+TEST(Linearization, NoRefinementFromUnboundedRest) {
+  // y unbounded below: x + 2y <= 10 says nothing about x alone.
+  Octagon O(2);
+  LinExpr E = LinExpr::variable(0);
+  E.addTerm(2, 1);
+  lang::Cond C;
+  C.Conjuncts.push_back(cmp(E, lang::RelOp::LE, LinExpr::constant(10)));
+  applyCond(O, C, false, true);
+  EXPECT_TRUE(O.bounds(0).isTop());
+}
+
+TEST(Linearization, DisabledFlagSkipsRefinement) {
+  Octagon O(2);
+  O.addConstraint(OctCons::lower(1, 0.0));
+  LinExpr E = LinExpr::variable(0);
+  E.addTerm(2, 1);
+  lang::Cond C;
+  C.Conjuncts.push_back(cmp(E, lang::RelOp::LE, LinExpr::constant(10)));
+  applyCond(O, C, false, /*Linearize=*/false);
+  EXPECT_TRUE(O.bounds(0).isTop());
+}
+
+TEST(Linearization, NegatedStrictGuard) {
+  // not(x + 2y <= 10) is x + 2y >= 11; with y <= 0 this gives x >= 11.
+  Octagon O(2);
+  O.addConstraint(OctCons::upper(1, 0.0));
+  LinExpr E = LinExpr::variable(0);
+  E.addTerm(2, 1);
+  lang::Cond C;
+  C.Conjuncts.push_back(cmp(E, lang::RelOp::LE, LinExpr::constant(10)));
+  applyCond(O, C, /*Negated=*/true, true);
+  EXPECT_EQ(O.bounds(0).Lo, 11.0);
+}
+
+struct ProvenCounts {
+  unsigned With;
+  unsigned Without;
+  unsigned Total;
+};
+
+ProvenCounts analyzeBothModes(const char *Source) {
+  std::string Error;
+  auto P = lang::parseProgram(Source, Error);
+  EXPECT_TRUE(P) << Error;
+  cfg::Cfg G = cfg::Cfg::build(*P);
+  AnalysisOptions On, Off;
+  Off.LinearizeGuards = false;
+  auto RWith = analyze<Octagon>(G, On);
+  auto RWithout = analyze<Octagon>(G, Off);
+  return {RWith.assertsProven(), RWithout.assertsProven(),
+          static_cast<unsigned>(RWith.Asserts.size())};
+}
+
+TEST(Linearization, EndToEndPrecisionGain) {
+  ProvenCounts R = analyzeBothModes(
+      "var x, y;\n"
+      "x = havoc(); y = havoc();\n"
+      "assume(y >= 0 && y <= 3);\n"
+      "assume(x + 2*y <= 10);\n"
+      "assert(x <= 10);\n");
+  EXPECT_EQ(R.Total, 1u);
+  EXPECT_EQ(R.With, 1u);
+  EXPECT_EQ(R.Without, 0u);
+}
+
+TEST(Linearization, BothLibrariesStillAgree) {
+  // Linearization lives in the shared transfer layer, so the two
+  // octagon implementations must keep producing identical results.
+  const char *Source = "var x, y, z;\n"
+                       "x = havoc(); y = havoc(); z = havoc();\n"
+                       "assume(z >= 1 && z <= 4);\n"
+                       "assume(x + y + 2*z <= 9);\n"
+                       "while (x < 10) { x = x + 1; }\n"
+                       "assert(x >= 10);\n";
+  std::string Error;
+  auto P = lang::parseProgram(Source, Error);
+  ASSERT_TRUE(P) << Error;
+  cfg::Cfg G = cfg::Cfg::build(*P);
+  auto Opt = analyze<Octagon>(G);
+  auto Ref = analyze<baseline::ApronOctagon>(G);
+  ASSERT_EQ(Opt.Asserts.size(), Ref.Asserts.size());
+  for (std::size_t I = 0; I != Opt.Asserts.size(); ++I)
+    EXPECT_EQ(Opt.Asserts[I].Proven, Ref.Asserts[I].Proven);
+  for (unsigned B = 0; B != G.size(); ++B) {
+    ASSERT_EQ(Opt.BlockInvariant[B].has_value(),
+              Ref.BlockInvariant[B].has_value());
+    if (!Opt.BlockInvariant[B])
+      continue;
+    Octagon &O = *Opt.BlockInvariant[B];
+    baseline::ApronOctagon &A = *Ref.BlockInvariant[B];
+    O.close();
+    A.close();
+    ASSERT_EQ(O.isBottom(), A.isBottom());
+    if (O.isBottom())
+      continue;
+    for (unsigned I = 0; I != 2 * O.numVars(); ++I)
+      for (unsigned J = 0; J <= (I | 1u); ++J)
+        ASSERT_EQ(O.entry(I, J), A.entry(I, J));
+  }
+}
+
+} // namespace

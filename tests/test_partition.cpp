@@ -1,0 +1,180 @@
+//===- tests/test_partition.cpp - Independent component tests -------------===//
+
+#include "oct/partition.h"
+
+#include "oct/dbm.h"
+#include "support/random.h"
+
+#include <gtest/gtest.h>
+
+using namespace optoct;
+
+namespace {
+
+Partition makePartition(unsigned N,
+                        std::vector<std::vector<unsigned>> Blocks) {
+  Partition P(N);
+  for (const auto &B : Blocks) {
+    P.addSingleton(B[0]);
+    for (std::size_t I = 1; I < B.size(); ++I)
+      P.relate(B[0], B[I]);
+  }
+  return P;
+}
+
+TEST(Partition, EmptyAndSingleton) {
+  Partition P(4);
+  EXPECT_TRUE(P.empty());
+  EXPECT_EQ(P.coveredVars(), 0u);
+  P.addSingleton(2);
+  EXPECT_EQ(P.numComponents(), 1u);
+  EXPECT_TRUE(P.contains(2));
+  EXPECT_FALSE(P.contains(0));
+  // addSingleton is idempotent.
+  P.addSingleton(2);
+  EXPECT_EQ(P.numComponents(), 1u);
+}
+
+TEST(Partition, RelateMergesBlocks) {
+  Partition P(6);
+  P.relate(0, 1);
+  P.relate(2, 3);
+  EXPECT_EQ(P.numComponents(), 2u);
+  P.relate(1, 3);
+  EXPECT_EQ(P.numComponents(), 1u);
+  EXPECT_EQ(P.component(0), (std::vector<unsigned>{0, 1, 2, 3}));
+}
+
+TEST(Partition, RelateSelfIsUnary) {
+  Partition P(3);
+  P.relate(1, 1);
+  EXPECT_EQ(P.numComponents(), 1u);
+  EXPECT_EQ(P.component(0), std::vector<unsigned>{1});
+}
+
+TEST(Partition, MergeComponentsKeepsSorted) {
+  Partition P = makePartition(8, {{4, 7}, {0, 2}, {5}});
+  int Merged = P.mergeComponents({0, 1, 2});
+  ASSERT_GE(Merged, 0);
+  EXPECT_EQ(P.numComponents(), 1u);
+  EXPECT_EQ(P.component(static_cast<std::size_t>(Merged)),
+            (std::vector<unsigned>{0, 2, 4, 5, 7}));
+}
+
+TEST(Partition, RemoveVarDropsEmptyBlock) {
+  Partition P = makePartition(4, {{1}, {2, 3}});
+  P.removeVar(1);
+  EXPECT_EQ(P.numComponents(), 1u);
+  EXPECT_FALSE(P.contains(1));
+  P.removeVar(2);
+  EXPECT_EQ(P.component(0), std::vector<unsigned>{3});
+}
+
+TEST(Partition, UnionMergeOverlapping) {
+  Partition A = makePartition(6, {{0, 1}, {3, 4}});
+  Partition B = makePartition(6, {{1, 2}, {5}});
+  Partition U = Partition::unionMerge(A, B);
+  EXPECT_EQ(U.numComponents(), 3u);
+  EXPECT_EQ(U.componentOf(0), U.componentOf(2));
+  EXPECT_NE(U.componentOf(0), U.componentOf(3));
+  EXPECT_TRUE(U.contains(5));
+}
+
+TEST(Partition, RefineIntersects) {
+  Partition A = makePartition(6, {{0, 1, 2}, {3, 4}});
+  Partition B = makePartition(6, {{0, 1}, {2, 3}, {4}});
+  Partition R = Partition::refine(A, B);
+  // {0,1} from A∩B; 2 separates from {0,1} (different B block); 3 and 4
+  // split (different B blocks). 5 uncovered in both.
+  EXPECT_EQ(R.componentOf(0), R.componentOf(1));
+  EXPECT_NE(R.componentOf(0), R.componentOf(2));
+  EXPECT_NE(R.componentOf(3), R.componentOf(4));
+  EXPECT_FALSE(R.contains(5));
+}
+
+TEST(Partition, RefineDropsOneSidedVars) {
+  Partition A = makePartition(4, {{0, 1, 2}});
+  Partition B = makePartition(4, {{1, 2, 3}});
+  Partition R = Partition::refine(A, B);
+  EXPECT_FALSE(R.contains(0));
+  EXPECT_FALSE(R.contains(3));
+  EXPECT_EQ(R.componentOf(1), R.componentOf(2));
+}
+
+TEST(Partition, CoarsensAndEquality) {
+  Partition Coarse = makePartition(6, {{0, 1, 2, 3}});
+  Partition Fine = makePartition(6, {{0, 1}, {2, 3}});
+  EXPECT_TRUE(Coarse.coarsens(Fine));
+  EXPECT_FALSE(Fine.coarsens(Coarse));
+  EXPECT_TRUE(Coarse.coarsens(Coarse));
+  EXPECT_FALSE(Coarse == Fine);
+  EXPECT_TRUE(Fine == makePartition(6, {{2, 3}, {0, 1}}));
+}
+
+TEST(Partition, WholeAndResize) {
+  Partition W = Partition::whole(5);
+  EXPECT_TRUE(W.isWhole());
+  EXPECT_EQ(W.coveredVars(), 5u);
+  Partition P = makePartition(4, {{0, 1}});
+  P.resizeVars(6);
+  EXPECT_EQ(P.numVars(), 6u);
+  EXPECT_FALSE(P.contains(5));
+}
+
+TEST(Partition, ExtractFromDbm) {
+  HalfDbm M(5);
+  M.initTop();
+  // u=0 ~ x=2 (binary), x=2 ~ z=4 (binary), v=1 unary, y=3 nothing —
+  // the Fig. 3 example.
+  M.set(2 * 0, 2 * 2, 2.0);      // x - u <= 2
+  M.set(2 * 2 + 1, 2 * 4, 1.0);  // z + x <= 1
+  M.set(2 * 1 + 1, 2 * 1, 4.0);  // 2v <= 4
+  Partition P = extractPartition(M);
+  EXPECT_EQ(P.numComponents(), 2u);
+  EXPECT_EQ(P.componentOf(0), P.componentOf(2));
+  EXPECT_EQ(P.componentOf(2), P.componentOf(4));
+  EXPECT_TRUE(P.contains(1));
+  EXPECT_NE(P.componentOf(1), P.componentOf(0));
+  EXPECT_FALSE(P.contains(3));
+}
+
+TEST(Partition, ExtractRestrictedToSubset) {
+  HalfDbm M(4);
+  M.initTop();
+  M.set(2 * 0, 2 * 1, 3.0); // relate 0,1
+  M.set(2 * 2, 2 * 3, 3.0); // relate 2,3
+  Partition P = extractPartition(M, {0, 1});
+  EXPECT_EQ(P.numComponents(), 1u);
+  EXPECT_FALSE(P.contains(2));
+  EXPECT_FALSE(P.contains(3));
+}
+
+TEST(Partition, RefinementIsCoarsenedByInputs) {
+  Rng R(99);
+  for (int It = 0; It != 50; ++It) {
+    unsigned N = 8;
+    auto randomPartition = [&](std::uint64_t) {
+      Partition P(N);
+      for (unsigned V = 0; V != N; ++V)
+        if (R.chance(0.7)) {
+          P.addSingleton(V);
+          if (V > 0 && R.chance(0.5)) {
+            unsigned U = static_cast<unsigned>(R.indexBelow(V));
+            if (P.contains(U))
+              P.relate(U, V);
+          }
+        }
+      return P;
+    };
+    Partition A = randomPartition(It);
+    Partition B = randomPartition(It + 1);
+    Partition Ref = Partition::refine(A, B);
+    EXPECT_TRUE(A.coarsens(Ref));
+    EXPECT_TRUE(B.coarsens(Ref));
+    Partition U = Partition::unionMerge(A, B);
+    EXPECT_TRUE(U.coarsens(A));
+    EXPECT_TRUE(U.coarsens(B));
+  }
+}
+
+} // namespace

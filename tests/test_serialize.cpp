@@ -1,0 +1,105 @@
+//===- tests/test_serialize.cpp - Octagon serialization tests --------------===//
+
+#include "oct/serialize.h"
+
+#include "support/random.h"
+
+#include <gtest/gtest.h>
+
+using namespace optoct;
+
+namespace {
+
+TEST(Serialize, TopRoundTrip) {
+  Octagon O(4);
+  std::string Text = serializeOctagon(O);
+  std::string Error;
+  auto Back = deserializeOctagon(Text, Error);
+  ASSERT_TRUE(Back) << Error;
+  EXPECT_TRUE(Back->isTop());
+  EXPECT_EQ(Back->numVars(), 4u);
+}
+
+TEST(Serialize, BottomRoundTrip) {
+  Octagon O = Octagon::makeBottom(3);
+  std::string Text = serializeOctagon(O);
+  EXPECT_NE(Text.find("bottom"), std::string::npos);
+  std::string Error;
+  auto Back = deserializeOctagon(Text, Error);
+  ASSERT_TRUE(Back) << Error;
+  EXPECT_TRUE(Back->isBottom());
+}
+
+TEST(Serialize, ConstraintsRoundTrip) {
+  Octagon O(3);
+  O.addConstraint(OctCons::upper(0, 4.5));
+  O.addConstraint(OctCons::diff(1, 0, -2.0));
+  O.addConstraint(OctCons::negSum(1, 2, 7.0));
+  std::string Text = serializeOctagon(O);
+  std::string Error;
+  auto Back = deserializeOctagon(Text, Error);
+  ASSERT_TRUE(Back) << Error;
+  EXPECT_TRUE(O.equals(*Back));
+}
+
+TEST(Serialize, RandomRoundTripSweep) {
+  Rng R(31337);
+  for (int It = 0; It != 60; ++It) {
+    unsigned N = 1 + static_cast<unsigned>(R.indexBelow(10));
+    Octagon O(N);
+    for (int K = 0, E = R.intIn(0, 12); K != E; ++K) {
+      unsigned I = static_cast<unsigned>(R.indexBelow(N));
+      unsigned J = static_cast<unsigned>(R.indexBelow(N));
+      double Bound = R.intIn(-5, 20) + (R.chance(0.3) ? 0.5 : 0.0);
+      if (I == J || R.chance(0.3)) {
+        O.addConstraint(R.chance(0.5) ? OctCons::upper(I, Bound)
+                                      : OctCons::lower(I, Bound));
+        continue;
+      }
+      switch (R.intIn(0, 2)) {
+      case 0:
+        O.addConstraint(OctCons::diff(I, J, Bound));
+        break;
+      case 1:
+        O.addConstraint(OctCons::sum(I, J, Bound));
+        break;
+      default:
+        O.addConstraint(OctCons::negSum(I, J, Bound));
+        break;
+      }
+    }
+    std::string Text = serializeOctagon(O);
+    std::string Error;
+    auto Back = deserializeOctagon(Text, Error);
+    ASSERT_TRUE(Back) << Error;
+    EXPECT_TRUE(O.equals(*Back)) << Text;
+  }
+}
+
+TEST(Serialize, RejectsMalformedInput) {
+  std::string Error;
+  EXPECT_FALSE(deserializeOctagon("not an octagon", Error));
+  EXPECT_FALSE(deserializeOctagon("octagon", Error));
+  EXPECT_FALSE(deserializeOctagon("octagon 2\nc 1 0 1 1 3.0\n", Error));
+  EXPECT_NE(Error.find("end"), std::string::npos);
+  EXPECT_FALSE(deserializeOctagon("octagon 2\nc 5 0 1 1 3.0\nend\n", Error));
+  EXPECT_FALSE(deserializeOctagon("octagon 2\nc 1 0 1 9 3.0\nend\n", Error));
+  EXPECT_FALSE(deserializeOctagon("octagon 2\nc 1 0 1 0 3.0\nend\n", Error));
+  EXPECT_FALSE(deserializeOctagon("octagon 2\nx\nend\n", Error));
+}
+
+TEST(Serialize, PreservesFractionalBounds) {
+  // Strengthening produces .5 bounds; they must survive the round trip.
+  Octagon O(2);
+  O.addConstraint(OctCons::upper(0, 3.0));
+  O.addConstraint(OctCons::upper(1, 2.0));
+  O.addConstraint(OctCons::sum(0, 1, 4.0));
+  O.close();
+  std::string Text = serializeOctagon(O);
+  std::string Error;
+  auto Back = deserializeOctagon(Text, Error);
+  ASSERT_TRUE(Back) << Error;
+  EXPECT_TRUE(O.equals(*Back));
+}
+
+} // namespace

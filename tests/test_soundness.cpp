@@ -1,0 +1,253 @@
+//===- tests/test_soundness.cpp - Concrete soundness of the domain ---------===//
+///
+/// \file
+/// Galois-connection soundness checks by concrete sampling: random
+/// integer stores are tracked through concrete semantics alongside the
+/// abstract operations, and every abstract result must contain the
+/// concrete one:
+///
+///   * a store satisfying all constraints of A and B satisfies meet(A,B);
+///   * a store in A (or B) is in join(A,B) and in widen(A,B);
+///   * concrete assignment/havoc results are in the abstract transfer
+///     results;
+///   * a store in A stays in A after close() (closure adds only
+///     *implied* constraints);
+///   * guard refinement keeps exactly the stores satisfying the guard.
+///
+/// These tests catch unsound optimizations that the differential tests
+/// against the baseline could miss if both libraries shared a bug.
+///
+//===----------------------------------------------------------------------===//
+
+#include "itv/interval_domain.h"
+#include "oct/octagon.h"
+#include "support/random.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace optoct;
+
+namespace {
+
+using Store = std::vector<double>; // concrete integer values per var
+
+/// Does the concrete store satisfy every constraint of the octagon?
+bool contains(Octagon &O, const Store &S) {
+  if (O.isBottom())
+    return false;
+  for (const OctCons &C : O.constraints()) {
+    double Lhs = C.CoefI * S[C.I];
+    if (!C.isUnary())
+      Lhs += C.CoefJ * S[C.J];
+    if (Lhs > C.Bound)
+      return false;
+  }
+  return true;
+}
+
+bool satisfies(const OctCons &C, const Store &S) {
+  double Lhs = C.CoefI * S[C.I];
+  if (!C.isUnary())
+    Lhs += C.CoefJ * S[C.J];
+  return Lhs <= C.Bound;
+}
+
+Store randomStore(Rng &R, unsigned N) {
+  Store S(N);
+  for (double &V : S)
+    V = R.intIn(-10, 10);
+  return S;
+}
+
+OctCons randomCons(Rng &R, unsigned N) {
+  double Bound = R.intIn(-3, 12);
+  unsigned I = static_cast<unsigned>(R.indexBelow(N));
+  switch (R.intIn(0, 4)) {
+  case 0:
+    return OctCons::upper(I, Bound);
+  case 1:
+    return OctCons::lower(I, Bound);
+  default: {
+    unsigned J = static_cast<unsigned>(R.indexBelow(N));
+    if (J == I)
+      J = (J + 1) % N;
+    switch (R.intIn(0, 2)) {
+    case 0:
+      return OctCons::diff(I, J, Bound);
+    case 1:
+      return OctCons::sum(I, J, Bound);
+    default:
+      return OctCons::negSum(I, J, Bound);
+    }
+  }
+  }
+}
+
+/// Builds an octagon from constraints a given store satisfies — so the
+/// store is guaranteed to be inside.
+Octagon octagonAround(Rng &R, const Store &S, int NumCons) {
+  unsigned N = static_cast<unsigned>(S.size());
+  Octagon O(N);
+  std::vector<OctCons> Cs;
+  while (NumCons > 0) {
+    OctCons C = randomCons(R, N);
+    if (!satisfies(C, S))
+      continue;
+    Cs.push_back(C);
+    --NumCons;
+  }
+  O.addConstraints(Cs);
+  return O;
+}
+
+class Soundness : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Soundness, ClosurePreservesConcretization) {
+  Rng R(GetParam());
+  for (int It = 0; It != 20; ++It) {
+    unsigned N = 2 + static_cast<unsigned>(R.indexBelow(8));
+    Store S = randomStore(R, N);
+    Octagon O = octagonAround(R, S, 10);
+    ASSERT_TRUE(contains(O, S));
+    O.close();
+    ASSERT_FALSE(O.isBottom());
+    EXPECT_TRUE(contains(O, S));
+  }
+}
+
+TEST_P(Soundness, MeetContainsCommonStores) {
+  Rng R(GetParam() + 1);
+  for (int It = 0; It != 20; ++It) {
+    unsigned N = 2 + static_cast<unsigned>(R.indexBelow(6));
+    Store S = randomStore(R, N);
+    Octagon A = octagonAround(R, S, 6);
+    Octagon B = octagonAround(R, S, 6);
+    Octagon M = Octagon::meet(A, B);
+    EXPECT_TRUE(contains(M, S));
+  }
+}
+
+TEST_P(Soundness, JoinContainsBothSides) {
+  Rng R(GetParam() + 2);
+  for (int It = 0; It != 20; ++It) {
+    unsigned N = 2 + static_cast<unsigned>(R.indexBelow(6));
+    Store SA = randomStore(R, N);
+    Store SB = randomStore(R, N);
+    Octagon A = octagonAround(R, SA, 8);
+    Octagon B = octagonAround(R, SB, 8);
+    Octagon J = Octagon::join(A, B);
+    EXPECT_TRUE(contains(J, SA));
+    EXPECT_TRUE(contains(J, SB));
+  }
+}
+
+TEST_P(Soundness, WideningIsAnUpperBound) {
+  Rng R(GetParam() + 3);
+  for (int It = 0; It != 20; ++It) {
+    unsigned N = 2 + static_cast<unsigned>(R.indexBelow(6));
+    Store SA = randomStore(R, N);
+    Store SB = randomStore(R, N);
+    Octagon A = octagonAround(R, SA, 8);
+    Octagon B = octagonAround(R, SB, 8);
+    Octagon W = Octagon::widen(A, B);
+    EXPECT_TRUE(contains(W, SA)); // widening over-approximates the join
+    EXPECT_TRUE(contains(W, SB));
+  }
+}
+
+TEST_P(Soundness, AssignTracksConcreteSemantics) {
+  Rng R(GetParam() + 4);
+  for (int It = 0; It != 30; ++It) {
+    unsigned N = 2 + static_cast<unsigned>(R.indexBelow(6));
+    Store S = randomStore(R, N);
+    Octagon O = octagonAround(R, S, 8);
+
+    unsigned X = static_cast<unsigned>(R.indexBelow(N));
+    LinExpr E;
+    switch (R.intIn(0, 3)) {
+    case 0:
+      E = LinExpr::constant(R.intIn(-5, 5));
+      break;
+    case 1: // +-y + c
+      E.Terms = {{R.chance(0.5) ? 1 : -1,
+                  static_cast<unsigned>(R.indexBelow(N))}};
+      E.Const = R.intIn(-3, 3);
+      break;
+    default: // general linear
+      for (int T = 0, K = R.intIn(1, 3); T != K; ++T)
+        E.addTerm(R.intIn(-2, 2), static_cast<unsigned>(R.indexBelow(N)));
+      E.Const = R.intIn(-3, 3);
+      break;
+    }
+
+    // Concrete semantics.
+    double Value = E.Const;
+    for (const auto &[Coef, Var] : E.Terms)
+      Value += Coef * S[Var];
+    Store SAfter = S;
+    SAfter[X] = Value;
+
+    O.assign(X, E);
+    EXPECT_TRUE(contains(O, SAfter));
+  }
+}
+
+TEST_P(Soundness, HavocContainsEveryValue) {
+  Rng R(GetParam() + 5);
+  for (int It = 0; It != 20; ++It) {
+    unsigned N = 2 + static_cast<unsigned>(R.indexBelow(5));
+    Store S = randomStore(R, N);
+    Octagon O = octagonAround(R, S, 8);
+    unsigned X = static_cast<unsigned>(R.indexBelow(N));
+    O.havoc(X);
+    Store SAfter = S;
+    SAfter[X] = R.intIn(-1000, 1000);
+    EXPECT_TRUE(contains(O, SAfter));
+  }
+}
+
+TEST_P(Soundness, GuardKeepsSatisfyingStores) {
+  Rng R(GetParam() + 6);
+  for (int It = 0; It != 30; ++It) {
+    unsigned N = 2 + static_cast<unsigned>(R.indexBelow(6));
+    Store S = randomStore(R, N);
+    Octagon O = octagonAround(R, S, 6);
+    OctCons Guard = randomCons(R, N);
+    Octagon Refined = O;
+    Refined.addConstraint(Guard);
+    if (satisfies(Guard, S))
+      EXPECT_TRUE(contains(Refined, S));
+    else
+      EXPECT_FALSE(contains(Refined, S));
+  }
+}
+
+TEST_P(Soundness, IntervalDomainIsSoundToo) {
+  Rng R(GetParam() + 7);
+  for (int It = 0; It != 30; ++It) {
+    unsigned N = 2 + static_cast<unsigned>(R.indexBelow(6));
+    Store S = randomStore(R, N);
+    itv::IntervalDomain D(N);
+    std::vector<OctCons> Cs;
+    for (int K = 0; K != 8; ++K) {
+      OctCons C = randomCons(R, N);
+      if (satisfies(C, S))
+        Cs.push_back(C);
+    }
+    D.addConstraints(Cs);
+    ASSERT_FALSE(D.isBottom());
+    for (unsigned V = 0; V != N; ++V) {
+      Interval B = D.bounds(V);
+      EXPECT_LE(B.Lo, S[V]);
+      EXPECT_GE(B.Hi, S[V]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Soundness,
+                         ::testing::Values(11u, 222u, 3333u, 44444u,
+                                           555555u));
+
+} // namespace

@@ -1,0 +1,174 @@
+//===- tests/test_transfer.cpp - Guard conversion tests --------------------===//
+
+#include "analysis/transfer.h"
+
+#include "oct/octagon.h"
+
+#include <gtest/gtest.h>
+
+using namespace optoct;
+using namespace optoct::analysis;
+
+namespace {
+
+lang::Cmp cmp(LinExpr Lhs, lang::RelOp Op, LinExpr Rhs) {
+  return {std::move(Lhs), Op, std::move(Rhs)};
+}
+
+LinExpr var(unsigned V) { return LinExpr::variable(V); }
+LinExpr num(double C) { return LinExpr::constant(C); }
+
+LinExpr plus(LinExpr E, double C) {
+  E.Const += C;
+  return E;
+}
+
+TEST(Transfer, SimpleUpperBound) {
+  // x <= 5
+  GuardConstraints G = cmpToConstraints(cmp(var(0), lang::RelOp::LE, num(5)),
+                                        false);
+  EXPECT_TRUE(G.Exact);
+  ASSERT_EQ(G.Cons.size(), 1u);
+  EXPECT_TRUE(G.Cons[0].isUnary());
+  EXPECT_EQ(G.Cons[0].CoefI, 1);
+  EXPECT_EQ(G.Cons[0].Bound, 5.0);
+}
+
+TEST(Transfer, StrictIsTightenedForIntegers) {
+  // x < 5  =>  x <= 4
+  GuardConstraints G = cmpToConstraints(cmp(var(0), lang::RelOp::LT, num(5)),
+                                        false);
+  ASSERT_EQ(G.Cons.size(), 1u);
+  EXPECT_EQ(G.Cons[0].Bound, 4.0);
+  // x > 5  =>  -x <= -6
+  G = cmpToConstraints(cmp(var(0), lang::RelOp::GT, num(5)), false);
+  ASSERT_EQ(G.Cons.size(), 1u);
+  EXPECT_EQ(G.Cons[0].CoefI, -1);
+  EXPECT_EQ(G.Cons[0].Bound, -6.0);
+}
+
+TEST(Transfer, DifferencesAndSums) {
+  // x - y <= 3
+  GuardConstraints G = cmpToConstraints(
+      cmp(var(0), lang::RelOp::LE, plus(var(1), 3)), false);
+  ASSERT_EQ(G.Cons.size(), 1u);
+  EXPECT_EQ(G.Cons[0].CoefI, 1);
+  EXPECT_EQ(G.Cons[0].CoefJ, -1);
+  EXPECT_EQ(G.Cons[0].Bound, 3.0);
+  // -x - y <= -2  from  x + y >= 2
+  LinExpr Sum = var(0);
+  Sum.addTerm(1, 1);
+  G = cmpToConstraints(cmp(Sum, lang::RelOp::GE, num(2)), false);
+  ASSERT_EQ(G.Cons.size(), 1u);
+  EXPECT_EQ(G.Cons[0].CoefI, -1);
+  EXPECT_EQ(G.Cons[0].CoefJ, -1);
+  EXPECT_EQ(G.Cons[0].Bound, -2.0);
+}
+
+TEST(Transfer, EqualityGivesBothDirections) {
+  GuardConstraints G =
+      cmpToConstraints(cmp(var(0), lang::RelOp::EQ, var(1)), false);
+  EXPECT_TRUE(G.Exact);
+  EXPECT_EQ(G.Cons.size(), 2u);
+}
+
+TEST(Transfer, ScaledCoefficientsNormalize) {
+  // 2x - 2y <= 5  =>  x - y <= 2  (integers)
+  LinExpr L;
+  L.addTerm(2, 0);
+  L.addTerm(-2, 1);
+  GuardConstraints G = cmpToConstraints(cmp(L, lang::RelOp::LE, num(5)),
+                                        false);
+  EXPECT_TRUE(G.Exact);
+  ASSERT_EQ(G.Cons.size(), 1u);
+  EXPECT_EQ(G.Cons[0].Bound, 2.0);
+  // 3x <= 7  =>  x <= 2.
+  LinExpr Three;
+  Three.addTerm(3, 0);
+  G = cmpToConstraints(cmp(Three, lang::RelOp::LE, num(7)), false);
+  EXPECT_TRUE(G.Exact);
+  ASSERT_EQ(G.Cons.size(), 1u);
+  EXPECT_EQ(G.Cons[0].Bound, 2.0);
+}
+
+TEST(Transfer, NonOctagonalIsDroppedSoundly) {
+  // x + 2y <= 3: not octagonal; no refinement, marked inexact.
+  LinExpr L = var(0);
+  L.addTerm(2, 1);
+  GuardConstraints G = cmpToConstraints(cmp(L, lang::RelOp::LE, num(3)),
+                                        false);
+  EXPECT_FALSE(G.Exact);
+  EXPECT_TRUE(G.Cons.empty());
+}
+
+TEST(Transfer, NegationRules) {
+  // not(x <= 5)  =>  x >= 6.
+  GuardConstraints G = cmpToConstraints(cmp(var(0), lang::RelOp::LE, num(5)),
+                                        true);
+  EXPECT_TRUE(G.Exact);
+  ASSERT_EQ(G.Cons.size(), 1u);
+  EXPECT_EQ(G.Cons[0].CoefI, -1);
+  EXPECT_EQ(G.Cons[0].Bound, -6.0);
+  // not(x == y) is a disjunction: dropped, inexact.
+  G = cmpToConstraints(cmp(var(0), lang::RelOp::EQ, var(1)), true);
+  EXPECT_FALSE(G.Exact);
+  EXPECT_TRUE(G.Cons.empty());
+  // not(x != y)  =>  x == y.
+  G = cmpToConstraints(cmp(var(0), lang::RelOp::NE, var(1)), true);
+  EXPECT_TRUE(G.Exact);
+  EXPECT_EQ(G.Cons.size(), 2u);
+}
+
+TEST(Transfer, ConstantConditions) {
+  // 1 <= 0 is infeasible.
+  GuardConstraints G = cmpToConstraints(cmp(num(1), lang::RelOp::LE, num(0)),
+                                        false);
+  EXPECT_TRUE(G.Infeasible);
+  // 0 <= 1 is trivially true.
+  G = cmpToConstraints(cmp(num(0), lang::RelOp::LE, num(1)), false);
+  EXPECT_FALSE(G.Infeasible);
+  EXPECT_TRUE(G.Exact);
+  EXPECT_TRUE(G.Cons.empty());
+}
+
+TEST(Transfer, ApplyGuardInfeasibleMakesBottom) {
+  Octagon O(2);
+  GuardConstraints G;
+  G.Infeasible = true;
+  applyGuard(O, G);
+  EXPECT_TRUE(O.isBottom());
+}
+
+TEST(Transfer, GuardToConstraintsOnEdges) {
+  lang::Cond Cond;
+  Cond.Conjuncts.push_back(cmp(var(0), lang::RelOp::LE, num(3)));
+  Cond.Conjuncts.push_back(cmp(var(1), lang::RelOp::GE, num(1)));
+  cfg::Guard Positive{&Cond, false};
+  GuardConstraints G = guardToConstraints(Positive);
+  EXPECT_TRUE(G.Exact);
+  EXPECT_EQ(G.Cons.size(), 2u);
+  // Negating a multi-conjunct condition is a disjunction: no constraints.
+  cfg::Guard Negated{&Cond, true};
+  G = guardToConstraints(Negated);
+  EXPECT_FALSE(G.Exact);
+  EXPECT_TRUE(G.Cons.empty());
+  // Nondeterministic guards refine nothing, exactly.
+  lang::Cond Star = lang::Cond::nondet();
+  cfg::Guard StarGuard{&Star, false};
+  G = guardToConstraints(StarGuard);
+  EXPECT_TRUE(G.Exact);
+  EXPECT_TRUE(G.Cons.empty());
+}
+
+TEST(Transfer, CheckAssertRelational) {
+  Octagon O(2);
+  O.addConstraint(OctCons::diff(0, 1, 0.0)); // v0 <= v1
+  lang::Cond C;
+  C.Conjuncts.push_back(cmp(var(0), lang::RelOp::LE, plus(var(1), 1)));
+  EXPECT_TRUE(checkAssert(O, C));
+  lang::Cond Tight;
+  Tight.Conjuncts.push_back(cmp(var(0), lang::RelOp::LT, var(1)));
+  EXPECT_FALSE(checkAssert(O, Tight));
+}
+
+} // namespace

@@ -1,0 +1,180 @@
+//===- tests/test_zone.cpp - Zone domain tests -----------------------------===//
+///
+/// \file
+/// Unit tests for the zone (DBM) domain plus the precision-ladder
+/// property: intervals ⊑ zones ⊑ octagons. Zones prove difference
+/// invariants intervals cannot; octagons additionally prove sum
+/// invariants zones cannot.
+///
+//===----------------------------------------------------------------------===//
+
+#include "zone/zone_domain.h"
+
+#include "analysis/engine.h"
+#include "itv/interval_domain.h"
+#include "lang/parser.h"
+#include "oct/octagon.h"
+
+#include <gtest/gtest.h>
+
+using namespace optoct;
+using namespace optoct::zone;
+
+namespace {
+
+TEST(ZoneDomain, LatticeBasics) {
+  ZoneDomain T = ZoneDomain::makeTop(3);
+  ZoneDomain B = ZoneDomain::makeBottom(3);
+  EXPECT_TRUE(T.isTop());
+  EXPECT_FALSE(T.isBottom());
+  EXPECT_TRUE(B.isBottom());
+  EXPECT_TRUE(B.leq(T));
+  EXPECT_FALSE(T.leq(B));
+}
+
+TEST(ZoneDomain, DifferenceTransitivity) {
+  ZoneDomain Z(3);
+  Z.addConstraint(OctCons::diff(0, 1, 2.0)); // v0 - v1 <= 2
+  Z.addConstraint(OctCons::diff(1, 2, 3.0)); // v1 - v2 <= 3
+  // Closure derives v0 - v2 <= 5.
+  EXPECT_EQ(Z.boundOf(OctCons::diff(0, 2, 0)), 5.0);
+}
+
+TEST(ZoneDomain, BoundsThroughZeroVariable) {
+  ZoneDomain Z(2);
+  Z.addConstraint(OctCons::upper(0, 7.0));
+  Z.addConstraint(OctCons::lower(0, -2.0)); // v0 >= 2
+  Z.addConstraint(OctCons::diff(1, 0, 1.0)); // v1 <= v0 + 1
+  Interval B = Z.bounds(1);
+  EXPECT_EQ(B.Hi, 8.0); // via closure through v0
+  EXPECT_EQ(B.Lo, -Infinity);
+  Interval B0 = Z.bounds(0);
+  EXPECT_EQ(B0.Lo, 2.0);
+  EXPECT_EQ(B0.Hi, 7.0);
+}
+
+TEST(ZoneDomain, ContradictionIsBottom) {
+  ZoneDomain Z(2);
+  Z.addConstraint(OctCons::diff(0, 1, -1.0)); // v0 < v1
+  Z.addConstraint(OctCons::diff(1, 0, -1.0)); // v1 < v0
+  EXPECT_TRUE(Z.isBottom());
+}
+
+TEST(ZoneDomain, SumsAreAbsorbedAtIntervalPrecision) {
+  ZoneDomain Z(2);
+  Z.addConstraint(OctCons::lower(1, 0.0));    // v1 >= 0
+  Z.addConstraint(OctCons::sum(0, 1, 5.0));   // v0 + v1 <= 5
+  EXPECT_EQ(Z.bounds(0).Hi, 5.0); // absorbed: v0 <= 5 - min(v1)
+  // The *relation* itself is weaker than an octagon's: tightening v1
+  // later does not re-tighten v0.
+  Z.addConstraint(OctCons::lower(1, -3.0)); // v1 >= 3
+  EXPECT_EQ(Z.bounds(0).Hi, 5.0);
+}
+
+TEST(ZoneDomain, AssignForms) {
+  ZoneDomain Z(3);
+  Z.assign(0, LinExpr::constant(4.0));
+  LinExpr Copy = LinExpr::variable(0);
+  Copy.Const = 2.0;
+  Z.assign(1, Copy); // v1 = v0 + 2 = 6, difference-exact
+  EXPECT_EQ(Z.boundOf(OctCons::diff(1, 0, 0)), 2.0);
+  EXPECT_EQ(Z.bounds(1).Hi, 6.0);
+  LinExpr Inc = LinExpr::variable(1);
+  Inc.Const = 1.0;
+  Z.assign(1, Inc); // v1 = v1 + 1 = 7 (shift)
+  EXPECT_EQ(Z.bounds(1).Lo, 7.0);
+  EXPECT_EQ(Z.bounds(1).Hi, 7.0);
+  Z.havoc(0);
+  EXPECT_TRUE(Z.bounds(0).isTop());
+  EXPECT_EQ(Z.bounds(1).Hi, 7.0);
+}
+
+TEST(ZoneDomain, JoinWidenNarrow) {
+  ZoneDomain A(1), B(1);
+  A.addConstraint(OctCons::upper(0, 1.0));
+  A.addConstraint(OctCons::lower(0, 0.0));
+  B.addConstraint(OctCons::upper(0, 4.0));
+  B.addConstraint(OctCons::lower(0, 0.0));
+  ZoneDomain J = ZoneDomain::join(A, B);
+  EXPECT_EQ(J.bounds(0).Hi, 4.0);
+  ZoneDomain W = ZoneDomain::widen(A, B);
+  EXPECT_EQ(W.bounds(0).Hi, Infinity);
+  EXPECT_EQ(W.bounds(0).Lo, 0.0);
+  ZoneDomain WT = ZoneDomain::widenWithThresholds(A, B, {10.0});
+  EXPECT_EQ(WT.bounds(0).Hi, 10.0);
+  ZoneDomain Nar = ZoneDomain::narrow(W, B);
+  EXPECT_EQ(Nar.bounds(0).Hi, 4.0);
+}
+
+TEST(ZoneDomain, DimensionManagement) {
+  ZoneDomain Z(2);
+  Z.addConstraint(OctCons::diff(0, 1, 3.0));
+  Z.addVars(2);
+  EXPECT_EQ(Z.numVars(), 4u);
+  EXPECT_EQ(Z.boundOf(OctCons::diff(0, 1, 0)), 3.0);
+  EXPECT_TRUE(Z.bounds(3).isTop());
+  Z.removeTrailingVars(3);
+  EXPECT_EQ(Z.numVars(), 1u);
+}
+
+//===--------------------------------------------------------------------===//
+// The precision ladder: interval ⊑ zone ⊑ octagon on the analyzer.
+//===--------------------------------------------------------------------===//
+
+struct LadderResult {
+  unsigned Itv, Zone, Oct, Total;
+};
+
+LadderResult analyzeLadder(const char *Source) {
+  std::string Error;
+  auto P = lang::parseProgram(Source, Error);
+  EXPECT_TRUE(P) << Error;
+  cfg::Cfg G = cfg::Cfg::build(*P);
+  auto RI = analysis::analyze<itv::IntervalDomain>(G);
+  auto RZ = analysis::analyze<ZoneDomain>(G);
+  auto RO = analysis::analyze<Octagon>(G);
+  EXPECT_EQ(RI.Asserts.size(), RZ.Asserts.size());
+  EXPECT_EQ(RZ.Asserts.size(), RO.Asserts.size());
+  return {RI.assertsProven(), RZ.assertsProven(), RO.assertsProven(),
+          static_cast<unsigned>(RO.Asserts.size())};
+}
+
+TEST(PrecisionLadder, DifferenceInvariantNeedsZones) {
+  // x - y stays constant: zones and octagons prove it, intervals not.
+  LadderResult R = analyzeLadder("var x, y;\n"
+                                 "x = 0; y = 5;\n"
+                                 "while (*) { x = x + 1; y = y + 1; }\n"
+                                 "assert(y - x == 5);\n");
+  EXPECT_EQ(R.Itv, 0u);
+  EXPECT_EQ(R.Zone, 1u);
+  EXPECT_EQ(R.Oct, 1u);
+}
+
+TEST(PrecisionLadder, SumInvariantNeedsOctagons) {
+  // x + y stays constant under transfer: only octagons track sums.
+  LadderResult R = analyzeLadder("var x, y;\n"
+                                 "x = 0; y = 10;\n"
+                                 "while (*) { x = x + 1; y = y - 1; }\n"
+                                 "assert(x + y == 10);\n");
+  EXPECT_EQ(R.Itv, 0u);
+  EXPECT_EQ(R.Zone, 0u);
+  EXPECT_EQ(R.Oct, 1u);
+}
+
+TEST(PrecisionLadder, MonotoneOnBattery) {
+  const char *Programs[] = {
+      "var i; i = 0; while (i < 9) { i = i + 1; } assert(i == 9);",
+      "var a, b; a = havoc(); assume(a >= 0 && a <= 5); b = a;\n"
+      "assert(b - a == 0); assert(b <= 5);",
+      "var p, q; p = 1; q = -1;\n"
+      "while (*) { p = p + 2; q = q - 2; }\n"
+      "assert(p >= 1); assert(p + q <= 0);",
+  };
+  for (const char *Source : Programs) {
+    LadderResult R = analyzeLadder(Source);
+    EXPECT_LE(R.Itv, R.Zone) << Source;
+    EXPECT_LE(R.Zone, R.Oct) << Source;
+  }
+}
+
+} // namespace

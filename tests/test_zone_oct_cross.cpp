@@ -1,0 +1,159 @@
+//===- tests/test_zone_oct_cross.cpp - Zone/octagon cross-validation -------===//
+///
+/// \file
+/// On difference-only constraint systems (no sums, no unary bounds
+/// interacting through strengthening... unary bounds are differences
+/// against the zero variable, so they are included), the octagon and
+/// zone domains describe the same sets, and their closed forms must
+/// give identical bounds for every difference and unary query. This is
+/// an *independent* oracle: the two implementations share no closure
+/// code (octagon: half-DBM pivot pairs + strengthening; zone: plain
+/// Floyd-Warshall over n+1 nodes).
+///
+//===----------------------------------------------------------------------===//
+
+#include "oct/octagon.h"
+#include "support/random.h"
+#include "zone/zone_domain.h"
+
+#include <gtest/gtest.h>
+
+using namespace optoct;
+
+namespace {
+
+OctCons randomDifferenceCons(Rng &R, unsigned N) {
+  double Bound = R.intIn(-4, 14);
+  unsigned I = static_cast<unsigned>(R.indexBelow(N));
+  switch (R.intIn(0, 2)) {
+  case 0:
+    return OctCons::upper(I, Bound);
+  case 1:
+    return OctCons::lower(I, Bound);
+  default: {
+    unsigned J = static_cast<unsigned>(R.indexBelow(N));
+    if (J == I)
+      J = (J + 1) % N;
+    return OctCons::diff(I, J, Bound);
+  }
+  }
+}
+
+void expectAgree(Octagon &O, zone::ZoneDomain &Z, unsigned N,
+                 const char *What) {
+  bool OB = O.isBottom(), ZB = Z.isBottom();
+  ASSERT_EQ(OB, ZB) << What << ": emptiness";
+  if (OB)
+    return;
+  for (unsigned I = 0; I != N; ++I) {
+    Interval BO = O.bounds(I);
+    Interval BZ = Z.bounds(I);
+    ASSERT_EQ(BO.Lo, BZ.Lo) << What << ": lower bound of v" << I;
+    ASSERT_EQ(BO.Hi, BZ.Hi) << What << ": upper bound of v" << I;
+    for (unsigned J = 0; J != N; ++J) {
+      if (I == J)
+        continue;
+      OctCons Diff = OctCons::diff(I, J, 0);
+      ASSERT_EQ(O.boundOf(Diff), Z.boundOf(Diff))
+          << What << ": v" << I << " - v" << J;
+    }
+  }
+}
+
+class ZoneOctCross : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ZoneOctCross, DifferenceSystemsAgreeAfterClosure) {
+  Rng R(GetParam());
+  for (int It = 0; It != 15; ++It) {
+    unsigned N = 2 + static_cast<unsigned>(R.indexBelow(7));
+    Octagon O(N);
+    zone::ZoneDomain Z(N);
+    for (int K = 0, E = R.intIn(3, 16); K != E; ++K) {
+      OctCons C = randomDifferenceCons(R, N);
+      O.addConstraint(C);
+      Z.addConstraint(C);
+    }
+    expectAgree(O, Z, N, "after constraints");
+  }
+}
+
+TEST_P(ZoneOctCross, DifferenceTransferFunctionsAgree) {
+  Rng R(GetParam() + 100);
+  for (int It = 0; It != 15; ++It) {
+    unsigned N = 2 + static_cast<unsigned>(R.indexBelow(5));
+    Octagon O(N);
+    zone::ZoneDomain Z(N);
+    for (int Step = 0; Step != 25; ++Step) {
+      switch (R.intIn(0, 3)) {
+      case 0: {
+        OctCons C = randomDifferenceCons(R, N);
+        O.addConstraint(C);
+        Z.addConstraint(C);
+        break;
+      }
+      case 1: { // x := y + c or x := c (difference-exact forms)
+        unsigned X = static_cast<unsigned>(R.indexBelow(N));
+        LinExpr E;
+        if (R.chance(0.3)) {
+          E = LinExpr::constant(R.intIn(-5, 5));
+        } else {
+          E.Terms = {{1, static_cast<unsigned>(R.indexBelow(N))}};
+          E.Const = R.intIn(-3, 3);
+        }
+        O.assign(X, E);
+        Z.assign(X, E);
+        break;
+      }
+      case 2: {
+        unsigned X = static_cast<unsigned>(R.indexBelow(N));
+        O.havoc(X);
+        Z.havoc(X);
+        break;
+      }
+      default:
+        O.close();
+        Z.close();
+        break;
+      }
+      if (O.isBottom() || Z.isBottom()) {
+        ASSERT_EQ(O.isBottom(), Z.isBottom());
+        O = Octagon(N);
+        Z = zone::ZoneDomain(N);
+        continue;
+      }
+    }
+    expectAgree(O, Z, N, "after transfer sequence");
+  }
+}
+
+TEST_P(ZoneOctCross, JoinAndWideningAgreeOnDifferences) {
+  Rng R(GetParam() + 200);
+  for (int It = 0; It != 15; ++It) {
+    unsigned N = 2 + static_cast<unsigned>(R.indexBelow(5));
+    Octagon OA(N), OB(N);
+    zone::ZoneDomain ZA(N), ZB(N);
+    for (int K = 0; K != 8; ++K) {
+      OctCons C = randomDifferenceCons(R, N);
+      if (R.chance(0.5)) {
+        OA.addConstraint(C);
+        ZA.addConstraint(C);
+      } else {
+        OB.addConstraint(C);
+        ZB.addConstraint(C);
+      }
+    }
+    if (Octagon(OA).isBottom() || Octagon(OB).isBottom())
+      continue;
+    Octagon OJ = Octagon::join(OA, OB);
+    zone::ZoneDomain ZJ = zone::ZoneDomain::join(ZA, ZB);
+    expectAgree(OJ, ZJ, N, "join");
+    Octagon OW = Octagon::widen(OA, OB);
+    zone::ZoneDomain ZW = zone::ZoneDomain::widen(ZA, ZB);
+    expectAgree(OW, ZW, N, "widening");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ZoneOctCross,
+                         ::testing::Values(5u, 17u, 1009u));
+
+} // namespace

@@ -1,0 +1,206 @@
+//===- tools/optoct_fuzz.cpp - Differential domain fuzzer ------------------===//
+///
+/// \file
+/// Long-running differential fuzzer: drives OptOctagon and the
+/// APRON-style baseline through identical random operation sequences
+/// and fails loudly on the first divergence (different emptiness,
+/// different closed entries, or an unsound partition). The test suite
+/// runs a bounded version of this; the tool lets you burn CPU on it.
+///
+///   optoct_fuzz [--seconds=N] [--seed=S] [--max-vars=N] [--verbose]
+///
+/// Exit code 0 if no divergence was found.
+///
+//===----------------------------------------------------------------------===//
+
+#include "baseline/apron_octagon.h"
+#include "oct/config.h"
+#include "oct/octagon.h"
+#include "support/random.h"
+#include "support/timing.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+using namespace optoct;
+
+namespace {
+
+struct FuzzState {
+  Octagon Opt;
+  baseline::ApronOctagon Ref;
+  explicit FuzzState(unsigned N) : Opt(N), Ref(N) {}
+};
+
+OctCons randomCons(Rng &R, unsigned N) {
+  double Bound = R.intIn(-4, 16);
+  unsigned I = static_cast<unsigned>(R.indexBelow(N));
+  switch (R.intIn(0, 4)) {
+  case 0:
+    return OctCons::upper(I, Bound);
+  case 1:
+    return OctCons::lower(I, Bound);
+  default: {
+    unsigned J = static_cast<unsigned>(R.indexBelow(N));
+    if (J == I)
+      J = (J + 1) % N;
+    switch (R.intIn(0, 2)) {
+    case 0:
+      return OctCons::diff(I, J, Bound);
+    case 1:
+      return OctCons::sum(I, J, Bound);
+    default:
+      return OctCons::negSum(I, J, Bound);
+    }
+  }
+  }
+}
+
+LinExpr randomExpr(Rng &R, unsigned N) {
+  LinExpr E;
+  switch (R.intIn(0, 4)) {
+  case 0:
+    E.Const = R.intIn(-8, 8);
+    break;
+  case 1:
+  case 2:
+    E.Terms = {{R.chance(0.5) ? 1 : -1,
+                static_cast<unsigned>(R.indexBelow(N))}};
+    E.Const = R.intIn(-4, 4);
+    break;
+  default:
+    for (int T = 0, K = R.intIn(1, 3); T != K; ++T)
+      E.addTerm(R.intIn(-2, 2), static_cast<unsigned>(R.indexBelow(N)));
+    E.Const = R.intIn(-4, 4);
+    break;
+  }
+  return E;
+}
+
+bool equivalent(FuzzState &S, std::string &Why) {
+  Octagon OptCopy = S.Opt;
+  baseline::ApronOctagon RefCopy = S.Ref;
+  OptCopy.close();
+  RefCopy.close();
+  if (OptCopy.isBottom() != RefCopy.isBottom()) {
+    Why = "emptiness mismatch";
+    return false;
+  }
+  if (OptCopy.isBottom())
+    return true;
+  for (unsigned I = 0; I != 2 * OptCopy.numVars(); ++I)
+    for (unsigned J = 0; J <= (I | 1u); ++J)
+      if (OptCopy.entry(I, J) != RefCopy.entry(I, J)) {
+        char Buf[96];
+        std::snprintf(Buf, sizeof(Buf), "entry (%u,%u): opt=%g apron=%g", I,
+                      J, OptCopy.entry(I, J), RefCopy.entry(I, J));
+        Why = Buf;
+        return false;
+      }
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  double Seconds = 10.0;
+  std::uint64_t Seed = 1;
+  unsigned MaxVars = 16;
+  bool Verbose = false;
+  for (int I = 1; I != Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg.rfind("--seconds=", 0) == 0)
+      Seconds = std::stod(Arg.substr(10));
+    else if (Arg.rfind("--seed=", 0) == 0)
+      Seed = std::stoull(Arg.substr(7));
+    else if (Arg.rfind("--max-vars=", 0) == 0)
+      MaxVars = static_cast<unsigned>(std::stoul(Arg.substr(11)));
+    else if (Arg == "--verbose")
+      Verbose = true;
+    else {
+      std::fprintf(stderr, "usage: %s [--seconds=N] [--seed=S] "
+                           "[--max-vars=N] [--verbose]\n",
+                   Argv[0]);
+      return 2;
+    }
+  }
+
+  WallTimer Timer;
+  Timer.start();
+  Rng R(Seed);
+  std::uint64_t Sequences = 0, Steps = 0;
+
+  while (Timer.seconds() < Seconds) {
+    unsigned N = 2 + static_cast<unsigned>(R.indexBelow(MaxVars - 1));
+    FuzzState S1(N), S2(N);
+    ++Sequences;
+    for (int Step = 0, E = R.intIn(20, 80); Step != E; ++Step) {
+      ++Steps;
+      FuzzState &P = R.chance(0.5) ? S1 : S2;
+      FuzzState &Other = &P == &S1 ? S2 : S1;
+      switch (R.intIn(0, 9)) {
+      case 0:
+      case 1:
+      case 2: {
+        std::vector<OctCons> Cs;
+        for (int K = 0, C = R.intIn(1, 3); K != C; ++K)
+          Cs.push_back(randomCons(R, N));
+        P.Opt.addConstraints(Cs);
+        P.Ref.addConstraints(Cs);
+        break;
+      }
+      case 3:
+      case 4:
+      case 5: {
+        unsigned X = static_cast<unsigned>(R.indexBelow(N));
+        LinExpr Expr = randomExpr(R, N);
+        P.Opt.assign(X, Expr);
+        P.Ref.assign(X, Expr);
+        break;
+      }
+      case 6: {
+        unsigned X = static_cast<unsigned>(R.indexBelow(N));
+        P.Opt.havoc(X);
+        P.Ref.havoc(X);
+        break;
+      }
+      case 7:
+        P.Opt = Octagon::join(P.Opt, Other.Opt);
+        P.Ref = baseline::ApronOctagon::join(P.Ref, Other.Ref);
+        break;
+      case 8:
+        P.Opt = Octagon::meet(P.Opt, Other.Opt);
+        P.Ref = baseline::ApronOctagon::meet(P.Ref, Other.Ref);
+        break;
+      default:
+        P.Opt = Octagon::widen(P.Opt, Other.Opt);
+        P.Ref = baseline::ApronOctagon::widen(P.Ref, Other.Ref);
+        break;
+      }
+      std::string Why;
+      if (!equivalent(P, Why)) {
+        std::fprintf(stderr,
+                     "DIVERGENCE after %llu steps (seq %llu, n=%u): %s\n",
+                     static_cast<unsigned long long>(Steps),
+                     static_cast<unsigned long long>(Sequences), N,
+                     Why.c_str());
+        return 1;
+      }
+      if (Octagon(P.Opt).isBottom()) {
+        P.Opt = Octagon(N);
+        P.Ref = baseline::ApronOctagon(N);
+      }
+    }
+    if (Verbose && Sequences % 100 == 0)
+      std::printf("%llu sequences, %llu steps, %.1fs\n",
+                  static_cast<unsigned long long>(Sequences),
+                  static_cast<unsigned long long>(Steps), Timer.seconds());
+  }
+
+  std::printf("fuzzed %llu sequences (%llu operations) in %.1fs: no "
+              "divergence\n",
+              static_cast<unsigned long long>(Sequences),
+              static_cast<unsigned long long>(Steps), Timer.seconds());
+  return 0;
+}
