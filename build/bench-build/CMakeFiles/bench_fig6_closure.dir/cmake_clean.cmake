@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_closure"
+  "../bench/bench_fig6_closure.pdb"
+  "CMakeFiles/bench_fig6_closure.dir/bench_fig6_closure.cpp.o"
+  "CMakeFiles/bench_fig6_closure.dir/bench_fig6_closure.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_closure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

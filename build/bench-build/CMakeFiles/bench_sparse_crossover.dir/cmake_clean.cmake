@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sparse_crossover"
+  "../bench/bench_sparse_crossover.pdb"
+  "CMakeFiles/bench_sparse_crossover.dir/bench_sparse_crossover.cpp.o"
+  "CMakeFiles/bench_sparse_crossover.dir/bench_sparse_crossover.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sparse_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

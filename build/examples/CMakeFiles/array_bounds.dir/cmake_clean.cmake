@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/array_bounds.dir/array_bounds.cpp.o"
+  "CMakeFiles/array_bounds.dir/array_bounds.cpp.o.d"
+  "array_bounds"
+  "array_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/array_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

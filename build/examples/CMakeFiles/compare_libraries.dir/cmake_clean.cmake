@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_libraries.dir/compare_libraries.cpp.o"
+  "CMakeFiles/compare_libraries.dir/compare_libraries.cpp.o.d"
+  "compare_libraries"
+  "compare_libraries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_libraries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

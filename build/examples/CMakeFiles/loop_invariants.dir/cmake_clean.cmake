@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loop_invariants.dir/loop_invariants.cpp.o"
+  "CMakeFiles/loop_invariants.dir/loop_invariants.cpp.o.d"
+  "loop_invariants"
+  "loop_invariants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loop_invariants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

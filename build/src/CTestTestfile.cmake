@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("oct")
+subdirs("baseline")
+subdirs("lang")
+subdirs("cfg")
+subdirs("dataflow")
+subdirs("analysis")
+subdirs("workloads")
+subdirs("capi")
+subdirs("itv")
+subdirs("zone")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optoct_analysis.dir/transfer.cpp.o"
+  "CMakeFiles/optoct_analysis.dir/transfer.cpp.o.d"
+  "liboptoct_analysis.a"
+  "liboptoct_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optoct_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

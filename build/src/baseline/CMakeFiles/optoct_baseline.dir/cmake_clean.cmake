@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optoct_baseline.dir/apron_octagon.cpp.o"
+  "CMakeFiles/optoct_baseline.dir/apron_octagon.cpp.o.d"
+  "CMakeFiles/optoct_baseline.dir/closure_apron.cpp.o"
+  "CMakeFiles/optoct_baseline.dir/closure_apron.cpp.o.d"
+  "liboptoct_baseline.a"
+  "liboptoct_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optoct_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

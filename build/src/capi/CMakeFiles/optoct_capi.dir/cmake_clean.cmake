@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optoct_capi.dir/opt_oct.cpp.o"
+  "CMakeFiles/optoct_capi.dir/opt_oct.cpp.o.d"
+  "liboptoct_capi.a"
+  "liboptoct_capi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optoct_capi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optoct_cfg.dir/cfg.cpp.o"
+  "CMakeFiles/optoct_cfg.dir/cfg.cpp.o.d"
+  "liboptoct_cfg.a"
+  "liboptoct_cfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optoct_cfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

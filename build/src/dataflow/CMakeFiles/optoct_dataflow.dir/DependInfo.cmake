@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataflow/dataflow.cpp" "src/dataflow/CMakeFiles/optoct_dataflow.dir/dataflow.cpp.o" "gcc" "src/dataflow/CMakeFiles/optoct_dataflow.dir/dataflow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cfg/CMakeFiles/optoct_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/optoct_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/optoct_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/oct/CMakeFiles/optoct_oct.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

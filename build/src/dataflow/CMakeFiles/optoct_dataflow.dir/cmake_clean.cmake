@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optoct_dataflow.dir/dataflow.cpp.o"
+  "CMakeFiles/optoct_dataflow.dir/dataflow.cpp.o.d"
+  "liboptoct_dataflow.a"
+  "liboptoct_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optoct_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

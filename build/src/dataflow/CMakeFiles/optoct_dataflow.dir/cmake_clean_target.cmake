@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liboptoct_dataflow.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optoct_itv.dir/interval_domain.cpp.o"
+  "CMakeFiles/optoct_itv.dir/interval_domain.cpp.o.d"
+  "liboptoct_itv.a"
+  "liboptoct_itv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optoct_itv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optoct_lang.dir/lexer.cpp.o"
+  "CMakeFiles/optoct_lang.dir/lexer.cpp.o.d"
+  "CMakeFiles/optoct_lang.dir/parser.cpp.o"
+  "CMakeFiles/optoct_lang.dir/parser.cpp.o.d"
+  "liboptoct_lang.a"
+  "liboptoct_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optoct_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/oct/closure_dense.cpp" "src/oct/CMakeFiles/optoct_oct.dir/closure_dense.cpp.o" "gcc" "src/oct/CMakeFiles/optoct_oct.dir/closure_dense.cpp.o.d"
+  "/root/repo/src/oct/closure_incremental.cpp" "src/oct/CMakeFiles/optoct_oct.dir/closure_incremental.cpp.o" "gcc" "src/oct/CMakeFiles/optoct_oct.dir/closure_incremental.cpp.o.d"
+  "/root/repo/src/oct/closure_reference.cpp" "src/oct/CMakeFiles/optoct_oct.dir/closure_reference.cpp.o" "gcc" "src/oct/CMakeFiles/optoct_oct.dir/closure_reference.cpp.o.d"
+  "/root/repo/src/oct/closure_sparse.cpp" "src/oct/CMakeFiles/optoct_oct.dir/closure_sparse.cpp.o" "gcc" "src/oct/CMakeFiles/optoct_oct.dir/closure_sparse.cpp.o.d"
+  "/root/repo/src/oct/constraint.cpp" "src/oct/CMakeFiles/optoct_oct.dir/constraint.cpp.o" "gcc" "src/oct/CMakeFiles/optoct_oct.dir/constraint.cpp.o.d"
+  "/root/repo/src/oct/octagon.cpp" "src/oct/CMakeFiles/optoct_oct.dir/octagon.cpp.o" "gcc" "src/oct/CMakeFiles/optoct_oct.dir/octagon.cpp.o.d"
+  "/root/repo/src/oct/octagon_ops.cpp" "src/oct/CMakeFiles/optoct_oct.dir/octagon_ops.cpp.o" "gcc" "src/oct/CMakeFiles/optoct_oct.dir/octagon_ops.cpp.o.d"
+  "/root/repo/src/oct/octagon_transfer.cpp" "src/oct/CMakeFiles/optoct_oct.dir/octagon_transfer.cpp.o" "gcc" "src/oct/CMakeFiles/optoct_oct.dir/octagon_transfer.cpp.o.d"
+  "/root/repo/src/oct/partition.cpp" "src/oct/CMakeFiles/optoct_oct.dir/partition.cpp.o" "gcc" "src/oct/CMakeFiles/optoct_oct.dir/partition.cpp.o.d"
+  "/root/repo/src/oct/serialize.cpp" "src/oct/CMakeFiles/optoct_oct.dir/serialize.cpp.o" "gcc" "src/oct/CMakeFiles/optoct_oct.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/optoct_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optoct_oct.dir/closure_dense.cpp.o"
+  "CMakeFiles/optoct_oct.dir/closure_dense.cpp.o.d"
+  "CMakeFiles/optoct_oct.dir/closure_incremental.cpp.o"
+  "CMakeFiles/optoct_oct.dir/closure_incremental.cpp.o.d"
+  "CMakeFiles/optoct_oct.dir/closure_reference.cpp.o"
+  "CMakeFiles/optoct_oct.dir/closure_reference.cpp.o.d"
+  "CMakeFiles/optoct_oct.dir/closure_sparse.cpp.o"
+  "CMakeFiles/optoct_oct.dir/closure_sparse.cpp.o.d"
+  "CMakeFiles/optoct_oct.dir/constraint.cpp.o"
+  "CMakeFiles/optoct_oct.dir/constraint.cpp.o.d"
+  "CMakeFiles/optoct_oct.dir/octagon.cpp.o"
+  "CMakeFiles/optoct_oct.dir/octagon.cpp.o.d"
+  "CMakeFiles/optoct_oct.dir/octagon_ops.cpp.o"
+  "CMakeFiles/optoct_oct.dir/octagon_ops.cpp.o.d"
+  "CMakeFiles/optoct_oct.dir/octagon_transfer.cpp.o"
+  "CMakeFiles/optoct_oct.dir/octagon_transfer.cpp.o.d"
+  "CMakeFiles/optoct_oct.dir/partition.cpp.o"
+  "CMakeFiles/optoct_oct.dir/partition.cpp.o.d"
+  "CMakeFiles/optoct_oct.dir/serialize.cpp.o"
+  "CMakeFiles/optoct_oct.dir/serialize.cpp.o.d"
+  "liboptoct_oct.a"
+  "liboptoct_oct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optoct_oct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optoct_support.dir/stats.cpp.o"
+  "CMakeFiles/optoct_support.dir/stats.cpp.o.d"
+  "CMakeFiles/optoct_support.dir/table.cpp.o"
+  "CMakeFiles/optoct_support.dir/table.cpp.o.d"
+  "CMakeFiles/optoct_support.dir/timing.cpp.o"
+  "CMakeFiles/optoct_support.dir/timing.cpp.o.d"
+  "liboptoct_support.a"
+  "liboptoct_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optoct_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optoct_workloads.dir/benchmarks.cpp.o"
+  "CMakeFiles/optoct_workloads.dir/benchmarks.cpp.o.d"
+  "CMakeFiles/optoct_workloads.dir/harness.cpp.o"
+  "CMakeFiles/optoct_workloads.dir/harness.cpp.o.d"
+  "CMakeFiles/optoct_workloads.dir/workload.cpp.o"
+  "CMakeFiles/optoct_workloads.dir/workload.cpp.o.d"
+  "liboptoct_workloads.a"
+  "liboptoct_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optoct_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optoct_zone.dir/zone_domain.cpp.o"
+  "CMakeFiles/optoct_zone.dir/zone_domain.cpp.o.d"
+  "liboptoct_zone.a"
+  "liboptoct_zone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optoct_zone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analysis.cpp" "tests/CMakeFiles/optoct_tests.dir/test_analysis.cpp.o" "gcc" "tests/CMakeFiles/optoct_tests.dir/test_analysis.cpp.o.d"
+  "/root/repo/tests/test_capi.cpp" "tests/CMakeFiles/optoct_tests.dir/test_capi.cpp.o" "gcc" "tests/CMakeFiles/optoct_tests.dir/test_capi.cpp.o.d"
+  "/root/repo/tests/test_cfg.cpp" "tests/CMakeFiles/optoct_tests.dir/test_cfg.cpp.o" "gcc" "tests/CMakeFiles/optoct_tests.dir/test_cfg.cpp.o.d"
+  "/root/repo/tests/test_closure.cpp" "tests/CMakeFiles/optoct_tests.dir/test_closure.cpp.o" "gcc" "tests/CMakeFiles/optoct_tests.dir/test_closure.cpp.o.d"
+  "/root/repo/tests/test_dataflow.cpp" "tests/CMakeFiles/optoct_tests.dir/test_dataflow.cpp.o" "gcc" "tests/CMakeFiles/optoct_tests.dir/test_dataflow.cpp.o.d"
+  "/root/repo/tests/test_dbm.cpp" "tests/CMakeFiles/optoct_tests.dir/test_dbm.cpp.o" "gcc" "tests/CMakeFiles/optoct_tests.dir/test_dbm.cpp.o.d"
+  "/root/repo/tests/test_differential.cpp" "tests/CMakeFiles/optoct_tests.dir/test_differential.cpp.o" "gcc" "tests/CMakeFiles/optoct_tests.dir/test_differential.cpp.o.d"
+  "/root/repo/tests/test_engine.cpp" "tests/CMakeFiles/optoct_tests.dir/test_engine.cpp.o" "gcc" "tests/CMakeFiles/optoct_tests.dir/test_engine.cpp.o.d"
+  "/root/repo/tests/test_interval.cpp" "tests/CMakeFiles/optoct_tests.dir/test_interval.cpp.o" "gcc" "tests/CMakeFiles/optoct_tests.dir/test_interval.cpp.o.d"
+  "/root/repo/tests/test_kernels.cpp" "tests/CMakeFiles/optoct_tests.dir/test_kernels.cpp.o" "gcc" "tests/CMakeFiles/optoct_tests.dir/test_kernels.cpp.o.d"
+  "/root/repo/tests/test_lang.cpp" "tests/CMakeFiles/optoct_tests.dir/test_lang.cpp.o" "gcc" "tests/CMakeFiles/optoct_tests.dir/test_lang.cpp.o.d"
+  "/root/repo/tests/test_linearization.cpp" "tests/CMakeFiles/optoct_tests.dir/test_linearization.cpp.o" "gcc" "tests/CMakeFiles/optoct_tests.dir/test_linearization.cpp.o.d"
+  "/root/repo/tests/test_octagon.cpp" "tests/CMakeFiles/optoct_tests.dir/test_octagon.cpp.o" "gcc" "tests/CMakeFiles/optoct_tests.dir/test_octagon.cpp.o.d"
+  "/root/repo/tests/test_octagon_kinds.cpp" "tests/CMakeFiles/optoct_tests.dir/test_octagon_kinds.cpp.o" "gcc" "tests/CMakeFiles/optoct_tests.dir/test_octagon_kinds.cpp.o.d"
+  "/root/repo/tests/test_paper_figures.cpp" "tests/CMakeFiles/optoct_tests.dir/test_paper_figures.cpp.o" "gcc" "tests/CMakeFiles/optoct_tests.dir/test_paper_figures.cpp.o.d"
+  "/root/repo/tests/test_partition.cpp" "tests/CMakeFiles/optoct_tests.dir/test_partition.cpp.o" "gcc" "tests/CMakeFiles/optoct_tests.dir/test_partition.cpp.o.d"
+  "/root/repo/tests/test_programs.cpp" "tests/CMakeFiles/optoct_tests.dir/test_programs.cpp.o" "gcc" "tests/CMakeFiles/optoct_tests.dir/test_programs.cpp.o.d"
+  "/root/repo/tests/test_serialize.cpp" "tests/CMakeFiles/optoct_tests.dir/test_serialize.cpp.o" "gcc" "tests/CMakeFiles/optoct_tests.dir/test_serialize.cpp.o.d"
+  "/root/repo/tests/test_soundness.cpp" "tests/CMakeFiles/optoct_tests.dir/test_soundness.cpp.o" "gcc" "tests/CMakeFiles/optoct_tests.dir/test_soundness.cpp.o.d"
+  "/root/repo/tests/test_support.cpp" "tests/CMakeFiles/optoct_tests.dir/test_support.cpp.o" "gcc" "tests/CMakeFiles/optoct_tests.dir/test_support.cpp.o.d"
+  "/root/repo/tests/test_thresholds.cpp" "tests/CMakeFiles/optoct_tests.dir/test_thresholds.cpp.o" "gcc" "tests/CMakeFiles/optoct_tests.dir/test_thresholds.cpp.o.d"
+  "/root/repo/tests/test_transfer.cpp" "tests/CMakeFiles/optoct_tests.dir/test_transfer.cpp.o" "gcc" "tests/CMakeFiles/optoct_tests.dir/test_transfer.cpp.o.d"
+  "/root/repo/tests/test_workloads.cpp" "tests/CMakeFiles/optoct_tests.dir/test_workloads.cpp.o" "gcc" "tests/CMakeFiles/optoct_tests.dir/test_workloads.cpp.o.d"
+  "/root/repo/tests/test_zone.cpp" "tests/CMakeFiles/optoct_tests.dir/test_zone.cpp.o" "gcc" "tests/CMakeFiles/optoct_tests.dir/test_zone.cpp.o.d"
+  "/root/repo/tests/test_zone_oct_cross.cpp" "tests/CMakeFiles/optoct_tests.dir/test_zone_oct_cross.cpp.o" "gcc" "tests/CMakeFiles/optoct_tests.dir/test_zone_oct_cross.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/optoct_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/optoct_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/optoct_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/optoct_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/optoct_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/capi/CMakeFiles/optoct_capi.dir/DependInfo.cmake"
+  "/root/repo/build/src/itv/CMakeFiles/optoct_itv.dir/DependInfo.cmake"
+  "/root/repo/build/src/zone/CMakeFiles/optoct_zone.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/optoct_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/oct/CMakeFiles/optoct_oct.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/optoct_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

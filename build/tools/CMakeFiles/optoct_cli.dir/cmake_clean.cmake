@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optoct_cli.dir/optoct_cli.cpp.o"
+  "CMakeFiles/optoct_cli.dir/optoct_cli.cpp.o.d"
+  "optoct"
+  "optoct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optoct_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optoct_fuzz.dir/optoct_fuzz.cpp.o"
+  "CMakeFiles/optoct_fuzz.dir/optoct_fuzz.cpp.o.d"
+  "optoct_fuzz"
+  "optoct_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optoct_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
