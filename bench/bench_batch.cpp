@@ -1,0 +1,135 @@
+//===- bench/bench_batch.cpp - Batch-runtime throughput scaling ----------===//
+///
+/// \file
+/// Measures batch-analysis throughput of the 17 generated paper
+/// workloads as the worker count grows 1 → 2 → 4 → 8 (clamped to the
+/// machine), the headline number of the parallel runtime: jobs per
+/// second and speedup over the serial run. Invariants and verdicts are
+/// cross-checked against the serial run at every worker count — a
+/// scaling result that changed an answer would be meaningless.
+///
+/// Writes the series to BENCH_runtime.json (override with --json=<path>)
+/// so successive PRs can track the throughput trajectory.
+///
+//===----------------------------------------------------------------------===//
+
+#include "runtime/batch.h"
+#include "runtime/thread_pool.h"
+#include "support/table.h"
+#include "workloads/workload.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+using namespace optoct;
+
+namespace {
+
+/// The deterministic payload of a report: everything except timing.
+std::string answerKey(const runtime::BatchReport &Report) {
+  std::string Key;
+  for (const runtime::JobResult &R : Report.Results) {
+    Key += R.Name + "|" + std::to_string(R.AssertsProven) + "/" +
+           std::to_string(R.AssertsTotal) + "|";
+    for (const std::string &Inv : R.LoopInvariants)
+      Key += Inv + ";";
+    Key += "\n";
+  }
+  return Key;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string JsonPath = "BENCH_runtime.json";
+  unsigned Repeats = 3;
+  for (int I = 1; I != Argc; ++I) {
+    if (std::strncmp(Argv[I], "--json=", 7) == 0)
+      JsonPath = Argv[I] + 7;
+    else if (std::strncmp(Argv[I], "--repeats=", 10) == 0)
+      Repeats = static_cast<unsigned>(std::strtoul(Argv[I] + 10, nullptr, 10));
+  }
+  if (Repeats == 0)
+    Repeats = 1;
+
+  std::vector<runtime::BatchJob> Jobs;
+  for (const workloads::WorkloadSpec &Spec : workloads::paperBenchmarks())
+    Jobs.push_back({Spec.Name, workloads::generateProgram(Spec)});
+
+  unsigned Hw = runtime::ThreadPool::defaultWorkerCount();
+  std::printf("=== Batch throughput scaling (%zu generated workloads, "
+              "%u hardware threads) ===\n\n",
+              Jobs.size(), Hw);
+
+  std::vector<unsigned> Counts;
+  for (unsigned W : {1u, 2u, 4u, 8u})
+    if (W == 1 || W <= 2 * Hw) // oversubscribe at most 2x
+      Counts.push_back(W);
+
+  struct Point {
+    unsigned Workers;
+    double WallSeconds;
+    double Throughput;
+    double Speedup;
+    bool Deterministic;
+  };
+  std::vector<Point> Series;
+  std::string SerialKey;
+  double SerialWall = 0.0;
+
+  TextTable Table({"Workers", "Wall ms", "Jobs/s", "Speedup", "Answers"});
+  for (unsigned W : Counts) {
+    runtime::BatchOptions Opts;
+    Opts.Jobs = W;
+    double BestWall = 0.0;
+    bool Deterministic = true;
+    for (unsigned Rep = 0; Rep != Repeats; ++Rep) {
+      runtime::BatchReport Report = runtime::runBatch(Jobs, Opts);
+      if (W == 1 && Rep == 0)
+        SerialKey = answerKey(Report);
+      Deterministic = Deterministic && answerKey(Report) == SerialKey;
+      if (Rep == 0 || Report.WallSeconds < BestWall)
+        BestWall = Report.WallSeconds;
+    }
+    if (W == 1)
+      SerialWall = BestWall;
+    Point P{W, BestWall, BestWall > 0 ? Jobs.size() / BestWall : 0.0,
+            BestWall > 0 ? SerialWall / BestWall : 0.0, Deterministic};
+    Series.push_back(P);
+    Table.addRow({std::to_string(W), TextTable::num(P.WallSeconds * 1e3, 1),
+                  TextTable::num(P.Throughput, 1),
+                  TextTable::num(P.Speedup, 2) + "x",
+                  P.Deterministic ? "identical" : "DIVERGED"});
+  }
+  std::printf("%s\n", Table.render().c_str());
+
+  std::ofstream Out(JsonPath);
+  if (!Out) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", JsonPath.c_str());
+    return 1;
+  }
+  Out << "{\n  \"bench\": \"bench_batch\",\n"
+      << "  \"jobs\": " << Jobs.size() << ",\n"
+      << "  \"hardware_threads\": " << Hw << ",\n"
+      << "  \"repeats\": " << Repeats << ",\n"
+      << "  \"series\": [\n";
+  for (std::size_t I = 0; I != Series.size(); ++I) {
+    const Point &P = Series[I];
+    Out << "    {\"workers\": " << P.Workers
+        << ", \"wall_seconds\": " << P.WallSeconds
+        << ", \"throughput_jobs_per_sec\": " << P.Throughput
+        << ", \"speedup\": " << P.Speedup << ", \"deterministic\": "
+        << (P.Deterministic ? "true" : "false") << "}"
+        << (I + 1 == Series.size() ? "" : ",") << "\n";
+  }
+  Out << "  ]\n}\n";
+  std::printf("wrote %s\n", JsonPath.c_str());
+
+  bool AllDeterministic = true;
+  for (const Point &P : Series)
+    AllDeterministic = AllDeterministic && P.Deterministic;
+  return AllDeterministic ? 0 : 1;
+}

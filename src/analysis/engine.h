@@ -15,6 +15,20 @@
 /// call so the harnesses can report the Fig. 8 octagon-analysis time
 /// and the Table 3 %oct share.
 ///
+/// Thread-safety contract (relied on by src/runtime): analyze() is
+/// re-entrant — it keeps all state in locals and touches no mutable
+/// globals, so any number of engines may run concurrently on distinct
+/// Cfg objects. The pieces it builds on uphold the same contract:
+///   * the domains' statistics sinks (setOctStatsSink /
+///     setApronStatsSink) and the baseline closure-mode selector are
+///     thread-local — install per-thread, around each job;
+///   * the octagon closure scratch is thread-local (see
+///     reserveClosureScratch for pre-warming worker threads);
+///   * octConfig() is read-mostly process state: configure it before
+///     spawning analysis threads and leave it alone while they run.
+/// The Cfg and the AST it points into are read-only during analysis and
+/// may be shared across threads.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef OPTOCT_ANALYSIS_ENGINE_H

@@ -11,7 +11,9 @@
 using namespace optoct;
 using namespace optoct::baseline;
 
-static OctStats *ApronStats = nullptr;
+// Per-thread, mirroring setOctStatsSink: concurrent analyses each get
+// their own sink.
+static thread_local OctStats *ApronStats = nullptr;
 
 void optoct::baseline::setApronStatsSink(OctStats *Sink) {
   ApronStats = Sink;

@@ -7,7 +7,9 @@
 using namespace optoct;
 using namespace optoct::baseline;
 
-static BaselineClosureMode ClosureMode = BaselineClosureMode::Apron;
+// Per-thread so a parallel harness can run Apron and VectorizedFW jobs
+// concurrently without the modes racing.
+static thread_local BaselineClosureMode ClosureMode = BaselineClosureMode::Apron;
 
 void optoct::baseline::setBaselineClosureMode(BaselineClosureMode Mode) {
   ClosureMode = Mode;

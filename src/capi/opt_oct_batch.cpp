@@ -1,0 +1,75 @@
+//===- capi/opt_oct_batch.cpp - C API for the batch runtime ---------------===//
+
+#include "capi/opt_oct_batch.h"
+
+#include "runtime/batch.h"
+
+using namespace optoct;
+
+struct opt_oct_batch_report_t {
+  runtime::BatchReport Report;
+};
+
+extern "C" {
+
+opt_oct_batch_report_t *opt_oct_batch_run(const char *const *names,
+                                          const char *const *sources,
+                                          size_t count, unsigned jobs) {
+  std::vector<runtime::BatchJob> Jobs;
+  Jobs.reserve(count);
+  for (size_t I = 0; I != count; ++I)
+    Jobs.push_back({names[I], sources[I]});
+  runtime::BatchOptions Opts;
+  Opts.Jobs = jobs;
+  auto *R = new opt_oct_batch_report_t;
+  R->Report = runtime::runBatch(Jobs, Opts);
+  return R;
+}
+
+size_t opt_oct_batch_num_jobs(const opt_oct_batch_report_t *r) {
+  return r->Report.Results.size();
+}
+
+unsigned opt_oct_batch_workers(const opt_oct_batch_report_t *r) {
+  return r->Report.Workers;
+}
+
+double opt_oct_batch_wall_seconds(const opt_oct_batch_report_t *r) {
+  return r->Report.WallSeconds;
+}
+
+uint64_t opt_oct_batch_total_closures(const opt_oct_batch_report_t *r) {
+  return r->Report.NumClosures;
+}
+
+const char *opt_oct_batch_job_name(const opt_oct_batch_report_t *r, size_t i) {
+  return r->Report.Results[i].Name.c_str();
+}
+
+int opt_oct_batch_job_ok(const opt_oct_batch_report_t *r, size_t i) {
+  return r->Report.Results[i].Ok ? 1 : 0;
+}
+
+const char *opt_oct_batch_job_error(const opt_oct_batch_report_t *r,
+                                    size_t i) {
+  return r->Report.Results[i].Error.c_str();
+}
+
+unsigned opt_oct_batch_job_asserts_proven(const opt_oct_batch_report_t *r,
+                                          size_t i) {
+  return r->Report.Results[i].AssertsProven;
+}
+
+unsigned opt_oct_batch_job_asserts_total(const opt_oct_batch_report_t *r,
+                                         size_t i) {
+  return r->Report.Results[i].AssertsTotal;
+}
+
+uint64_t opt_oct_batch_job_closures(const opt_oct_batch_report_t *r,
+                                    size_t i) {
+  return r->Report.Results[i].NumClosures;
+}
+
+void opt_oct_batch_free(opt_oct_batch_report_t *r) { delete r; }
+
+} // extern "C"

@@ -1,0 +1,58 @@
+/*===- capi/opt_oct_batch.h - C API for the batch runtime -------*- C -*-===*
+ *
+ * C-linkage surface over the parallel batch-analysis runtime
+ * (src/runtime): submit a set of named mini-IMP sources, analyze them
+ * with the OptOctagon domain sharded over a worker pool, and read the
+ * per-job verdicts and aggregate statistics back.
+ *
+ * Results are deterministic in the job set: the same sources produce
+ * the same verdicts and invariants for any worker count (only timing
+ * fields vary). Indices into the report follow submission order.
+ *
+ *===---------------------------------------------------------------------===*/
+
+#ifndef OPTOCT_CAPI_OPT_OCT_BATCH_H
+#define OPTOCT_CAPI_OPT_OCT_BATCH_H
+
+#include <stddef.h>
+#include <stdint.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+typedef struct opt_oct_batch_report_t opt_oct_batch_report_t;
+
+/* Analyzes `count` mini-IMP programs with `jobs` worker threads
+ * (jobs = 0 means one per hardware thread, 1 means serial). `names`
+ * and `sources` are parallel arrays of NUL-terminated strings; names
+ * key the per-job results. Never returns NULL for count >= 0. */
+opt_oct_batch_report_t *opt_oct_batch_run(const char *const *names,
+                                          const char *const *sources,
+                                          size_t count, unsigned jobs);
+
+/* Report-level accessors. */
+size_t opt_oct_batch_num_jobs(const opt_oct_batch_report_t *r);
+unsigned opt_oct_batch_workers(const opt_oct_batch_report_t *r);
+double opt_oct_batch_wall_seconds(const opt_oct_batch_report_t *r);
+uint64_t opt_oct_batch_total_closures(const opt_oct_batch_report_t *r);
+
+/* Per-job accessors; i < opt_oct_batch_num_jobs(r). */
+const char *opt_oct_batch_job_name(const opt_oct_batch_report_t *r, size_t i);
+/* 1 when the job parsed and analyzed; 0 on error. */
+int opt_oct_batch_job_ok(const opt_oct_batch_report_t *r, size_t i);
+/* Parse error text for failed jobs ("" for successful ones). */
+const char *opt_oct_batch_job_error(const opt_oct_batch_report_t *r, size_t i);
+unsigned opt_oct_batch_job_asserts_proven(const opt_oct_batch_report_t *r,
+                                          size_t i);
+unsigned opt_oct_batch_job_asserts_total(const opt_oct_batch_report_t *r,
+                                         size_t i);
+uint64_t opt_oct_batch_job_closures(const opt_oct_batch_report_t *r, size_t i);
+
+void opt_oct_batch_free(opt_oct_batch_report_t *r);
+
+#ifdef __cplusplus
+} /* extern "C" */
+#endif
+
+#endif /* OPTOCT_CAPI_OPT_OCT_BATCH_H */

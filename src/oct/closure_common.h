@@ -11,6 +11,7 @@
 #ifndef OPTOCT_OCT_CLOSURE_COMMON_H
 #define OPTOCT_OCT_CLOSURE_COMMON_H
 
+#include "oct/dbm.h"
 #include "support/aligned.h"
 
 #include <vector>
@@ -29,6 +30,10 @@ struct ClosureScratch {
   AlignedBuffer<double> T;
   /// Index lists of finite entries for the sparse closure (Section 5.3).
   std::vector<unsigned> IdxColK, IdxColK1, IdxRowK, IdxRowK1, IdxT;
+  /// Contiguous submatrix copy reused by the decomposed closure's dense
+  /// path (the hot per-closure allocation otherwise). Per-thread like
+  /// the rest of the scratch.
+  HalfDbm DenseTmp;
 
   /// Grows the buffers to hold at least \p Dim (= 2n) doubles each.
   void ensure(unsigned Dim) {

@@ -20,8 +20,12 @@
 
 namespace optoct {
 
-/// Mutable global configuration. Not thread-safe by design: benchmarks
-/// flip these between single-threaded runs.
+/// Mutable global configuration. Read-mostly and process-wide: the
+/// domain only ever reads it, so any number of concurrent analyses may
+/// run under one configuration. Writes are not synchronized — flip the
+/// knobs only while no analysis thread is running (benchmarks toggle
+/// them between runs; the batch runtime configures before spawning
+/// workers).
 struct OctConfig {
   /// Sparsity decision threshold t (Section 3.5): a DBM with sparsity
   /// D = 1 - nni/(2n^2+2n) is treated as dense when D < t.

@@ -84,6 +84,15 @@ public:
     return M[index(I, J)];
   }
 
+  /// Re-shapes to \p NumVars variables, reusing the existing allocation
+  /// when it is large enough (entries are discarded either way). Used by
+  /// the closure scratch to recycle one submatrix temp across closures.
+  void resizeDiscard(unsigned NumVars) {
+    if (matSize(NumVars) > M.size())
+      M.resizeDiscard(matSize(NumVars));
+    N = NumVars;
+  }
+
   /// Raw packed storage (for the optimized closure kernels).
   double *data() { return M.data(); }
   const double *data() const { return M.data(); }

@@ -19,7 +19,9 @@ OctConfig &optoct::octConfig() {
   return Config;
 }
 
-static OctStats *StatsSink = nullptr;
+// Per-thread: each analysis thread installs its own sink, so concurrent
+// engines (src/runtime) never share a statistics object.
+static thread_local OctStats *StatsSink = nullptr;
 
 void optoct::setOctStatsSink(OctStats *Sink) { StatsSink = Sink; }
 OctStats *optoct::octStatsSink() { return StatsSink; }
@@ -27,6 +29,12 @@ OctStats *optoct::octStatsSink() { return StatsSink; }
 ClosureScratch &Octagon::scratch() {
   static thread_local ClosureScratch S;
   return S;
+}
+
+void optoct::reserveClosureScratch(unsigned NumVars) {
+  ClosureScratch &S = Octagon::scratch();
+  S.ensure(2 * NumVars);
+  S.DenseTmp.resizeDiscard(NumVars);
 }
 
 //===----------------------------------------------------------------------===//
@@ -263,9 +271,12 @@ void Octagon::closeDecomposed() {
       continue;
     }
     // Dense submatrix: copy into a contiguous temporary so the
-    // vectorized Algorithm 3 applies, then copy back (Section 4.3).
+    // vectorized Algorithm 3 applies, then copy back (Section 4.3). The
+    // temp lives in the per-thread scratch so repeated closures (and
+    // batched jobs on the same worker) reuse one allocation.
     unsigned SubN = static_cast<unsigned>(Vars.size());
-    HalfDbm Tmp(SubN);
+    HalfDbm &Tmp = scratch().DenseTmp;
+    Tmp.resizeDiscard(SubN);
     for (unsigned A = 0; A != SubN; ++A)
       for (unsigned B = 0; B <= A; ++B)
         for (unsigned R = 0; R != 2; ++R)

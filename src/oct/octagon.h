@@ -59,10 +59,19 @@ enum ClosureKindTag {
   CK_Decomposed = 3,
 };
 
-/// Installs a statistics sink that all Octagon closures report to
-/// (nullptr to disable). Used by the analyzer adapters and benches.
+/// Installs a statistics sink that all Octagon closures on the calling
+/// thread report to (nullptr to disable). The sink is thread-local:
+/// every worker of a parallel batch installs its own sink, so
+/// concurrent analyses never share a statistics object. Used by the
+/// analyzer adapters, the batch runtime, and the benches.
 void setOctStatsSink(OctStats *Sink);
 OctStats *octStatsSink();
+
+/// Pre-grows the calling thread's closure scratch (pivot buffers and
+/// the decomposed-closure dense submatrix temp) for octagons of up to
+/// \p NumVars variables. The batch runtime's per-worker arenas call
+/// this once per worker so no job re-allocates scratch mid-analysis.
+void reserveClosureScratch(unsigned NumVars);
 
 /// An element of the optimized Octagon domain over a fixed set of
 /// variables 0..numVars()-1.
@@ -226,6 +235,7 @@ private:
   bool Empty = false;
 
   static ClosureScratch &scratch();
+  friend void reserveClosureScratch(unsigned NumVars);
 };
 
 } // namespace optoct

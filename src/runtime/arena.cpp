@@ -1,0 +1,31 @@
+//===- runtime/arena.cpp - Per-thread analysis scratch arenas -------------===//
+
+#include "runtime/arena.h"
+
+#include "oct/octagon.h"
+
+using namespace optoct;
+using namespace optoct::runtime;
+
+WorkerArena &optoct::runtime::thisThreadArena() {
+  static thread_local WorkerArena Arena;
+  return Arena;
+}
+
+void WorkerArena::reserve(unsigned MaxVars) {
+  if (MaxVars <= ReservedVars)
+    return;
+  reserveClosureScratch(MaxVars);
+  ReservedVars = MaxVars;
+}
+
+JobScope::JobScope(WorkerArena &Arena, bool TraceClosures) : Arena(Arena) {
+  Arena.Stats.reset();
+  Arena.Stats.enableTrace(TraceClosures);
+  setOctStatsSink(&Arena.Stats);
+}
+
+JobScope::~JobScope() {
+  setOctStatsSink(nullptr);
+  ++Arena.JobsRun;
+}

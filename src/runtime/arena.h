@@ -1,0 +1,77 @@
+//===- runtime/arena.h - Per-thread analysis scratch arenas -----*- C++ -*-===//
+///
+/// \file
+/// Per-worker scratch state reused across batch jobs. Each analysis
+/// job needs (a) the octagon library's closure scratch — pivot
+/// row/column buffers plus the decomposed closure's dense submatrix
+/// temp, all thread-local inside src/oct — and (b) an OctStats sink for
+/// its per-operator counters. Re-allocating either per job is the hot
+/// allocation the paper's scratch design already avoids *within* one
+/// analysis; the arena extends the reuse *across* jobs on a worker:
+///
+///   * reserve() pre-grows this thread's closure scratch to the largest
+///     DBM the batch will touch, so no job reallocates mid-analysis
+///     (the pool's worker-init hook calls it once per worker);
+///   * one OctStats object per thread is reset and re-installed around
+///     each job (JobScope), instead of constructed per job.
+///
+/// Everything here is thread-local; an arena must only be used from the
+/// thread that obtained it via thisThreadArena().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPTOCT_RUNTIME_ARENA_H
+#define OPTOCT_RUNTIME_ARENA_H
+
+#include "support/stats.h"
+
+namespace optoct::runtime {
+
+/// Scratch state owned by one worker thread, persisting across jobs.
+class WorkerArena {
+public:
+  /// Pre-grows the calling thread's DBM closure scratch for octagons of
+  /// up to \p MaxVars variables (monotone: never shrinks).
+  void reserve(unsigned MaxVars);
+
+  /// Largest variable count reserved so far.
+  unsigned reservedVars() const { return ReservedVars; }
+
+  /// The per-thread statistics object reused by every job on this
+  /// worker. Valid between jobs; JobScope resets it per job.
+  OctStats &stats() { return Stats; }
+
+  /// Jobs completed through this arena (JobScope destructor counts).
+  std::uint64_t jobsRun() const { return JobsRun; }
+
+private:
+  friend class JobScope;
+  OctStats Stats;
+  unsigned ReservedVars = 0;
+  std::uint64_t JobsRun = 0;
+};
+
+/// The calling thread's arena (thread-local singleton; workers of a
+/// pool each see their own).
+WorkerArena &thisThreadArena();
+
+/// RAII frame around one analysis job: resets the arena's stats object
+/// and installs it as the calling thread's octagon statistics sink, so
+/// the job's operator counters accumulate there; uninstalls on exit.
+class JobScope {
+public:
+  explicit JobScope(WorkerArena &Arena, bool TraceClosures = false);
+  ~JobScope();
+
+  JobScope(const JobScope &) = delete;
+  JobScope &operator=(const JobScope &) = delete;
+
+  OctStats &stats() { return Arena.Stats; }
+
+private:
+  WorkerArena &Arena;
+};
+
+} // namespace optoct::runtime
+
+#endif // OPTOCT_RUNTIME_ARENA_H

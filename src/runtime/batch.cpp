@@ -1,0 +1,187 @@
+//===- runtime/batch.cpp - Parallel batch-analysis scheduler --------------===//
+
+#include "runtime/batch.h"
+
+#include "cfg/cfg.h"
+#include "lang/parser.h"
+#include "oct/octagon.h"
+#include "runtime/arena.h"
+#include "runtime/thread_pool.h"
+#include "support/timing.h"
+
+#include <future>
+#include <sstream>
+#include <utility>
+
+using namespace optoct;
+using namespace optoct::runtime;
+
+JobResult optoct::runtime::runJob(const BatchJob &Job,
+                                  const BatchOptions &Opts) {
+  JobResult R;
+  R.Name = Job.Name;
+
+  std::string Error;
+  auto Prog = lang::parseProgram(Job.Source, Error);
+  if (!Prog) {
+    R.Error = Error;
+    return R;
+  }
+  cfg::Cfg Graph = cfg::Cfg::build(*Prog);
+
+  WorkerArena &Arena = thisThreadArena();
+  Arena.reserve(Opts.ReserveVars);
+  JobScope Scope(Arena);
+
+  WallTimer Timer;
+  Timer.start();
+  auto Result = analysis::analyze<Octagon>(Graph, Opts.Engine);
+  Timer.stop();
+
+  R.Ok = true;
+  R.WallSeconds = Timer.seconds();
+  R.AssertsTotal = static_cast<unsigned>(Result.Asserts.size());
+  R.AssertsProven = Result.assertsProven();
+  for (const analysis::AssertOutcome &A : Result.Asserts)
+    if (!A.Proven)
+      R.UnprovenAssertLines.push_back(A.Line);
+  if (Opts.CaptureInvariants) {
+    for (unsigned B : Graph.rpo()) {
+      const cfg::BasicBlock &Block = Graph.block(B);
+      if (!Block.IsLoopHead)
+        continue;
+      std::string Inv = Result.BlockInvariant[B]
+                            ? Result.BlockInvariant[B]->str(&Block.SlotNames)
+                            : std::string("unreachable");
+      R.LoopInvariants.push_back("bb" + std::to_string(B) + ": " + Inv);
+    }
+  }
+  R.NumClosures = Scope.stats().numClosures();
+  R.ClosureCycles = Scope.stats().closureCycles();
+  R.OctagonCycles = Result.OctagonCycles;
+  R.BlockVisits = Result.BlockVisits;
+  R.NMin = Scope.stats().minVars();
+  R.NMax = Scope.stats().maxVars();
+  return R;
+}
+
+BatchReport optoct::runtime::runBatch(const std::vector<BatchJob> &Jobs,
+                                      const BatchOptions &Opts) {
+  BatchReport Report;
+  Report.Results.resize(Jobs.size());
+  unsigned Workers =
+      Opts.Jobs == 0 ? ThreadPool::defaultWorkerCount() : Opts.Jobs;
+  Report.Workers = Workers;
+
+  WallTimer Timer;
+  Timer.start();
+  if (Workers <= 1 || Jobs.size() <= 1) {
+    for (std::size_t I = 0; I != Jobs.size(); ++I)
+      Report.Results[I] = runJob(Jobs[I], Opts);
+  } else {
+    ThreadPool Pool(Workers,
+                    [&Opts] { thisThreadArena().reserve(Opts.ReserveVars); });
+    std::vector<std::future<JobResult>> Futures;
+    Futures.reserve(Jobs.size());
+    for (const BatchJob &Job : Jobs)
+      Futures.push_back(
+          Pool.submit([&Job, &Opts] { return runJob(Job, Opts); }));
+    for (std::size_t I = 0; I != Futures.size(); ++I)
+      Report.Results[I] = Futures[I].get();
+  }
+  Timer.stop();
+  Report.WallSeconds = Timer.seconds();
+
+  for (const JobResult &R : Report.Results) {
+    if (!R.Ok)
+      continue;
+    ++Report.JobsOk;
+    Report.AssertsProven += R.AssertsProven;
+    Report.AssertsTotal += R.AssertsTotal;
+    Report.NumClosures += R.NumClosures;
+    Report.ClosureCycles += R.ClosureCycles;
+    Report.OctagonCycles += R.OctagonCycles;
+    Report.BlockVisits += R.BlockVisits;
+  }
+  return Report;
+}
+
+namespace {
+
+void appendEscaped(std::ostringstream &Out, const std::string &S) {
+  Out << '"';
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out << "\\\"";
+      break;
+    case '\\':
+      Out << "\\\\";
+      break;
+    case '\n':
+      Out << "\\n";
+      break;
+    case '\t':
+      Out << "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out << Buf;
+      } else
+        Out << C;
+    }
+  }
+  Out << '"';
+}
+
+} // namespace
+
+std::string optoct::runtime::reportToJson(const BatchReport &Report) {
+  std::ostringstream Out;
+  Out << "{\n";
+  Out << "  \"workers\": " << Report.Workers << ",\n";
+  Out << "  \"wall_seconds\": " << Report.WallSeconds << ",\n";
+  Out << "  \"throughput_jobs_per_sec\": " << Report.throughput() << ",\n";
+  Out << "  \"jobs_ok\": " << Report.JobsOk << ",\n";
+  Out << "  \"asserts_proven\": " << Report.AssertsProven << ",\n";
+  Out << "  \"asserts_total\": " << Report.AssertsTotal << ",\n";
+  Out << "  \"num_closures\": " << Report.NumClosures << ",\n";
+  Out << "  \"closure_cycles\": " << Report.ClosureCycles << ",\n";
+  Out << "  \"octagon_cycles\": " << Report.OctagonCycles << ",\n";
+  Out << "  \"block_visits\": " << Report.BlockVisits << ",\n";
+  Out << "  \"jobs\": [\n";
+  for (std::size_t I = 0; I != Report.Results.size(); ++I) {
+    const JobResult &R = Report.Results[I];
+    Out << "    {\"name\": ";
+    appendEscaped(Out, R.Name);
+    Out << ", \"ok\": " << (R.Ok ? "true" : "false");
+    if (!R.Ok) {
+      Out << ", \"error\": ";
+      appendEscaped(Out, R.Error);
+    } else {
+      Out << ", \"asserts_proven\": " << R.AssertsProven
+          << ", \"asserts_total\": " << R.AssertsTotal
+          << ", \"unproven_lines\": [";
+      for (std::size_t L = 0; L != R.UnprovenAssertLines.size(); ++L)
+        Out << (L ? ", " : "") << R.UnprovenAssertLines[L];
+      Out << "], \"num_closures\": " << R.NumClosures
+          << ", \"closure_cycles\": " << R.ClosureCycles
+          << ", \"octagon_cycles\": " << R.OctagonCycles
+          << ", \"block_visits\": " << R.BlockVisits
+          << ", \"n_min\": " << R.NMin << ", \"n_max\": " << R.NMax
+          << ", \"wall_seconds\": " << R.WallSeconds
+          << ", \"loop_invariants\": [";
+      for (std::size_t L = 0; L != R.LoopInvariants.size(); ++L) {
+        Out << (L ? ", " : "");
+        appendEscaped(Out, R.LoopInvariants[L]);
+      }
+      Out << "]";
+    }
+    Out << "}" << (I + 1 == Report.Results.size() ? "" : ",") << "\n";
+  }
+  Out << "  ]\n";
+  Out << "}\n";
+  return Out.str();
+}

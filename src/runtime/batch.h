@@ -1,0 +1,104 @@
+//===- runtime/batch.h - Parallel batch-analysis scheduler ------*- C++ -*-===//
+///
+/// \file
+/// Batch front end of the runtime: takes a set of analysis jobs (each a
+/// named mini-IMP source), shards them across a work-stealing thread
+/// pool (runtime/thread_pool.h), runs the domain-polymorphic fixpoint
+/// engine on each with the OptOctagon domain, and aggregates assertion
+/// verdicts, loop invariants, and per-operator statistics into one
+/// report.
+///
+/// Determinism: each job is parsed and analyzed independently with no
+/// shared mutable state (see the thread-safety contract in
+/// analysis/engine.h), and results are keyed by submission index, so a
+/// batch produces identical invariants and verdicts regardless of the
+/// worker count or the interleaving — only the timing fields vary.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPTOCT_RUNTIME_BATCH_H
+#define OPTOCT_RUNTIME_BATCH_H
+
+#include "analysis/engine.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace optoct::runtime {
+
+/// One analysis request: a named mini-IMP program.
+struct BatchJob {
+  std::string Name;   ///< Report key (file name or workload name).
+  std::string Source; ///< Mini-IMP program text.
+};
+
+/// Per-job outcome.
+struct JobResult {
+  std::string Name;
+  bool Ok = false;    ///< Parsed and analyzed without error.
+  std::string Error;  ///< Parse/CFG error message when !Ok.
+
+  unsigned AssertsProven = 0, AssertsTotal = 0;
+  std::vector<int> UnprovenAssertLines; ///< Source lines left unknown.
+  /// Rendered invariants at loop heads, in RPO ("bb<i>: <octagon>").
+  std::vector<std::string> LoopInvariants;
+
+  // Per-operator statistics (from the worker's OctStats sink).
+  std::uint64_t NumClosures = 0;
+  std::uint64_t ClosureCycles = 0;
+  std::uint64_t OctagonCycles = 0;
+  std::uint64_t BlockVisits = 0;
+  unsigned NMin = 0, NMax = 0; ///< DBM sizes seen at closures.
+  double WallSeconds = 0.0;    ///< This job alone (on its worker).
+};
+
+/// Scheduler knobs.
+struct BatchOptions {
+  /// Worker threads; 0 = one per hardware thread, 1 = run serially in
+  /// the calling thread (no pool).
+  unsigned Jobs = 1;
+  /// Engine configuration applied to every job.
+  analysis::AnalysisOptions Engine;
+  /// Record rendered loop-head invariants in each JobResult (the
+  /// serial-vs-parallel determinism oracle; cheap relative to analysis).
+  bool CaptureInvariants = true;
+  /// Arena pre-warm: per-worker scratch is grown for DBMs of up to this
+  /// many variables before the first job runs.
+  unsigned ReserveVars = 64;
+};
+
+/// Whole-batch outcome. Results[i] always corresponds to Jobs[i].
+struct BatchReport {
+  std::vector<JobResult> Results;
+  double WallSeconds = 0.0; ///< Submission to last completion.
+  unsigned Workers = 1;     ///< Worker count actually used.
+
+  // Aggregates over all Ok jobs.
+  unsigned JobsOk = 0;
+  unsigned AssertsProven = 0, AssertsTotal = 0;
+  std::uint64_t NumClosures = 0;
+  std::uint64_t ClosureCycles = 0;
+  std::uint64_t OctagonCycles = 0;
+  std::uint64_t BlockVisits = 0;
+
+  /// Completed jobs per second of batch wall time.
+  double throughput() const {
+    return WallSeconds > 0 ? Results.size() / WallSeconds : 0.0;
+  }
+};
+
+/// Runs one job in the calling thread, through the thread's arena.
+/// This is exactly the unit the scheduler submits to its workers.
+JobResult runJob(const BatchJob &Job, const BatchOptions &Opts = {});
+
+/// Runs every job, sharded over Opts.Jobs workers, and aggregates.
+BatchReport runBatch(const std::vector<BatchJob> &Jobs,
+                     const BatchOptions &Opts = {});
+
+/// Machine-readable rendering of a report (the CLI's --json output).
+std::string reportToJson(const BatchReport &Report);
+
+} // namespace optoct::runtime
+
+#endif // OPTOCT_RUNTIME_BATCH_H

@@ -1,0 +1,105 @@
+//===- runtime/thread_pool.cpp - Work-stealing thread pool ----------------===//
+
+#include "runtime/thread_pool.h"
+
+using namespace optoct::runtime;
+
+ThreadPool::ThreadPool(unsigned NumWorkers, std::function<void()> Init)
+    : WorkerInit(std::move(Init)) {
+  if (NumWorkers == 0)
+    NumWorkers = 1;
+  Workers.reserve(NumWorkers);
+  for (unsigned I = 0; I != NumWorkers; ++I)
+    Workers.push_back(std::make_unique<WorkerQueue>());
+  Threads.reserve(NumWorkers);
+  for (unsigned I = 0; I != NumWorkers; ++I)
+    Threads.emplace_back([this, I] { workerLoop(I); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    // The lock orders the flag write against workers' sleep checks, so
+    // no worker can test Stopping and then sleep through the broadcast.
+    std::lock_guard<std::mutex> Lock(SleepMu);
+    Stopping.store(true, std::memory_order_relaxed);
+  }
+  WorkCv.notify_all();
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+void ThreadPool::push(Task T) {
+  InFlight.fetch_add(1, std::memory_order_relaxed);
+  unsigned Q = NextQueue.fetch_add(1, std::memory_order_relaxed) %
+               Workers.size();
+  {
+    std::lock_guard<std::mutex> Lock(Workers[Q]->Mu);
+    Workers[Q]->Deque.push_back(std::move(T));
+  }
+  // Pair with the sleep check under SleepMu so the notify cannot race
+  // between a worker's final poll and its wait().
+  { std::lock_guard<std::mutex> Lock(SleepMu); }
+  WorkCv.notify_one();
+}
+
+bool ThreadPool::tryPopOwn(unsigned Id, Task &T) {
+  WorkerQueue &Q = *Workers[Id];
+  std::lock_guard<std::mutex> Lock(Q.Mu);
+  if (Q.Deque.empty())
+    return false;
+  T = std::move(Q.Deque.back());
+  Q.Deque.pop_back();
+  return true;
+}
+
+bool ThreadPool::trySteal(unsigned Id, Task &T) {
+  for (std::size_t Off = 1, N = Workers.size(); Off != N; ++Off) {
+    WorkerQueue &Q = *Workers[(Id + Off) % N];
+    std::lock_guard<std::mutex> Lock(Q.Mu);
+    if (Q.Deque.empty())
+      continue;
+    T = std::move(Q.Deque.front());
+    Q.Deque.pop_front();
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::workerLoop(unsigned Id) {
+  if (WorkerInit)
+    WorkerInit();
+  for (;;) {
+    Task T;
+    if (tryPopOwn(Id, T) || trySteal(Id, T)) {
+      T();
+      if (InFlight.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> Lock(SleepMu);
+        IdleCv.notify_all();
+      }
+      continue;
+    }
+    std::unique_lock<std::mutex> Lock(SleepMu);
+    if (Stopping.load(std::memory_order_relaxed))
+      return;
+    // Re-check the queues under the sleep lock: a push between the
+    // failed poll above and this wait would otherwise be missed.
+    bool HaveWork = false;
+    for (const auto &W : Workers) {
+      std::lock_guard<std::mutex> QLock(W->Mu);
+      if (!W->Deque.empty()) {
+        HaveWork = true;
+        break;
+      }
+    }
+    if (HaveWork)
+      continue;
+    WorkCv.wait(Lock);
+  }
+}
+
+void ThreadPool::waitIdle() {
+  std::unique_lock<std::mutex> Lock(SleepMu);
+  IdleCv.wait(Lock, [this] {
+    return InFlight.load(std::memory_order_acquire) == 0;
+  });
+}

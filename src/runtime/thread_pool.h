@@ -1,0 +1,103 @@
+//===- runtime/thread_pool.h - Work-stealing thread pool --------*- C++ -*-===//
+///
+/// \file
+/// Fixed-size worker pool with per-worker deques and work stealing,
+/// the execution substrate of the batch runtime. Tasks are submitted
+/// round-robin onto the workers' deques; a worker pops its own deque
+/// from the back (LIFO, keeps caches warm for related jobs) and steals
+/// from other workers' fronts (FIFO, takes the oldest — largest —
+/// pending unit) when its own deque drains.
+///
+/// submit() returns a std::future for the task's result, so callers
+/// compose completion and error propagation with standard machinery;
+/// exceptions thrown by a task surface at future::get().
+///
+/// A per-worker initialization hook runs once on each worker thread
+/// before it processes tasks — the batch scheduler uses it to pre-warm
+/// the thread-local DBM scratch arenas (runtime/arena.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPTOCT_RUNTIME_THREAD_POOL_H
+#define OPTOCT_RUNTIME_THREAD_POOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace optoct::runtime {
+
+class ThreadPool {
+public:
+  /// Spawns \p NumWorkers worker threads (clamped to at least 1).
+  /// \p WorkerInit, when set, runs on each worker thread before it
+  /// takes its first task.
+  explicit ThreadPool(unsigned NumWorkers,
+                      std::function<void()> WorkerInit = nullptr);
+
+  /// Drains nothing: joins after finishing the tasks already queued.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  unsigned numWorkers() const { return static_cast<unsigned>(Workers.size()); }
+
+  /// Worker count to use when the caller passes 0: the hardware
+  /// concurrency, or 1 when it is unknown.
+  static unsigned defaultWorkerCount() {
+    unsigned N = std::thread::hardware_concurrency();
+    return N == 0 ? 1 : N;
+  }
+
+  /// Enqueues \p F and returns a future for its result.
+  template <typename Fn>
+  auto submit(Fn &&F) -> std::future<std::invoke_result_t<std::decay_t<Fn>>> {
+    using R = std::invoke_result_t<std::decay_t<Fn>>;
+    // std::function requires copyable callables; packaged_task is
+    // move-only, so it rides behind a shared_ptr.
+    auto Task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(F));
+    std::future<R> Future = Task->get_future();
+    push([Task]() { (*Task)(); });
+    return Future;
+  }
+
+  /// Blocks until every task submitted so far has finished.
+  void waitIdle();
+
+private:
+  using Task = std::function<void()>;
+
+  struct WorkerQueue {
+    std::mutex Mu;
+    std::deque<Task> Deque;
+  };
+
+  void push(Task T);
+  bool tryPopOwn(unsigned Id, Task &T);
+  bool trySteal(unsigned Id, Task &T);
+  void workerLoop(unsigned Id);
+
+  std::vector<std::unique_ptr<WorkerQueue>> Workers;
+  std::vector<std::thread> Threads;
+  std::function<void()> WorkerInit;
+
+  std::mutex SleepMu;
+  std::condition_variable WorkCv; ///< Signaled on push / shutdown.
+  std::condition_variable IdleCv; ///< Signaled when InFlight drops to 0.
+  std::atomic<bool> Stopping{false};
+  std::atomic<unsigned> NextQueue{0};  ///< Round-robin submission cursor.
+  std::atomic<std::size_t> InFlight{0}; ///< Queued + running tasks.
+};
+
+} // namespace optoct::runtime
+
+#endif // OPTOCT_RUNTIME_THREAD_POOL_H

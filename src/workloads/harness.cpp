@@ -9,7 +9,10 @@
 #include "dataflow/dataflow.h"
 #include "lang/parser.h"
 #include "oct/octagon.h"
+#include "runtime/thread_pool.h"
 #include "support/timing.h"
+
+#include <future>
 
 #include <cassert>
 #include <cstdio>
@@ -80,6 +83,33 @@ RunResult optoct::workloads::runWorkload(const WorkloadSpec &Spec,
                                                 baseline::setApronStatsSink);
   baseline::setBaselineClosureMode(baseline::BaselineClosureMode::Apron);
   return R;
+}
+
+std::vector<RunResult>
+optoct::workloads::runWorkloads(const std::vector<WorkloadSpec> &Specs,
+                                Library Lib, unsigned Jobs,
+                                bool TraceClosures) {
+  std::vector<RunResult> Results(Specs.size());
+  unsigned Workers =
+      Jobs == 0 ? runtime::ThreadPool::defaultWorkerCount() : Jobs;
+  if (Workers <= 1 || Specs.size() <= 1) {
+    for (std::size_t I = 0; I != Specs.size(); ++I)
+      Results[I] = runWorkload(Specs[I], Lib, TraceClosures);
+    return Results;
+  }
+  // runWorkload installs its stats sink and baseline closure mode on
+  // the worker thread it runs on; both are thread-local, so jobs on
+  // different workers never interfere.
+  runtime::ThreadPool Pool(Workers);
+  std::vector<std::future<RunResult>> Futures;
+  Futures.reserve(Specs.size());
+  for (const WorkloadSpec &Spec : Specs)
+    Futures.push_back(Pool.submit([&Spec, Lib, TraceClosures] {
+      return runWorkload(Spec, Lib, TraceClosures);
+    }));
+  for (std::size_t I = 0; I != Futures.size(); ++I)
+    Results[I] = Futures[I].get();
+  return Results;
 }
 
 double optoct::workloads::measureClientRep(const WorkloadSpec &Spec) {

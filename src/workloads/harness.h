@@ -46,6 +46,16 @@ struct RunResult {
 RunResult runWorkload(const WorkloadSpec &Spec, Library Lib,
                       bool TraceClosures = false);
 
+/// Parallel driver: runs every spec under \p Lib sharded over \p Jobs
+/// worker threads (0 = one per hardware thread, 1 = serial in the
+/// calling thread). Results are in spec order and carry the same
+/// counters and verdicts as serial runs — the analyses are independent
+/// and the library state is thread-local — but the wall-clock fields
+/// reflect contention when several jobs share a core.
+std::vector<RunResult> runWorkloads(const std::vector<WorkloadSpec> &Specs,
+                                    Library Lib, unsigned Jobs,
+                                    bool TraceClosures = false);
+
 /// Time (seconds) of one repetition of the client dataflow analyses on
 /// \p Spec's CFG, and the Table 3 end-to-end measurement: analysis under
 /// \p Lib plus \p ClientReps dataflow repetitions.

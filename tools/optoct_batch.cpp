@@ -1,0 +1,159 @@
+//===- tools/optoct_batch.cpp - Parallel batch analyzer -------------------===//
+///
+/// \file
+/// Batch front end over the parallel runtime: analyze many mini-IMP
+/// programs at once, sharded across a worker pool, and report per-job
+/// verdicts plus aggregate statistics.
+///
+///   optoct_batch [options] file1.imp file2.imp ...
+///     --jobs=N | --jobs N   worker threads (default 1; 0 = one per
+///                           hardware thread)
+///     --generated           add the 17 generated paper workloads to
+///                           the job set
+///     --json=<path>         write the machine-readable report
+///     --invariants          print loop-head invariants per job
+///     --widening-delay=<k>, --narrowing=<k>, --no-linearize,
+///     --thresholds=a,b,...  engine options (as in optoct)
+///
+/// Exit code: 0 if every job analyzed and all assertions were proven,
+/// 1 if some assertion is unknown or a job failed, 2 on usage errors.
+///
+//===----------------------------------------------------------------------===//
+
+#include "runtime/batch.h"
+#include "runtime/thread_pool.h"
+#include "workloads/workload.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace optoct;
+
+namespace {
+
+struct BatchCliOptions {
+  runtime::BatchOptions Batch;
+  std::vector<std::string> Files;
+  bool AddGenerated = false;
+  bool PrintInvariants = false;
+  std::string JsonPath;
+};
+
+void usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--jobs=N] [--generated] [--json=<path>]\n"
+               "       [--invariants] [--widening-delay=<k>] "
+               "[--narrowing=<k>]\n"
+               "       [--no-linearize] [--thresholds=a,b,...] "
+               "[files.imp...]\n",
+               Argv0);
+}
+
+bool parseArgs(int Argc, char **Argv, BatchCliOptions &Opts) {
+  for (int I = 1; I != Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg.rfind("--jobs=", 0) == 0)
+      Opts.Batch.Jobs = static_cast<unsigned>(std::stoul(Arg.substr(7)));
+    else if (Arg == "--jobs" && I + 1 != Argc)
+      Opts.Batch.Jobs = static_cast<unsigned>(std::stoul(Argv[++I]));
+    else if (Arg == "--generated")
+      Opts.AddGenerated = true;
+    else if (Arg == "--invariants")
+      Opts.PrintInvariants = true;
+    else if (Arg.rfind("--json=", 0) == 0)
+      Opts.JsonPath = Arg.substr(7);
+    else if (Arg == "--json" && I + 1 != Argc)
+      Opts.JsonPath = Argv[++I];
+    else if (Arg.rfind("--widening-delay=", 0) == 0)
+      Opts.Batch.Engine.WideningDelay =
+          static_cast<unsigned>(std::stoul(Arg.substr(17)));
+    else if (Arg.rfind("--narrowing=", 0) == 0)
+      Opts.Batch.Engine.NarrowingPasses =
+          static_cast<unsigned>(std::stoul(Arg.substr(12)));
+    else if (Arg == "--no-linearize")
+      Opts.Batch.Engine.LinearizeGuards = false;
+    else if (Arg.rfind("--thresholds=", 0) == 0) {
+      std::stringstream List(Arg.substr(13));
+      std::string Item;
+      while (std::getline(List, Item, ','))
+        Opts.Batch.Engine.WideningThresholds.push_back(std::stod(Item));
+      std::sort(Opts.Batch.Engine.WideningThresholds.begin(),
+                Opts.Batch.Engine.WideningThresholds.end());
+    } else if (Arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
+      return false;
+    } else
+      Opts.Files.push_back(Arg);
+  }
+  if (Opts.Files.empty() && !Opts.AddGenerated) {
+    std::fprintf(stderr, "error: no input files (and no --generated)\n");
+    return false;
+  }
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  BatchCliOptions Opts;
+  if (!parseArgs(Argc, Argv, Opts)) {
+    usage(Argv[0]);
+    return 2;
+  }
+
+  std::vector<runtime::BatchJob> Jobs;
+  for (const std::string &File : Opts.Files) {
+    std::ifstream In(File);
+    if (!In) {
+      std::fprintf(stderr, "error: cannot open '%s'\n", File.c_str());
+      return 2;
+    }
+    std::stringstream Buffer;
+    Buffer << In.rdbuf();
+    Jobs.push_back({File, Buffer.str()});
+  }
+  if (Opts.AddGenerated)
+    for (const workloads::WorkloadSpec &Spec : workloads::paperBenchmarks())
+      Jobs.push_back({Spec.Name, workloads::generateProgram(Spec)});
+
+  runtime::BatchReport Report = runtime::runBatch(Jobs, Opts.Batch);
+
+  bool AllProven = true;
+  for (const runtime::JobResult &R : Report.Results) {
+    if (!R.Ok) {
+      std::printf("%-24s FAILED: %s\n", R.Name.c_str(), R.Error.c_str());
+      AllProven = false;
+      continue;
+    }
+    std::printf("%-24s %u/%u proven, %llu closures, %.1f ms\n",
+                R.Name.c_str(), R.AssertsProven, R.AssertsTotal,
+                static_cast<unsigned long long>(R.NumClosures),
+                R.WallSeconds * 1e3);
+    if (R.AssertsProven != R.AssertsTotal)
+      AllProven = false;
+    if (Opts.PrintInvariants)
+      for (const std::string &Inv : R.LoopInvariants)
+        std::printf("    %s\n", Inv.c_str());
+  }
+  std::printf("batch: %zu jobs (%u ok) on %u worker%s in %.1f ms "
+              "(%.1f jobs/s), %u/%u assertions proven\n",
+              Report.Results.size(), Report.JobsOk, Report.Workers,
+              Report.Workers == 1 ? "" : "s", Report.WallSeconds * 1e3,
+              Report.throughput(), Report.AssertsProven,
+              Report.AssertsTotal);
+
+  if (!Opts.JsonPath.empty()) {
+    std::ofstream Out(Opts.JsonPath);
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot write '%s'\n",
+                   Opts.JsonPath.c_str());
+      return 2;
+    }
+    Out << runtime::reportToJson(Report);
+  }
+  return AllProven && Report.JobsOk == Report.Results.size() ? 0 : 1;
+}
