@@ -15,6 +15,18 @@
 /// call so the harnesses can report the Fig. 8 octagon-analysis time
 /// and the Table 3 %oct share.
 ///
+/// Fault tolerance: the engine runs under the budgets of
+/// support/budget.h. The worklist loop charges block-visit fuel
+/// (AnalysisOptions::MaxBlockVisits) and polls the thread-local
+/// cancellation token (wall-clock deadline, watchdog flag, DBM-cell
+/// fuel charged by the domain). When any budget trips, the run
+/// *degrades* instead of crashing: every block invariant is widened to
+/// Top — trivially sound, pointwise weaker than the converged result —
+/// assertions are re-checked under those Top states, and the result
+/// carries RunStatus::Degraded with the tripped reason. Exceptions
+/// other than BudgetExceeded (bad_alloc, injected faults) propagate to
+/// the caller; the batch runtime isolates them per job.
+///
 /// Thread-safety contract (relied on by src/runtime): analyze() is
 /// re-entrant — it keeps all state in locals and touches no mutable
 /// globals, so any number of engines may run concurrently on distinct
@@ -36,6 +48,8 @@
 
 #include "analysis/transfer.h"
 #include "cfg/cfg.h"
+#include "support/budget.h"
+#include "support/faultinject.h"
 #include "support/stats.h"
 #include "support/timing.h"
 
@@ -52,7 +66,8 @@ struct AnalysisOptions {
   unsigned WideningDelay = 2;
   /// Descending (narrowing) sweeps after stabilization.
   unsigned NarrowingPasses = 1;
-  /// Hard iteration cap (safety net; analysis asserts if exceeded).
+  /// Block-visit fuel: exceeding it degrades the run to Top invariants
+  /// with RunStatus::Degraded (a recoverable result, not an assert).
   unsigned MaxBlockVisits = 100000;
   /// Interval-linearize non-octagonal guards (a sound precision
   /// extension in the spirit of APRON's tree-constraint handling).
@@ -63,6 +78,12 @@ struct AnalysisOptions {
   std::vector<double> WideningThresholds;
 };
 
+/// How a run ended.
+enum class RunStatus {
+  Ok,       ///< Converged within budget; invariants are the fixpoint.
+  Degraded, ///< A budget tripped; invariants are sound but Top.
+};
+
 /// Per-run results.
 template <typename DomainT> struct AnalysisResult {
   /// Invariant at each block entry; nullopt = unreachable.
@@ -70,6 +91,11 @@ template <typename DomainT> struct AnalysisResult {
   std::vector<AssertOutcome> Asserts;
   std::uint64_t BlockVisits = 0;
   std::uint64_t OctagonCycles = 0; ///< Cycles spent in domain operations.
+
+  RunStatus Status = RunStatus::Ok;
+  /// Which budget tripped when Status == Degraded.
+  support::BudgetReason DegradedBy = support::BudgetReason::None;
+  std::string StatusDetail; ///< Human-readable degradation cause.
 
   unsigned assertsProven() const {
     unsigned N = 0;
@@ -133,12 +159,16 @@ AnalysisResult<DomainT> analyze(const cfg::Cfg &G,
     return Changed;
   };
 
+  try {
   while (!Worklist.empty()) {
     unsigned B = *Worklist.begin();
     Worklist.erase(Worklist.begin());
-    ++Result.BlockVisits;
-    assert(Result.BlockVisits <= Opts.MaxBlockVisits &&
-           "fixpoint iteration bound exceeded — widening broken?");
+    if (++Result.BlockVisits > Opts.MaxBlockVisits)
+      throw support::BudgetExceeded(
+          support::BudgetReason::BlockVisits,
+          "block-visit budget exhausted (widening not converging?)");
+    support::pollBudget();
+    support::faultPoint("engine.visit");
 
     const cfg::BasicBlock &Block = G.block(B);
     DomainT State = *Result.BlockInvariant[B];
@@ -170,6 +200,7 @@ AnalysisResult<DomainT> analyze(const cfg::Cfg &G,
   for (unsigned Pass = 0; Pass != Opts.NarrowingPasses; ++Pass) {
     std::uint64_t Begin = readCycles();
     for (unsigned B : G.rpo()) {
+      support::pollBudget();
       if (B == G.entry())
         continue;
       std::optional<DomainT> NewIn;
@@ -198,6 +229,21 @@ AnalysisResult<DomainT> analyze(const cfg::Cfg &G,
         Result.BlockInvariant[B] = std::move(*NewIn);
     }
     OctCycles += readCycles() - Begin;
+  }
+  } catch (const support::BudgetExceeded &E) {
+    // A budget tripped mid-iteration: the stored states are not a
+    // fixpoint and must not be reported as invariants. Degrade every
+    // block to Top — trivially sound and pointwise weaker than the
+    // converged result — then run the final pass under those states.
+    // Polling is muted so the cleanup cannot trip the same budget;
+    // the caller's BudgetScope restores the token on unwind.
+    support::disarmCurrentBudget();
+    Result.Status = RunStatus::Degraded;
+    Result.DegradedBy = E.reason();
+    Result.StatusDetail = E.what();
+    for (std::size_t B = 0; B != NumBlocks; ++B)
+      Result.BlockInvariant[B] =
+          DomainT::makeTop(G.block(static_cast<unsigned>(B)).NumSlots);
   }
 
   // Final pass: recheck assertions under the stable invariants.

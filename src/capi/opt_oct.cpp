@@ -1,10 +1,17 @@
 //===- capi/opt_oct.cpp - APRON-style C API over OptOctagon ---------------===//
+//
+// Robustness contract (see the header): bad input degrades soundly and
+// no C++ exception ever crosses the C boundary. Release builds compile
+// asserts out, so every precondition the old asserts documented is an
+// explicit runtime check here.
+//
+//===----------------------------------------------------------------------===//
 
 #include "capi/opt_oct.h"
 
 #include "oct/octagon.h"
 
-#include <cassert>
+#include <limits>
 
 using namespace optoct;
 
@@ -18,33 +25,89 @@ namespace {
 Octagon &oct(opt_oct_t *P) { return P->O; }
 const Octagon &oct(const opt_oct_t *P) { return P->O; }
 
+bool isUnitCoef(int C) { return C == 1 || C == -1; }
+
+/// Two octagons are operator-compatible when both exist and agree on
+/// the dimension.
+bool compatible(const opt_oct_t *A, const opt_oct_t *B) {
+  return A && B && A->O.numVars() == B->O.numVars();
+}
+
 } // namespace
 
 opt_oct_t *opt_oct_top(unsigned NumVars) {
-  return new opt_oct_t{Octagon::makeTop(NumVars)};
+  try {
+    return new opt_oct_t{Octagon::makeTop(NumVars)};
+  } catch (...) {
+    return nullptr;
+  }
 }
 
 opt_oct_t *opt_oct_bottom(unsigned NumVars) {
-  return new opt_oct_t{Octagon::makeBottom(NumVars)};
+  try {
+    return new opt_oct_t{Octagon::makeBottom(NumVars)};
+  } catch (...) {
+    return nullptr;
+  }
 }
 
-opt_oct_t *opt_oct_copy(const opt_oct_t *O) { return new opt_oct_t{*O}; }
+opt_oct_t *opt_oct_copy(const opt_oct_t *O) {
+  if (!O)
+    return nullptr;
+  try {
+    return new opt_oct_t{*O};
+  } catch (...) {
+    return nullptr;
+  }
+}
 
 void opt_oct_free(opt_oct_t *O) { delete O; }
 
-unsigned opt_oct_dimension(const opt_oct_t *O) { return oct(O).numVars(); }
+unsigned opt_oct_dimension(const opt_oct_t *O) {
+  return O ? oct(O).numVars() : 0;
+}
 
-int opt_oct_is_bottom(opt_oct_t *O) { return oct(O).isBottom(); }
+int opt_oct_is_bottom(opt_oct_t *O) {
+  if (!O)
+    return -1;
+  try {
+    return oct(O).isBottom();
+  } catch (...) {
+    return -1;
+  }
+}
 
-int opt_oct_is_top(const opt_oct_t *O) { return oct(O).isTop(); }
+int opt_oct_is_top(const opt_oct_t *O) { return O ? oct(O).isTop() : -1; }
 
-int opt_oct_is_leq(opt_oct_t *A, opt_oct_t *B) { return oct(A).leq(oct(B)); }
+int opt_oct_is_leq(opt_oct_t *A, opt_oct_t *B) {
+  if (!compatible(A, B))
+    return -1;
+  try {
+    return oct(A).leq(oct(B));
+  } catch (...) {
+    return -1;
+  }
+}
 
 int opt_oct_is_eq(opt_oct_t *A, opt_oct_t *B) {
-  return oct(A).equals(oct(B));
+  if (!compatible(A, B))
+    return -1;
+  try {
+    return oct(A).equals(oct(B));
+  } catch (...) {
+    return -1;
+  }
 }
 
 void opt_oct_bounds(opt_oct_t *O, unsigned V, double *Lo, double *Hi) {
+  if (!O || V >= oct(O).numVars()) {
+    double NaN = std::numeric_limits<double>::quiet_NaN();
+    if (Lo)
+      *Lo = NaN;
+    if (Hi)
+      *Hi = NaN;
+    return;
+  }
   Interval Iv = oct(O).bounds(V);
   if (Lo)
     *Lo = Iv.Lo;
@@ -53,54 +116,132 @@ void opt_oct_bounds(opt_oct_t *O, unsigned V, double *Lo, double *Hi) {
 }
 
 size_t opt_oct_num_components(const opt_oct_t *O) {
-  return oct(O).partition().numComponents();
+  return O ? oct(O).partition().numComponents() : 0;
 }
 
 opt_oct_t *opt_oct_meet(const opt_oct_t *A, const opt_oct_t *B) {
-  return new opt_oct_t{Octagon::meet(oct(A), oct(B))};
+  if (!compatible(A, B))
+    return nullptr;
+  try {
+    return new opt_oct_t{Octagon::meet(oct(A), oct(B))};
+  } catch (...) {
+    return nullptr;
+  }
 }
 
 opt_oct_t *opt_oct_join(opt_oct_t *A, opt_oct_t *B) {
-  return new opt_oct_t{Octagon::join(oct(A), oct(B))};
+  if (!compatible(A, B))
+    return nullptr;
+  try {
+    return new opt_oct_t{Octagon::join(oct(A), oct(B))};
+  } catch (...) {
+    return nullptr;
+  }
 }
 
 opt_oct_t *opt_oct_widening(const opt_oct_t *Old, opt_oct_t *New) {
-  return new opt_oct_t{Octagon::widen(oct(Old), oct(New))};
+  if (!compatible(Old, New))
+    return nullptr;
+  try {
+    return new opt_oct_t{Octagon::widen(oct(Old), oct(New))};
+  } catch (...) {
+    return nullptr;
+  }
 }
 
 opt_oct_t *opt_oct_narrowing(opt_oct_t *Old, const opt_oct_t *New) {
-  return new opt_oct_t{Octagon::narrow(oct(Old), oct(New))};
+  if (!compatible(Old, New))
+    return nullptr;
+  try {
+    return new opt_oct_t{Octagon::narrow(oct(Old), oct(New))};
+  } catch (...) {
+    return nullptr;
+  }
 }
 
-void opt_oct_close(opt_oct_t *O) { oct(O).close(); }
+void opt_oct_close(opt_oct_t *O) {
+  if (!O)
+    return;
+  try {
+    oct(O).close();
+  } catch (...) {
+    // An interrupted closure only tightened entries along valid paths:
+    // the element is unchanged semantically and simply stays unclosed.
+  }
+}
 
 void opt_oct_add_constraint(opt_oct_t *O, int CoefI, unsigned I, int CoefJ,
                             unsigned J, double Bound) {
-  assert((CoefI == 1 || CoefI == -1) && "coef_i must be +-1");
-  assert((CoefJ == 0 || CoefJ == 1 || CoefJ == -1) && "coef_j in {-1,0,1}");
+  if (!O)
+    return;
+  unsigned N = oct(O).numVars();
+  // Dropping a malformed constraint keeps the element soundly weaker;
+  // J == I with a nonzero coef_j is not an octagonal form (it would
+  // alias a unary or diagonal entry).
+  if (!isUnitCoef(CoefI) || I >= N)
+    return;
+  if (CoefJ != 0 && (!isUnitCoef(CoefJ) || J >= N || J == I))
+    return;
   OctCons C{CoefI, I, CoefJ, CoefJ == 0 ? I : J, Bound};
-  oct(O).addConstraint(C);
+  try {
+    oct(O).addConstraint(C);
+  } catch (...) {
+  }
 }
 
 void opt_oct_assign_var(opt_oct_t *O, unsigned X, int Coef, unsigned Y,
                         double Const) {
-  assert((Coef == 1 || Coef == -1) && "coef must be +-1");
-  LinExpr E;
-  E.Terms = {{Coef, Y}};
-  E.Const = Const;
-  oct(O).assign(X, E);
+  if (!O || X >= oct(O).numVars())
+    return;
+  try {
+    if (!isUnitCoef(Coef) || Y >= oct(O).numVars()) {
+      // The target does change, just not to a value we can represent:
+      // forgetting it is the sound approximation.
+      oct(O).havoc(X);
+      return;
+    }
+    LinExpr E;
+    E.Terms = {{Coef, Y}};
+    E.Const = Const;
+    oct(O).assign(X, E);
+  } catch (...) {
+  }
 }
 
 void opt_oct_assign_const(opt_oct_t *O, unsigned X, double Const) {
-  oct(O).assign(X, LinExpr::constant(Const));
+  if (!O || X >= oct(O).numVars())
+    return;
+  try {
+    oct(O).assign(X, LinExpr::constant(Const));
+  } catch (...) {
+  }
 }
 
-void opt_oct_forget(opt_oct_t *O, unsigned X) { oct(O).havoc(X); }
+void opt_oct_forget(opt_oct_t *O, unsigned X) {
+  if (!O || X >= oct(O).numVars())
+    return;
+  try {
+    oct(O).havoc(X);
+  } catch (...) {
+  }
+}
 
 void opt_oct_add_vars(opt_oct_t *O, unsigned Count) {
-  oct(O).addVars(Count);
+  if (!O)
+    return;
+  try {
+    oct(O).addVars(Count);
+  } catch (...) {
+  }
 }
 
 void opt_oct_remove_trailing_vars(opt_oct_t *O, unsigned Count) {
-  oct(O).removeTrailingVars(Count);
+  if (!O)
+    return;
+  if (Count > oct(O).numVars())
+    Count = oct(O).numVars();
+  try {
+    oct(O).removeTrailingVars(Count);
+  } catch (...) {
+  }
 }

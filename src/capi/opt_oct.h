@@ -13,6 +13,15 @@
  *   - functions taking non-const elements may close them in place
  *     (APRON's lazy-closure behavior).
  *
+ * Robustness: no entry point invokes undefined behavior on bad input.
+ * NULL handles are tolerated everywhere (free(NULL) is a no-op,
+ * copy(NULL) returns NULL, predicates return -1, numeric accessors 0,
+ * bounds writes NaN). Transfer functions called with out-of-range
+ * dimensions or unsupported coefficients degrade soundly: the
+ * constraint is dropped, or the assignment target is forgotten when it
+ * is valid but the right-hand side is not. Allocating functions return
+ * NULL instead of propagating C++ exceptions across the C boundary.
+ *
  *===---------------------------------------------------------------------===*/
 
 #ifndef OPTOCT_CAPI_OPT_OCT_H
@@ -32,13 +41,15 @@ opt_oct_t *opt_oct_bottom(unsigned num_vars);
 opt_oct_t *opt_oct_copy(const opt_oct_t *o);
 void opt_oct_free(opt_oct_t *o);
 
-/* Queries. */
+/* Queries. Predicates return 1/0, or -1 on NULL handles or mismatched
+ * dimensions. */
 unsigned opt_oct_dimension(const opt_oct_t *o);
 int opt_oct_is_bottom(opt_oct_t *o);
 int opt_oct_is_top(const opt_oct_t *o);
 int opt_oct_is_leq(opt_oct_t *a, opt_oct_t *b);
 int opt_oct_is_eq(opt_oct_t *a, opt_oct_t *b);
-/* Writes the bounds of dimension v (HUGE_VAL when unbounded). */
+/* Writes the bounds of dimension v (HUGE_VAL when unbounded; NaN on a
+ * NULL handle or out-of-range dimension). */
 void opt_oct_bounds(opt_oct_t *o, unsigned v, double *lo, double *hi);
 /* Number of independent components currently maintained. */
 size_t opt_oct_num_components(const opt_oct_t *o);

@@ -10,64 +10,132 @@ struct opt_oct_batch_report_t {
   runtime::BatchReport Report;
 };
 
+namespace {
+
+/// Shared run body; never lets an exception cross the C boundary.
+opt_oct_batch_report_t *runWithOptions(const char *const *Names,
+                                       const char *const *Sources,
+                                       size_t Count,
+                                       const runtime::BatchOptions &Opts) {
+  if (Count != 0 && (!Names || !Sources))
+    return nullptr;
+  try {
+    std::vector<runtime::BatchJob> Jobs;
+    Jobs.reserve(Count);
+    for (size_t I = 0; I != Count; ++I)
+      // NULL entries become cleanly failing jobs, not UB.
+      Jobs.push_back({Names[I] ? Names[I] : "(null)",
+                      Sources[I] ? Sources[I] : ""});
+    auto *R = new opt_oct_batch_report_t;
+    R->Report = runtime::runBatch(Jobs, Opts);
+    return R;
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+const runtime::JobResult *jobAt(const opt_oct_batch_report_t *R, size_t I) {
+  if (!R || I >= R->Report.Results.size())
+    return nullptr;
+  return &R->Report.Results[I];
+}
+
+} // namespace
+
 extern "C" {
 
 opt_oct_batch_report_t *opt_oct_batch_run(const char *const *names,
                                           const char *const *sources,
                                           size_t count, unsigned jobs) {
-  std::vector<runtime::BatchJob> Jobs;
-  Jobs.reserve(count);
-  for (size_t I = 0; I != count; ++I)
-    Jobs.push_back({names[I], sources[I]});
   runtime::BatchOptions Opts;
   Opts.Jobs = jobs;
-  auto *R = new opt_oct_batch_report_t;
-  R->Report = runtime::runBatch(Jobs, Opts);
-  return R;
+  return runWithOptions(names, sources, count, Opts);
+}
+
+opt_oct_batch_report_t *
+opt_oct_batch_run_budgeted(const char *const *names,
+                           const char *const *sources, size_t count,
+                           unsigned jobs, uint64_t deadline_ms,
+                           uint64_t max_dbm_cells, unsigned max_attempts) {
+  runtime::BatchOptions Opts;
+  Opts.Jobs = jobs;
+  Opts.Budget.DeadlineMs = deadline_ms;
+  Opts.Budget.MaxDbmCells = max_dbm_cells;
+  Opts.MaxAttempts = max_attempts == 0 ? 1 : max_attempts;
+  return runWithOptions(names, sources, count, Opts);
 }
 
 size_t opt_oct_batch_num_jobs(const opt_oct_batch_report_t *r) {
-  return r->Report.Results.size();
+  return r ? r->Report.Results.size() : 0;
 }
 
 unsigned opt_oct_batch_workers(const opt_oct_batch_report_t *r) {
-  return r->Report.Workers;
+  return r ? r->Report.Workers : 0;
 }
 
 double opt_oct_batch_wall_seconds(const opt_oct_batch_report_t *r) {
-  return r->Report.WallSeconds;
+  return r ? r->Report.WallSeconds : 0.0;
 }
 
 uint64_t opt_oct_batch_total_closures(const opt_oct_batch_report_t *r) {
-  return r->Report.NumClosures;
+  return r ? r->Report.NumClosures : 0;
 }
 
 const char *opt_oct_batch_job_name(const opt_oct_batch_report_t *r, size_t i) {
-  return r->Report.Results[i].Name.c_str();
+  const runtime::JobResult *J = jobAt(r, i);
+  return J ? J->Name.c_str() : nullptr;
 }
 
 int opt_oct_batch_job_ok(const opt_oct_batch_report_t *r, size_t i) {
-  return r->Report.Results[i].Ok ? 1 : 0;
+  const runtime::JobResult *J = jobAt(r, i);
+  return J ? (J->Ok ? 1 : 0) : -1;
+}
+
+int opt_oct_batch_job_status(const opt_oct_batch_report_t *r, size_t i) {
+  const runtime::JobResult *J = jobAt(r, i);
+  if (!J)
+    return -1;
+  switch (J->Status) {
+  case runtime::JobStatus::Ok:
+    return OPT_OCT_BATCH_JOB_OK;
+  case runtime::JobStatus::Degraded:
+    return OPT_OCT_BATCH_JOB_DEGRADED;
+  case runtime::JobStatus::Failed:
+    return OPT_OCT_BATCH_JOB_FAILED;
+  case runtime::JobStatus::Timeout:
+    return OPT_OCT_BATCH_JOB_TIMEOUT;
+  }
+  return -1;
+}
+
+unsigned opt_oct_batch_job_attempts(const opt_oct_batch_report_t *r,
+                                    size_t i) {
+  const runtime::JobResult *J = jobAt(r, i);
+  return J ? J->Attempts : 0;
 }
 
 const char *opt_oct_batch_job_error(const opt_oct_batch_report_t *r,
                                     size_t i) {
-  return r->Report.Results[i].Error.c_str();
+  const runtime::JobResult *J = jobAt(r, i);
+  return J ? J->Error.c_str() : nullptr;
 }
 
 unsigned opt_oct_batch_job_asserts_proven(const opt_oct_batch_report_t *r,
                                           size_t i) {
-  return r->Report.Results[i].AssertsProven;
+  const runtime::JobResult *J = jobAt(r, i);
+  return J ? J->AssertsProven : 0;
 }
 
 unsigned opt_oct_batch_job_asserts_total(const opt_oct_batch_report_t *r,
                                          size_t i) {
-  return r->Report.Results[i].AssertsTotal;
+  const runtime::JobResult *J = jobAt(r, i);
+  return J ? J->AssertsTotal : 0;
 }
 
 uint64_t opt_oct_batch_job_closures(const opt_oct_batch_report_t *r,
                                     size_t i) {
-  return r->Report.Results[i].NumClosures;
+  const runtime::JobResult *J = jobAt(r, i);
+  return J ? J->NumClosures : 0;
 }
 
 void opt_oct_batch_free(opt_oct_batch_report_t *r) { delete r; }

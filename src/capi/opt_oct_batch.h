@@ -9,6 +9,12 @@
  * the same verdicts and invariants for any worker count (only timing
  * fields vary). Indices into the report follow submission order.
  *
+ * Robustness: run functions return NULL on invalid arguments (NULL
+ * name/source arrays with count > 0) instead of invoking undefined
+ * behavior; NULL array *entries* become jobs that fail cleanly. All
+ * accessors tolerate NULL reports and out-of-range indices, returning
+ * the documented error value.
+ *
  *===---------------------------------------------------------------------===*/
 
 #ifndef OPTOCT_CAPI_OPT_OCT_BATCH_H
@@ -31,17 +37,42 @@ opt_oct_batch_report_t *opt_oct_batch_run(const char *const *names,
                                           const char *const *sources,
                                           size_t count, unsigned jobs);
 
+/* Per-job final status codes (opt_oct_batch_job_status). */
+#define OPT_OCT_BATCH_JOB_OK 0       /* converged                      */
+#define OPT_OCT_BATCH_JOB_DEGRADED 1 /* budget tripped; sound but Top  */
+#define OPT_OCT_BATCH_JOB_FAILED 2   /* parse error or exception       */
+#define OPT_OCT_BATCH_JOB_TIMEOUT 3  /* deadline passed                */
+
+/* Like opt_oct_batch_run, with fault-tolerance knobs: every job runs
+ * under a per-attempt wall-clock deadline of `deadline_ms` ms and a
+ * cumulative DBM-cell allocation budget of `max_dbm_cells` (0 = the
+ * respective limit is off; budget trips degrade the job to sound Top
+ * invariants or a timeout status). Jobs that fail with an exception are
+ * retried with exponential backoff up to `max_attempts` total attempts
+ * (0 is treated as 1). Returns NULL on invalid arguments. */
+opt_oct_batch_report_t *
+opt_oct_batch_run_budgeted(const char *const *names,
+                           const char *const *sources, size_t count,
+                           unsigned jobs, uint64_t deadline_ms,
+                           uint64_t max_dbm_cells, unsigned max_attempts);
+
 /* Report-level accessors. */
 size_t opt_oct_batch_num_jobs(const opt_oct_batch_report_t *r);
 unsigned opt_oct_batch_workers(const opt_oct_batch_report_t *r);
 double opt_oct_batch_wall_seconds(const opt_oct_batch_report_t *r);
 uint64_t opt_oct_batch_total_closures(const opt_oct_batch_report_t *r);
 
-/* Per-job accessors; i < opt_oct_batch_num_jobs(r). */
+/* Per-job accessors; i < opt_oct_batch_num_jobs(r). NULL reports and
+ * out-of-range indices return NULL / -1 / 0 as appropriate. */
 const char *opt_oct_batch_job_name(const opt_oct_batch_report_t *r, size_t i);
-/* 1 when the job parsed and analyzed; 0 on error. */
+/* 1 when the job produced (possibly degraded) results; 0 on error; -1
+ * on an invalid report/index. */
 int opt_oct_batch_job_ok(const opt_oct_batch_report_t *r, size_t i);
-/* Parse error text for failed jobs ("" for successful ones). */
+/* One of the OPT_OCT_BATCH_JOB_* codes; -1 on invalid report/index. */
+int opt_oct_batch_job_status(const opt_oct_batch_report_t *r, size_t i);
+/* Attempts the job consumed (1 = no retry); 0 on invalid report/index. */
+unsigned opt_oct_batch_job_attempts(const opt_oct_batch_report_t *r, size_t i);
+/* Parse/exception text for failed jobs ("" for successful ones). */
 const char *opt_oct_batch_job_error(const opt_oct_batch_report_t *r, size_t i);
 unsigned opt_oct_batch_job_asserts_proven(const opt_oct_batch_report_t *r,
                                           size_t i);

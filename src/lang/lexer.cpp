@@ -63,7 +63,20 @@ bool optoct::lang::tokenize(std::string_view Source, std::vector<Token> &Out,
       while (I != E && std::isdigit(static_cast<unsigned char>(Source[I])))
         ++I;
       std::string Digits(Source.substr(Begin, I - Begin));
-      push(TokKind::Number, Digits, std::stol(Digits));
+      // std::stol throws out_of_range on huge literals; malformed input
+      // must surface as a lexer error, not an exception (callers treat
+      // tokenize as noexcept-in-practice).
+      long Value;
+      try {
+        Value = std::stol(Digits);
+      } catch (...) {
+        char Buf[64];
+        std::snprintf(Buf, sizeof(Buf),
+                      "line %d: integer literal out of range", Line);
+        Error = Buf;
+        return false;
+      }
+      push(TokKind::Number, Digits, Value);
       continue;
     }
     auto twoChar = [&](char First, char Second) {

@@ -5,6 +5,8 @@
 #include "oct/closure_dense.h"
 #include "oct/closure_sparse.h"
 #include "oct/vector_min.h"
+#include "support/budget.h"
+#include "support/faultinject.h"
 
 using namespace optoct;
 
@@ -22,6 +24,10 @@ void pivotPassDense(HalfDbm &M, unsigned K, ClosureScratch &Scratch) {
   double OkK1 = M.at(KK, KK1);
   double Ok1K = M.at(KK1, KK);
 
+  // Saturation hoisted out of the loop as in shortestPathDense: a +inf
+  // in-block operand can never win the min, and for finite operands
+  // plain + equals boundAdd on the stored R ∪ {+inf} bounds.
+  const bool FinK1 = isFinite(OkK1), FinK = isFinite(Ok1K);
   for (unsigned I = 0; I != D; ++I) {
     if (I == KK || I == KK1) {
       ColK[I] = I == KK ? 0.0 : Ok1K;
@@ -30,12 +36,16 @@ void pivotPassDense(HalfDbm &M, unsigned K, ClosureScratch &Scratch) {
     }
     double Vk = M.get(I, KK);
     double Vk1 = M.get(I, KK1);
-    double T1 = Vk + OkK1;
-    if (T1 < Vk1)
-      Vk1 = T1;
-    double T0 = Vk1 + Ok1K;
-    if (T0 < Vk)
-      Vk = T0;
+    if (FinK1) {
+      double T1 = Vk + OkK1;
+      if (T1 < Vk1)
+        Vk1 = T1;
+    }
+    if (FinK) {
+      double T0 = Vk1 + Ok1K;
+      if (T0 < Vk)
+        Vk = T0;
+    }
     M.set(I, KK, Vk);
     M.set(I, KK1, Vk1);
     ColK[I] = Vk;
@@ -58,8 +68,11 @@ bool optoct::incrementalClosureDense(HalfDbm &M,
   if (D == 0)
     return true;
   Scratch.ensure(D);
-  for (unsigned K : Touched)
+  for (unsigned K : Touched) {
+    support::pollBudget();
+    support::faultPoint("closure.pivot");
     pivotPassDense(M, K, Scratch);
+  }
   strengthenDense(M, Scratch);
 
   for (unsigned I = 0; I != D; ++I)
@@ -90,10 +103,14 @@ void optoct::incrementalClosureRestricted(HalfDbm &M,
   }
 
   for (unsigned K : Touched) {
+    support::pollBudget();
+    support::faultPoint("closure.pivot");
     unsigned KK = 2 * K, KK1 = 2 * K + 1;
     double OkK1 = M.at(KK, KK1);
     double Ok1K = M.at(KK1, KK);
 
+    // Same hoisted-saturation pattern as the dense pivot pass above.
+    const bool FinK1 = isFinite(OkK1), FinK = isFinite(Ok1K);
     for (unsigned I : EVars) {
       if (I == KK || I == KK1) {
         ColK[I] = I == KK ? 0.0 : Ok1K;
@@ -102,12 +119,16 @@ void optoct::incrementalClosureRestricted(HalfDbm &M,
       }
       double Vk = M.get(I, KK);
       double Vk1 = M.get(I, KK1);
-      double T1 = Vk + OkK1;
-      if (T1 < Vk1)
-        Vk1 = T1;
-      double T0 = Vk1 + Ok1K;
-      if (T0 < Vk)
-        Vk = T0;
+      if (FinK1) {
+        double T1 = Vk + OkK1;
+        if (T1 < Vk1)
+          Vk1 = T1;
+      }
+      if (FinK) {
+        double T0 = Vk1 + Ok1K;
+        if (T0 < Vk)
+          Vk = T0;
+      }
       M.set(I, KK, Vk);
       M.set(I, KK1, Vk1);
       ColK[I] = Vk;

@@ -2,6 +2,9 @@
 
 #include "oct/closure_sparse.h"
 
+#include "support/budget.h"
+#include "support/faultinject.h"
+
 #include <numeric>
 
 using namespace optoct;
@@ -36,12 +39,23 @@ void optoct::shortestPathSparseRestricted(HalfDbm &M,
   std::vector<unsigned> EVars = extendedIndices(Vars);
 
   for (unsigned K : Vars) {
+    support::pollBudget();
+    support::faultPoint("closure.pivot");
     unsigned KK = 2 * K, KK1 = 2 * K + 1;
     double OkK1 = M.at(KK, KK1);
     double Ok1K = M.at(KK1, KK);
 
     // Update the pivot columns (linear scan over the component — this is
     // the quadratic part of the complexity) and gather their values.
+    //
+    // The adds would want boundAdd (Vk/Vk1 can be +inf while the
+    // in-block operand is negative), but the in-block operands are
+    // loop-invariant, so the saturation test hoists out of the loop: a
+    // +inf operand can never win the min, and for a finite one plain +
+    // IS boundAdd, since stored bounds live in R ∪ {+inf} (-inf/NaN
+    // sanitized at the domain boundary). The sparse inner loops below
+    // are safe as-is — their index lists admit only finite operands.
+    const bool FinK1 = isFinite(OkK1), FinK = isFinite(Ok1K);
     for (unsigned I : EVars) {
       if (I == KK || I == KK1) {
         ColK[I] = I == KK ? 0.0 : Ok1K;
@@ -50,12 +64,16 @@ void optoct::shortestPathSparseRestricted(HalfDbm &M,
       }
       double Vk = M.get(I, KK);
       double Vk1 = M.get(I, KK1);
-      double T1 = Vk + OkK1;
-      if (T1 < Vk1)
-        Vk1 = T1;
-      double T0 = Vk1 + Ok1K;
-      if (T0 < Vk)
-        Vk = T0;
+      if (FinK1) {
+        double T1 = Vk + OkK1;
+        if (T1 < Vk1)
+          Vk1 = T1;
+      }
+      if (FinK) {
+        double T0 = Vk1 + Ok1K;
+        if (T0 < Vk)
+          Vk = T0;
+      }
       M.set(I, KK, Vk);
       M.set(I, KK1, Vk1);
       ColK[I] = Vk;

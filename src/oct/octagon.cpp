@@ -7,6 +7,8 @@
 #include "oct/closure_sparse.h"
 #include "oct/config.h"
 #include "oct/vector_min.h"
+#include "support/budget.h"
+#include "support/faultinject.h"
 #include "support/timing.h"
 
 #include <algorithm>
@@ -42,9 +44,13 @@ void optoct::reserveClosureScratch(unsigned NumVars) {
 //===----------------------------------------------------------------------===//
 
 Octagon::Octagon(unsigned NumVars, PrivateTag)
-    : M(NumVars), P(NumVars), Kind(DbmKind::Top), Closed(false) {}
+    : M(NumVars), P(NumVars), Kind(DbmKind::Top), Closed(false) {
+  support::chargeDbmCells(M.size());
+}
 
 Octagon::Octagon(unsigned NumVars) : M(NumVars), P(NumVars) {
+  support::faultPoint("oct.alloc");
+  support::chargeDbmCells(M.size());
   if (octConfig().EnableDecomposition) {
     // Top type (Section 3.4): the matrix is allocated but left
     // uninitialized; the empty partition makes every entry implicitly

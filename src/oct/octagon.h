@@ -36,6 +36,7 @@
 #include "oct/constraint.h"
 #include "oct/dbm.h"
 #include "oct/partition.h"
+#include "support/budget.h"
 #include "support/stats.h"
 
 #include <string>
@@ -79,6 +80,22 @@ class Octagon {
 public:
   /// Constructs the top element (no constraints).
   explicit Octagon(unsigned NumVars);
+
+  /// Copies charge DBM-cell fuel (support/budget.h) like fresh
+  /// construction — copies dominate the engine's allocation profile, so
+  /// the cell budget is a deterministic memory-pressure proxy. Moves
+  /// transfer the buffer and charge nothing. Defined inline: the engine
+  /// copies octagons on every propagate, and an out-of-line ctor costs
+  /// measurable batch throughput.
+  Octagon(const Octagon &Other)
+      : M(Other.M), P(Other.P), Kind(Other.Kind),
+        NniExplicit(Other.NniExplicit), FullyInit(Other.FullyInit),
+        Closed(Other.Closed), Empty(Other.Empty) {
+    support::chargeDbmCells(M.size());
+  }
+  Octagon &operator=(const Octagon &Other) = default;
+  Octagon(Octagon &&Other) = default;
+  Octagon &operator=(Octagon &&Other) = default;
 
   static Octagon makeTop(unsigned NumVars) { return Octagon(NumVars); }
   static Octagon makeBottom(unsigned NumVars);

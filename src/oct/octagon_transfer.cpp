@@ -8,8 +8,10 @@
 
 #include "oct/config.h"
 #include "oct/octagon.h"
+#include "support/faultinject.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 
@@ -29,11 +31,23 @@ void Octagon::addConstraints(const std::vector<OctCons> &Cs) {
   for (const OctCons &C : Cs) {
     assert(C.I < numVars() && (C.isUnary() || C.J < numVars()) &&
            "constraint variable out of range");
-    relateInit(C.I, C.isUnary() ? C.I : C.J);
     OctCons::Entry E = C.toEntry();
+    double Bound = E.Bound;
+    support::faultPoint("oct.constraint", &Bound);
+    // Boundary sanitization: bounds enter the DBM only here, so the
+    // closure kernels never see NaN or -inf. A NaN bound carries no
+    // information — dropping it keeps the octagon (soundly) weaker. A
+    // -inf bound is unsatisfiable.
+    if (std::isnan(Bound))
+      continue;
+    if (Bound == -Infinity) {
+      markEmpty();
+      return;
+    }
+    relateInit(C.I, C.isUnary() ? C.I : C.J);
     double Old = M.get(E.Row, E.Col);
-    if (E.Bound < Old) {
-      setEntry(E.Row, E.Col, E.Bound);
+    if (Bound < Old) {
+      setEntry(E.Row, E.Col, Bound);
       Changed = true;
     }
   }
@@ -113,6 +127,14 @@ void Octagon::assign(unsigned X, const LinExpr &E) {
   assert(X < numVars() && "assignment target out of range");
   if (Empty)
     return;
+
+  // A non-finite constant (C-API input, overflowed fold) has no
+  // octagonal encoding that avoids NaN arithmetic in the shift paths;
+  // forgetting the target is the sound approximation.
+  if (!std::isfinite(E.Const)) {
+    havoc(X);
+    return;
+  }
 
   // Exact octagonal forms first (Section 2: assignments are meets of
   // the two induced inequalities).

@@ -20,6 +20,16 @@ inline constexpr double Infinity = std::numeric_limits<double>::infinity();
 /// True for a non-trivial (constraining) bound.
 inline bool isFinite(double Bound) { return Bound != Infinity; }
 
+/// Saturating min-plus addition of two bounds: +inf absorbs, because a
+/// path through a non-existent edge does not exist. Plain `+` computes
+/// (+inf) + (-inf) = NaN, which then poisons every min() it meets; this
+/// hazard is real once user-supplied bounds (C API, fault injection)
+/// can mix infinities. Use at add sites whose operands can be +inf and
+/// negative at the same time.
+inline double boundAdd(double A, double B) {
+  return (A == Infinity || B == Infinity) ? Infinity : A + B;
+}
+
 } // namespace optoct
 
 #endif // OPTOCT_OCT_VALUE_H

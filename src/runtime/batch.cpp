@@ -7,62 +7,210 @@
 #include "oct/octagon.h"
 #include "runtime/arena.h"
 #include "runtime/thread_pool.h"
+#include "support/faultinject.h"
 #include "support/timing.h"
 
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
 #include <future>
+#include <mutex>
+#include <optional>
 #include <sstream>
+#include <thread>
 #include <utility>
 
 using namespace optoct;
 using namespace optoct::runtime;
 
-JobResult optoct::runtime::runJob(const BatchJob &Job,
-                                  const BatchOptions &Opts) {
+const char *optoct::runtime::jobStatusName(JobStatus S) {
+  switch (S) {
+  case JobStatus::Ok:
+    return "ok";
+  case JobStatus::Degraded:
+    return "degraded";
+  case JobStatus::Failed:
+    return "failed";
+  case JobStatus::Timeout:
+    return "timeout";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Deadline and cancellation flag a run as Timeout; fuel budgets as
+/// Degraded.
+JobStatus statusForBudgetReason(support::BudgetReason Why) {
+  return (Why == support::BudgetReason::Deadline ||
+          Why == support::BudgetReason::Cancelled)
+             ? JobStatus::Timeout
+             : JobStatus::Degraded;
+}
+
+/// One isolated attempt at a job. Never throws: any escape is folded
+/// into the result's status. \p Retryable is set only for exception
+/// failures — parse errors and budget trips recur deterministically, so
+/// retrying them would just burn the backoff.
+JobResult runJobAttempt(const BatchJob &Job, const BatchOptions &Opts,
+                        support::CancellationToken &Token, bool &Retryable) {
+  Retryable = false;
   JobResult R;
   R.Name = Job.Name;
 
-  std::string Error;
-  auto Prog = lang::parseProgram(Job.Source, Error);
-  if (!Prog) {
-    R.Error = Error;
-    return R;
+  // Keep the watchdog idle between attempts: a stale passed deadline
+  // must not flag the backoff sleep or the next attempt's arm window.
+  struct DeadlineClear {
+    support::CancellationToken &T;
+    ~DeadlineClear() { T.clearDeadline(); }
+  } Clear{Token};
+
+  try {
+    support::FaultJobScope FaultScope(Job.Name.c_str());
+    Token.arm(Opts.Budget);
+    support::BudgetScope Scope(&Token);
+    support::faultPoint("batch.job");
+
+    std::string Error;
+    auto Prog = lang::parseProgram(Job.Source, Error);
+    if (!Prog) {
+      R.Status = JobStatus::Failed;
+      R.Error = Error;
+      return R;
+    }
+    cfg::Cfg Graph = cfg::Cfg::build(*Prog);
+
+    WorkerArena &Arena = thisThreadArena();
+    Arena.reserve(Opts.ReserveVars);
+    JobScope JScope(Arena);
+
+    WallTimer Timer;
+    Timer.start();
+    auto Result = analysis::analyze<Octagon>(Graph, Opts.Engine);
+    Timer.stop();
+
+    // The engine produced a sound result (possibly degraded). Result
+    // rendering below must not trip the budget and lose it.
+    support::disarmCurrentBudget();
+
+    if (Result.Status == analysis::RunStatus::Degraded) {
+      R.Status = statusForBudgetReason(Result.DegradedBy);
+      R.Detail = Result.StatusDetail;
+    } else {
+      R.Status = JobStatus::Ok;
+    }
+    R.Ok = true;
+    R.WallSeconds = Timer.seconds();
+    R.AssertsTotal = static_cast<unsigned>(Result.Asserts.size());
+    R.AssertsProven = Result.assertsProven();
+    for (const analysis::AssertOutcome &A : Result.Asserts)
+      if (!A.Proven)
+        R.UnprovenAssertLines.push_back(A.Line);
+    if (Opts.CaptureInvariants) {
+      for (unsigned B : Graph.rpo()) {
+        const cfg::BasicBlock &Block = Graph.block(B);
+        if (!Block.IsLoopHead)
+          continue;
+        std::string Inv = Result.BlockInvariant[B]
+                              ? Result.BlockInvariant[B]->str(&Block.SlotNames)
+                              : std::string("unreachable");
+        R.LoopInvariants.push_back("bb" + std::to_string(B) + ": " + Inv);
+      }
+    }
+    R.NumClosures = JScope.stats().numClosures();
+    R.ClosureCycles = JScope.stats().closureCycles();
+    R.OctagonCycles = Result.OctagonCycles;
+    R.BlockVisits = Result.BlockVisits;
+    R.NMin = JScope.stats().minVars();
+    R.NMax = JScope.stats().maxVars();
+  } catch (const support::BudgetExceeded &E) {
+    // A budget tripped outside the engine's own recovery (an injected
+    // timeout at the batch.job site, or fuel exhausted before the
+    // worklist started): no sound result exists for this job.
+    R.Status = statusForBudgetReason(E.reason());
+    R.Error = E.what();
+  } catch (const std::exception &E) {
+    R.Status = JobStatus::Failed;
+    R.Error = E.what();
+    Retryable = true;
+  } catch (...) {
+    R.Status = JobStatus::Failed;
+    R.Error = "unknown exception";
+    Retryable = true;
   }
-  cfg::Cfg Graph = cfg::Cfg::build(*Prog);
+  return R;
+}
 
-  WorkerArena &Arena = thisThreadArena();
-  Arena.reserve(Opts.ReserveVars);
-  JobScope Scope(Arena);
+/// Full per-job unit: attempts with exponential backoff until the job
+/// stops failing or the attempt cap is hit.
+JobResult runJobWithRetry(const BatchJob &Job, const BatchOptions &Opts,
+                          support::CancellationToken &Token) {
+  unsigned MaxAttempts = std::max(1u, Opts.MaxAttempts);
+  std::vector<std::string> Log;
+  for (unsigned Attempt = 1;; ++Attempt) {
+    bool Retryable = false;
+    JobResult R = runJobAttempt(Job, Opts, Token, Retryable);
+    R.Attempts = Attempt;
+    if (R.Status != JobStatus::Ok)
+      Log.push_back("attempt " + std::to_string(Attempt) + ": " +
+                    (R.Error.empty() ? R.Detail : R.Error));
+    if (R.Status != JobStatus::Failed || !Retryable ||
+        Attempt >= MaxAttempts) {
+      R.FailureLog = std::move(Log);
+      return R;
+    }
+    std::uint64_t Delay =
+        std::min<std::uint64_t>(Opts.BackoffCapMs,
+                                static_cast<std::uint64_t>(Opts.BackoffBaseMs)
+                                    << std::min(Attempt - 1, 20u));
+    if (Delay != 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(Delay));
+  }
+}
 
-  WallTimer Timer;
-  Timer.start();
-  auto Result = analysis::analyze<Octagon>(Graph, Opts.Engine);
-  Timer.stop();
+/// Background scanner flagging jobs stuck past their deadline. The
+/// token array is sized up front and never reallocates, so the scan
+/// needs no registry lock: deadlinePassed/requestCancel are the tokens'
+/// cross-thread-safe entry points.
+class Watchdog {
+public:
+  Watchdog(unsigned PollMs, std::vector<support::CancellationToken> &Tokens)
+      : Tokens(Tokens),
+        Thr([this, PollMs] { run(PollMs); }) {}
+  ~Watchdog() {
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      Stop = true;
+    }
+    Cv.notify_all();
+    Thr.join();
+  }
 
-  R.Ok = true;
-  R.WallSeconds = Timer.seconds();
-  R.AssertsTotal = static_cast<unsigned>(Result.Asserts.size());
-  R.AssertsProven = Result.assertsProven();
-  for (const analysis::AssertOutcome &A : Result.Asserts)
-    if (!A.Proven)
-      R.UnprovenAssertLines.push_back(A.Line);
-  if (Opts.CaptureInvariants) {
-    for (unsigned B : Graph.rpo()) {
-      const cfg::BasicBlock &Block = Graph.block(B);
-      if (!Block.IsLoopHead)
-        continue;
-      std::string Inv = Result.BlockInvariant[B]
-                            ? Result.BlockInvariant[B]->str(&Block.SlotNames)
-                            : std::string("unreachable");
-      R.LoopInvariants.push_back("bb" + std::to_string(B) + ": " + Inv);
+private:
+  void run(unsigned PollMs) {
+    std::unique_lock<std::mutex> Lock(Mu);
+    while (!Stop) {
+      for (support::CancellationToken &T : Tokens)
+        if (T.deadlinePassed() && !T.cancelRequested())
+          T.requestCancel(support::BudgetReason::Deadline);
+      Cv.wait_for(Lock, std::chrono::milliseconds(PollMs),
+                  [this] { return Stop; });
     }
   }
-  R.NumClosures = Scope.stats().numClosures();
-  R.ClosureCycles = Scope.stats().closureCycles();
-  R.OctagonCycles = Result.OctagonCycles;
-  R.BlockVisits = Result.BlockVisits;
-  R.NMin = Scope.stats().minVars();
-  R.NMax = Scope.stats().maxVars();
-  return R;
+
+  std::vector<support::CancellationToken> &Tokens;
+  std::mutex Mu;
+  std::condition_variable Cv;
+  bool Stop = false;
+  std::thread Thr;
+};
+
+} // namespace
+
+JobResult optoct::runtime::runJob(const BatchJob &Job,
+                                  const BatchOptions &Opts) {
+  support::CancellationToken Token;
+  return runJobWithRetry(Job, Opts, Token);
 }
 
 BatchReport optoct::runtime::runBatch(const std::vector<BatchJob> &Jobs,
@@ -73,29 +221,54 @@ BatchReport optoct::runtime::runBatch(const std::vector<BatchJob> &Jobs,
       Opts.Jobs == 0 ? ThreadPool::defaultWorkerCount() : Opts.Jobs;
   Report.Workers = Workers;
 
+  // One token per job, alive for the whole batch so the watchdog can
+  // scan without coordination (see Watchdog).
+  std::vector<support::CancellationToken> Tokens(Jobs.size());
+  std::optional<Watchdog> Dog;
+  if (Opts.Budget.DeadlineMs != 0 && Opts.WatchdogPollMs != 0 &&
+      !Jobs.empty())
+    Dog.emplace(Opts.WatchdogPollMs, Tokens);
+
   WallTimer Timer;
   Timer.start();
   if (Workers <= 1 || Jobs.size() <= 1) {
     for (std::size_t I = 0; I != Jobs.size(); ++I)
-      Report.Results[I] = runJob(Jobs[I], Opts);
+      Report.Results[I] = runJobWithRetry(Jobs[I], Opts, Tokens[I]);
   } else {
     ThreadPool Pool(Workers,
                     [&Opts] { thisThreadArena().reserve(Opts.ReserveVars); });
     std::vector<std::future<JobResult>> Futures;
     Futures.reserve(Jobs.size());
-    for (const BatchJob &Job : Jobs)
-      Futures.push_back(
-          Pool.submit([&Job, &Opts] { return runJob(Job, Opts); }));
+    for (std::size_t I = 0; I != Jobs.size(); ++I)
+      Futures.push_back(Pool.submit([&Jobs, &Opts, &Tokens, I] {
+        return runJobWithRetry(Jobs[I], Opts, Tokens[I]);
+      }));
     for (std::size_t I = 0; I != Futures.size(); ++I)
       Report.Results[I] = Futures[I].get();
   }
   Timer.stop();
+  Dog.reset(); // join before anyone can touch the tokens again
   Report.WallSeconds = Timer.seconds();
 
   for (const JobResult &R : Report.Results) {
+    switch (R.Status) {
+    case JobStatus::Ok:
+      ++Report.JobsOk;
+      break;
+    case JobStatus::Degraded:
+      ++Report.JobsDegraded;
+      break;
+    case JobStatus::Failed:
+      ++Report.JobsFailed;
+      break;
+    case JobStatus::Timeout:
+      ++Report.JobsTimedOut;
+      break;
+    }
+    if (R.Attempts > 1)
+      Report.Retries += R.Attempts - 1;
     if (!R.Ok)
       continue;
-    ++Report.JobsOk;
     Report.AssertsProven += R.AssertsProven;
     Report.AssertsTotal += R.AssertsTotal;
     Report.NumClosures += R.NumClosures;
@@ -145,6 +318,10 @@ std::string optoct::runtime::reportToJson(const BatchReport &Report) {
   Out << "  \"wall_seconds\": " << Report.WallSeconds << ",\n";
   Out << "  \"throughput_jobs_per_sec\": " << Report.throughput() << ",\n";
   Out << "  \"jobs_ok\": " << Report.JobsOk << ",\n";
+  Out << "  \"jobs_degraded\": " << Report.JobsDegraded << ",\n";
+  Out << "  \"jobs_failed\": " << Report.JobsFailed << ",\n";
+  Out << "  \"jobs_timeout\": " << Report.JobsTimedOut << ",\n";
+  Out << "  \"retries\": " << Report.Retries << ",\n";
   Out << "  \"asserts_proven\": " << Report.AssertsProven << ",\n";
   Out << "  \"asserts_total\": " << Report.AssertsTotal << ",\n";
   Out << "  \"num_closures\": " << Report.NumClosures << ",\n";
@@ -157,6 +334,20 @@ std::string optoct::runtime::reportToJson(const BatchReport &Report) {
     Out << "    {\"name\": ";
     appendEscaped(Out, R.Name);
     Out << ", \"ok\": " << (R.Ok ? "true" : "false");
+    Out << ", \"status\": \"" << jobStatusName(R.Status) << "\"";
+    Out << ", \"attempts\": " << R.Attempts;
+    if (!R.Detail.empty()) {
+      Out << ", \"detail\": ";
+      appendEscaped(Out, R.Detail);
+    }
+    if (!R.FailureLog.empty()) {
+      Out << ", \"failure_log\": [";
+      for (std::size_t L = 0; L != R.FailureLog.size(); ++L) {
+        Out << (L ? ", " : "");
+        appendEscaped(Out, R.FailureLog[L]);
+      }
+      Out << "]";
+    }
     if (!R.Ok) {
       Out << ", \"error\": ";
       appendEscaped(Out, R.Error);

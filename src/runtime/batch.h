@@ -14,12 +14,23 @@
 /// batch produces identical invariants and verdicts regardless of the
 /// worker count or the interleaving — only the timing fields vary.
 ///
+/// Fault isolation: every job attempt runs under its own try/catch and
+/// its own armed CancellationToken (support/budget.h). A job that
+/// throws is recorded as Failed — with the exception text appended to
+/// its failure log — and retried with exponential backoff up to
+/// BatchOptions::MaxAttempts; budget trips are terminal (they would
+/// recur deterministically) and map to Degraded or Timeout statuses. A
+/// watchdog thread scans the armed tokens and flags jobs stuck past
+/// their deadline via requestCancel. One crashing or hanging job can
+/// therefore never take down the batch.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef OPTOCT_RUNTIME_BATCH_H
 #define OPTOCT_RUNTIME_BATCH_H
 
 #include "analysis/engine.h"
+#include "support/budget.h"
 
 #include <cstdint>
 #include <string>
@@ -33,11 +44,27 @@ struct BatchJob {
   std::string Source; ///< Mini-IMP program text.
 };
 
+/// How a job ended (final attempt).
+enum class JobStatus {
+  Ok,       ///< Converged; results are the fixpoint invariants.
+  Degraded, ///< A fuel budget tripped; invariants sound but Top.
+  Failed,   ///< Parse error or exception on every allowed attempt.
+  Timeout,  ///< Deadline passed (self-polled or watchdog-flagged).
+};
+
+const char *jobStatusName(JobStatus S);
+
 /// Per-job outcome.
 struct JobResult {
   std::string Name;
-  bool Ok = false;    ///< Parsed and analyzed without error.
-  std::string Error;  ///< Parse/CFG error message when !Ok.
+  bool Ok = false;    ///< Analysis produced (possibly degraded) results.
+  std::string Error;  ///< Parse/exception message when !Ok.
+
+  JobStatus Status = JobStatus::Failed;
+  unsigned Attempts = 0;     ///< Attempts consumed (1 = no retry).
+  std::string Detail;        ///< Degradation cause when not Ok-status.
+  /// One line per non-Ok attempt ("attempt N: <what>"), across retries.
+  std::vector<std::string> FailureLog;
 
   unsigned AssertsProven = 0, AssertsTotal = 0;
   std::vector<int> UnprovenAssertLines; ///< Source lines left unknown.
@@ -66,6 +93,19 @@ struct BatchOptions {
   /// Arena pre-warm: per-worker scratch is grown for DBMs of up to this
   /// many variables before the first job runs.
   unsigned ReserveVars = 64;
+
+  /// Per-attempt budgets applied to every job (zeros = unlimited).
+  support::AnalysisBudget Budget;
+  /// Attempts per job; only Failed (exception) outcomes are retried —
+  /// budget trips are deterministic and terminal.
+  unsigned MaxAttempts = 1;
+  /// Exponential backoff before retry k sleeps
+  /// min(BackoffBaseMs << (k-1), BackoffCapMs) milliseconds.
+  unsigned BackoffBaseMs = 10;
+  unsigned BackoffCapMs = 1000;
+  /// Watchdog scan period; it flags armed tokens past their deadline.
+  /// 0 disables the watchdog (self-polling still enforces deadlines).
+  unsigned WatchdogPollMs = 20;
 };
 
 /// Whole-batch outcome. Results[i] always corresponds to Jobs[i].
@@ -74,8 +114,14 @@ struct BatchReport {
   double WallSeconds = 0.0; ///< Submission to last completion.
   unsigned Workers = 1;     ///< Worker count actually used.
 
-  // Aggregates over all Ok jobs.
+  // Status counts (JobsOk counts Status == Ok only).
   unsigned JobsOk = 0;
+  unsigned JobsDegraded = 0;
+  unsigned JobsFailed = 0;
+  unsigned JobsTimedOut = 0;
+  unsigned Retries = 0; ///< Extra attempts consumed across all jobs.
+
+  // Aggregates over all jobs with results (Ok flag).
   unsigned AssertsProven = 0, AssertsTotal = 0;
   std::uint64_t NumClosures = 0;
   std::uint64_t ClosureCycles = 0;

@@ -1,0 +1,76 @@
+//===- support/budget.cpp - Analysis budgets and cancellation -------------===//
+
+#include "support/budget.h"
+
+using namespace optoct::support;
+
+thread_local CancellationToken *optoct::support::detail::TlsToken = nullptr;
+
+const char *optoct::support::budgetReasonName(BudgetReason R) {
+  switch (R) {
+  case BudgetReason::None:
+    return "none";
+  case BudgetReason::Deadline:
+    return "deadline";
+  case BudgetReason::Cancelled:
+    return "cancelled";
+  case BudgetReason::BlockVisits:
+    return "block-visits";
+  case BudgetReason::DbmCells:
+    return "dbm-cells";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::int64_t steadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+} // namespace
+
+void CancellationToken::arm(const AnalysisBudget &Budget) {
+  Cancel.store(false, std::memory_order_relaxed);
+  CancelWhy.store(static_cast<int>(BudgetReason::Cancelled),
+                  std::memory_order_relaxed);
+  DeadlineNs.store(Budget.DeadlineMs == 0
+                       ? 0
+                       : steadyNowNs() + static_cast<std::int64_t>(
+                                             Budget.DeadlineMs * 1000000ull),
+                   std::memory_order_relaxed);
+  MaxCells = Budget.MaxDbmCells;
+  CellsUsed = 0;
+  PollTick = 0;
+}
+
+void CancellationToken::requestCancel(BudgetReason Why) {
+  CancelWhy.store(static_cast<int>(Why), std::memory_order_relaxed);
+  Cancel.store(true, std::memory_order_release);
+}
+
+bool CancellationToken::deadlinePassed() const {
+  std::int64_t D = DeadlineNs.load(std::memory_order_relaxed);
+  return D != 0 && steadyNowNs() >= D;
+}
+
+void CancellationToken::throwCancelled() {
+  BudgetReason Why =
+      static_cast<BudgetReason>(CancelWhy.load(std::memory_order_relaxed));
+  if (Why == BudgetReason::Deadline)
+    throw BudgetExceeded(Why, "deadline exceeded (flagged by watchdog)");
+  throw BudgetExceeded(Why, "analysis cancelled");
+}
+
+void CancellationToken::throwCellsExhausted() {
+  throw BudgetExceeded(BudgetReason::DbmCells,
+                       "DBM-cell allocation budget exhausted");
+}
+
+void CancellationToken::checkDeadline() {
+  std::int64_t D = DeadlineNs.load(std::memory_order_relaxed);
+  if (D != 0 && steadyNowNs() >= D)
+    throw BudgetExceeded(BudgetReason::Deadline, "deadline exceeded");
+}

@@ -1,0 +1,179 @@
+//===- support/budget.h - Analysis budgets and cancellation -----*- C++ -*-===//
+///
+/// \file
+/// Resource budgets and cooperative cancellation for analysis runs.
+/// One pathological job must not be able to take down a batch: the
+/// engine worklist loop and the closure outer loops poll a cheap
+/// thread-local token, and exceeding any budget raises BudgetExceeded,
+/// which the engine turns into a sound *degraded* result (remaining
+/// invariants widened to Top) instead of a crash.
+///
+/// Three budgets:
+///   * wall-clock deadline (checked on a sampled poll; also enforced
+///     from outside by the batch runtime's watchdog via requestCancel),
+///   * block-visit fuel (AnalysisOptions::MaxBlockVisits — the engine
+///     charges it directly),
+///   * DBM-cell allocation fuel (cumulative cells across all Octagon
+///     buffers a job constructs; a deterministic memory-pressure proxy).
+///
+/// Cost contract: with no token installed, pollBudget() is one
+/// thread-local load and a predicted-not-taken branch; the closure hot
+/// paths rely on this staying under the noise floor.
+///
+/// Threading: a token is polled and charged only by the thread that
+/// installed it (BudgetScope); requestCancel() may be called from any
+/// thread (the watchdog) and is the only cross-thread entry point.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPTOCT_SUPPORT_BUDGET_H
+#define OPTOCT_SUPPORT_BUDGET_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <exception>
+#include <string>
+
+namespace optoct::support {
+
+/// What tripped a budget. None means the run finished inside budget.
+enum class BudgetReason {
+  None,
+  Deadline,    ///< Wall-clock deadline passed (self-polled).
+  Cancelled,   ///< requestCancel() — watchdog flag or external abort.
+  BlockVisits, ///< Fixpoint block-visit fuel exhausted.
+  DbmCells,    ///< Cumulative DBM-cell allocation fuel exhausted.
+};
+
+const char *budgetReasonName(BudgetReason R);
+
+/// Raised at a poll/charge site when a budget is exhausted. The engine
+/// catches this and degrades; anything else escaping an analysis is a
+/// real failure.
+class BudgetExceeded : public std::exception {
+public:
+  BudgetExceeded(BudgetReason Reason, std::string What)
+      : Reason_(Reason), What_(std::move(What)) {}
+  BudgetReason reason() const { return Reason_; }
+  const char *what() const noexcept override { return What_.c_str(); }
+
+private:
+  BudgetReason Reason_;
+  std::string What_;
+};
+
+/// Per-job budget configuration. Zero disables the respective limit.
+struct AnalysisBudget {
+  std::uint64_t DeadlineMs = 0;   ///< Wall-clock deadline per attempt.
+  std::uint64_t MaxDbmCells = 0;  ///< Cumulative DBM cells allocated.
+};
+
+/// Shared cancellation/budget state for one analysis attempt. The
+/// owner (batch runtime, CLI) arms it and installs it via BudgetScope;
+/// a watchdog may hold a second reference and call requestCancel().
+class CancellationToken {
+public:
+  /// Starts the clock: resolves DeadlineMs against steady_clock::now()
+  /// and resets the fuel counters.
+  void arm(const AnalysisBudget &Budget);
+
+  /// Requests cooperative cancellation (thread-safe). \p Why is
+  /// reported by the next poll on the owning thread; Deadline marks a
+  /// watchdog-flagged timeout, Cancelled an external abort.
+  void requestCancel(BudgetReason Why = BudgetReason::Cancelled);
+
+  bool cancelRequested() const {
+    return Cancel.load(std::memory_order_relaxed);
+  }
+
+  /// True once the armed deadline is in the past (callable from any
+  /// thread; the watchdog's scan predicate).
+  bool deadlinePassed() const;
+
+  /// Drops the armed deadline (the attempt is over). Keeps watchdog
+  /// scans idle between attempts so a stale deadline cannot flag the
+  /// next one.
+  void clearDeadline() { DeadlineNs.store(0, std::memory_order_relaxed); }
+
+  /// Owning-thread poll: throws BudgetExceeded on cancellation, and on
+  /// a passed deadline (clock sampled every 64th call to stay cheap).
+  void poll() {
+    if (Cancel.load(std::memory_order_relaxed))
+      throwCancelled();
+    if ((++PollTick & 63u) == 0)
+      checkDeadline();
+  }
+
+  /// Charges \p Cells DBM cells against the allocation fuel; throws
+  /// BudgetExceeded when the cap is crossed. Owning thread only.
+  void chargeCells(std::uint64_t Cells) {
+    if (MaxCells == 0)
+      return;
+    CellsUsed += Cells;
+    if (CellsUsed > MaxCells)
+      throwCellsExhausted();
+  }
+
+  std::uint64_t cellsUsed() const { return CellsUsed; }
+
+private:
+  [[noreturn]] void throwCancelled();
+  [[noreturn]] void throwCellsExhausted();
+  void checkDeadline(); ///< Throws when past the deadline.
+
+  std::atomic<bool> Cancel{false};
+  std::atomic<int> CancelWhy{static_cast<int>(BudgetReason::Cancelled)};
+  /// Deadline as steady_clock nanoseconds since its epoch; 0 = none.
+  /// Atomic because the watchdog scans it while the job thread arms it.
+  std::atomic<std::int64_t> DeadlineNs{0};
+  std::uint64_t MaxCells = 0;
+  std::uint64_t CellsUsed = 0;
+  unsigned PollTick = 0;
+};
+
+namespace detail {
+/// The calling thread's active token; nullptr = unbudgeted (all polls
+/// no-op). Exposed only so the poll fast path can inline.
+extern thread_local CancellationToken *TlsToken;
+} // namespace detail
+
+/// Installs \p Token as the calling thread's active token for the
+/// scope's lifetime (nullptr = explicitly unbudgeted).
+class BudgetScope {
+public:
+  explicit BudgetScope(CancellationToken *Token) : Prev(detail::TlsToken) {
+    detail::TlsToken = Token;
+  }
+  ~BudgetScope() { detail::TlsToken = Prev; }
+  BudgetScope(const BudgetScope &) = delete;
+  BudgetScope &operator=(const BudgetScope &) = delete;
+
+private:
+  CancellationToken *Prev;
+};
+
+/// The engine/closure poll point. One TLS load when unbudgeted.
+inline void pollBudget() {
+  if (CancellationToken *T = detail::TlsToken)
+    T->poll();
+}
+
+/// Charges DBM-cell allocation fuel (no-op when unbudgeted).
+inline void chargeDbmCells(std::uint64_t Cells) {
+  if (CancellationToken *T = detail::TlsToken)
+    T->chargeCells(Cells);
+}
+
+/// The calling thread's active token (nullptr when unbudgeted).
+inline CancellationToken *currentBudgetToken() { return detail::TlsToken; }
+
+/// Mutes budget polling for the remainder of the current scope chain.
+/// The engine calls this after catching BudgetExceeded so its sound
+/// cleanup passes (Top invariants, final assertion check) cannot trip
+/// the same budget again; BudgetScope unwinding restores the token.
+inline void disarmCurrentBudget() { detail::TlsToken = nullptr; }
+
+} // namespace optoct::support
+
+#endif // OPTOCT_SUPPORT_BUDGET_H

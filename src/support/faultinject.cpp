@@ -1,0 +1,196 @@
+//===- support/faultinject.cpp - Deterministic fault injection ------------===//
+
+#include "support/faultinject.h"
+
+#include "support/budget.h"
+
+#include <chrono>
+#include <limits>
+#include <mutex>
+#include <new>
+#include <thread>
+#include <unordered_map>
+
+using namespace optoct::support;
+
+std::atomic<bool> optoct::support::detail::FaultsArmed{false};
+thread_local const char *optoct::support::detail::FaultJobName = nullptr;
+
+namespace {
+
+/// splitmix64: the seeded, order-free gate hash. Deterministic across
+/// platforms and worker interleavings.
+std::uint64_t mix64(std::uint64_t X) {
+  X += 0x9e3779b97f4a7c15ull;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ull;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebull;
+  return X ^ (X >> 31);
+}
+
+std::uint64_t hashString(const char *S) {
+  std::uint64_t H = 1469598103934665603ull; // FNV-1a
+  for (; S && *S; ++S)
+    H = (H ^ static_cast<unsigned char>(*S)) * 1099511628211ull;
+  return H;
+}
+
+} // namespace
+
+struct FaultPlan::State {
+  std::mutex Mu;
+  std::vector<FaultRule> Rules;
+  std::uint64_t Seed = 0;
+  /// Triggers recorded so far, keyed by rule index and job name.
+  std::unordered_map<std::string, unsigned> HitCounts;
+};
+
+FaultPlan::State &FaultPlan::state() {
+  static State S;
+  return S;
+}
+
+FaultPlan &FaultPlan::global() {
+  static FaultPlan P;
+  return P;
+}
+
+void FaultPlan::clear() {
+  State &S = state();
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  S.Rules.clear();
+  S.HitCounts.clear();
+  S.Seed = 0;
+  detail::FaultsArmed.store(false, std::memory_order_relaxed);
+}
+
+void FaultPlan::setSeed(std::uint64_t Seed) {
+  State &S = state();
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  S.Seed = Seed;
+}
+
+void FaultPlan::addRule(FaultRule Rule) {
+  State &S = state();
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  S.Rules.push_back(std::move(Rule));
+  detail::FaultsArmed.store(true, std::memory_order_relaxed);
+}
+
+void FaultPlan::resetCounters() {
+  State &S = state();
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  S.HitCounts.clear();
+}
+
+bool FaultPlan::parseRule(const std::string &Spec, std::string &Error) {
+  FaultRule Rule;
+  bool HaveSite = false, HaveKind = false;
+  std::size_t Pos = 0;
+  while (Pos < Spec.size()) {
+    std::size_t End = Spec.find(',', Pos);
+    if (End == std::string::npos)
+      End = Spec.size();
+    std::string Field = Spec.substr(Pos, End - Pos);
+    Pos = End + 1;
+    std::size_t Eq = Field.find('=');
+    if (Eq == std::string::npos) {
+      Error = "fault spec field '" + Field + "' is not key=value";
+      return false;
+    }
+    std::string Key = Field.substr(0, Eq), Val = Field.substr(Eq + 1);
+    try {
+      if (Key == "site") {
+        Rule.Site = Val;
+        HaveSite = true;
+      } else if (Key == "kind") {
+        HaveKind = true;
+        if (Val == "alloc")
+          Rule.Kind = FaultKind::AllocFail;
+        else if (Val == "slow")
+          Rule.Kind = FaultKind::Slow;
+        else if (Val == "timeout")
+          Rule.Kind = FaultKind::Timeout;
+        else if (Val == "poison")
+          Rule.Kind = FaultKind::PoisonBound;
+        else {
+          Error = "unknown fault kind '" + Val + "'";
+          return false;
+        }
+      } else if (Key == "job")
+        Rule.JobPattern = Val;
+      else if (Key == "hits")
+        Rule.Hits = static_cast<unsigned>(std::stoul(Val));
+      else if (Key == "ms")
+        Rule.SlowMs = static_cast<unsigned>(std::stoul(Val));
+      else if (Key == "prob")
+        Rule.Probability = std::stod(Val);
+      else {
+        Error = "unknown fault spec key '" + Key + "'";
+        return false;
+      }
+    } catch (const std::exception &) {
+      Error = "bad value in fault spec field '" + Field + "'";
+      return false;
+    }
+  }
+  if (!HaveSite || !HaveKind) {
+    Error = "fault spec needs at least site=<s>,kind=<k>";
+    return false;
+  }
+  addRule(std::move(Rule));
+  return true;
+}
+
+void optoct::support::faultPointSlow(const char *Site, double *Bound) {
+  FaultPlan::State &S = FaultPlan::global().state();
+  const char *Job = detail::FaultJobName ? detail::FaultJobName : "";
+
+  // Decide under the lock, act after releasing it (Slow sleeps; the
+  // throws must not leave the mutex held).
+  FaultKind Kind{};
+  unsigned SlowMs = 0;
+  bool Trigger = false;
+  {
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    for (std::size_t R = 0; R != S.Rules.size(); ++R) {
+      const FaultRule &Rule = S.Rules[R];
+      if (Rule.Site != Site)
+        continue;
+      if (!Rule.JobPattern.empty() &&
+          std::string(Job).find(Rule.JobPattern) == std::string::npos)
+        continue;
+      if (Rule.Probability < 1.0) {
+        std::uint64_t H =
+            mix64(S.Seed ^ mix64(hashString(Site)) ^ mix64(hashString(Job)));
+        double Coin = static_cast<double>(H >> 11) * 0x1.0p-53;
+        if (Coin >= Rule.Probability)
+          continue;
+      }
+      std::string Key = std::to_string(R) + "\x1f" + Job;
+      unsigned &Count = S.HitCounts[Key];
+      if (Count >= Rule.Hits)
+        continue;
+      ++Count;
+      Kind = Rule.Kind;
+      SlowMs = Rule.SlowMs;
+      Trigger = true;
+      break;
+    }
+  }
+  if (!Trigger)
+    return;
+
+  switch (Kind) {
+  case FaultKind::AllocFail:
+    throw std::bad_alloc();
+  case FaultKind::Slow:
+    std::this_thread::sleep_for(std::chrono::milliseconds(SlowMs));
+    return;
+  case FaultKind::Timeout:
+    throw BudgetExceeded(BudgetReason::Deadline, "injected timeout");
+  case FaultKind::PoisonBound:
+    if (Bound)
+      *Bound = std::numeric_limits<double>::quiet_NaN();
+    return;
+  }
+}

@@ -1,0 +1,121 @@
+//===- support/faultinject.h - Deterministic fault injection ----*- C++ -*-===//
+///
+/// \file
+/// Seeded, deterministic fault injection for robustness tests. Code
+/// under test declares named *sites* (faultPoint("engine.visit"), ...);
+/// a process-wide FaultPlan decides — purely from (rule, site, job
+/// name, per-job hit count, seed) — whether a given visit triggers a
+/// fault. Nothing depends on thread identity or scheduling, so a batch
+/// run produces the same injected faults for any worker count.
+///
+/// Sites currently wired in:
+///   * "batch.job"      — start of every batch job attempt
+///   * "engine.visit"   — every fixpoint block visit
+///   * "closure.pivot"  — every pivot iteration of the dense/sparse/
+///                        incremental closures
+///   * "oct.alloc"      — every Octagon buffer construction
+///   * "oct.constraint" — every constraint meet (PoisonBound target)
+///
+/// Fault kinds: AllocFail throws std::bad_alloc, Slow sleeps,
+/// Timeout raises BudgetExceeded(Deadline), PoisonBound overwrites the
+/// caller-supplied bound with NaN (exercising the bound-sanitizing
+/// layer in the octagon domain).
+///
+/// Hit counters are keyed by (rule, job name) and persist across retry
+/// attempts, so a rule with hits=1 fails a job's first attempt and
+/// lets the retry succeed — deterministically.
+///
+/// Cost contract: with an empty plan, faultPoint() is one relaxed
+/// atomic load and a predicted-not-taken branch.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPTOCT_SUPPORT_FAULTINJECT_H
+#define OPTOCT_SUPPORT_FAULTINJECT_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace optoct::support {
+
+enum class FaultKind { AllocFail, Slow, Timeout, PoisonBound };
+
+/// One injection rule. A site visit triggers the rule when the site
+/// matches, the job-name filter matches, the seeded coin for
+/// (seed, site, job) comes up, and fewer than Hits triggers have been
+/// recorded for this (rule, job) pair so far.
+struct FaultRule {
+  std::string Site;       ///< Exact site name ("engine.visit", ...).
+  std::string JobPattern; ///< Substring of the job name; empty = all.
+  FaultKind Kind = FaultKind::AllocFail;
+  unsigned Hits = 1;      ///< Triggers before the rule burns out (per job).
+  unsigned SlowMs = 50;   ///< Sleep duration for Slow.
+  double Probability = 1.0; ///< Seed-hashed per-(site,job) gate.
+};
+
+/// Process-wide injection plan. Configure before analysis threads run;
+/// clear() between test cases. Trigger bookkeeping is internally
+/// locked (fault injection is a test facility; the lock is only taken
+/// when the plan is non-empty).
+class FaultPlan {
+public:
+  static FaultPlan &global();
+
+  void clear();                    ///< Drop all rules and counters; disarm.
+  void setSeed(std::uint64_t S);   ///< Seed for the probability gates.
+  void addRule(FaultRule Rule);
+
+  /// Parses "site=<s>,kind=<alloc|slow|timeout|poison>[,job=<substr>]
+  /// [,hits=<n>][,ms=<n>][,prob=<p>]" (the CLI --inject syntax).
+  /// Returns false with \p Error set on a malformed spec.
+  bool parseRule(const std::string &Spec, std::string &Error);
+
+  /// Forgets which triggers have fired but keeps the rules — used to
+  /// replay one plan against several equivalent runs (e.g. the
+  /// serial-vs-parallel determinism oracle).
+  void resetCounters();
+
+private:
+  friend void faultPointSlow(const char *Site, double *Bound);
+  FaultPlan() = default;
+  struct State;
+  State &state();
+};
+
+namespace detail {
+/// True iff the global plan has at least one rule.
+extern std::atomic<bool> FaultsArmed;
+/// The calling thread's current job name (nullptr outside a job).
+extern thread_local const char *FaultJobName;
+} // namespace detail
+
+/// RAII: names the batch job running on this thread so rules with a
+/// job filter (and the per-job hit counters) can key on it.
+class FaultJobScope {
+public:
+  explicit FaultJobScope(const char *JobName) : Prev(detail::FaultJobName) {
+    detail::FaultJobName = JobName;
+  }
+  ~FaultJobScope() { detail::FaultJobName = Prev; }
+  FaultJobScope(const FaultJobScope &) = delete;
+  FaultJobScope &operator=(const FaultJobScope &) = delete;
+
+private:
+  const char *Prev;
+};
+
+/// Slow path: consults the plan and applies any triggered fault.
+void faultPointSlow(const char *Site, double *Bound);
+
+/// Injection point. \p Bound, when given, is the target of PoisonBound
+/// rules at this site.
+inline void faultPoint(const char *Site, double *Bound = nullptr) {
+  if (detail::FaultsArmed.load(std::memory_order_relaxed))
+    faultPointSlow(Site, Bound);
+}
+
+} // namespace optoct::support
+
+#endif // OPTOCT_SUPPORT_FAULTINJECT_H

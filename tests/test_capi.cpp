@@ -1,6 +1,7 @@
 //===- tests/test_capi.cpp - C API shim tests ------------------------------===//
 
 #include "capi/opt_oct.h"
+#include "capi/opt_oct_batch.h"
 
 #include <gtest/gtest.h>
 
@@ -114,6 +115,174 @@ TEST(CApi, ContradictionBecomesBottom) {
   opt_oct_add_constraint(O, +1, 1, -1, 0, -1.0); // v1 - v0 <= -1
   EXPECT_TRUE(opt_oct_is_bottom(O));
   opt_oct_free(O);
+}
+
+// Every entry point must tolerate NULL handles: no crash, and an
+// unmistakable error value (predicates -1, accessors 0, bounds NaN).
+TEST(CApi, NullHandlesAreHarmless) {
+  opt_oct_free(nullptr);
+  EXPECT_EQ(opt_oct_copy(nullptr), nullptr);
+  EXPECT_EQ(opt_oct_dimension(nullptr), 0u);
+  EXPECT_EQ(opt_oct_is_bottom(nullptr), -1);
+  EXPECT_EQ(opt_oct_is_top(nullptr), -1);
+  EXPECT_EQ(opt_oct_is_leq(nullptr, nullptr), -1);
+  EXPECT_EQ(opt_oct_is_eq(nullptr, nullptr), -1);
+  EXPECT_EQ(opt_oct_num_components(nullptr), 0u);
+  EXPECT_EQ(opt_oct_meet(nullptr, nullptr), nullptr);
+  EXPECT_EQ(opt_oct_join(nullptr, nullptr), nullptr);
+  EXPECT_EQ(opt_oct_widening(nullptr, nullptr), nullptr);
+  EXPECT_EQ(opt_oct_narrowing(nullptr, nullptr), nullptr);
+  opt_oct_close(nullptr);
+  opt_oct_add_constraint(nullptr, +1, 0, 0, 0, 1.0);
+  opt_oct_assign_var(nullptr, 0, +1, 0, 0.0);
+  opt_oct_assign_const(nullptr, 0, 0.0);
+  opt_oct_forget(nullptr, 0);
+  opt_oct_add_vars(nullptr, 1);
+  opt_oct_remove_trailing_vars(nullptr, 1);
+
+  double Lo = 0, Hi = 0;
+  opt_oct_bounds(nullptr, 0, &Lo, &Hi);
+  EXPECT_TRUE(std::isnan(Lo));
+  EXPECT_TRUE(std::isnan(Hi));
+
+  opt_oct_t *O = opt_oct_top(2);
+  EXPECT_EQ(opt_oct_is_leq(O, nullptr), -1);
+  EXPECT_EQ(opt_oct_is_leq(nullptr, O), -1);
+  EXPECT_EQ(opt_oct_meet(O, nullptr), nullptr);
+  opt_oct_free(O);
+}
+
+TEST(CApi, ZeroDimensionalOctagonWorks) {
+  opt_oct_t *Top = opt_oct_top(0);
+  opt_oct_t *Bot = opt_oct_bottom(0);
+  ASSERT_NE(Top, nullptr);
+  ASSERT_NE(Bot, nullptr);
+  EXPECT_EQ(opt_oct_dimension(Top), 0u);
+  EXPECT_EQ(opt_oct_is_top(Top), 1);
+  EXPECT_EQ(opt_oct_is_bottom(Top), 0);
+  opt_oct_close(Top);
+  // Any dimension index is out of range: constraint dropped, bounds NaN.
+  opt_oct_add_constraint(Top, +1, 0, 0, 0, 1.0);
+  EXPECT_EQ(opt_oct_is_top(Top), 1);
+  double Lo = 0, Hi = 0;
+  opt_oct_bounds(Top, 0, &Lo, &Hi);
+  EXPECT_TRUE(std::isnan(Lo));
+  opt_oct_t *J = opt_oct_join(Top, Bot);
+  ASSERT_NE(J, nullptr);
+  EXPECT_EQ(opt_oct_is_top(J), 1);
+  opt_oct_free(Top);
+  opt_oct_free(Bot);
+  opt_oct_free(J);
+}
+
+TEST(CApi, MismatchedDimensionsAreRejected) {
+  opt_oct_t *A = opt_oct_top(2);
+  opt_oct_t *B = opt_oct_top(3);
+  EXPECT_EQ(opt_oct_is_leq(A, B), -1);
+  EXPECT_EQ(opt_oct_is_eq(A, B), -1);
+  EXPECT_EQ(opt_oct_meet(A, B), nullptr);
+  EXPECT_EQ(opt_oct_join(A, B), nullptr);
+  EXPECT_EQ(opt_oct_widening(A, B), nullptr);
+  EXPECT_EQ(opt_oct_narrowing(A, B), nullptr);
+  opt_oct_free(A);
+  opt_oct_free(B);
+}
+
+TEST(CApi, InvalidConstraintsAreDroppedSoundly) {
+  opt_oct_t *O = opt_oct_top(2);
+  opt_oct_add_constraint(O, +2, 0, 0, 0, 1.0);  // Coefficient not +-1.
+  opt_oct_add_constraint(O, +1, 9, 0, 0, 1.0);  // i out of range.
+  opt_oct_add_constraint(O, +1, 0, +1, 9, 1.0); // j out of range.
+  opt_oct_add_constraint(O, +1, 0, +1, 0, 1.0); // j == i aliases unary.
+  opt_oct_add_constraint(O, +1, 0, +2, 1, 1.0); // coef_j not in {0,+-1}.
+  EXPECT_EQ(opt_oct_is_top(O), 1); // All dropped: still top, never UB.
+  opt_oct_free(O);
+}
+
+TEST(CApi, InvalidAssignmentHavocsTheTarget) {
+  opt_oct_t *O = opt_oct_top(2);
+  opt_oct_assign_const(O, 0, 5.0);
+  // Valid target, invalid right-hand side: x0 does change, and the
+  // only sound approximation of "to something" is to forget it.
+  opt_oct_assign_var(O, 0, +3, 1, 0.0);
+  double Lo = 0, Hi = 0;
+  opt_oct_bounds(O, 0, &Lo, &Hi);
+  EXPECT_TRUE(std::isinf(Hi));
+  // Invalid target: a no-op, the element is untouched.
+  opt_oct_assign_const(O, 7, 1.0);
+  opt_oct_forget(O, 7);
+  EXPECT_EQ(opt_oct_dimension(O), 2u);
+  // Removing more dimensions than exist clamps instead of underflowing.
+  opt_oct_remove_trailing_vars(O, 99);
+  EXPECT_EQ(opt_oct_dimension(O), 0u);
+  opt_oct_free(O);
+}
+
+// Batch C API error paths: invalid arguments yield NULL or error
+// values, never UB or aborts.
+TEST(CApiBatch, InvalidArgumentsAreRejected) {
+  const char *Names[] = {"a"};
+  const char *Sources[] = {"var x; x = 1;"};
+  EXPECT_EQ(opt_oct_batch_run(nullptr, Sources, 1, 1), nullptr);
+  EXPECT_EQ(opt_oct_batch_run(Names, nullptr, 1, 1), nullptr);
+  EXPECT_EQ(opt_oct_batch_run_budgeted(nullptr, Sources, 1, 1, 0, 0, 1),
+            nullptr);
+
+  // Count == 0 with NULL arrays is a valid empty batch.
+  opt_oct_batch_report_t *Empty = opt_oct_batch_run(nullptr, nullptr, 0, 1);
+  ASSERT_NE(Empty, nullptr);
+  EXPECT_EQ(opt_oct_batch_num_jobs(Empty), 0u);
+  opt_oct_batch_free(Empty);
+
+  // NULL report accessors.
+  opt_oct_batch_free(nullptr);
+  EXPECT_EQ(opt_oct_batch_num_jobs(nullptr), 0u);
+  EXPECT_EQ(opt_oct_batch_workers(nullptr), 0u);
+  EXPECT_EQ(opt_oct_batch_job_name(nullptr, 0), nullptr);
+  EXPECT_EQ(opt_oct_batch_job_ok(nullptr, 0), -1);
+  EXPECT_EQ(opt_oct_batch_job_status(nullptr, 0), -1);
+  EXPECT_EQ(opt_oct_batch_job_attempts(nullptr, 0), 0u);
+  EXPECT_EQ(opt_oct_batch_job_error(nullptr, 0), nullptr);
+
+  // Out-of-range job index on a real report.
+  opt_oct_batch_report_t *R = opt_oct_batch_run(Names, Sources, 1, 1);
+  ASSERT_NE(R, nullptr);
+  EXPECT_EQ(opt_oct_batch_job_name(R, 5), nullptr);
+  EXPECT_EQ(opt_oct_batch_job_ok(R, 5), -1);
+  EXPECT_EQ(opt_oct_batch_job_status(R, 5), -1);
+  EXPECT_EQ(opt_oct_batch_job_attempts(R, 5), 0u);
+  opt_oct_batch_free(R);
+}
+
+TEST(CApiBatch, NullEntriesBecomeCleanJobsNotCrashes) {
+  const char *Names[] = {nullptr, "ok"};
+  const char *Sources[] = {nullptr, "var x; x = 1; assert(x <= 1);"};
+  opt_oct_batch_report_t *R = opt_oct_batch_run(Names, Sources, 2, 1);
+  ASSERT_NE(R, nullptr);
+  EXPECT_EQ(opt_oct_batch_num_jobs(R), 2u);
+  // NULL name is replaced, NULL source analyzed as the empty program:
+  // a trivially Ok job with nothing to prove — and no UB anywhere.
+  EXPECT_STREQ(opt_oct_batch_job_name(R, 0), "(null)");
+  EXPECT_EQ(opt_oct_batch_job_status(R, 0), OPT_OCT_BATCH_JOB_OK);
+  EXPECT_EQ(opt_oct_batch_job_asserts_total(R, 0), 0u);
+  EXPECT_EQ(opt_oct_batch_job_status(R, 1), OPT_OCT_BATCH_JOB_OK);
+  EXPECT_EQ(opt_oct_batch_job_asserts_proven(R, 1), 1u);
+  opt_oct_batch_free(R);
+}
+
+TEST(CApiBatch, BudgetedRunReportsStatusAndAttempts) {
+  const char *Names[] = {"tiny", "broken"};
+  const char *Sources[] = {"var x; x = 2; assert(x <= 2);", "var x = ;"};
+  // Generous budgets that never trip; max_attempts 0 is clamped to 1.
+  opt_oct_batch_report_t *R = opt_oct_batch_run_budgeted(
+      Names, Sources, 2, 1, /*deadline_ms=*/60000,
+      /*max_dbm_cells=*/1u << 30, /*max_attempts=*/0);
+  ASSERT_NE(R, nullptr);
+  EXPECT_EQ(opt_oct_batch_job_status(R, 0), OPT_OCT_BATCH_JOB_OK);
+  EXPECT_EQ(opt_oct_batch_job_attempts(R, 0), 1u);
+  EXPECT_EQ(opt_oct_batch_job_status(R, 1), OPT_OCT_BATCH_JOB_FAILED);
+  EXPECT_STRNE(opt_oct_batch_job_error(R, 1), "");
+  opt_oct_batch_free(R);
 }
 
 } // namespace

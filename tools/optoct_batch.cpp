@@ -15,18 +15,32 @@
 ///     --widening-delay=<k>, --narrowing=<k>, --no-linearize,
 ///     --thresholds=a,b,...  engine options (as in optoct)
 ///
+///   Fault tolerance:
+///     --deadline-ms=<n>     per-attempt wall-clock budget (0 = off)
+///     --max-cells=<n>       per-attempt DBM-cell allocation budget
+///     --retries=<n>         retry failed jobs up to n times (backoff)
+///     --backoff-ms=<n>      base backoff before the first retry
+///     --inject=<spec>       seeded fault injection (repeatable);
+///                           spec: site=<s>,kind=<alloc|slow|timeout|
+///                           poison>[,job=<substr>][,hits=<n>][,ms=<n>]
+///                           [,prob=<p>]
+///     --fault-seed=<n>      seed for probabilistic injection rules
+///
 /// Exit code: 0 if every job analyzed and all assertions were proven,
-/// 1 if some assertion is unknown or a job failed, 2 on usage errors.
+/// 1 if some assertion is unknown or a job failed/degraded/timed out,
+/// 2 on usage errors or internal failures.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "runtime/batch.h"
 #include "runtime/thread_pool.h"
+#include "support/faultinject.h"
 #include "workloads/workload.h"
 
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <exception>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -48,19 +62,63 @@ void usage(const char *Argv0) {
                "usage: %s [--jobs=N] [--generated] [--json=<path>]\n"
                "       [--invariants] [--widening-delay=<k>] "
                "[--narrowing=<k>]\n"
-               "       [--no-linearize] [--thresholds=a,b,...] "
-               "[files.imp...]\n",
+               "       [--no-linearize] [--thresholds=a,b,...]\n"
+               "       [--deadline-ms=<n>] [--max-cells=<n>] "
+               "[--retries=<n>]\n"
+               "       [--backoff-ms=<n>] [--inject=<spec>] "
+               "[--fault-seed=<n>]\n"
+               "       [files.imp...]\n",
                Argv0);
+}
+
+/// stoul/stod throw on garbage ("--jobs=x") and out-of-range values;
+/// a CLI must diagnose, not terminate.
+bool parseU64(const std::string &Val, const char *Flag, std::uint64_t &Out) {
+  try {
+    std::size_t End = 0;
+    Out = std::stoull(Val, &End);
+    if (End == Val.size())
+      return true;
+  } catch (const std::exception &) {
+  }
+  std::fprintf(stderr, "error: %s expects a non-negative integer, got '%s'\n",
+               Flag, Val.c_str());
+  return false;
+}
+
+bool parseUnsigned(const std::string &Val, const char *Flag, unsigned &Out) {
+  std::uint64_t Wide;
+  if (!parseU64(Val, Flag, Wide) || Wide > 0xffffffffull) {
+    Out = 0;
+    return false;
+  }
+  Out = static_cast<unsigned>(Wide);
+  return true;
+}
+
+bool parseDouble(const std::string &Val, const char *Flag, double &Out) {
+  try {
+    std::size_t End = 0;
+    Out = std::stod(Val, &End);
+    if (End == Val.size())
+      return true;
+  } catch (const std::exception &) {
+  }
+  std::fprintf(stderr, "error: %s expects a number, got '%s'\n", Flag,
+               Val.c_str());
+  return false;
 }
 
 bool parseArgs(int Argc, char **Argv, BatchCliOptions &Opts) {
   for (int I = 1; I != Argc; ++I) {
     std::string Arg = Argv[I];
-    if (Arg.rfind("--jobs=", 0) == 0)
-      Opts.Batch.Jobs = static_cast<unsigned>(std::stoul(Arg.substr(7)));
-    else if (Arg == "--jobs" && I + 1 != Argc)
-      Opts.Batch.Jobs = static_cast<unsigned>(std::stoul(Argv[++I]));
-    else if (Arg == "--generated")
+    if (Arg.rfind("--jobs=", 0) == 0) {
+      if (!parseUnsigned(Arg.substr(7), "--jobs", Opts.Batch.Jobs))
+        return false;
+    } else if (Arg == "--jobs" && I + 1 != Argc) {
+      if (!parseUnsigned(Argv[++I], "--jobs", Opts.Batch.Jobs))
+        return false;
+    } else if (Arg == "--generated")
       Opts.AddGenerated = true;
     else if (Arg == "--invariants")
       Opts.PrintInvariants = true;
@@ -68,21 +126,55 @@ bool parseArgs(int Argc, char **Argv, BatchCliOptions &Opts) {
       Opts.JsonPath = Arg.substr(7);
     else if (Arg == "--json" && I + 1 != Argc)
       Opts.JsonPath = Argv[++I];
-    else if (Arg.rfind("--widening-delay=", 0) == 0)
-      Opts.Batch.Engine.WideningDelay =
-          static_cast<unsigned>(std::stoul(Arg.substr(17)));
-    else if (Arg.rfind("--narrowing=", 0) == 0)
-      Opts.Batch.Engine.NarrowingPasses =
-          static_cast<unsigned>(std::stoul(Arg.substr(12)));
-    else if (Arg == "--no-linearize")
+    else if (Arg.rfind("--widening-delay=", 0) == 0) {
+      if (!parseUnsigned(Arg.substr(17), "--widening-delay",
+                         Opts.Batch.Engine.WideningDelay))
+        return false;
+    } else if (Arg.rfind("--narrowing=", 0) == 0) {
+      if (!parseUnsigned(Arg.substr(12), "--narrowing",
+                         Opts.Batch.Engine.NarrowingPasses))
+        return false;
+    } else if (Arg == "--no-linearize")
       Opts.Batch.Engine.LinearizeGuards = false;
     else if (Arg.rfind("--thresholds=", 0) == 0) {
       std::stringstream List(Arg.substr(13));
       std::string Item;
-      while (std::getline(List, Item, ','))
-        Opts.Batch.Engine.WideningThresholds.push_back(std::stod(Item));
+      while (std::getline(List, Item, ',')) {
+        double T;
+        if (!parseDouble(Item, "--thresholds", T))
+          return false;
+        Opts.Batch.Engine.WideningThresholds.push_back(T);
+      }
       std::sort(Opts.Batch.Engine.WideningThresholds.begin(),
                 Opts.Batch.Engine.WideningThresholds.end());
+    } else if (Arg.rfind("--deadline-ms=", 0) == 0) {
+      if (!parseU64(Arg.substr(14), "--deadline-ms",
+                    Opts.Batch.Budget.DeadlineMs))
+        return false;
+    } else if (Arg.rfind("--max-cells=", 0) == 0) {
+      if (!parseU64(Arg.substr(12), "--max-cells",
+                    Opts.Batch.Budget.MaxDbmCells))
+        return false;
+    } else if (Arg.rfind("--retries=", 0) == 0) {
+      unsigned Retries;
+      if (!parseUnsigned(Arg.substr(10), "--retries", Retries))
+        return false;
+      Opts.Batch.MaxAttempts = Retries + 1;
+    } else if (Arg.rfind("--backoff-ms=", 0) == 0) {
+      if (!parseUnsigned(Arg.substr(13), "--backoff-ms",
+                         Opts.Batch.BackoffBaseMs))
+        return false;
+    } else if (Arg.rfind("--inject=", 0) == 0) {
+      std::string Error;
+      if (!support::FaultPlan::global().parseRule(Arg.substr(9), Error)) {
+        std::fprintf(stderr, "error: --inject: %s\n", Error.c_str());
+        return false;
+      }
+    } else if (Arg.rfind("--fault-seed=", 0) == 0) {
+      std::uint64_t Seed;
+      if (!parseU64(Arg.substr(13), "--fault-seed", Seed))
+        return false;
+      support::FaultPlan::global().setSeed(Seed);
     } else if (Arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
       return false;
@@ -96,9 +188,7 @@ bool parseArgs(int Argc, char **Argv, BatchCliOptions &Opts) {
   return true;
 }
 
-} // namespace
-
-int main(int Argc, char **Argv) {
+int run(int Argc, char **Argv) {
   BatchCliOptions Opts;
   if (!parseArgs(Argc, Argv, Opts)) {
     usage(Argv[0]);
@@ -125,26 +215,50 @@ int main(int Argc, char **Argv) {
   bool AllProven = true;
   for (const runtime::JobResult &R : Report.Results) {
     if (!R.Ok) {
-      std::printf("%-24s FAILED: %s\n", R.Name.c_str(), R.Error.c_str());
+      std::printf("%-24s %s: %s%s\n", R.Name.c_str(),
+                  R.Status == runtime::JobStatus::Timeout ? "TIMEOUT"
+                                                          : "FAILED",
+                  R.Error.c_str(),
+                  R.Attempts > 1
+                      ? (" (after " + std::to_string(R.Attempts) +
+                         " attempts)")
+                            .c_str()
+                      : "");
       AllProven = false;
       continue;
     }
-    std::printf("%-24s %u/%u proven, %llu closures, %.1f ms\n",
-                R.Name.c_str(), R.AssertsProven, R.AssertsTotal,
+    std::printf("%-24s %u/%u proven, %llu closures, %.1f ms", R.Name.c_str(),
+                R.AssertsProven, R.AssertsTotal,
                 static_cast<unsigned long long>(R.NumClosures),
                 R.WallSeconds * 1e3);
+    if (R.Status != runtime::JobStatus::Ok) {
+      std::printf(" [%s: %s]", runtime::jobStatusName(R.Status),
+                  R.Detail.c_str());
+      AllProven = false;
+    }
+    if (R.Attempts > 1)
+      std::printf(" (attempt %u)", R.Attempts);
+    std::printf("\n");
     if (R.AssertsProven != R.AssertsTotal)
       AllProven = false;
     if (Opts.PrintInvariants)
       for (const std::string &Inv : R.LoopInvariants)
         std::printf("    %s\n", Inv.c_str());
   }
-  std::printf("batch: %zu jobs (%u ok) on %u worker%s in %.1f ms "
-              "(%.1f jobs/s), %u/%u assertions proven\n",
-              Report.Results.size(), Report.JobsOk, Report.Workers,
-              Report.Workers == 1 ? "" : "s", Report.WallSeconds * 1e3,
-              Report.throughput(), Report.AssertsProven,
-              Report.AssertsTotal);
+  std::printf("batch: %zu jobs (%u ok", Report.Results.size(), Report.JobsOk);
+  if (Report.JobsDegraded)
+    std::printf(", %u degraded", Report.JobsDegraded);
+  if (Report.JobsTimedOut)
+    std::printf(", %u timeout", Report.JobsTimedOut);
+  if (Report.JobsFailed)
+    std::printf(", %u failed", Report.JobsFailed);
+  if (Report.Retries)
+    std::printf(", %u retries", Report.Retries);
+  std::printf(") on %u worker%s in %.1f ms (%.1f jobs/s), "
+              "%u/%u assertions proven\n",
+              Report.Workers, Report.Workers == 1 ? "" : "s",
+              Report.WallSeconds * 1e3, Report.throughput(),
+              Report.AssertsProven, Report.AssertsTotal);
 
   if (!Opts.JsonPath.empty()) {
     std::ofstream Out(Opts.JsonPath);
@@ -156,4 +270,20 @@ int main(int Argc, char **Argv) {
     Out << runtime::reportToJson(Report);
   }
   return AllProven && Report.JobsOk == Report.Results.size() ? 0 : 1;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  // Anything escaping here would std::terminate with no diagnostic;
+  // a batch driver must fail with one line and a distinct exit code.
+  try {
+    return run(Argc, Argv);
+  } catch (const std::exception &E) {
+    std::fprintf(stderr, "optoct_batch: fatal: %s\n", E.what());
+    return 2;
+  } catch (...) {
+    std::fprintf(stderr, "optoct_batch: fatal: unknown error\n");
+    return 2;
+  }
 }

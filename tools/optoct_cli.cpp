@@ -37,6 +37,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <exception>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -44,6 +45,36 @@
 using namespace optoct;
 
 namespace {
+
+/// stoul/stod throw on garbage and out-of-range values; a CLI must
+/// diagnose, not terminate.
+bool parseUnsigned(const std::string &Val, const char *Flag, unsigned &Out) {
+  try {
+    std::size_t End = 0;
+    unsigned long Wide = std::stoul(Val, &End);
+    if (End == Val.size() && Wide <= 0xfffffffful) {
+      Out = static_cast<unsigned>(Wide);
+      return true;
+    }
+  } catch (const std::exception &) {
+  }
+  std::fprintf(stderr, "error: %s expects a non-negative integer, got '%s'\n",
+               Flag, Val.c_str());
+  return false;
+}
+
+bool parseDouble(const std::string &Val, const char *Flag, double &Out) {
+  try {
+    std::size_t End = 0;
+    Out = std::stod(Val, &End);
+    if (End == Val.size())
+      return true;
+  } catch (const std::exception &) {
+  }
+  std::fprintf(stderr, "error: %s expects a number, got '%s'\n", Flag,
+               Val.c_str());
+  return false;
+}
 
 struct CliOptions {
   std::string File;
@@ -87,21 +118,29 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       octConfig().EnableVectorization = false;
     else if (Arg == "--no-sparse")
       octConfig().EnableSparse = false;
-    else if (Arg.rfind("--threshold=", 0) == 0)
-      octConfig().SparsityThreshold = std::stod(Arg.substr(12));
-    else if (Arg.rfind("--widening-delay=", 0) == 0)
-      Opts.Engine.WideningDelay =
-          static_cast<unsigned>(std::stoul(Arg.substr(17)));
-    else if (Arg.rfind("--narrowing=", 0) == 0)
-      Opts.Engine.NarrowingPasses =
-          static_cast<unsigned>(std::stoul(Arg.substr(12)));
-    else if (Arg == "--no-linearize")
+    else if (Arg.rfind("--threshold=", 0) == 0) {
+      if (!parseDouble(Arg.substr(12), "--threshold",
+                       octConfig().SparsityThreshold))
+        return false;
+    } else if (Arg.rfind("--widening-delay=", 0) == 0) {
+      if (!parseUnsigned(Arg.substr(17), "--widening-delay",
+                         Opts.Engine.WideningDelay))
+        return false;
+    } else if (Arg.rfind("--narrowing=", 0) == 0) {
+      if (!parseUnsigned(Arg.substr(12), "--narrowing",
+                         Opts.Engine.NarrowingPasses))
+        return false;
+    } else if (Arg == "--no-linearize")
       Opts.Engine.LinearizeGuards = false;
     else if (Arg.rfind("--thresholds=", 0) == 0) {
       std::stringstream List(Arg.substr(13));
       std::string Item;
-      while (std::getline(List, Item, ','))
-        Opts.Engine.WideningThresholds.push_back(std::stod(Item));
+      while (std::getline(List, Item, ',')) {
+        double T;
+        if (!parseDouble(Item, "--thresholds", T))
+          return false;
+        Opts.Engine.WideningThresholds.push_back(T);
+      }
       std::sort(Opts.Engine.WideningThresholds.begin(),
                 Opts.Engine.WideningThresholds.end());
     }
@@ -170,9 +209,7 @@ int runAnalysis(const CliOptions &Opts, const cfg::Cfg &Graph,
   return Proven == Total ? 0 : 1;
 }
 
-} // namespace
-
-int main(int Argc, char **Argv) {
+int run(int Argc, char **Argv) {
   CliOptions Opts;
   if (!parseArgs(Argc, Argv, Opts)) {
     usage(Argv[0]);
@@ -201,4 +238,19 @@ int main(int Argc, char **Argv) {
     return runAnalysis<baseline::ApronOctagon>(Opts, Graph,
                                                baseline::setApronStatsSink);
   return runAnalysis<Octagon>(Opts, Graph, setOctStatsSink);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  // Anything escaping here would std::terminate with no diagnostic.
+  try {
+    return run(Argc, Argv);
+  } catch (const std::exception &E) {
+    std::fprintf(stderr, "optoct: fatal: %s\n", E.what());
+    return 2;
+  } catch (...) {
+    std::fprintf(stderr, "optoct: fatal: unknown error\n");
+    return 2;
+  }
 }
