@@ -75,6 +75,7 @@ int main(int Argc, char **Argv) {
     double Throughput;
     double Speedup;
     bool Deterministic;
+    bool Oversubscribed;
   };
   std::vector<Point> Series;
   std::string SerialKey;
@@ -82,6 +83,16 @@ int main(int Argc, char **Argv) {
 
   TextTable Table({"Workers", "Wall ms", "Jobs/s", "Speedup", "Answers"});
   for (unsigned W : Counts) {
+    // Worker counts past the hardware threads measure scheduler churn,
+    // not scaling; keep the point (the 2x column is informative) but
+    // say so, here and in the JSON, so nobody reads the flat or
+    // negative "speedup" as a regression.
+    bool Oversubscribed = W > Hw;
+    if (Oversubscribed)
+      std::fprintf(stderr,
+                   "warning: %u workers oversubscribe %u hardware "
+                   "thread%s; speedup for this point is not meaningful\n",
+                   W, Hw, Hw == 1 ? "" : "s");
     runtime::BatchOptions Opts;
     Opts.Jobs = W;
     // Budgets armed but generous enough never to trip: the series then
@@ -102,14 +113,21 @@ int main(int Argc, char **Argv) {
     if (W == 1)
       SerialWall = BestWall;
     Point P{W, BestWall, BestWall > 0 ? Jobs.size() / BestWall : 0.0,
-            BestWall > 0 ? SerialWall / BestWall : 0.0, Deterministic};
+            BestWall > 0 ? SerialWall / BestWall : 0.0, Deterministic,
+            Oversubscribed};
     Series.push_back(P);
-    Table.addRow({std::to_string(W), TextTable::num(P.WallSeconds * 1e3, 1),
+    Table.addRow({std::to_string(W) + (Oversubscribed ? "*" : ""),
+                  TextTable::num(P.WallSeconds * 1e3, 1),
                   TextTable::num(P.Throughput, 1),
                   TextTable::num(P.Speedup, 2) + "x",
                   P.Deterministic ? "identical" : "DIVERGED"});
   }
   std::printf("%s\n", Table.render().c_str());
+  for (const Point &P : Series)
+    if (P.Oversubscribed) {
+      std::printf("* oversubscribed (> %u hardware threads)\n\n", Hw);
+      break;
+    }
 
   std::ofstream Out(JsonPath);
   if (!Out) {
@@ -127,7 +145,8 @@ int main(int Argc, char **Argv) {
         << ", \"wall_seconds\": " << P.WallSeconds
         << ", \"throughput_jobs_per_sec\": " << P.Throughput
         << ", \"speedup\": " << P.Speedup << ", \"deterministic\": "
-        << (P.Deterministic ? "true" : "false") << "}"
+        << (P.Deterministic ? "true" : "false") << ", \"oversubscribed\": "
+        << (P.Oversubscribed ? "true" : "false") << "}"
         << (I + 1 == Series.size() ? "" : ",") << "\n";
   }
   Out << "  ]\n}\n";

@@ -65,6 +65,30 @@ opt_oct_batch_run_budgeted(const char *const *names,
   return runWithOptions(names, sources, count, Opts);
 }
 
+opt_oct_batch_report_t *
+opt_oct_batch_run_journaled(const char *const *names,
+                            const char *const *sources, size_t count,
+                            unsigned jobs, const char *journal_path,
+                            int resume) {
+  if (!journal_path || !*journal_path)
+    return nullptr;
+  runtime::BatchOptions Opts;
+  Opts.Jobs = jobs;
+  Opts.JournalPath = journal_path;
+  Opts.Resume = resume != 0;
+  // runWithOptions' catch-all turns journal/fingerprint failures
+  // (runBatch throws for those) into the documented NULL.
+  return runWithOptions(names, sources, count, Opts);
+}
+
+opt_oct_batch_report_t *opt_oct_batch_resume(const char *const *names,
+                                             const char *const *sources,
+                                             size_t count, unsigned jobs,
+                                             const char *journal_path) {
+  return opt_oct_batch_run_journaled(names, sources, count, jobs,
+                                     journal_path, 1);
+}
+
 size_t opt_oct_batch_num_jobs(const opt_oct_batch_report_t *r) {
   return r ? r->Report.Results.size() : 0;
 }
@@ -79,6 +103,14 @@ double opt_oct_batch_wall_seconds(const opt_oct_batch_report_t *r) {
 
 uint64_t opt_oct_batch_total_closures(const opt_oct_batch_report_t *r) {
   return r ? r->Report.NumClosures : 0;
+}
+
+unsigned opt_oct_batch_jobs_resumed(const opt_oct_batch_report_t *r) {
+  return r ? r->Report.JobsResumed : 0;
+}
+
+uint64_t opt_oct_batch_audit_incidents(const opt_oct_batch_report_t *r) {
+  return r ? r->Report.AuditIncidentTotal : 0;
 }
 
 const char *opt_oct_batch_job_name(const opt_oct_batch_report_t *r, size_t i) {

@@ -56,11 +56,36 @@ opt_oct_batch_run_budgeted(const char *const *names,
                            unsigned jobs, uint64_t deadline_ms,
                            uint64_t max_dbm_cells, unsigned max_attempts);
 
+/* Crash-safe variant: completed jobs are checkpointed to the
+ * append-only journal at `journal_path` (fsync per record) as they
+ * finish. With `resume` nonzero the journal is loaded first and only
+ * the jobs missing from it are run — the merged report is identical to
+ * an uninterrupted run. Resume requires the journal to have been
+ * written by the same job set (fingerprint check). Returns NULL on
+ * invalid arguments, an unwritable journal, or a fingerprint
+ * mismatch. */
+opt_oct_batch_report_t *
+opt_oct_batch_run_journaled(const char *const *names,
+                            const char *const *sources, size_t count,
+                            unsigned jobs, const char *journal_path,
+                            int resume);
+
+/* Convenience wrapper: opt_oct_batch_run_journaled with resume = 1. */
+opt_oct_batch_report_t *opt_oct_batch_resume(const char *const *names,
+                                             const char *const *sources,
+                                             size_t count, unsigned jobs,
+                                             const char *journal_path);
+
 /* Report-level accessors. */
 size_t opt_oct_batch_num_jobs(const opt_oct_batch_report_t *r);
 unsigned opt_oct_batch_workers(const opt_oct_batch_report_t *r);
 double opt_oct_batch_wall_seconds(const opt_oct_batch_report_t *r);
 uint64_t opt_oct_batch_total_closures(const opt_oct_batch_report_t *r);
+/* Jobs whose results were loaded from the journal instead of run. */
+unsigned opt_oct_batch_jobs_resumed(const opt_oct_batch_report_t *r);
+/* Corruption events detected and recovered by the audit layer (0 when
+ * audit mode was off). */
+uint64_t opt_oct_batch_audit_incidents(const opt_oct_batch_report_t *r);
 
 /* Per-job accessors; i < opt_oct_batch_num_jobs(r). NULL reports and
  * out-of-range indices return NULL / -1 / 0 as appropriate. */

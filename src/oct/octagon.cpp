@@ -4,14 +4,17 @@
 
 #include "oct/closure_dense.h"
 #include "oct/closure_incremental.h"
+#include "oct/closure_reference.h"
 #include "oct/closure_sparse.h"
 #include "oct/config.h"
 #include "oct/vector_min.h"
+#include "support/audit.h"
 #include "support/budget.h"
 #include "support/faultinject.h"
 #include "support/timing.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 using namespace optoct;
@@ -197,6 +200,17 @@ void Octagon::materialize() {
 void Octagon::close() {
   if (Closed || Empty)
     return;
+  if (support::auditEnabled()) {
+    // Level-1 recovery ladder (support/audit.h): validate the result,
+    // optionally cross-check it against the reference closure, and on
+    // corruption recompute from a pre-closure snapshot.
+    closeAudited();
+    return;
+  }
+  closeInner();
+}
+
+void Octagon::closeInner() {
   std::uint64_t Begin = StatsSink ? readCycles() : 0;
   int Tag;
 
@@ -396,6 +410,210 @@ void Octagon::reclassify() {
   Kind = P.isWhole() || (P.numComponents() == 1 && FullyInit)
              ? DbmKind::Sparse
              : DbmKind::Decomposed;
+}
+
+//===----------------------------------------------------------------------===//
+// Audited closure (the Level-1 recovery ladder, support/audit.h)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Entry-level agreement for the cross-check. Exact equality covers the
+/// common case (identical bounds, both +inf); the tolerance absorbs the
+/// different floating-point evaluation orders of the optimized closures
+/// vs. Algorithm 1 along equal-length shortest paths.
+bool boundsAgree(double A, double B) {
+  if (A == B)
+    return true;
+  if (std::isnan(A) || std::isnan(B))
+    return false;
+  return std::abs(A - B) <=
+         1e-9 * std::max({1.0, std::abs(A), std::abs(B)});
+}
+
+/// `L <= R` with the same epsilon, for the closedness spot-checks
+/// (rounding in the strengthening half-sums may leave the triangle
+/// inequality epsilon-violated without any corruption).
+bool leqWithTolerance(double L, double R) {
+  if (std::isnan(L) || std::isnan(R))
+    return false;
+  return L <= R + 1e-9 * std::max({1.0, std::abs(L), std::abs(R)});
+}
+
+std::string describeCell(unsigned I, unsigned J, double V) {
+  char Buf[96];
+  std::snprintf(Buf, sizeof(Buf), "m[%u][%u]=%.17g", I, J, V);
+  return Buf;
+}
+
+} // namespace
+
+bool Octagon::auditValidate(std::string &Defect) {
+  if (Empty)
+    return true; // nothing representable to check
+  const unsigned N = numVars(), D = 2 * N;
+
+  // Zero diagonal on every *stored* live cell. entry() reports the
+  // implicit 0 for uncovered variables, so it would mask a corrupted
+  // buffer slot; go to the buffer directly.
+  if (FullyInit) {
+    for (unsigned I = 0; I != D; ++I) {
+      double Diag = M.at(I, I);
+      if (!(Diag == 0.0)) {
+        Defect = "nonzero diagonal " + describeCell(I, I, Diag);
+        return false;
+      }
+    }
+  } else {
+    for (unsigned V : P.sortedVars())
+      for (unsigned S = 0; S != 2; ++S) {
+        double Diag = M.at(2 * V + S, 2 * V + S);
+        if (!(Diag == 0.0)) {
+          Defect =
+              "nonzero diagonal " + describeCell(2 * V + S, 2 * V + S, Diag);
+          return false;
+        }
+      }
+  }
+
+  // NaN scan over the semantically live cells: every stored cell when
+  // the buffer is fully materialized, the component submatrices
+  // otherwise. A NaN bound poisons every min() it meets downstream.
+  if (FullyInit) {
+    const double *Buf = M.data();
+    for (std::size_t I = 0, E = M.size(); I != E; ++I)
+      if (std::isnan(Buf[I])) {
+        Defect = "NaN in DBM buffer (packed index " + std::to_string(I) + ")";
+        return false;
+      }
+  } else {
+    for (std::size_t C = 0, E = P.numComponents(); C != E; ++C) {
+      const std::vector<unsigned> &Vars = P.component(C);
+      for (std::size_t A = 0; A != Vars.size(); ++A)
+        for (std::size_t B = 0; B <= A; ++B)
+          for (unsigned R = 0; R != 2; ++R)
+            for (unsigned S = 0; S != 2; ++S) {
+              double V = M.at(2 * Vars[A] + R, 2 * Vars[B] + S);
+              if (std::isnan(V)) {
+                Defect = "NaN at " +
+                         describeCell(2 * Vars[A] + R, 2 * Vars[B] + S, V);
+                return false;
+              }
+            }
+    }
+  }
+
+  // Closedness spot-checks on sampled (i, j, k) triples: a strongly
+  // closed matrix satisfies m[i][j] <= m[i][k] + m[k][j] for all
+  // triples. Sampling is seeded and tick-keyed, so a job checks the
+  // same triples for any worker interleaving.
+  support::AuditConfig Config = support::auditConfig();
+  if (D >= 2 && Config.SpotCheckTriples != 0) {
+    std::uint64_t Salt = support::auditHash(Config.Seed ^ support::auditNextTick());
+    for (unsigned K = 0; K != Config.SpotCheckTriples; ++K) {
+      std::uint64_t H = support::auditHash(Salt ^ (0x100000001b3ull * (K + 1)));
+      unsigned I = static_cast<unsigned>(H % D);
+      unsigned J = static_cast<unsigned>((H >> 21) % D);
+      unsigned Via = static_cast<unsigned>((H >> 42) % D);
+      double Direct = entry(I, J);
+      double Leg1 = entry(I, Via), Leg2 = entry(Via, J);
+      double ViaSum = boundAdd(Leg1, Leg2);
+      if (!leqWithTolerance(Direct, ViaSum)) {
+        Defect = "closedness violation " + describeCell(I, J, Direct) +
+                 " > m[" + std::to_string(I) + "][" + std::to_string(Via) +
+                 "] + m[" + std::to_string(Via) + "][" + std::to_string(J) +
+                 "] = " + std::to_string(ViaSum);
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void Octagon::adoptReferenceClosure(const FullDbm &Ref) {
+  Ref.toHalf(M);
+  Empty = false;
+  Closed = true;
+  FullyInit = true;
+  NniExplicit = M.countFinite();
+  P = octConfig().EnableDecomposition ? extractPartition(M)
+                                      : Partition::whole(numVars());
+  reclassify();
+}
+
+void Octagon::closeAudited() {
+  // Pre-closure snapshot, taken through entry() so the implicit trivial
+  // entries of partial kinds materialize as +inf/0: the exact input the
+  // reference closure needs for recovery or cross-checking.
+  const unsigned D = 2 * numVars();
+  FullDbm Input(numVars());
+  for (unsigned I = 0; I != D; ++I)
+    for (unsigned J = 0; J != D; ++J)
+      Input.at(I, J) = I == J ? 0.0 : entry(I, J);
+  const bool CrossCheck = support::auditShouldCrossCheck();
+
+  closeInner();
+
+  support::AuditLog *Log = support::auditLogSink();
+  if (Log)
+    Log->recordValidation();
+
+  // Corruption hook for the audit tests: a PoisonBound rule here lands
+  // NaN in a live cell of the *closed* result, downstream of every
+  // sanitizing layer — exactly the silent-corruption shape (bit flip,
+  // vectorization bug) the audit exists to catch.
+  if (!Empty && !P.empty()) {
+    unsigned U = P.component(0)[0];
+    support::faultPoint("closure.result", &M.at(2 * U + 1, 2 * U));
+  } else {
+    support::faultPoint("closure.result");
+  }
+
+  std::string Defect;
+  if (!auditValidate(Defect)) {
+    // Discard the corrupt DBM: recompute from the snapshot via the
+    // reference path, and continue soundly.
+    if (Log)
+      Log->recordIncident("closure.validate", Defect);
+    FullDbm Ref = Input;
+    if (closureFullReference(Ref))
+      adoptReferenceClosure(Ref);
+    else
+      markEmpty();
+    return;
+  }
+
+  if (!CrossCheck)
+    return;
+  if (Log)
+    Log->recordCrossCheck();
+  FullDbm Ref = Input;
+  bool RefNonEmpty = closureFullReference(Ref);
+  std::string Mismatch;
+  if (Empty != !RefNonEmpty)
+    Mismatch = Empty ? "optimized closure reports empty, reference does not"
+                     : "reference closure reports empty, optimized does not";
+  else if (!Empty)
+    for (unsigned I = 0; I != D && Mismatch.empty(); ++I)
+      for (unsigned J = 0; J != D; ++J) {
+        if (I == J)
+          continue;
+        if (!boundsAgree(entry(I, J), Ref.at(I, J))) {
+          Mismatch = "optimized " + describeCell(I, J, entry(I, J)) +
+                     " vs reference " + describeCell(I, J, Ref.at(I, J));
+          break;
+        }
+      }
+  if (Mismatch.empty())
+    return;
+  if (Log)
+    Log->recordIncident("closure.crosscheck", Mismatch);
+  // The independent implementations disagree; trust the executable
+  // specification (Algorithm 1) and adopt its result.
+  if (RefNonEmpty)
+    adoptReferenceClosure(Ref);
+  else
+    markEmpty();
 }
 
 //===----------------------------------------------------------------------===//

@@ -44,6 +44,8 @@
 
 namespace optoct {
 
+class FullDbm; // oct/closure_reference.h — the audit recovery path
+
 /// The four DBM types of Section 3.
 enum class DbmKind {
   Top,        ///< No non-trivial inequality; empty partition.
@@ -217,6 +219,25 @@ private:
   /// Closure back ends (Section 5.2-5.5).
   void closeMonolithic();
   void closeDecomposed();
+
+  /// Kind dispatch of close() without the audit wrapper.
+  void closeInner();
+
+  /// Audited closure (support/audit.h): snapshots the pre-closure
+  /// element, runs closeInner, validates the result (and, on sampled
+  /// closures, cross-checks it against the reference closure); on a
+  /// failed check discards the DBM and recomputes from the snapshot via
+  /// closureFullReference so the analysis continues soundly.
+  void closeAudited();
+
+  /// Validation half of the audit: zero diagonal, no NaN, closedness
+  /// spot-checks. On success returns true; on failure fills \p Defect.
+  bool auditValidate(std::string &Defect);
+
+  /// Replaces this octagon's state with the already-closed reference
+  /// matrix \p Ref (the recovery path; also used when a cross-check
+  /// disagreement makes the optimized result untrustworthy).
+  void adoptReferenceClosure(const FullDbm &Ref);
 
   /// Strengthening phase of the decomposed closure: merges components
   /// holding finite unary bounds, then strengthens (Section 5.4).

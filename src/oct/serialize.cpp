@@ -2,7 +2,9 @@
 
 #include "oct/serialize.h"
 
+#include <cmath>
 #include <cstdio>
+#include <new>
 #include <sstream>
 
 using namespace optoct;
@@ -16,12 +18,27 @@ std::string optoct::serializeOctagon(Octagon &O) {
     Out += "bottom\nend\n";
     return Out;
   }
+  std::string Body;
   for (const OctCons &C : O.constraints()) {
+    // Closure arithmetic can overflow a pair of huge finite bounds to
+    // -inf without tripping the (diagonal-based) emptiness check. A
+    // -inf upper bound is unsatisfiable, so the element *is* empty —
+    // serialize it as the canonical bottom rather than emit a token
+    // the parser rightly rejects. NaN would mean corrupted state; it
+    // constrains nothing (the deserializer's addConstraints would drop
+    // it), so skipping it is the faithful round trip.
+    if (std::isnan(C.Bound))
+      continue;
+    if (C.Bound == -Infinity) {
+      Out += "bottom\nend\n";
+      return Out;
+    }
     // %.17g round-trips doubles exactly.
     std::snprintf(Buf, sizeof(Buf), "c %d %u %d %u %.17g\n", C.CoefI, C.I,
                   C.CoefJ, C.isUnary() ? C.I : C.J, C.Bound);
-    Out += Buf;
+    Body += Buf;
   }
+  Out += Body;
   Out += "end\n";
   return Out;
 }
@@ -39,37 +56,46 @@ optoct::deserializeOctagon(const std::string &Text, std::string &Error) {
     Error = "malformed variable count";
     return std::nullopt;
   }
-  Octagon O(NumVars);
-  std::vector<OctCons> Cs;
-  bool Bottom = false;
-  while (In >> Word) {
-    if (Word == "end") {
-      if (Bottom)
-        return Octagon::makeBottom(NumVars);
-      O.addConstraints(Cs);
-      return O;
-    }
-    if (Word == "bottom") {
-      Bottom = true;
-      continue;
-    }
-    if (Word != "c") {
-      Error = "unexpected token '" + Word + "'";
-      return std::nullopt;
-    }
-    OctCons C{};
-    if (!(In >> C.CoefI >> C.I >> C.CoefJ >> C.J >> C.Bound)) {
-      Error = "malformed constraint line";
-      return std::nullopt;
-    }
-    if ((C.CoefI != 1 && C.CoefI != -1) ||
-        (C.CoefJ != 0 && C.CoefJ != 1 && C.CoefJ != -1) || C.I >= NumVars ||
-        C.J >= NumVars || (C.CoefJ != 0 && C.I == C.J)) {
-      Error = "constraint out of the octagon fragment";
-      return std::nullopt;
-    }
-    Cs.push_back(C);
+  if (NumVars > MaxSerializedVars) {
+    Error = "variable count exceeds limit";
+    return std::nullopt;
   }
-  Error = "missing 'end'";
-  return std::nullopt;
+  try {
+    Octagon O(NumVars);
+    std::vector<OctCons> Cs;
+    bool Bottom = false;
+    while (In >> Word) {
+      if (Word == "end") {
+        if (Bottom)
+          return Octagon::makeBottom(NumVars);
+        O.addConstraints(Cs);
+        return O;
+      }
+      if (Word == "bottom") {
+        Bottom = true;
+        continue;
+      }
+      if (Word != "c") {
+        Error = "unexpected token '" + Word + "'";
+        return std::nullopt;
+      }
+      OctCons C{};
+      if (!(In >> C.CoefI >> C.I >> C.CoefJ >> C.J >> C.Bound)) {
+        Error = "malformed constraint line";
+        return std::nullopt;
+      }
+      if ((C.CoefI != 1 && C.CoefI != -1) ||
+          (C.CoefJ != 0 && C.CoefJ != 1 && C.CoefJ != -1) || C.I >= NumVars ||
+          C.J >= NumVars || (C.CoefJ != 0 && C.I == C.J)) {
+        Error = "constraint out of the octagon fragment";
+        return std::nullopt;
+      }
+      Cs.push_back(C);
+    }
+    Error = "missing 'end'";
+    return std::nullopt;
+  } catch (const std::bad_alloc &) {
+    Error = "octagon too large to allocate";
+    return std::nullopt;
+  }
 }

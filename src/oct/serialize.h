@@ -29,8 +29,15 @@ namespace optoct {
 /// Renders \p O (closing it first) in the text format above.
 std::string serializeOctagon(Octagon &O);
 
+/// Largest accepted variable count when deserializing. Serialized
+/// octagons are untrusted input (checkpoint files survive crashes and
+/// operators edit them); a hostile or corrupted header must not drive a
+/// 2n(n+1) allocation into overflow or OOM before validation can react.
+constexpr unsigned MaxSerializedVars = 1u << 20;
+
 /// Parses the text format; returns std::nullopt and fills \p Error on
-/// malformed input.
+/// malformed input (including variable counts above MaxSerializedVars
+/// and allocation failure — it never throws).
 std::optional<Octagon> deserializeOctagon(const std::string &Text,
                                           std::string &Error);
 

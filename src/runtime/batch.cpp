@@ -6,6 +6,7 @@
 #include "lang/parser.h"
 #include "oct/octagon.h"
 #include "runtime/arena.h"
+#include "runtime/journal.h"
 #include "runtime/thread_pool.h"
 #include "support/faultinject.h"
 #include "support/timing.h"
@@ -17,6 +18,7 @@
 #include <mutex>
 #include <optional>
 #include <sstream>
+#include <stdexcept>
 #include <thread>
 #include <utility>
 
@@ -52,8 +54,9 @@ JobStatus statusForBudgetReason(support::BudgetReason Why) {
 /// into the result's status. \p Retryable is set only for exception
 /// failures — parse errors and budget trips recur deterministically, so
 /// retrying them would just burn the backoff.
-JobResult runJobAttempt(const BatchJob &Job, const BatchOptions &Opts,
-                        support::CancellationToken &Token, bool &Retryable) {
+JobResult runJobAttemptInner(const BatchJob &Job, const BatchOptions &Opts,
+                             support::CancellationToken &Token,
+                             bool &Retryable) {
   Retryable = false;
   JobResult R;
   R.Name = Job.Name;
@@ -141,6 +144,26 @@ JobResult runJobAttempt(const BatchJob &Job, const BatchOptions &Opts,
   return R;
 }
 
+/// Attempt wrapper owning the per-attempt audit log (Level-1 recovery):
+/// each attempt gets a fresh log so the sampling ticks — and therefore
+/// the cross-check picks — are a function of the job alone, independent
+/// of worker count or which attempt this is. The harvested counters
+/// ride in the JobResult for the operator report.
+JobResult runJobAttempt(const BatchJob &Job, const BatchOptions &Opts,
+                        support::CancellationToken &Token, bool &Retryable) {
+  support::AuditLog ALog;
+  support::AuditLog *Prev = support::auditLogSink();
+  support::setAuditLogSink(&ALog);
+  JobResult R = runJobAttemptInner(Job, Opts, Token, Retryable);
+  support::setAuditLogSink(Prev);
+  R.AuditValidations = ALog.validations();
+  R.AuditCrossChecks = ALog.crossChecks();
+  R.AuditIncidentCount = ALog.incidentCount();
+  for (const support::AuditIncident &I : ALog.incidents())
+    R.AuditIncidents.push_back(I.Where + ": " + I.Detail);
+  return R;
+}
+
 /// Full per-job unit: attempts with exponential backoff until the job
 /// stops failing or the attempt cap is hit.
 JobResult runJobWithRetry(const BatchJob &Job, const BatchOptions &Opts,
@@ -221,33 +244,87 @@ BatchReport optoct::runtime::runBatch(const std::vector<BatchJob> &Jobs,
       Opts.Jobs == 0 ? ThreadPool::defaultWorkerCount() : Opts.Jobs;
   Report.Workers = Workers;
 
+  // Level-1 recovery: arm the audit layer for the batch's duration.
+  // Applied before workers spawn (the config is process-wide).
+  std::optional<support::AuditConfigScope> AuditScope;
+  if (Opts.Audit.Enabled)
+    AuditScope.emplace(Opts.Audit);
+
+  // Level-2 recovery: open (or resume) the checkpoint journal. Journal
+  // setup problems throw — silently running an unjournaled batch would
+  // betray the crash-safety the caller asked for.
+  JournalWriter Journal;
+  std::vector<char> Done(Jobs.size(), 0);
+  if (!Opts.JournalPath.empty()) {
+    std::uint64_t Fp = jobSetFingerprint(Jobs, Opts);
+    std::string JErr;
+    if (Opts.Resume) {
+      JournalLoad Load = loadJournal(Opts.JournalPath);
+      if (!Load.Error.empty())
+        throw std::runtime_error("journal resume: " + Load.Error);
+      if (Load.Fingerprint != Fp || Load.JobCount != Jobs.size())
+        throw std::runtime_error(
+            "journal resume: journal was written by a different job set "
+            "or engine configuration (fingerprint mismatch)");
+      for (auto &Rec : Load.Records) {
+        if (Rec.first >= Jobs.size())
+          continue; // defensive: checksummed, but still untrusted
+        if (!Done[Rec.first])
+          ++Report.JobsResumed;
+        Report.Results[Rec.first] = std::move(Rec.second);
+        Done[Rec.first] = 1;
+      }
+      if (!Journal.openResume(Opts.JournalPath, Load.ValidBytes, JErr))
+        throw std::runtime_error("journal resume: " + JErr);
+    } else {
+      if (!Journal.open(Opts.JournalPath, Fp, Jobs.size(), JErr))
+        throw std::runtime_error("journal: " + JErr);
+    }
+  }
+  std::vector<std::size_t> Pending;
+  Pending.reserve(Jobs.size());
+  for (std::size_t I = 0; I != Jobs.size(); ++I)
+    if (!Done[I])
+      Pending.push_back(I);
+
   // One token per job, alive for the whole batch so the watchdog can
   // scan without coordination (see Watchdog).
   std::vector<support::CancellationToken> Tokens(Jobs.size());
   std::optional<Watchdog> Dog;
   if (Opts.Budget.DeadlineMs != 0 && Opts.WatchdogPollMs != 0 &&
-      !Jobs.empty())
+      !Pending.empty())
     Dog.emplace(Opts.WatchdogPollMs, Tokens);
+
+  // Checkpoint in completion order, from the completing worker: the
+  // journal write is the job's durability point, so an immediately
+  // following crash loses at most in-flight jobs. Append failures
+  // (disk full) don't fail the batch — the analysis result is still
+  // good — but they do surface on the next resume as missing records.
+  auto RunOne = [&](std::size_t I) {
+    JobResult R = runJobWithRetry(Jobs[I], Opts, Tokens[I]);
+    if (Journal.isOpen())
+      Journal.append(I, R);
+    return R;
+  };
 
   WallTimer Timer;
   Timer.start();
-  if (Workers <= 1 || Jobs.size() <= 1) {
-    for (std::size_t I = 0; I != Jobs.size(); ++I)
-      Report.Results[I] = runJobWithRetry(Jobs[I], Opts, Tokens[I]);
+  if (Workers <= 1 || Pending.size() <= 1) {
+    for (std::size_t I : Pending)
+      Report.Results[I] = RunOne(I);
   } else {
     ThreadPool Pool(Workers,
                     [&Opts] { thisThreadArena().reserve(Opts.ReserveVars); });
     std::vector<std::future<JobResult>> Futures;
-    Futures.reserve(Jobs.size());
-    for (std::size_t I = 0; I != Jobs.size(); ++I)
-      Futures.push_back(Pool.submit([&Jobs, &Opts, &Tokens, I] {
-        return runJobWithRetry(Jobs[I], Opts, Tokens[I]);
-      }));
-    for (std::size_t I = 0; I != Futures.size(); ++I)
-      Report.Results[I] = Futures[I].get();
+    Futures.reserve(Pending.size());
+    for (std::size_t I : Pending)
+      Futures.push_back(Pool.submit([&RunOne, I] { return RunOne(I); }));
+    for (std::size_t K = 0; K != Futures.size(); ++K)
+      Report.Results[Pending[K]] = Futures[K].get();
   }
   Timer.stop();
   Dog.reset(); // join before anyone can touch the tokens again
+  Journal.close();
   Report.WallSeconds = Timer.seconds();
 
   for (const JobResult &R : Report.Results) {
@@ -276,6 +353,8 @@ BatchReport optoct::runtime::runBatch(const std::vector<BatchJob> &Jobs,
     Report.OctagonCycles += R.OctagonCycles;
     Report.BlockVisits += R.BlockVisits;
   }
+  for (const JobResult &R : Report.Results)
+    Report.AuditIncidentTotal += R.AuditIncidentCount;
   return Report;
 }
 
@@ -311,12 +390,19 @@ void appendEscaped(std::ostringstream &Out, const std::string &S) {
 
 } // namespace
 
-std::string optoct::runtime::reportToJson(const BatchReport &Report) {
+std::string optoct::runtime::reportToJson(const BatchReport &Report,
+                                          bool Canonical) {
   std::ostringstream Out;
   Out << "{\n";
-  Out << "  \"workers\": " << Report.Workers << ",\n";
-  Out << "  \"wall_seconds\": " << Report.WallSeconds << ",\n";
-  Out << "  \"throughput_jobs_per_sec\": " << Report.throughput() << ",\n";
+  if (!Canonical) {
+    // Timing-dependent fields vary run to run (and resumed jobs carry
+    // no fresh timing at all); canonical rendering drops them so
+    // interrupted-and-resumed == uninterrupted, byte for byte.
+    Out << "  \"workers\": " << Report.Workers << ",\n";
+    Out << "  \"wall_seconds\": " << Report.WallSeconds << ",\n";
+    Out << "  \"throughput_jobs_per_sec\": " << Report.throughput() << ",\n";
+    Out << "  \"jobs_resumed\": " << Report.JobsResumed << ",\n";
+  }
   Out << "  \"jobs_ok\": " << Report.JobsOk << ",\n";
   Out << "  \"jobs_degraded\": " << Report.JobsDegraded << ",\n";
   Out << "  \"jobs_failed\": " << Report.JobsFailed << ",\n";
@@ -325,9 +411,12 @@ std::string optoct::runtime::reportToJson(const BatchReport &Report) {
   Out << "  \"asserts_proven\": " << Report.AssertsProven << ",\n";
   Out << "  \"asserts_total\": " << Report.AssertsTotal << ",\n";
   Out << "  \"num_closures\": " << Report.NumClosures << ",\n";
-  Out << "  \"closure_cycles\": " << Report.ClosureCycles << ",\n";
-  Out << "  \"octagon_cycles\": " << Report.OctagonCycles << ",\n";
+  if (!Canonical) {
+    Out << "  \"closure_cycles\": " << Report.ClosureCycles << ",\n";
+    Out << "  \"octagon_cycles\": " << Report.OctagonCycles << ",\n";
+  }
   Out << "  \"block_visits\": " << Report.BlockVisits << ",\n";
+  Out << "  \"audit_incidents\": " << Report.AuditIncidentTotal << ",\n";
   Out << "  \"jobs\": [\n";
   for (std::size_t I = 0; I != Report.Results.size(); ++I) {
     const JobResult &R = Report.Results[I];
@@ -357,18 +446,33 @@ std::string optoct::runtime::reportToJson(const BatchReport &Report) {
           << ", \"unproven_lines\": [";
       for (std::size_t L = 0; L != R.UnprovenAssertLines.size(); ++L)
         Out << (L ? ", " : "") << R.UnprovenAssertLines[L];
-      Out << "], \"num_closures\": " << R.NumClosures
-          << ", \"closure_cycles\": " << R.ClosureCycles
-          << ", \"octagon_cycles\": " << R.OctagonCycles
-          << ", \"block_visits\": " << R.BlockVisits
-          << ", \"n_min\": " << R.NMin << ", \"n_max\": " << R.NMax
-          << ", \"wall_seconds\": " << R.WallSeconds
-          << ", \"loop_invariants\": [";
+      Out << "], \"num_closures\": " << R.NumClosures;
+      if (!Canonical)
+        Out << ", \"closure_cycles\": " << R.ClosureCycles
+            << ", \"octagon_cycles\": " << R.OctagonCycles;
+      Out << ", \"block_visits\": " << R.BlockVisits
+          << ", \"n_min\": " << R.NMin << ", \"n_max\": " << R.NMax;
+      if (!Canonical)
+        Out << ", \"wall_seconds\": " << R.WallSeconds;
+      Out << ", \"loop_invariants\": [";
       for (std::size_t L = 0; L != R.LoopInvariants.size(); ++L) {
         Out << (L ? ", " : "");
         appendEscaped(Out, R.LoopInvariants[L]);
       }
       Out << "]";
+    }
+    if (R.AuditValidations != 0 || R.AuditIncidentCount != 0) {
+      Out << ", \"audit_validations\": " << R.AuditValidations
+          << ", \"audit_cross_checks\": " << R.AuditCrossChecks
+          << ", \"audit_incidents\": " << R.AuditIncidentCount;
+      if (!R.AuditIncidents.empty()) {
+        Out << ", \"audit_incident_log\": [";
+        for (std::size_t L = 0; L != R.AuditIncidents.size(); ++L) {
+          Out << (L ? ", " : "");
+          appendEscaped(Out, R.AuditIncidents[L]);
+        }
+        Out << "]";
+      }
     }
     Out << "}" << (I + 1 == Report.Results.size() ? "" : ",") << "\n";
   }

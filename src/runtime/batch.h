@@ -30,6 +30,7 @@
 #define OPTOCT_RUNTIME_BATCH_H
 
 #include "analysis/engine.h"
+#include "support/audit.h"
 #include "support/budget.h"
 
 #include <cstdint>
@@ -78,6 +79,14 @@ struct JobResult {
   std::uint64_t BlockVisits = 0;
   unsigned NMin = 0, NMax = 0; ///< DBM sizes seen at closures.
   double WallSeconds = 0.0;    ///< This job alone (on its worker).
+
+  // Level-1 audit counters (support/audit.h) for the final attempt;
+  // all zero when audit mode is off.
+  std::uint64_t AuditValidations = 0;
+  std::uint64_t AuditCrossChecks = 0;
+  std::uint64_t AuditIncidentCount = 0;
+  /// "where: detail" per recovered corruption (capped by the log).
+  std::vector<std::string> AuditIncidents;
 };
 
 /// Scheduler knobs.
@@ -106,6 +115,21 @@ struct BatchOptions {
   /// Watchdog scan period; it flags armed tokens past their deadline.
   /// 0 disables the watchdog (self-polling still enforces deadlines).
   unsigned WatchdogPollMs = 20;
+
+  /// Level-1 recovery: audit configuration applied process-wide for the
+  /// batch's duration when Audit.Enabled is set. Per-job incident
+  /// counters land in the JobResults.
+  support::AuditConfig Audit;
+
+  /// Level-2 recovery: path of the append-only checkpoint journal
+  /// (runtime/journal.h); empty disables journaling. Completed jobs are
+  /// fsync'd to it as they finish.
+  std::string JournalPath;
+  /// With JournalPath set: load previously journaled results first and
+  /// run only the jobs missing from the journal. The journal must have
+  /// been written by the same job set and engine options (fingerprint
+  /// check); a mismatch throws.
+  bool Resume = false;
 };
 
 /// Whole-batch outcome. Results[i] always corresponds to Jobs[i].
@@ -119,7 +143,8 @@ struct BatchReport {
   unsigned JobsDegraded = 0;
   unsigned JobsFailed = 0;
   unsigned JobsTimedOut = 0;
-  unsigned Retries = 0; ///< Extra attempts consumed across all jobs.
+  unsigned Retries = 0;     ///< Extra attempts consumed across all jobs.
+  unsigned JobsResumed = 0; ///< Results loaded from the journal, not run.
 
   // Aggregates over all jobs with results (Ok flag).
   unsigned AssertsProven = 0, AssertsTotal = 0;
@@ -127,6 +152,8 @@ struct BatchReport {
   std::uint64_t ClosureCycles = 0;
   std::uint64_t OctagonCycles = 0;
   std::uint64_t BlockVisits = 0;
+  /// Corruption events detected and recovered by the audit layer.
+  std::uint64_t AuditIncidentTotal = 0;
 
   /// Completed jobs per second of batch wall time.
   double throughput() const {
@@ -143,7 +170,12 @@ BatchReport runBatch(const std::vector<BatchJob> &Jobs,
                      const BatchOptions &Opts = {});
 
 /// Machine-readable rendering of a report (the CLI's --json output).
-std::string reportToJson(const BatchReport &Report);
+/// With \p Canonical set, every timing-dependent field (wall times,
+/// throughput, cycle counters, resume count) is omitted: two runs of
+/// the same job set — uninterrupted, or killed and resumed, at any
+/// worker count — render byte-identical canonical reports. This is the
+/// oracle the crash-safety tests and the CI kill-and-resume smoke diff.
+std::string reportToJson(const BatchReport &Report, bool Canonical = false);
 
 } // namespace optoct::runtime
 

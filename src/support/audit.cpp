@@ -1,0 +1,81 @@
+//===- support/audit.cpp - Operator self-audit infrastructure -------------===//
+
+#include "support/audit.h"
+
+#include <mutex>
+
+using namespace optoct::support;
+
+std::atomic<bool> optoct::support::detail::AuditArmed{false};
+
+static thread_local AuditLog *TlsAuditLog = nullptr;
+
+void optoct::support::setAuditLogSink(AuditLog *Log) { TlsAuditLog = Log; }
+AuditLog *optoct::support::auditLogSink() { return TlsAuditLog; }
+
+namespace {
+
+/// Configuration storage. Guarded by a mutex for the (rare) writes;
+/// reads copy under the lock too — auditConfig() is only consulted on
+/// the audited (slow) path, never on the disabled fast path.
+struct ConfigStore {
+  std::mutex Mu;
+  AuditConfig Config;
+};
+
+ConfigStore &configStore() {
+  static ConfigStore S;
+  return S;
+}
+
+/// splitmix64, the same order-free hash the fault injector uses: the
+/// sampling decisions depend only on (seed, tick), never on thread
+/// identity or scheduling.
+std::uint64_t mix64(std::uint64_t X) {
+  X += 0x9e3779b97f4a7c15ull;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ull;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebull;
+  return X ^ (X >> 31);
+}
+
+/// Fallback tick for audited closures outside any installed log (the
+/// single-run CLI); per-thread, so still race-free.
+std::uint64_t &fallbackTick() {
+  static thread_local std::uint64_t Tick = 0;
+  return Tick;
+}
+
+} // namespace
+
+AuditConfig optoct::support::auditConfig() {
+  ConfigStore &S = configStore();
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  return S.Config;
+}
+
+void optoct::support::setAuditConfig(const AuditConfig &Config) {
+  ConfigStore &S = configStore();
+  {
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    S.Config = Config;
+  }
+  detail::AuditArmed.store(Config.Enabled, std::memory_order_relaxed);
+}
+
+std::uint64_t optoct::support::auditNextTick() {
+  return TlsAuditLog ? TlsAuditLog->nextTick() : fallbackTick()++;
+}
+
+bool optoct::support::auditShouldCrossCheck() {
+  AuditConfig Config = auditConfig();
+  if (Config.CrossCheckRate >= 1.0)
+    return true;
+  if (Config.CrossCheckRate <= 0.0)
+    return false;
+  double Coin = static_cast<double>(
+                    mix64(Config.Seed ^ mix64(auditNextTick())) >> 11) *
+                0x1.0p-53;
+  return Coin < Config.CrossCheckRate;
+}
+
+std::uint64_t optoct::support::auditHash(std::uint64_t X) { return mix64(X); }

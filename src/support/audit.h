@@ -1,0 +1,160 @@
+//===- support/audit.h - Operator self-audit infrastructure -----*- C++ -*-===//
+///
+/// \file
+/// Level 1 of the recovery ladder: an opt-in audit mode that validates
+/// the results of the optimized octagon operators at closure points and
+/// recovers from silent corruption (a bit-flip, a poisoned bound, a
+/// vectorization bug) instead of propagating unsound invariants.
+///
+/// The checks, cheapest first (hooked into Octagon::close, src/oct):
+///   * result validation — zero diagonal, no NaN entries, and
+///     closedness spot-checks on sampled (i, j, k) triples;
+///   * sampled cross-check — on a configurable fraction of closures the
+///     optimized result is compared entry-by-entry against the
+///     reference closure (Algorithm 1, oct/closure_reference.h), the
+///     executable specification that the dense/sparse/decomposed paths
+///     must agree with.
+///
+/// On a failed check the corrupt DBM is *discarded* and the closure is
+/// recomputed from the pre-closure snapshot via the reference path, so
+/// the analysis continues soundly; an AuditIncident is recorded in the
+/// thread-local AuditLog for the operator report.
+///
+/// This file holds only the domain-independent pieces: the process-wide
+/// configuration (read-mostly, like OctConfig and FaultPlan), the
+/// thread-local incident log (like the OctStats sink), and the
+/// deterministic sampling decision. The DBM-specific validation lives
+/// with the domain in src/oct/octagon.cpp.
+///
+/// Cost contract: with audit disabled, the hook in close() is one
+/// relaxed atomic load and a predicted-not-taken branch — the same
+/// budget as faultPoint()/pollBudget().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPTOCT_SUPPORT_AUDIT_H
+#define OPTOCT_SUPPORT_AUDIT_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace optoct::support {
+
+/// Audit-mode knobs. Applied process-wide via setAuditConfig; flip only
+/// while no analysis thread is running (the batch runtime applies its
+/// configuration before spawning workers).
+struct AuditConfig {
+  /// Master switch; off keeps the closure hot path at one atomic load.
+  bool Enabled = false;
+  /// Fraction of closures whose result is fully cross-checked against
+  /// the reference closure (0 = validation only, 1 = every closure).
+  double CrossCheckRate = 0.05;
+  /// Closedness spot-check budget: sampled (i, j, k) triples per
+  /// validated closure.
+  unsigned SpotCheckTriples = 32;
+  /// Seed for the sampling decisions (triples and cross-check picks).
+  std::uint64_t Seed = 0;
+};
+
+/// One detected-and-recovered corruption event.
+struct AuditIncident {
+  std::string Where;  ///< Check that fired ("closure.validate", ...).
+  std::string Detail; ///< What was wrong, with indices and values.
+};
+
+/// Thread-local audit bookkeeping for one analysis (installed like the
+/// OctStats sink: each batch worker installs its own per-attempt log,
+/// so concurrent analyses never share one). Also the source of the
+/// per-job sampling ticks, which makes the cross-check picks
+/// deterministic in the job — independent of worker count.
+class AuditLog {
+public:
+  void recordValidation() { ++Validations; }
+  void recordCrossCheck() { ++CrossChecks; }
+  void recordIncident(std::string Where, std::string Detail) {
+    ++IncidentCount;
+    if (Incidents.size() < MaxIncidentsKept)
+      Incidents.push_back({std::move(Where), std::move(Detail)});
+  }
+
+  /// Monotone per-log counter driving the sampling decisions.
+  std::uint64_t nextTick() { return Tick++; }
+
+  std::uint64_t validations() const { return Validations; }
+  std::uint64_t crossChecks() const { return CrossChecks; }
+  std::uint64_t incidentCount() const { return IncidentCount; }
+  const std::vector<AuditIncident> &incidents() const { return Incidents; }
+
+  void reset() {
+    Validations = CrossChecks = IncidentCount = Tick = 0;
+    Incidents.clear();
+  }
+
+private:
+  /// A corrupted run could fire at every closure; cap the stored
+  /// incidents (the count keeps the true total).
+  static constexpr std::size_t MaxIncidentsKept = 64;
+
+  std::uint64_t Validations = 0;
+  std::uint64_t CrossChecks = 0;
+  std::uint64_t IncidentCount = 0;
+  std::uint64_t Tick = 0;
+  std::vector<AuditIncident> Incidents;
+};
+
+/// Installs \p Log as the calling thread's audit log (nullptr to
+/// disable). Incidents and check counters land there; without a sink
+/// the checks still run and recover, only unrecorded.
+void setAuditLogSink(AuditLog *Log);
+AuditLog *auditLogSink();
+
+/// The process-wide audit configuration (a copy; reads are lock-free).
+AuditConfig auditConfig();
+
+/// Replaces the process-wide configuration and (re)arms the fast gate.
+void setAuditConfig(const AuditConfig &Config);
+
+/// RAII: applies \p Config for the scope's lifetime, restoring the
+/// previous configuration on exit (the batch runtime's entry point).
+class AuditConfigScope {
+public:
+  explicit AuditConfigScope(const AuditConfig &Config) : Prev(auditConfig()) {
+    setAuditConfig(Config);
+  }
+  ~AuditConfigScope() { setAuditConfig(Prev); }
+  AuditConfigScope(const AuditConfigScope &) = delete;
+  AuditConfigScope &operator=(const AuditConfigScope &) = delete;
+
+private:
+  AuditConfig Prev;
+};
+
+namespace detail {
+/// True iff the current configuration has Enabled set.
+extern std::atomic<bool> AuditArmed;
+} // namespace detail
+
+/// The closure hook's fast gate: one relaxed load when audit is off.
+inline bool auditEnabled() {
+  return detail::AuditArmed.load(std::memory_order_relaxed);
+}
+
+/// Deterministic coin for "cross-check this closure?": hashes the
+/// configured seed with the calling thread's log tick, so a given job
+/// audits the same closures for any worker interleaving.
+bool auditShouldCrossCheck();
+
+/// Consumes and returns the calling thread's next audit sampling tick
+/// (from the installed log, or a thread-local fallback outside one).
+std::uint64_t auditNextTick();
+
+/// The audit sampler's hash (splitmix64): deterministic, order-free,
+/// shared with the fault injector's gate. Used by the closure hook to
+/// pick spot-check triples from (seed, tick, k).
+std::uint64_t auditHash(std::uint64_t X);
+
+} // namespace optoct::support
+
+#endif // OPTOCT_SUPPORT_AUDIT_H

@@ -5,6 +5,7 @@
 #include "support/budget.h"
 
 #include <chrono>
+#include <cstdlib>
 #include <limits>
 #include <mutex>
 #include <new>
@@ -112,6 +113,8 @@ bool FaultPlan::parseRule(const std::string &Spec, std::string &Error) {
           Rule.Kind = FaultKind::Timeout;
         else if (Val == "poison")
           Rule.Kind = FaultKind::PoisonBound;
+        else if (Val == "crash")
+          Rule.Kind = FaultKind::Crash;
         else {
           Error = "unknown fault kind '" + Val + "'";
           return false;
@@ -120,6 +123,8 @@ bool FaultPlan::parseRule(const std::string &Spec, std::string &Error) {
         Rule.JobPattern = Val;
       else if (Key == "hits")
         Rule.Hits = static_cast<unsigned>(std::stoul(Val));
+      else if (Key == "after")
+        Rule.After = static_cast<unsigned>(std::stoul(Val));
       else if (Key == "ms")
         Rule.SlowMs = static_cast<unsigned>(std::stoul(Val));
       else if (Key == "prob")
@@ -167,10 +172,13 @@ void optoct::support::faultPointSlow(const char *Site, double *Bound) {
           continue;
       }
       std::string Key = std::to_string(R) + "\x1f" + Job;
+      // The counter records matching *visits*; the rule triggers inside
+      // the window [After, After + Hits) — "skip the first After, then
+      // fire Hits times". After == 0 is the original burn-out behavior.
       unsigned &Count = S.HitCounts[Key];
-      if (Count >= Rule.Hits)
+      unsigned Visit = Count++;
+      if (Visit < Rule.After || Visit - Rule.After >= Rule.Hits)
         continue;
-      ++Count;
       Kind = Rule.Kind;
       SlowMs = Rule.SlowMs;
       Trigger = true;
@@ -192,5 +200,11 @@ void optoct::support::faultPointSlow(const char *Site, double *Bound) {
     if (Bound)
       *Bound = std::numeric_limits<double>::quiet_NaN();
     return;
+  case FaultKind::Crash:
+    // Immediate process death: no unwinding, no atexit, no stream
+    // flushes — the closest portable stand-in for a SIGKILL. Anything
+    // not already fsync'd (journal records are) is lost, which is the
+    // point of the crash-at-checkpoint resume tests.
+    std::_Exit(FaultCrashExitCode);
   }
 }

@@ -13,17 +13,26 @@
 ///   * "engine.visit"   — every fixpoint block visit
 ///   * "closure.pivot"  — every pivot iteration of the dense/sparse/
 ///                        incremental closures
+///   * "closure.result" — after every audited closure (PoisonBound
+///                        target is a live DBM cell, simulating a
+///                        silent corruption the audit must catch)
 ///   * "oct.alloc"      — every Octagon buffer construction
 ///   * "oct.constraint" — every constraint meet (PoisonBound target)
+///   * "journal.append" — after each durable batch-journal append
 ///
 /// Fault kinds: AllocFail throws std::bad_alloc, Slow sleeps,
 /// Timeout raises BudgetExceeded(Deadline), PoisonBound overwrites the
 /// caller-supplied bound with NaN (exercising the bound-sanitizing
-/// layer in the octagon domain).
+/// layer in the octagon domain), Crash terminates the process
+/// immediately via std::_Exit — no atexit handlers, no stream flushes —
+/// emulating a SIGKILL for the crash-at-checkpoint resume tests.
 ///
 /// Hit counters are keyed by (rule, job name) and persist across retry
 /// attempts, so a rule with hits=1 fails a job's first attempt and
-/// lets the retry succeed — deterministically.
+/// lets the retry succeed — deterministically. A rule additionally
+/// skips its first After matching visits: site=journal.append,
+/// kind=crash,after=3 lets three checkpoints commit and kills the
+/// process at the fourth.
 ///
 /// Cost contract: with an empty plan, faultPoint() is one relaxed
 /// atomic load and a predicted-not-taken branch.
@@ -40,7 +49,11 @@
 
 namespace optoct::support {
 
-enum class FaultKind { AllocFail, Slow, Timeout, PoisonBound };
+enum class FaultKind { AllocFail, Slow, Timeout, PoisonBound, Crash };
+
+/// Exit code of a Crash fault, distinct from the CLIs' error exits so
+/// the resume tests can assert the death was the injected one.
+constexpr int FaultCrashExitCode = 42;
 
 /// One injection rule. A site visit triggers the rule when the site
 /// matches, the job-name filter matches, the seeded coin for
@@ -51,6 +64,8 @@ struct FaultRule {
   std::string JobPattern; ///< Substring of the job name; empty = all.
   FaultKind Kind = FaultKind::AllocFail;
   unsigned Hits = 1;      ///< Triggers before the rule burns out (per job).
+  unsigned After = 0;     ///< Matching visits skipped before the first
+                          ///< trigger (per job) — "crash at the Nth".
   unsigned SlowMs = 50;   ///< Sleep duration for Slow.
   double Probability = 1.0; ///< Seed-hashed per-(site,job) gate.
 };
@@ -67,9 +82,10 @@ public:
   void setSeed(std::uint64_t S);   ///< Seed for the probability gates.
   void addRule(FaultRule Rule);
 
-  /// Parses "site=<s>,kind=<alloc|slow|timeout|poison>[,job=<substr>]
-  /// [,hits=<n>][,ms=<n>][,prob=<p>]" (the CLI --inject syntax).
-  /// Returns false with \p Error set on a malformed spec.
+  /// Parses "site=<s>,kind=<alloc|slow|timeout|poison|crash>
+  /// [,job=<substr>][,hits=<n>][,after=<n>][,ms=<n>][,prob=<p>]" (the
+  /// CLI --inject syntax). Returns false with \p Error set on a
+  /// malformed spec.
   bool parseRule(const std::string &Spec, std::string &Error);
 
   /// Forgets which triggers have fired but keeps the rules — used to

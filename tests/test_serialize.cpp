@@ -88,6 +88,120 @@ TEST(Serialize, RejectsMalformedInput) {
   EXPECT_FALSE(deserializeOctagon("octagon 2\nx\nend\n", Error));
 }
 
+// Property: serialize → deserialize → equals, over octagons whose
+// bounds stress the representation edges — ±huge magnitudes, bounds
+// that strengthen to .5, octagons that close to bottom, and dimensions
+// well past the small sizes the analysis usually sees. Serialized
+// octagons are a durability surface now (checkpoint files), so the
+// round trip is a crash-safety property, not a convenience.
+TEST(Serialize, PropertyRoundTripEdgeBounds) {
+  Rng R(0xc0ffee);
+  const double Extremes[] = {1e308,        -1e308, 4.9e-324, -4.9e-324,
+                             1.5e-10,      -2.5,   0.0,      1e16 + 1,
+                             -(1e16 + 1.0)};
+  for (int It = 0; It != 40; ++It) {
+    unsigned N = 1 + static_cast<unsigned>(R.indexBelow(24));
+    Octagon O(N);
+    for (int K = 0, E = R.intIn(0, 10); K != E; ++K) {
+      unsigned I = static_cast<unsigned>(R.indexBelow(N));
+      unsigned J = static_cast<unsigned>(R.indexBelow(N));
+      double Bound = Extremes[R.indexBelow(sizeof(Extremes) /
+                                           sizeof(Extremes[0]))];
+      if (I == J)
+        O.addConstraint(R.chance(0.5) ? OctCons::upper(I, Bound)
+                                      : OctCons::lower(I, Bound));
+      else
+        O.addConstraint(R.chance(0.5) ? OctCons::diff(I, J, Bound)
+                                      : OctCons::sum(I, J, Bound));
+    }
+    std::string Text = serializeOctagon(O);
+    std::string Error;
+    auto Back = deserializeOctagon(Text, Error);
+    ASSERT_TRUE(Back) << Error << "\n" << Text;
+    if (Text.find("bottom") != std::string::npos)
+      // Huge bounds can overflow closure arithmetic to -inf: the
+      // element is semantically empty (gamma = {}) even when the
+      // diagonal check missed it, and serialization canonicalizes it
+      // to bottom. gamma-exact, representation-tightening.
+      EXPECT_TRUE(Back->isBottom()) << Text;
+    else
+      EXPECT_TRUE(O.equals(*Back)) << Text;
+    // Second trip: the serialized form is a fixpoint.
+    EXPECT_EQ(serializeOctagon(*Back), Text);
+  }
+}
+
+TEST(Serialize, LargeDimensionRoundTrip) {
+  Octagon O(300);
+  O.addConstraint(OctCons::upper(0, 1.0));
+  O.addConstraint(OctCons::diff(299, 0, -7.25));
+  O.addConstraint(OctCons::sum(150, 151, 1e100));
+  std::string Text = serializeOctagon(O);
+  std::string Error;
+  auto Back = deserializeOctagon(Text, Error);
+  ASSERT_TRUE(Back) << Error;
+  EXPECT_EQ(Back->numVars(), 300u);
+  EXPECT_TRUE(O.equals(*Back));
+}
+
+TEST(Serialize, BottomViaContradictionRoundTrips) {
+  // An octagon that *closes* to bottom must serialize as bottom.
+  Octagon O(2);
+  O.addConstraint(OctCons::upper(0, 1.0));
+  O.addConstraint(OctCons::lower(0, -5.0)); // x0 <= 1 and x0 >= 5
+  std::string Text = serializeOctagon(O);
+  EXPECT_NE(Text.find("bottom"), std::string::npos);
+  std::string Error;
+  auto Back = deserializeOctagon(Text, Error);
+  ASSERT_TRUE(Back) << Error;
+  EXPECT_TRUE(Back->isBottom());
+}
+
+TEST(Serialize, RejectsHostileVariableCounts) {
+  std::string Error;
+  // Would overflow 2n(n+1) or drive a multi-terabyte allocation; must
+  // be a clean parse error, not a bad_alloc or a wrapped-around size.
+  EXPECT_FALSE(deserializeOctagon("octagon 4000000000\nend\n", Error));
+  EXPECT_FALSE(deserializeOctagon("octagon 1048577\nend\n", Error));
+  EXPECT_FALSE(deserializeOctagon("octagon -1\nend\n", Error));
+  // The cap itself is about hostile headers, not legitimate sizes:
+  // a count just inside must parse (top allocates lazily enough).
+  auto Ok = deserializeOctagon("octagon 1024\nend\n", Error);
+  ASSERT_TRUE(Ok) << Error;
+  EXPECT_EQ(Ok->numVars(), 1024u);
+}
+
+TEST(Serialize, MutationFuzzSmokeNeverCrashes) {
+  // Fuzz smoke over the deserializer: random single-byte mutations of a
+  // valid serialization must either parse or fail cleanly — never
+  // crash, hang, or throw. (Checkpoint bytes after a crash are exactly
+  // this kind of input.)
+  Octagon O(5);
+  O.addConstraint(OctCons::upper(0, 3.5));
+  O.addConstraint(OctCons::diff(1, 2, -2.0));
+  O.addConstraint(OctCons::negSum(3, 4, 10.0));
+  const std::string Seed = serializeOctagon(O);
+  Rng R(20260805);
+  const char Charset[] = "0123456789c end-+.\n\0x";
+  for (int It = 0; It != 500; ++It) {
+    std::string Mutant = Seed;
+    int Edits = R.intIn(1, 4);
+    for (int E = 0; E != Edits; ++E) {
+      std::size_t Pos = R.indexBelow(Mutant.size());
+      Mutant[Pos] = Charset[R.indexBelow(sizeof(Charset) - 1)];
+    }
+    std::string Error;
+    auto Back = deserializeOctagon(Mutant, Error);
+    if (!Back)
+      EXPECT_FALSE(Error.empty()) << "rejection must say why";
+  }
+  // Truncations of every length, same contract.
+  for (std::size_t Len = 0; Len < Seed.size(); ++Len) {
+    std::string Error;
+    deserializeOctagon(Seed.substr(0, Len), Error);
+  }
+}
+
 TEST(Serialize, PreservesFractionalBounds) {
   // Strengthening produces .5 bounds; they must survive the round trip.
   Octagon O(2);

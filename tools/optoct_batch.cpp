@@ -22,9 +22,22 @@
 ///     --backoff-ms=<n>      base backoff before the first retry
 ///     --inject=<spec>       seeded fault injection (repeatable);
 ///                           spec: site=<s>,kind=<alloc|slow|timeout|
-///                           poison>[,job=<substr>][,hits=<n>][,ms=<n>]
-///                           [,prob=<p>]
+///                           poison|crash>[,job=<substr>][,hits=<n>]
+///                           [,after=<n>][,ms=<n>][,prob=<p>]
 ///     --fault-seed=<n>      seed for probabilistic injection rules
+///
+///   Recovery ladder (see README / EXPERIMENTS):
+///     --audit               Level 1: validate closure results and
+///                           recover via the reference closure
+///     --audit-rate=<p>      fraction of closures cross-checked against
+///                           the reference (default 0.05)
+///     --audit-triples=<n>   closedness spot-check triples per closure
+///     --audit-seed=<n>      sampling seed for the audit decisions
+///     --journal=<path>      Level 2: fsync a checkpoint record per
+///                           completed job to an append-only journal
+///     --resume              load the journal and run only missing jobs
+///     --canonical-json      omit timing fields from --json so reruns
+///                           and resumed runs compare byte-identical
 ///
 /// Exit code: 0 if every job analyzed and all assertions were proven,
 /// 1 if some assertion is unknown or a job failed/degraded/timed out,
@@ -33,6 +46,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "runtime/batch.h"
+#include "runtime/journal.h"
 #include "runtime/thread_pool.h"
 #include "support/faultinject.h"
 #include "workloads/workload.h"
@@ -55,6 +69,7 @@ struct BatchCliOptions {
   bool AddGenerated = false;
   bool PrintInvariants = false;
   std::string JsonPath;
+  bool CanonicalJson = false;
 };
 
 void usage(const char *Argv0) {
@@ -67,6 +82,9 @@ void usage(const char *Argv0) {
                "[--retries=<n>]\n"
                "       [--backoff-ms=<n>] [--inject=<spec>] "
                "[--fault-seed=<n>]\n"
+               "       [--audit] [--audit-rate=<p>] [--audit-triples=<n>] "
+               "[--audit-seed=<n>]\n"
+               "       [--journal=<path>] [--resume] [--canonical-json]\n"
                "       [files.imp...]\n",
                Argv0);
 }
@@ -175,7 +193,29 @@ bool parseArgs(int Argc, char **Argv, BatchCliOptions &Opts) {
       if (!parseU64(Arg.substr(13), "--fault-seed", Seed))
         return false;
       support::FaultPlan::global().setSeed(Seed);
-    } else if (Arg.rfind("--", 0) == 0) {
+    } else if (Arg == "--audit")
+      Opts.Batch.Audit.Enabled = true;
+    else if (Arg.rfind("--audit-rate=", 0) == 0) {
+      if (!parseDouble(Arg.substr(13), "--audit-rate",
+                       Opts.Batch.Audit.CrossCheckRate))
+        return false;
+      Opts.Batch.Audit.Enabled = true;
+    } else if (Arg.rfind("--audit-triples=", 0) == 0) {
+      if (!parseUnsigned(Arg.substr(16), "--audit-triples",
+                         Opts.Batch.Audit.SpotCheckTriples))
+        return false;
+      Opts.Batch.Audit.Enabled = true;
+    } else if (Arg.rfind("--audit-seed=", 0) == 0) {
+      if (!parseU64(Arg.substr(13), "--audit-seed", Opts.Batch.Audit.Seed))
+        return false;
+      Opts.Batch.Audit.Enabled = true;
+    } else if (Arg.rfind("--journal=", 0) == 0)
+      Opts.Batch.JournalPath = Arg.substr(10);
+    else if (Arg == "--resume")
+      Opts.Batch.Resume = true;
+    else if (Arg == "--canonical-json")
+      Opts.CanonicalJson = true;
+    else if (Arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
       return false;
     } else
@@ -183,6 +223,10 @@ bool parseArgs(int Argc, char **Argv, BatchCliOptions &Opts) {
   }
   if (Opts.Files.empty() && !Opts.AddGenerated) {
     std::fprintf(stderr, "error: no input files (and no --generated)\n");
+    return false;
+  }
+  if (Opts.Batch.Resume && Opts.Batch.JournalPath.empty()) {
+    std::fprintf(stderr, "error: --resume requires --journal=<path>\n");
     return false;
   }
   return true;
@@ -238,6 +282,9 @@ int run(int Argc, char **Argv) {
     }
     if (R.Attempts > 1)
       std::printf(" (attempt %u)", R.Attempts);
+    if (R.AuditIncidentCount != 0)
+      std::printf(" [audit: %llu incidents recovered]",
+                  static_cast<unsigned long long>(R.AuditIncidentCount));
     std::printf("\n");
     if (R.AssertsProven != R.AssertsTotal)
       AllProven = false;
@@ -254,6 +301,11 @@ int run(int Argc, char **Argv) {
     std::printf(", %u failed", Report.JobsFailed);
   if (Report.Retries)
     std::printf(", %u retries", Report.Retries);
+  if (Report.JobsResumed)
+    std::printf(", %u resumed from journal", Report.JobsResumed);
+  if (Report.AuditIncidentTotal)
+    std::printf(", %llu audit incidents",
+                static_cast<unsigned long long>(Report.AuditIncidentTotal));
   std::printf(") on %u worker%s in %.1f ms (%.1f jobs/s), "
               "%u/%u assertions proven\n",
               Report.Workers, Report.Workers == 1 ? "" : "s",
@@ -261,13 +313,16 @@ int run(int Argc, char **Argv) {
               Report.AssertsProven, Report.AssertsTotal);
 
   if (!Opts.JsonPath.empty()) {
-    std::ofstream Out(Opts.JsonPath);
-    if (!Out) {
-      std::fprintf(stderr, "error: cannot write '%s'\n",
-                   Opts.JsonPath.c_str());
+    // Atomic write: a crash (or the CI kill-and-resume smoke's SIGKILL)
+    // during report emission must never leave a truncated report.
+    std::string Error;
+    if (!runtime::writeFileAtomic(
+            Opts.JsonPath, runtime::reportToJson(Report, Opts.CanonicalJson),
+            Error)) {
+      std::fprintf(stderr, "error: cannot write '%s': %s\n",
+                   Opts.JsonPath.c_str(), Error.c_str());
       return 2;
     }
-    Out << runtime::reportToJson(Report);
   }
   return AllProven && Report.JobsOk == Report.Results.size() ? 0 : 1;
 }
