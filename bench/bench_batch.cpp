@@ -15,6 +15,7 @@
 
 #include "runtime/batch.h"
 #include "runtime/thread_pool.h"
+#include "support/cpuinfo.h"
 #include "support/table.h"
 #include "workloads/workload.h"
 
@@ -134,7 +135,8 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr, "error: cannot write '%s'\n", JsonPath.c_str());
     return 1;
   }
-  Out << "{\n  \"bench\": \"bench_batch\",\n"
+  Out << "{\n  \"bench\": \"bench_batch\",\n  "
+      << support::benchContextJson() << ",\n"
       << "  \"jobs\": " << Jobs.size() << ",\n"
       << "  \"hardware_threads\": " << Hw << ",\n"
       << "  \"repeats\": " << Repeats << ",\n"

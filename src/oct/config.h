@@ -13,6 +13,21 @@
 ///     strengthening, keeping components separate. Off by default to match
 ///     the 2015 paper (Section 5.4 merges such components).
 ///
+/// Every knob's *initial* value can be overridden from the environment,
+/// so CI legs and external harnesses can force a configuration without
+/// recompiling (the benches record these variables in their JSON
+/// headers for cross-machine comparability):
+///   * OPTOCT_VECTORIZE=0            — scalar fallback kernels only
+///   * OPTOCT_DECOMPOSITION=0        — no independent components
+///   * OPTOCT_SPARSE=0               — no sparse closure
+///   * OPTOCT_LAZY_STRENGTHENING=1   — enable the post-2015 extension
+///   * OPTOCT_SPARSITY_THRESHOLD=t   — the Section 3.5 threshold, in [0,1]
+/// For the boolean flags, "0" means off and any other non-empty value
+/// means on; unset/empty keeps the built-in default. The variables are
+/// read once, on first use of octConfig(); later writes through
+/// octConfig() still win (the ablation benches toggle knobs between
+/// runs as before).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef OPTOCT_OCT_CONFIG_H

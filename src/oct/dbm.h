@@ -97,6 +97,12 @@ public:
   double *data() { return M.data(); }
   const double *data() const { return M.data(); }
 
+  /// Number of stored entries in row \p I: columns j = 0..(I|1). Both
+  /// rows of a variable pair (2v, 2v+1) store the same (I|1)+1 columns,
+  /// so row(I)[0 .. rowEntries(I)) is the contiguous span the flat
+  /// operator kernels (oct/vector_ops.h) stream over.
+  static unsigned rowEntries(unsigned I) { return (I | 1u) + 1; }
+
   /// Pointer to the start of stored row \p I (entries j = 0..(I|1)).
   double *row(unsigned I) { return M.data() + index(I, 0); }
   const double *row(unsigned I) const { return M.data() + index(I, 0); }

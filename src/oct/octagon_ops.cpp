@@ -7,11 +7,29 @@
 /// relations), join and widening intersect them (common refinement), so
 /// only the relevant parts of the matrices are accessed (Fig. 4).
 ///
+/// All operators stream over contiguous packed half-DBM spans instead
+/// of per-element coherence-indexed at() calls: row i stores columns
+/// j = 0..(i|1) consecutively, so the Dense case is one flat pass over
+/// the 2n(n+1) buffer and the Decomposed case vectorizes over the runs
+/// of consecutive variables inside each component (oct/vector_ops.h).
+/// Scalar entry()-based loops remain only where the union-merged
+/// partition can relate pairs neither input materialized (meet,
+/// narrowing on partial inputs) or where this side's buffer is not
+/// fully meaningful (inclusion against a Decomposed receiver).
+///
+/// With octConfig().EnableVectorization off, every operator instead runs
+/// the original pointwise implementation (dense copy + in-place min/max,
+/// coherence-indexed at()/entry() loops elsewhere), kept verbatim and
+/// pinned scalar: the ablation measures the whole optimization —
+/// restructuring plus SIMD — against the code it replaced, and the
+/// differential tests (tests/test_vector_ops.cpp) check both legs agree
+/// on every observable (DBM entries, nni, partition, emptiness).
+///
 //===----------------------------------------------------------------------===//
 
 #include "oct/config.h"
 #include "oct/octagon.h"
-#include "oct/vector_min.h"
+#include "oct/vector_ops.h"
 
 #include <algorithm>
 #include <cassert>
@@ -21,7 +39,8 @@ using namespace optoct;
 namespace {
 
 /// Applies \p Fn(I, J) to every stored (lower-triangle) full-DBM slot
-/// whose variable pair lies inside \p Vars.
+/// whose variable pair lies inside \p Vars. Scalar fallback iteration
+/// for the paths that must go through entry()'s implicit trivia.
 template <typename FnT>
 void forEachComponentSlot(const std::vector<unsigned> &Vars, FnT Fn) {
   for (std::size_t A = 0; A != Vars.size(); ++A)
@@ -31,6 +50,126 @@ void forEachComponentSlot(const std::vector<unsigned> &Vars, FnT Fn) {
         for (unsigned S = 0; S != 2; ++S)
           Fn(2 * Hi + R, 2 * Lo + S);
     }
+}
+
+/// The pre-span-kernel element loops, preserved as the
+/// EnableVectorization=off leg. OPTOCT_SCALAR_KERNEL keeps -O3 from
+/// quietly re-vectorizing them, so the ablation baseline stays honest.
+OPTOCT_SCALAR_KERNEL
+void scalarMinRows(double *Dst, const double *Src, std::size_t Len) {
+  for (std::size_t J = 0; J != Len; ++J)
+    if (Src[J] < Dst[J])
+      Dst[J] = Src[J];
+}
+
+OPTOCT_SCALAR_KERNEL
+void scalarMaxRows(double *Dst, const double *Src, std::size_t Len) {
+  for (std::size_t J = 0; J != Len; ++J)
+    if (Src[J] > Dst[J])
+      Dst[J] = Src[J];
+}
+
+OPTOCT_SCALAR_KERNEL
+std::size_t scalarCountFinite(const double *P, std::size_t Len) {
+  std::size_t Count = 0;
+  for (std::size_t J = 0; J != Len; ++J)
+    Count += isFinite(P[J]);
+  return Count;
+}
+
+/// Join over one refined component, reading the raw buffers (both are
+/// initialized inside a refined component) through the coherence index.
+OPTOCT_SCALAR_KERNEL
+std::size_t scalarMaxComponent(HalfDbm &RM, const HalfDbm &AM,
+                               const HalfDbm &BM,
+                               const std::vector<unsigned> &Vars) {
+  std::size_t Count = 0;
+  forEachComponentSlot(Vars, [&](unsigned I, unsigned J) {
+    double VA = AM.at(I, J);
+    double VB = BM.at(I, J);
+    double V = VA > VB ? VA : VB;
+    RM.at(I, J) = V;
+    Count += isFinite(V);
+  });
+  return Count;
+}
+
+/// A maximal run of consecutive variables in a sorted component. The
+/// run [First, First+Count) owns the contiguous packed columns
+/// [2*First, 2*(First+Count)) of every stored row at or above it.
+struct VarRun {
+  unsigned First;
+  unsigned Count;
+};
+
+void componentRuns(const std::vector<unsigned> &Vars,
+                   std::vector<VarRun> &Runs) {
+  Runs.clear();
+  for (unsigned V : Vars) {
+    if (!Runs.empty() && Runs.back().First + Runs.back().Count == V)
+      ++Runs.back().Count;
+    else
+      Runs.push_back({V, 1});
+  }
+}
+
+/// Streams the stored spans of one component: for each variable Hi of
+/// \p Vars (ascending) and each of its extended rows I in {2Hi, 2Hi+1},
+/// calls \p Fn(I, J0, Len) for every contiguous packed column span
+/// relating Hi to the component's variables <= Hi — the complete runs
+/// below Hi, then the partial run ending in Hi's own diagonal block.
+/// \p Fn returns false to stop the walk (the early-exit predicates);
+/// returns false iff stopped.
+template <typename FnT>
+bool walkComponentSpans(const std::vector<unsigned> &Vars,
+                        const std::vector<VarRun> &Runs, FnT Fn) {
+  std::size_t RunIdx = 0;
+  unsigned InRun = 0; // variables of Runs[RunIdx] already walked
+  for (unsigned Hi : Vars) {
+    if (InRun == Runs[RunIdx].Count) {
+      ++RunIdx;
+      InRun = 0;
+    }
+    for (unsigned R = 0; R != 2; ++R) {
+      unsigned I = 2 * Hi + R;
+      for (std::size_t Q = 0; Q != RunIdx; ++Q)
+        if (!Fn(I, 2 * Runs[Q].First, 2 * Runs[Q].Count))
+          return false;
+      // Partial current run, including Hi's 2-wide diagonal block.
+      if (!Fn(I, 2 * Runs[RunIdx].First, 2 * InRun + 2))
+        return false;
+    }
+    ++InRun;
+  }
+  return true;
+}
+
+/// Like walkComponentSpans, but reports the 2-wide diagonal-block span
+/// (columns 2Hi, 2Hi+1 — Hi's unary bounds) through \p UnaryFn instead
+/// of merging it into the last cross span. Widening needs the split:
+/// unary entries encode 2x the variable bound and widen against the
+/// doubled threshold set.
+template <typename CrossFnT, typename UnaryFnT>
+void walkComponentSpansSplit(const std::vector<unsigned> &Vars,
+                             const std::vector<VarRun> &Runs, CrossFnT CrossFn,
+                             UnaryFnT UnaryFn) {
+  std::size_t RunIdx = 0;
+  unsigned InRun = 0;
+  for (unsigned Hi : Vars) {
+    if (InRun == Runs[RunIdx].Count) {
+      ++RunIdx;
+      InRun = 0;
+    }
+    for (unsigned R = 0; R != 2; ++R) {
+      unsigned I = 2 * Hi + R;
+      for (std::size_t Q = 0; Q != RunIdx; ++Q)
+        CrossFn(I, 2 * Runs[Q].First, 2 * Runs[Q].Count);
+      if (InRun != 0)
+        CrossFn(I, 2 * Runs[RunIdx].First, 2 * InRun);
+      UnaryFn(I, 2 * Hi);
+    }
+    ++InRun;
+  }
 }
 
 } // namespace
@@ -50,14 +189,29 @@ Octagon Octagon::meet(const Octagon &A, const Octagon &B) {
 
   if (A.FullyInit && B.FullyInit) {
     // Dense fast path (Table 1: meet with a Dense input yields Dense
-    // with O(n^2) vectorized work over the packed buffer).
-    R.M = A.M;
-    minRows(R.M.data(), B.M.data(), R.M.size());
+    // with O(n^2) vectorized work over the packed buffer). Two-source
+    // kernels write the result directly — no preparatory buffer copy.
     R.FullyInit = true;
-    R.NniExplicit = (A.P.isWhole() || B.P.isWhole())
-                        ? R.M.size() // Section 4.1 over-approximation
-                        : R.M.countFinite();
+    if (!octConfig().EnableVectorization) {
+      // Ablation leg: the original copy + in-place pointwise min, plus
+      // a separate counting scan where the count must be exact.
+      R.M = A.M;
+      scalarMinRows(R.M.data(), B.M.data(), R.M.size());
+      R.NniExplicit = (A.P.isWhole() || B.P.isWhole())
+                          ? R.M.size() // Section 4.1 over-approximation
+                          : scalarCountFinite(R.M.data(), R.M.size());
+    } else if (A.P.isWhole() || B.P.isWhole()) {
+      minSpan(R.M.data(), A.M.data(), B.M.data(), R.M.size());
+      R.NniExplicit = R.M.size(); // Section 4.1 over-approximation
+    } else {
+      // The same pass also yields the exact count (no re-scan).
+      R.NniExplicit =
+          minSpanCount(R.M.data(), A.M.data(), B.M.data(), R.M.size());
+    }
   } else {
+    // The union-merged partition can relate pairs that neither input
+    // materialized, so the reads must go through entry()'s implicit
+    // trivia; stays scalar.
     std::size_t Count = 0;
     for (std::size_t C = 0, E = R.P.numComponents(); C != E; ++C)
       forEachComponentSlot(R.P.component(C), [&](unsigned I, unsigned J) {
@@ -96,26 +250,46 @@ Octagon Octagon::join(Octagon &A, Octagon &B) {
   R.P = Partition::refine(A.P, B.P);
 
   if (A.FullyInit && B.FullyInit && A.P.isWhole() && B.P.isWhole()) {
-    // Dense/Dense fast path: one vectorized max over the packed buffer.
-    R.M = A.M;
-    maxRows(R.M.data(), B.M.data(), R.M.size());
+    // Dense/Dense fast path: one flat vectorized max over the packed
+    // buffers, written straight into the result. The ablation leg keeps
+    // the original copy + in-place pointwise max.
+    if (octConfig().EnableVectorization) {
+      maxSpan(R.M.data(), A.M.data(), B.M.data(), R.M.size());
+    } else {
+      R.M = A.M;
+      scalarMaxRows(R.M.data(), B.M.data(), R.M.size());
+    }
     R.FullyInit = true;
     R.NniExplicit = R.M.size(); // Section 4.1 over-approximation
+  } else if (!octConfig().EnableVectorization) {
+    // Ablation leg: the original coherence-indexed loop over each
+    // refined component.
+    std::size_t Count = 0;
+    for (std::size_t C = 0, E = R.P.numComponents(); C != E; ++C)
+      Count += scalarMaxComponent(R.M, A.M, B.M, R.P.component(C));
+    R.FullyInit = R.P.isWhole();
+    R.NniExplicit = Count;
   } else {
     // Only the submatrices of the *intersected* components are read and
     // written (Fig. 4); everything else is implicitly trivial. A pair
     // inside a refined component lies inside one component of *each*
-    // input, so both buffers are initialized there and the raw reads
-    // skip the per-entry partition lookups.
+    // input, so both buffers are initialized there and the span kernels
+    // can stream the raw rows, skipping the per-entry partition
+    // lookups. The kernels count finite lanes as they go, keeping nni
+    // exact without a second pass.
     std::size_t Count = 0;
-    for (std::size_t C = 0, E = R.P.numComponents(); C != E; ++C)
-      forEachComponentSlot(R.P.component(C), [&](unsigned I, unsigned J) {
-        double VA = A.M.at(I, J);
-        double VB = B.M.at(I, J);
-        double V = VA > VB ? VA : VB;
-        R.M.at(I, J) = V;
-        Count += isFinite(V);
-      });
+    std::vector<VarRun> Runs;
+    for (std::size_t C = 0, E = R.P.numComponents(); C != E; ++C) {
+      const std::vector<unsigned> &Vars = R.P.component(C);
+      componentRuns(Vars, Runs);
+      walkComponentSpans(Vars, Runs,
+                         [&](unsigned I, unsigned J0, unsigned Len) {
+                           Count += maxSpanCount(R.M.row(I) + J0,
+                                                 A.M.row(I) + J0,
+                                                 B.M.row(I) + J0, Len);
+                           return true;
+                         });
+    }
     R.FullyInit = R.P.isWhole();
     R.NniExplicit = Count;
   }
@@ -153,33 +327,70 @@ Octagon Octagon::widenWithThresholds(const Octagon &Old, Octagon &New,
   R.P = Partition::refine(Old.P, New.P);
 
   // Thresholds are variable-level bounds: unary DBM entries (which
-  // encode 2x the variable bound) land on 2t, binary entries on t.
+  // encode 2x the variable bound) land on 2t, binary entries on t. Both
+  // sets are prepared once per call — the kernels binary-search them
+  // only for entries that actually grew.
   std::vector<double> Doubled;
   Doubled.reserve(Thresholds.size());
   for (double T : Thresholds)
     Doubled.push_back(2 * T);
-  auto widenEntry = [&](double VO, double VN, bool Unary) {
-    if (VN <= VO)
-      return VO; // stable: keep the old bound
-    const std::vector<double> &Set = Unary ? Doubled : Thresholds;
-    auto It = std::lower_bound(Set.begin(), Set.end(), VN);
-    return It == Set.end() ? Infinity : *It;
-  };
+  const double *BinThr = Thresholds.data();
+  const std::size_t BinN = Thresholds.size();
+  const double *UnThr = Doubled.data();
+  const std::size_t UnN = Doubled.size();
 
   // A bound survives iff it did not grow; growing bounds jump to the
   // next threshold or +inf. nni is counted exactly — widening is where
   // sparsity reappears during analysis (Fig. 7), so the count must be
-  // real, not the dense over-approximation.
-  // As in join, refined pairs are covered by both inputs' components,
-  // so the raw buffer reads are valid and cheaper than entry().
+  // real, not the dense over-approximation; the kernels return it from
+  // the same pass. As in join, refined pairs are covered by both
+  // inputs' components, so the raw row spans are valid.
   std::size_t Count = 0;
-  for (std::size_t C = 0, E = R.P.numComponents(); C != E; ++C)
-    forEachComponentSlot(R.P.component(C), [&](unsigned I, unsigned J) {
-      double V =
-          widenEntry(Old.M.at(I, J), New.M.at(I, J), I / 2 == J / 2);
-      R.M.at(I, J) = V;
-      Count += isFinite(V);
-    });
+  if (!octConfig().EnableVectorization) {
+    // Ablation leg: the original per-element widening rule over the
+    // refined components (same hoisted threshold prep; the binary
+    // search still runs only for entries that actually grew).
+    for (std::size_t C = 0, E = R.P.numComponents(); C != E; ++C)
+      forEachComponentSlot(R.P.component(C), [&](unsigned I, unsigned J) {
+        double VO = Old.M.at(I, J);
+        double VN = New.M.at(I, J);
+        bool Unary = I / 2 == J / 2;
+        const double *Thr = Unary ? UnThr : BinThr;
+        std::size_t ThrN = Unary ? UnN : BinN;
+        double V;
+        if (VN <= VO) {
+          V = VO; // stable: keep the old bound
+        } else {
+          const double *It = std::lower_bound(Thr, Thr + ThrN, VN);
+          V = It == Thr + ThrN ? Infinity : *It;
+        }
+        R.M.at(I, J) = V;
+        Count += isFinite(V);
+      });
+  } else if (BinN == 0 && R.P.isWhole()) {
+    // Dense fast path: with no thresholds the unary and binary rules
+    // coincide, so the whole packed buffer is a single span (a whole
+    // refined partition means both inputs' buffers are fully
+    // meaningful).
+    Count = widenSpanCount(R.M.data(), Old.M.data(), New.M.data(),
+                           R.M.size(), nullptr, 0);
+  } else {
+    std::vector<VarRun> Runs;
+    for (std::size_t C = 0, E = R.P.numComponents(); C != E; ++C) {
+      const std::vector<unsigned> &Vars = R.P.component(C);
+      componentRuns(Vars, Runs);
+      walkComponentSpansSplit(
+          Vars, Runs,
+          [&](unsigned I, unsigned J0, unsigned Len) {
+            Count += widenSpanCount(R.M.row(I) + J0, Old.M.row(I) + J0,
+                                    New.M.row(I) + J0, Len, BinThr, BinN);
+          },
+          [&](unsigned I, unsigned J0) {
+            Count += widenSpanCount(R.M.row(I) + J0, Old.M.row(I) + J0,
+                                    New.M.row(I) + J0, 2, UnThr, UnN);
+          });
+    }
+  }
   R.FullyInit = R.P.isWhole();
   R.NniExplicit = Count;
   R.Closed = false;
@@ -202,16 +413,46 @@ Octagon Octagon::narrow(Octagon &Old, const Octagon &New) {
   R.P = Partition::unionMerge(Old.P, New.P);
 
   // Standard narrowing: refine only the unbounded entries.
-  std::size_t Count = 0;
-  for (std::size_t C = 0, E = R.P.numComponents(); C != E; ++C)
-    forEachComponentSlot(R.P.component(C), [&](unsigned I, unsigned J) {
-      double VO = Old.entry(I, J);
-      double V = isFinite(VO) ? VO : New.entry(I, J);
-      R.M.at(I, J) = V;
-      Count += isFinite(V);
-    });
-  R.FullyInit = R.P.isWhole();
-  R.NniExplicit = Count;
+  if (Old.FullyInit && New.FullyInit && octConfig().EnableVectorization) {
+    if (R.P.isWhole()) {
+      // Both buffers fully meaningful and one component covering every
+      // variable: one flat select over the packed storage materializes
+      // the result and counts it in the same pass.
+      R.NniExplicit =
+          narrowSpanCount(R.M.data(), Old.M.data(), New.M.data(), R.M.size());
+      R.FullyInit = true;
+    } else {
+      // Fully meaningful inputs but a fragmented partition: stream the
+      // component row runs so the count keeps the scalar leg's
+      // convention (only covered slots).
+      std::size_t Count = 0;
+      std::vector<VarRun> Runs;
+      for (std::size_t C = 0, E = R.P.numComponents(); C != E; ++C) {
+        const std::vector<unsigned> &Vars = R.P.component(C);
+        componentRuns(Vars, Runs);
+        walkComponentSpans(Vars, Runs,
+                           [&](unsigned I, unsigned J0, unsigned Len) {
+                             Count += narrowSpanCount(R.M.row(I) + J0,
+                                                      Old.M.row(I) + J0,
+                                                      New.M.row(I) + J0, Len);
+                             return true;
+                           });
+      }
+      R.FullyInit = false;
+      R.NniExplicit = Count;
+    }
+  } else {
+    std::size_t Count = 0;
+    for (std::size_t C = 0, E = R.P.numComponents(); C != E; ++C)
+      forEachComponentSlot(R.P.component(C), [&](unsigned I, unsigned J) {
+        double VO = Old.entry(I, J);
+        double V = isFinite(VO) ? VO : New.entry(I, J);
+        R.M.at(I, J) = V;
+        Count += isFinite(V);
+      });
+    R.FullyInit = R.P.isWhole();
+    R.NniExplicit = Count;
+  }
   R.Closed = false;
   R.Kind = R.P.empty()    ? DbmKind::Top
            : R.P.isWhole() ? DbmKind::Dense
@@ -234,8 +475,31 @@ bool Octagon::leq(Octagon &Other) {
   // (Other is deliberately not closed here: the test is sound either
   // way, and closing a stored widening iterate would endanger
   // termination.)
+  if (octConfig().EnableVectorization && FullyInit && Other.FullyInit) {
+    // Both buffers fully meaningful: one flat early-exit predicate over
+    // the packed storage. Other's slots outside its components hold
+    // materialized trivial values, which cannot fabricate a violation
+    // (anything <= +inf; both diagonals are 0).
+    return spanLeq(M.data(), Other.M.data(), M.size());
+  }
+  std::vector<VarRun> Runs;
   for (std::size_t C = 0, E = Other.P.numComponents(); C != E; ++C) {
     const std::vector<unsigned> &Vars = Other.P.component(C);
+    if (octConfig().EnableVectorization && FullyInit) {
+      // This side reads raw rows (every slot meaningful); Other's rows
+      // are valid inside its own components by definition. The kernel
+      // movemask-exits on the first violating lane.
+      componentRuns(Vars, Runs);
+      if (!walkComponentSpans(Vars, Runs,
+                              [&](unsigned I, unsigned J0, unsigned Len) {
+                                return spanLeq(M.row(I) + J0,
+                                               Other.M.row(I) + J0, Len);
+                              }))
+        return false;
+      continue;
+    }
+    // Decomposed receiver (or the ablation leg): per-element reads
+    // through entry()'s implicit trivia, as in the original operator.
     for (std::size_t A = 0; A != Vars.size(); ++A)
       for (std::size_t B = 0; B <= A; ++B)
         for (unsigned R = 0; R != 2; ++R)
@@ -258,6 +522,12 @@ bool Octagon::equals(Octagon &Other) {
   if (Empty || Other.Empty)
     return Empty == Other.Empty;
   // The strongly closed form is canonical for non-empty octagons.
+  if (octConfig().EnableVectorization && FullyInit && Other.FullyInit) {
+    // Closure materialized both buffers (including the trivial slots
+    // outside their exact partitions), so canonical equality is one
+    // flat early-exit compare of the packed storage.
+    return spanEq(M.data(), Other.M.data(), M.size());
+  }
   unsigned D = M.dim();
   for (unsigned I = 0; I != D; ++I)
     for (unsigned J = 0; J <= (I | 1u); ++J)

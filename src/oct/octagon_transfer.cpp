@@ -344,7 +344,11 @@ void Octagon::removeTrailingVars(unsigned Count) {
   for (unsigned V = NewN; V != OldN; ++V)
     P.removeVar(V);
   HalfDbm NewM(NewN);
-  std::memcpy(NewM.data(), M.data(), HalfDbm::matSize(NewN) * sizeof(double));
+  // NewN == 0 leaves both buffers empty; memcpy's pointers are declared
+  // nonnull even for size 0, so the degenerate copy must be skipped.
+  if (NewN != 0)
+    std::memcpy(NewM.data(), M.data(),
+                HalfDbm::matSize(NewN) * sizeof(double));
   M = std::move(NewM);
   P.resizeVars(NewN);
   if (!octConfig().EnableDecomposition)
@@ -388,13 +392,19 @@ std::string Octagon::str(const std::vector<std::string> *Names) {
     if (!Out.empty())
       Out += " && ";
     char Buf[64];
+    // + 0.0 canonicalizes a negative-zero bound to "0": which sign of
+    // zero survives a min/max tie differs between the SIMD kernels
+    // (MINPD/MAXPD keep the second operand) and scalar code, and the
+    // two are indistinguishable everywhere except printf — invariant
+    // strings must not depend on that.
+    double Bound = C.Bound + 0.0;
     if (C.isUnary()) {
       std::snprintf(Buf, sizeof(Buf), "%s%s <= %g", C.CoefI < 0 ? "-" : "",
-                    Name(C.I).c_str(), C.Bound);
+                    Name(C.I).c_str(), Bound);
     } else {
       std::snprintf(Buf, sizeof(Buf), "%s%s %c %s <= %g",
                     C.CoefI < 0 ? "-" : "", Name(C.I).c_str(),
-                    C.CoefJ < 0 ? '-' : '+', Name(C.J).c_str(), C.Bound);
+                    C.CoefJ < 0 ? '-' : '+', Name(C.J).c_str(), Bound);
     }
     Out += Buf;
   }

@@ -120,6 +120,12 @@ std::vector<unsigned> Partition::sortedVars() const {
 
 Partition Partition::unionMerge(const Partition &A, const Partition &B) {
   assert(A.numVars() == B.numVars() && "dimension mismatch");
+  // A whole input absorbs anything it is merged with. Dense/Dense meets
+  // and narrowings hit this on every call, so skip the union-find.
+  if (A.isWhole())
+    return A;
+  if (B.isWhole())
+    return B;
   unsigned N = A.numVars();
   UnionFind UF(N);
   std::vector<bool> Covered(N, false);
@@ -149,6 +155,13 @@ Partition Partition::unionMerge(const Partition &A, const Partition &B) {
 
 Partition Partition::refine(const Partition &A, const Partition &B) {
   assert(A.numVars() == B.numVars() && "dimension mismatch");
+  // Refining against a whole partition changes nothing: every variable
+  // is covered by the whole side and no block of the other side splits.
+  // Dense/Dense joins and widenings hit this on every call.
+  if (A.isWhole())
+    return B;
+  if (B.isWhole())
+    return A;
   unsigned N = A.numVars();
   Partition Result(N);
   // A variable survives iff covered by both; two survivors share a block

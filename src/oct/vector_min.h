@@ -11,6 +11,10 @@
 /// unaligned loads because packed half-DBM rows start at arbitrary
 /// offsets.
 ///
+/// The span kernels of the quadratic lattice operators (join, meet,
+/// widening, narrowing, inclusion, equality) live in oct/vector_ops.h;
+/// this header keeps the closure/strengthening min-plus family.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef OPTOCT_OCT_VECTOR_MIN_H

@@ -4,8 +4,6 @@
 
 using namespace optoct::support;
 
-thread_local CancellationToken *optoct::support::detail::TlsToken = nullptr;
-
 const char *optoct::support::budgetReasonName(BudgetReason R) {
   switch (R) {
   case BudgetReason::None:

@@ -134,8 +134,13 @@ private:
 
 namespace detail {
 /// The calling thread's active token; nullptr = unbudgeted (all polls
-/// no-op). Exposed only so the poll fast path can inline.
-extern thread_local CancellationToken *TlsToken;
+/// no-op). Exposed only so the poll fast path can inline. constinit
+/// inline (rather than extern with an out-of-line definition) so every
+/// TU sees the constant initializer: the compiler emits a direct TLS
+/// load with no _ZTW wrapper call, making the unbudgeted poll genuinely
+/// one fs-relative load — and sidestepping a GCC UBSan false positive
+/// that flags the wrapper's returned address as a null load at -O2.
+constinit inline thread_local CancellationToken *TlsToken = nullptr;
 } // namespace detail
 
 /// Installs \p Token as the calling thread's active token for the

@@ -1,0 +1,103 @@
+//===- support/cpuinfo.h - CPU features and env for bench headers -*- C++ -*-===//
+///
+/// \file
+/// Perf numbers are only comparable when the JSON that records them
+/// also records what produced them: the OPTOCT_* environment overrides
+/// (oct/config.h) and whether the AVX kernels were compiled in *and*
+/// available on the machine. Every bench that writes a checked-in JSON
+/// baseline embeds benchContextJson() in its header.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPTOCT_SUPPORT_CPUINFO_H
+#define OPTOCT_SUPPORT_CPUINFO_H
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+extern char **environ;
+
+namespace optoct::support {
+
+/// What the silicon offers vs what the binary was compiled to use. The
+/// kernels run their AVX bodies only when both compiled_avx and the
+/// runtime EnableVectorization flag hold.
+struct CpuFeatures {
+  bool Avx = false;          ///< CPU supports AVX (runtime probe).
+  bool Avx2 = false;         ///< CPU supports AVX2 (runtime probe).
+  bool CompiledAvx = false;  ///< Binary built with __AVX__.
+  bool CompiledAvx2 = false; ///< Binary built with __AVX2__.
+};
+
+inline CpuFeatures cpuFeatures() {
+  CpuFeatures F;
+#if defined(__x86_64__) || defined(__i386__)
+  F.Avx = __builtin_cpu_supports("avx");
+  F.Avx2 = __builtin_cpu_supports("avx2");
+#endif
+#if defined(__AVX__)
+  F.CompiledAvx = true;
+#endif
+#if defined(__AVX2__)
+  F.CompiledAvx2 = true;
+#endif
+  return F;
+}
+
+/// All OPTOCT_* variables present in the environment, sorted by name.
+inline std::vector<std::pair<std::string, std::string>> optoctEnv() {
+  std::vector<std::pair<std::string, std::string>> Vars;
+  for (char **E = environ; E && *E; ++E) {
+    const char *Entry = *E;
+    if (std::strncmp(Entry, "OPTOCT_", 7) != 0)
+      continue;
+    const char *Eq = std::strchr(Entry, '=');
+    if (!Eq)
+      continue;
+    Vars.emplace_back(std::string(Entry, Eq), std::string(Eq + 1));
+  }
+  std::sort(Vars.begin(), Vars.end());
+  return Vars;
+}
+
+/// Minimal JSON string escaping for env values.
+inline std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    if (static_cast<unsigned char>(C) < 0x20)
+      continue; // control chars cannot appear in a sane env value
+    Out += C;
+  }
+  return Out;
+}
+
+/// The `"env": {...},\n  "cpu": {...}` fragment of a bench JSON header
+/// (no leading indent on the first line, no trailing comma).
+inline std::string benchContextJson() {
+  std::string Out = "\"env\": {";
+  bool First = true;
+  for (const auto &[Name, Value] : optoctEnv()) {
+    if (!First)
+      Out += ", ";
+    First = false;
+    Out += "\"" + jsonEscape(Name) + "\": \"" + jsonEscape(Value) + "\"";
+  }
+  Out += "},\n  \"cpu\": {";
+  CpuFeatures F = cpuFeatures();
+  auto Flag = [](bool B) { return B ? "true" : "false"; };
+  Out += std::string("\"avx\": ") + Flag(F.Avx) +
+         ", \"avx2\": " + Flag(F.Avx2) +
+         ", \"compiled_avx\": " + Flag(F.CompiledAvx) +
+         ", \"compiled_avx2\": " + Flag(F.CompiledAvx2) + "}";
+  return Out;
+}
+
+} // namespace optoct::support
+
+#endif // OPTOCT_SUPPORT_CPUINFO_H

@@ -15,7 +15,6 @@
 using namespace optoct::support;
 
 std::atomic<bool> optoct::support::detail::FaultsArmed{false};
-thread_local const char *optoct::support::detail::FaultJobName = nullptr;
 
 namespace {
 

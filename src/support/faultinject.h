@@ -104,7 +104,11 @@ namespace detail {
 /// True iff the global plan has at least one rule.
 extern std::atomic<bool> FaultsArmed;
 /// The calling thread's current job name (nullptr outside a job).
-extern thread_local const char *FaultJobName;
+/// constinit inline for the same reason as budget.h's TlsToken: every
+/// TU sees the constant initializer, so accesses compile to direct TLS
+/// loads with no _ZTW wrapper (whose returned address GCC's UBSan
+/// falsely flags as null at -O2).
+constinit inline thread_local const char *FaultJobName = nullptr;
 } // namespace detail
 
 /// RAII: names the batch job running on this thread so rules with a

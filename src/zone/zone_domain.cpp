@@ -374,15 +374,17 @@ std::string ZoneDomain::str(const std::vector<std::string> *Names) {
         continue;
       if (!Out.empty())
         Out += " && ";
+      // + 0.0 canonicalizes negative zero so printed bounds never
+      // depend on which sign of zero survived a min tie.
       if (I == 0)
         std::snprintf(Buf, sizeof(Buf), "%s <= %g", Name(J - 1).c_str(),
-                      at(I, J));
+                      at(I, J) + 0.0);
       else if (J == 0)
         std::snprintf(Buf, sizeof(Buf), "%s >= %g", Name(I - 1).c_str(),
-                      -at(I, J));
+                      -at(I, J) + 0.0);
       else
         std::snprintf(Buf, sizeof(Buf), "%s - %s <= %g", Name(J - 1).c_str(),
-                      Name(I - 1).c_str(), at(I, J));
+                      Name(I - 1).c_str(), at(I, J) + 0.0);
       Out += Buf;
     }
   return Out.empty() ? "top" : Out;

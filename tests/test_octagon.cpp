@@ -288,6 +288,16 @@ TEST_F(OctagonTest, AddVarsKeepsConstraints) {
   EXPECT_TRUE(O.bounds(4).isTop());
 }
 
+TEST_F(OctagonTest, StrCanonicalizesNegativeZeroBounds) {
+  // Negative-zero bounds arise from interval arithmetic (-1 * 0.0) and
+  // from SIMD min/max tie-breaking; they are indistinguishable from +0
+  // everywhere except printf, so str() must render both as "0" — loop
+  // invariants compared across configurations depend on it.
+  Octagon O(1);
+  O.addConstraint(OctCons::upper(0, -0.0));
+  EXPECT_EQ(O.str(), "v0 <= 0");
+}
+
 TEST_F(OctagonTest, RemoveTrailingVarsProjects) {
   Octagon O(4);
   O.assign(0, LinExpr::constant(1.0));

@@ -1,0 +1,499 @@
+//===- tests/test_vector_ops.cpp - Lattice-operator span kernel tests -----===//
+///
+/// \file
+/// Two layers of vector/scalar parity checks for the span kernels of
+/// oct/vector_ops.h:
+///
+///   1. Kernel-level: each kernel run with EnableVectorization on and
+///      off on random spans (with infinities) must produce bitwise
+///      identical outputs, identical early-exit verdicts, and identical
+///      returned finite-entry counts — which must also match a manual
+///      recount.
+///
+///   2. Operator-level differential: random octagon pairs of every
+///      shape (dense, block-decomposed, sparse, unary-heavy, top,
+///      bottom) run through every lattice operator with vectorization
+///      on vs off must yield bitwise-identical conceptual DBMs and
+///      identical nni / kind / partition / closedness, and identical
+///      boolean verdicts for inclusion and equality. Flipping
+///      EnableVectorization may only change speed, never a result.
+///
+//===----------------------------------------------------------------------===//
+
+#include "oct/vector_ops.h"
+
+#include "oct/config.h"
+#include "oct/constraint.h"
+#include "oct/octagon.h"
+#include "oct/value.h"
+#include "support/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+using namespace optoct;
+
+namespace {
+
+std::vector<double> randomSpan(Rng &R, std::size_t Len, double InfProb) {
+  std::vector<double> S(Len);
+  for (double &V : S)
+    V = R.chance(InfProb) ? Infinity : R.intIn(-20, 20);
+  return S;
+}
+
+class SpanKernelTest : public ::testing::TestWithParam<std::size_t> {
+protected:
+  void SetUp() override { Saved = octConfig().EnableVectorization; }
+  void TearDown() override { octConfig().EnableVectorization = Saved; }
+  bool Saved;
+};
+
+TEST_P(SpanKernelTest, MaxMinSpanMatchScalar) {
+  std::size_t Len = GetParam();
+  Rng R(Len * 13 + 1);
+  std::vector<double> A = randomSpan(R, Len, 0.3);
+  std::vector<double> B = randomSpan(R, Len, 0.3);
+
+  std::vector<double> VecMax(Len), ScalarMax(Len);
+  std::vector<double> VecMin(Len), ScalarMin(Len);
+  octConfig().EnableVectorization = true;
+  maxSpan(VecMax.data(), A.data(), B.data(), Len);
+  minSpan(VecMin.data(), A.data(), B.data(), Len);
+  octConfig().EnableVectorization = false;
+  maxSpan(ScalarMax.data(), A.data(), B.data(), Len);
+  minSpan(ScalarMin.data(), A.data(), B.data(), Len);
+  EXPECT_EQ(VecMax, ScalarMax);
+  EXPECT_EQ(VecMin, ScalarMin);
+  for (std::size_t I = 0; I != Len; ++I) {
+    EXPECT_EQ(VecMax[I], std::max(A[I], B[I]));
+    EXPECT_EQ(VecMin[I], std::min(A[I], B[I]));
+  }
+}
+
+TEST_P(SpanKernelTest, MaxMinSpanCountMatchScalar) {
+  std::size_t Len = GetParam();
+  Rng R(Len * 13 + 2);
+  std::vector<double> A = randomSpan(R, Len, 0.4);
+  std::vector<double> B = randomSpan(R, Len, 0.4);
+
+  std::vector<double> VecOut(Len), ScalarOut(Len);
+  octConfig().EnableVectorization = true;
+  std::size_t VecMaxN = maxSpanCount(VecOut.data(), A.data(), B.data(), Len);
+  octConfig().EnableVectorization = false;
+  std::size_t ScalarMaxN =
+      maxSpanCount(ScalarOut.data(), A.data(), B.data(), Len);
+  EXPECT_EQ(VecOut, ScalarOut);
+  EXPECT_EQ(VecMaxN, ScalarMaxN);
+  std::size_t Manual = 0;
+  for (double V : VecOut)
+    Manual += isFinite(V);
+  EXPECT_EQ(VecMaxN, Manual);
+
+  octConfig().EnableVectorization = true;
+  std::size_t VecMinN = minSpanCount(VecOut.data(), A.data(), B.data(), Len);
+  octConfig().EnableVectorization = false;
+  std::size_t ScalarMinN =
+      minSpanCount(ScalarOut.data(), A.data(), B.data(), Len);
+  EXPECT_EQ(VecOut, ScalarOut);
+  EXPECT_EQ(VecMinN, ScalarMinN);
+  Manual = 0;
+  for (double V : VecOut)
+    Manual += isFinite(V);
+  EXPECT_EQ(VecMinN, Manual);
+}
+
+TEST_P(SpanKernelTest, NarrowSpanCountMatchesScalar) {
+  std::size_t Len = GetParam();
+  Rng R(Len * 13 + 3);
+  // High infinity probability in Old so the select actually picks from
+  // New on many lanes.
+  std::vector<double> Old = randomSpan(R, Len, 0.6);
+  std::vector<double> New = randomSpan(R, Len, 0.3);
+
+  std::vector<double> VecOut(Len), ScalarOut(Len);
+  octConfig().EnableVectorization = true;
+  std::size_t VecN = narrowSpanCount(VecOut.data(), Old.data(), New.data(), Len);
+  octConfig().EnableVectorization = false;
+  std::size_t ScalarN =
+      narrowSpanCount(ScalarOut.data(), Old.data(), New.data(), Len);
+  EXPECT_EQ(VecOut, ScalarOut);
+  EXPECT_EQ(VecN, ScalarN);
+  std::size_t Manual = 0;
+  for (std::size_t I = 0; I != Len; ++I) {
+    EXPECT_EQ(VecOut[I], isFinite(Old[I]) ? Old[I] : New[I]);
+    Manual += isFinite(VecOut[I]);
+  }
+  EXPECT_EQ(VecN, Manual);
+}
+
+TEST_P(SpanKernelTest, WidenSpanCountMatchesScalar) {
+  std::size_t Len = GetParam();
+  Rng R(Len * 13 + 4);
+  // Bounds in [-20, 20]; thresholds interleaved so lower_bound exercises
+  // hits, in-between values, and past-the-end (-> +inf).
+  const std::vector<double> Thresholds = {-8.0, -2.0, 0.0, 3.0, 7.0, 15.0};
+  for (std::size_t ThrN : {std::size_t{0}, Thresholds.size()}) {
+    std::vector<double> Old = randomSpan(R, Len, 0.3);
+    std::vector<double> New = randomSpan(R, Len, 0.3);
+
+    std::vector<double> VecOut(Len), ScalarOut(Len);
+    octConfig().EnableVectorization = true;
+    std::size_t VecN = widenSpanCount(VecOut.data(), Old.data(), New.data(),
+                                      Len, Thresholds.data(), ThrN);
+    octConfig().EnableVectorization = false;
+    std::size_t ScalarN = widenSpanCount(ScalarOut.data(), Old.data(),
+                                         New.data(), Len, Thresholds.data(),
+                                         ThrN);
+    EXPECT_EQ(VecOut, ScalarOut);
+    EXPECT_EQ(VecN, ScalarN);
+    std::size_t Manual = 0;
+    for (std::size_t I = 0; I != Len; ++I) {
+      double Expect;
+      if (New[I] <= Old[I]) {
+        Expect = Old[I];
+      } else {
+        auto It = std::lower_bound(Thresholds.begin(),
+                                   Thresholds.begin() + ThrN, New[I]);
+        Expect = It == Thresholds.begin() + ThrN ? Infinity : *It;
+      }
+      EXPECT_EQ(VecOut[I], Expect) << "ThrN=" << ThrN << " at " << I;
+      Manual += isFinite(VecOut[I]);
+    }
+    EXPECT_EQ(VecN, Manual);
+  }
+}
+
+TEST_P(SpanKernelTest, LeqEqPredicatesMatchScalar) {
+  std::size_t Len = GetParam();
+  Rng R(Len * 13 + 5);
+  std::vector<double> A = randomSpan(R, Len, 0.3);
+
+  // Candidate comparands: equal; pointwise >= (leq holds); a violation
+  // planted at the front, the middle, and the back of the span.
+  std::vector<std::vector<double>> Others;
+  Others.push_back(A);
+  std::vector<double> Dominating = A;
+  for (double &V : Dominating)
+    if (isFinite(V) && R.chance(0.5))
+      V += R.intIn(0, 5);
+  Others.push_back(Dominating);
+  for (std::size_t Pos : {std::size_t{0}, Len / 2, Len - 1}) {
+    if (Len == 0)
+      break;
+    std::vector<double> Violating = Dominating;
+    Violating[Pos] = isFinite(A[Pos]) ? A[Pos] - 1 : 100;
+    if (isFinite(A[Pos]) || Violating[Pos] < Infinity)
+      Others.push_back(Violating);
+  }
+
+  for (const std::vector<double> &B : Others) {
+    octConfig().EnableVectorization = true;
+    bool VecLeq = spanLeq(A.data(), B.data(), Len);
+    bool VecEq = spanEq(A.data(), B.data(), Len);
+    octConfig().EnableVectorization = false;
+    bool ScalarLeq = spanLeq(A.data(), B.data(), Len);
+    bool ScalarEq = spanEq(A.data(), B.data(), Len);
+    EXPECT_EQ(VecLeq, ScalarLeq);
+    EXPECT_EQ(VecEq, ScalarEq);
+    // Semantic cross-check against the direct definition.
+    bool RefLeq = true, RefEq = true;
+    for (std::size_t I = 0; I != Len; ++I) {
+      RefLeq &= !(A[I] > B[I]);
+      RefEq &= A[I] == B[I];
+    }
+    EXPECT_EQ(VecLeq, RefLeq);
+    EXPECT_EQ(VecEq, RefEq);
+  }
+}
+
+// Lengths straddling the 4-wide vector body: empty, sub-vector, exact
+// multiples, and multiples plus remainders.
+INSTANTIATE_TEST_SUITE_P(Lengths, SpanKernelTest,
+                         ::testing::Values(0u, 1u, 2u, 3u, 4u, 5u, 7u, 8u, 9u,
+                                           15u, 16u, 31u, 33u, 64u, 130u));
+
+//===----------------------------------------------------------------------===//
+// Operator-level differential: vectorization on vs off.
+//===----------------------------------------------------------------------===//
+
+/// The shapes of random octagons the differential sweep draws from.
+enum class Shape {
+  Dense,      ///< constraints over all variable pairs
+  Blocks,     ///< constraints only within disjoint variable blocks
+  Sparse,     ///< a handful of constraints
+  UnaryHeavy, ///< mostly interval bounds
+  Top,        ///< no constraints
+  Bottom,     ///< contradictory constraints
+};
+
+Octagon randomOct(unsigned N, Shape S, Rng &R) {
+  Octagon O(N);
+  std::vector<OctCons> Cs;
+  auto addBinary = [&](unsigned I, unsigned J) {
+    switch (R.intIn(0, 2)) {
+    case 0:
+      Cs.push_back(OctCons::diff(I, J, R.intIn(-4, 24)));
+      break;
+    case 1:
+      Cs.push_back(OctCons::sum(I, J, R.intIn(-4, 24)));
+      break;
+    default:
+      Cs.push_back(OctCons::negSum(I, J, R.intIn(-4, 24)));
+      break;
+    }
+  };
+  auto addUnary = [&](unsigned I) {
+    if (R.chance(0.5))
+      Cs.push_back(OctCons::upper(I, R.intIn(-2, 24)));
+    else
+      Cs.push_back(OctCons::lower(I, R.intIn(-2, 24)));
+  };
+  switch (S) {
+  case Shape::Dense:
+    for (unsigned I = 0; I != N; ++I)
+      for (unsigned J = 0; J != I; ++J)
+        if (R.chance(0.8))
+          addBinary(I, J);
+    for (unsigned I = 0; I != N; ++I)
+      if (R.chance(0.5))
+        addUnary(I);
+    break;
+  case Shape::Blocks: {
+    // Disjoint blocks of 2-3 variables; some consecutive, some not, so
+    // the component-run walker sees both full and fragmented runs.
+    unsigned V = 0;
+    while (V + 1 < N) {
+      unsigned Size = std::min<unsigned>(R.chance(0.5) ? 2 : 3, N - V);
+      for (unsigned A = 1; A != Size; ++A)
+        for (unsigned B = 0; B != A; ++B)
+          if (R.chance(0.8))
+            addBinary(V + A, V + B);
+      if (R.chance(0.4))
+        addUnary(V);
+      V += Size + (R.chance(0.5) ? 1 : 0); // sometimes skip a variable
+    }
+    break;
+  }
+  case Shape::Sparse:
+    for (unsigned K = 0, E = std::max(1u, N / 4); K != E; ++K) {
+      unsigned I = static_cast<unsigned>(R.indexBelow(N));
+      unsigned J = static_cast<unsigned>(R.indexBelow(N));
+      if (I == J)
+        addUnary(I);
+      else
+        addBinary(std::max(I, J), std::min(I, J));
+    }
+    break;
+  case Shape::UnaryHeavy:
+    for (unsigned I = 0; I != N; ++I)
+      if (R.chance(0.8)) {
+        Cs.push_back(OctCons::upper(I, R.intIn(0, 24)));
+        Cs.push_back(OctCons::lower(I, R.intIn(0, 24)));
+      }
+    if (N >= 2)
+      addBinary(1, 0);
+    break;
+  case Shape::Top:
+    break;
+  case Shape::Bottom:
+    // v0 <= -1 and v0 >= 0: unsatisfiable.
+    Cs.push_back(OctCons::upper(0, -1));
+    Cs.push_back(OctCons::lower(0, 0));
+    break;
+  }
+  O.addConstraints(Cs);
+  return O;
+}
+
+/// Asserts the two octagons are indistinguishable: identical conceptual
+/// full DBMs (bitwise, including implicit trivia), nni, kind, partition,
+/// emptiness, and closedness. Takes mutable references because the
+/// emptiness test may close (identically on both sides).
+void expectOctIdentical(Octagon &Vec, Octagon &Scalar, const char *What) {
+  ASSERT_EQ(Vec.numVars(), Scalar.numVars()) << What;
+  EXPECT_EQ(Vec.kind(), Scalar.kind()) << What;
+  EXPECT_EQ(Vec.isClosed(), Scalar.isClosed()) << What;
+  EXPECT_TRUE(Vec.partition() == Scalar.partition()) << What;
+  bool VecBottom = Vec.isBottom();
+  ASSERT_EQ(VecBottom, Scalar.isBottom()) << What;
+  if (VecBottom)
+    return; // entry()/nni() are meaningless on the empty octagon
+  EXPECT_EQ(Vec.nni(), Scalar.nni()) << What;
+  unsigned D = 2 * Vec.numVars();
+  for (unsigned I = 0; I != D; ++I)
+    for (unsigned J = 0; J != D; ++J)
+      ASSERT_EQ(Vec.entry(I, J), Scalar.entry(I, J))
+          << What << ": entry (" << I << "," << J << ")";
+}
+
+class VectorOpsDifferentialTest : public ::testing::Test {
+protected:
+  void SetUp() override { Saved = octConfig().EnableVectorization; }
+  void TearDown() override { octConfig().EnableVectorization = Saved; }
+
+  /// Runs \p Op twice on fresh copies of (A, B) — vectorized and scalar
+  /// — and asserts the resulting octagons are identical. Op receives
+  /// mutable copies, matching the operator signatures that close their
+  /// arguments in place.
+  template <typename OpT>
+  void diffOp(const Octagon &A, const Octagon &B, OpT Op, const char *What) {
+    octConfig().EnableVectorization = true;
+    Octagon CA = A, CB = B;
+    Octagon Vec = Op(CA, CB);
+    octConfig().EnableVectorization = false;
+    Octagon SA = A, SB = B;
+    Octagon Scalar = Op(SA, SB);
+    octConfig().EnableVectorization = Saved;
+    expectOctIdentical(Vec, Scalar, What);
+    // The in-place closures the operator performed must agree too.
+    expectOctIdentical(CA, SA, What);
+    expectOctIdentical(CB, SB, What);
+  }
+
+  /// Same, for the boolean predicates.
+  template <typename PredT>
+  void diffPred(const Octagon &A, const Octagon &B, PredT Pred,
+                const char *What) {
+    octConfig().EnableVectorization = true;
+    Octagon CA = A, CB = B;
+    bool Vec = Pred(CA, CB);
+    octConfig().EnableVectorization = false;
+    Octagon SA = A, SB = B;
+    bool Scalar = Pred(SA, SB);
+    octConfig().EnableVectorization = Saved;
+    EXPECT_EQ(Vec, Scalar) << What;
+    expectOctIdentical(CA, SA, What);
+    expectOctIdentical(CB, SB, What);
+  }
+
+  void runAllOps(const Octagon &A, const Octagon &B) {
+    const std::vector<double> Thresholds = {-2.0, 0.0, 1.0, 5.0, 10.0, 20.0};
+    diffOp(A, B,
+           [](Octagon &X, Octagon &Y) { return Octagon::meet(X, Y); },
+           "meet");
+    diffOp(A, B,
+           [](Octagon &X, Octagon &Y) { return Octagon::join(X, Y); },
+           "join");
+    diffOp(A, B,
+           [](Octagon &X, Octagon &Y) { return Octagon::widen(X, Y); },
+           "widen");
+    diffOp(A, B,
+           [&](Octagon &X, Octagon &Y) {
+             return Octagon::widenWithThresholds(X, Y, Thresholds);
+           },
+           "widenWithThresholds");
+    diffOp(A, B,
+           [](Octagon &X, Octagon &Y) { return Octagon::narrow(X, Y); },
+           "narrow");
+    diffPred(A, B, [](Octagon &X, Octagon &Y) { return X.leq(Y); }, "leq");
+    diffPred(A, B, [](Octagon &X, Octagon &Y) { return X.equals(Y); },
+             "equals");
+  }
+
+  bool Saved;
+};
+
+TEST_F(VectorOpsDifferentialTest, RandomPairsAllShapes) {
+  const Shape Shapes[] = {Shape::Dense,      Shape::Blocks, Shape::Sparse,
+                          Shape::UnaryHeavy, Shape::Top,    Shape::Bottom};
+  for (unsigned N : {3u, 6u, 9u, 17u}) {
+    for (Shape SA : Shapes)
+      for (Shape SB : Shapes) {
+        Rng R(N * 1000 + static_cast<unsigned>(SA) * 10 +
+              static_cast<unsigned>(SB));
+        Octagon A = randomOct(N, SA, R);
+        Octagon B = randomOct(N, SB, R);
+        runAllOps(A, B);
+      }
+  }
+}
+
+TEST_F(VectorOpsDifferentialTest, CloselyRelatedPairs) {
+  // Pairs with A derived from B exercise the leq/equals fast paths on
+  // their true branches (identical and dominating inputs), not just
+  // random early-exit misses.
+  for (unsigned Seed = 0; Seed != 5; ++Seed) {
+    Rng R(7000 + Seed);
+    unsigned N = 8;
+    Octagon A = randomOct(N, Shape::Dense, R);
+    Octagon B = A; // identical
+    runAllOps(A, B);
+    // Tighten one bound of B: A now strictly includes B.
+    Octagon C = A;
+    C.addConstraint(OctCons::upper(Seed % N, -1));
+    runAllOps(A, C);
+    runAllOps(C, A);
+  }
+}
+
+TEST_F(VectorOpsDifferentialTest, WideningSequenceConverges) {
+  // A realistic widening sequence: iterate x <= k for growing k,
+  // widening at each step, both configurations in lockstep.
+  double Bounds[2] = {0, 0};
+  for (int Pass = 0; Pass != 2; ++Pass) {
+    octConfig().EnableVectorization = Pass == 0;
+    unsigned N = 6;
+    Octagon Acc(N);
+    Acc.addConstraint(OctCons::upper(0, 0));
+    for (int K = 1; K <= 4; ++K) {
+      Octagon Step(N);
+      Step.addConstraint(OctCons::upper(0, K));
+      Step.addConstraint(OctCons::diff(1, 0, K));
+      Acc = Octagon::widenWithThresholds(Acc, Step, {2.0, 8.0});
+    }
+    // x0 grew 0 -> 1 on the first step: the bound climbs the threshold
+    // ladder (2, then 8, then +inf) identically in both configurations.
+    Bounds[Pass] = Acc.boundOf(OctCons::upper(0, 0));
+  }
+  EXPECT_EQ(Bounds[0], Bounds[1]);
+}
+
+//===----------------------------------------------------------------------===//
+// Semantic reference for widening with thresholds.
+//===----------------------------------------------------------------------===//
+
+TEST(WidenThresholdsSemantics, UnaryBoundsUseDoubledThresholds) {
+  bool Saved = octConfig().EnableVectorization;
+  for (bool Vec : {true, false}) {
+    octConfig().EnableVectorization = Vec;
+    unsigned N = 2;
+    Octagon Old(N), New(N);
+    Old.addConstraint(OctCons::upper(0, 5));
+    New.addConstraint(OctCons::upper(0, 7));
+    // Variable-level thresholds {6, 10}: x0's bound grew 5 -> 7, so it
+    // jumps to the smallest dominating threshold 10. The DBM entry
+    // encodes 2x the bound, so the kernel must search the *doubled* set
+    // {12, 20} with the raw entry 14 — searching the undoubled set
+    // would wrongly return 6 at entry level (bound 3, unsound).
+    Octagon W = Octagon::widenWithThresholds(Old, New, {6.0, 10.0});
+    EXPECT_EQ(W.boundOf(OctCons::upper(0, 0)), 20.0) << "vec=" << Vec;
+  }
+  octConfig().EnableVectorization = Saved;
+}
+
+TEST(WidenThresholdsSemantics, BinaryBoundsUseRawThresholds) {
+  bool Saved = octConfig().EnableVectorization;
+  for (bool Vec : {true, false}) {
+    octConfig().EnableVectorization = Vec;
+    unsigned N = 2;
+    Octagon Old(N), New(N);
+    Old.addConstraint(OctCons::diff(0, 1, 3));
+    New.addConstraint(OctCons::diff(0, 1, 4));
+    // x0 - x1 grew 3 -> 4: jumps to threshold 6 (raw, not doubled).
+    Octagon W = Octagon::widenWithThresholds(Old, New, {6.0, 10.0});
+    EXPECT_EQ(W.boundOf(OctCons::diff(0, 1, 0)), 6.0) << "vec=" << Vec;
+
+    // Stable bounds survive unchanged even with thresholds present.
+    Octagon Old2(N), New2(N);
+    Old2.addConstraint(OctCons::diff(0, 1, 4));
+    New2.addConstraint(OctCons::diff(0, 1, 3));
+    Octagon W2 = Octagon::widenWithThresholds(Old2, New2, {6.0, 10.0});
+    EXPECT_EQ(W2.boundOf(OctCons::diff(0, 1, 0)), 4.0) << "vec=" << Vec;
+  }
+  octConfig().EnableVectorization = Saved;
+}
+
+} // namespace
