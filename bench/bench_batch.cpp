@@ -130,6 +130,40 @@ int main(int Argc, char **Argv) {
       break;
     }
 
+  // Process-isolation overhead: the same batch at one fixed worker
+  // count, thread pool vs. forked worker pool (one fork + two pipe
+  // round-trips per job). Run at the largest non-oversubscribed point
+  // so the comparison reflects the parallel steady state.
+  unsigned IsoWorkers = 1;
+  for (unsigned W : Counts)
+    if (W <= Hw)
+      IsoWorkers = std::max(IsoWorkers, W);
+  double ThreadWall = 0.0, ProcessWall = 0.0;
+  bool IsoDeterministic = true;
+  for (int Mode = 0; Mode != 2; ++Mode) {
+    runtime::BatchOptions Opts;
+    Opts.Jobs = IsoWorkers;
+    Opts.Budget.DeadlineMs = 3600u * 1000u;
+    Opts.Budget.MaxDbmCells = ~0ull / 2;
+    Opts.Isolation = Mode == 0 ? runtime::IsolationMode::Thread
+                               : runtime::IsolationMode::Process;
+    double Best = 0.0;
+    for (unsigned Rep = 0; Rep != Repeats; ++Rep) {
+      runtime::BatchReport Report = runtime::runBatch(Jobs, Opts);
+      IsoDeterministic = IsoDeterministic && answerKey(Report) == SerialKey;
+      if (Rep == 0 || Report.WallSeconds < Best)
+        Best = Report.WallSeconds;
+    }
+    (Mode == 0 ? ThreadWall : ProcessWall) = Best;
+  }
+  double IsoOverheadPct =
+      ThreadWall > 0 ? (ProcessWall / ThreadWall - 1.0) * 100.0 : 0.0;
+  std::printf("--isolate=process overhead at %u workers: %s ms -> %s ms "
+              "(%+.1f%%), answers %s\n\n",
+              IsoWorkers, TextTable::num(ThreadWall * 1e3, 1).c_str(),
+              TextTable::num(ProcessWall * 1e3, 1).c_str(), IsoOverheadPct,
+              IsoDeterministic ? "identical" : "DIVERGED");
+
   std::ofstream Out(JsonPath);
   if (!Out) {
     std::fprintf(stderr, "error: cannot write '%s'\n", JsonPath.c_str());
@@ -151,10 +185,16 @@ int main(int Argc, char **Argv) {
         << (P.Oversubscribed ? "true" : "false") << "}"
         << (I + 1 == Series.size() ? "" : ",") << "\n";
   }
-  Out << "  ]\n}\n";
+  Out << "  ],\n"
+      << "  \"isolation\": {\"workers\": " << IsoWorkers
+      << ", \"thread_wall_seconds\": " << ThreadWall
+      << ", \"process_wall_seconds\": " << ProcessWall
+      << ", \"overhead_pct\": " << IsoOverheadPct
+      << ", \"deterministic\": " << (IsoDeterministic ? "true" : "false")
+      << "}\n}\n";
   std::printf("wrote %s\n", JsonPath.c_str());
 
-  bool AllDeterministic = true;
+  bool AllDeterministic = IsoDeterministic;
   for (const Point &P : Series)
     AllDeterministic = AllDeterministic && P.Deterministic;
   return AllDeterministic ? 0 : 1;

@@ -81,6 +81,20 @@ opt_oct_batch_run_journaled(const char *const *names,
   return runWithOptions(names, sources, count, Opts);
 }
 
+opt_oct_batch_report_t *
+opt_oct_batch_run_isolated(const char *const *names,
+                           const char *const *sources, size_t count,
+                           unsigned jobs, uint64_t deadline_ms,
+                           uint64_t max_rss_mb, unsigned max_attempts) {
+  runtime::BatchOptions Opts;
+  Opts.Jobs = jobs;
+  Opts.Isolation = runtime::IsolationMode::Process;
+  Opts.Budget.DeadlineMs = deadline_ms;
+  Opts.MaxRssMb = max_rss_mb;
+  Opts.MaxAttempts = max_attempts == 0 ? 1 : max_attempts;
+  return runWithOptions(names, sources, count, Opts);
+}
+
 opt_oct_batch_report_t *opt_oct_batch_resume(const char *const *names,
                                              const char *const *sources,
                                              size_t count, unsigned jobs,
@@ -136,6 +150,8 @@ int opt_oct_batch_job_status(const opt_oct_batch_report_t *r, size_t i) {
     return OPT_OCT_BATCH_JOB_FAILED;
   case runtime::JobStatus::Timeout:
     return OPT_OCT_BATCH_JOB_TIMEOUT;
+  case runtime::JobStatus::Crashed:
+    return OPT_OCT_BATCH_JOB_CRASHED;
   }
   return -1;
 }

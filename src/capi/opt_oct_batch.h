@@ -42,6 +42,7 @@ opt_oct_batch_report_t *opt_oct_batch_run(const char *const *names,
 #define OPT_OCT_BATCH_JOB_DEGRADED 1 /* budget tripped; sound but Top  */
 #define OPT_OCT_BATCH_JOB_FAILED 2   /* parse error or exception       */
 #define OPT_OCT_BATCH_JOB_TIMEOUT 3  /* deadline passed                */
+#define OPT_OCT_BATCH_JOB_CRASHED 4  /* worker process died (isolated) */
 
 /* Like opt_oct_batch_run, with fault-tolerance knobs: every job runs
  * under a per-attempt wall-clock deadline of `deadline_ms` ms and a
@@ -69,6 +70,22 @@ opt_oct_batch_run_journaled(const char *const *names,
                             const char *const *sources, size_t count,
                             unsigned jobs, const char *journal_path,
                             int resume);
+
+/* Process-isolated variant: each job runs inside a forked worker
+ * process under a supervisor, so a job that segfaults, exhausts memory,
+ * or hangs without polling is contained (OPT_OCT_BATCH_JOB_CRASHED /
+ * OPT_OCT_BATCH_JOB_TIMEOUT) instead of taking the caller down.
+ * `deadline_ms` is the per-attempt soft deadline, escalated to a hard
+ * SIGKILL of the worker shortly after; `max_rss_mb` caps each worker's
+ * address space via RLIMIT_AS (0 = unlimited; ignored under
+ * sanitizers); `max_attempts` allows crashed/failed jobs to retry on a
+ * fresh worker (0 is treated as 1). Returns NULL on invalid arguments
+ * or if no worker process can be spawned at all. */
+opt_oct_batch_report_t *
+opt_oct_batch_run_isolated(const char *const *names,
+                           const char *const *sources, size_t count,
+                           unsigned jobs, uint64_t deadline_ms,
+                           uint64_t max_rss_mb, unsigned max_attempts);
 
 /* Convenience wrapper: opt_oct_batch_run_journaled with resume = 1. */
 opt_oct_batch_report_t *opt_oct_batch_resume(const char *const *names,

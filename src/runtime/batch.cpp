@@ -7,6 +7,7 @@
 #include "oct/octagon.h"
 #include "runtime/arena.h"
 #include "runtime/journal.h"
+#include "runtime/supervisor.h"
 #include "runtime/thread_pool.h"
 #include "support/faultinject.h"
 #include "support/timing.h"
@@ -14,6 +15,7 @@
 #include <algorithm>
 #include <chrono>
 #include <condition_variable>
+#include <cstdio>
 #include <future>
 #include <mutex>
 #include <optional>
@@ -35,6 +37,8 @@ const char *optoct::runtime::jobStatusName(JobStatus S) {
     return "failed";
   case JobStatus::Timeout:
     return "timeout";
+  case JobStatus::Crashed:
+    return "crashed";
   }
   return "unknown";
 }
@@ -195,10 +199,18 @@ JobResult runJobWithRetry(const BatchJob &Job, const BatchOptions &Opts,
 /// token array is sized up front and never reallocates, so the scan
 /// needs no registry lock: deadlinePassed/requestCancel are the tokens'
 /// cross-thread-safe entry points.
+///
+/// Escalation: cancellation is cooperative, so a job that never reaches
+/// a pollBudget() keeps running after the soft cancel — and thread mode
+/// has no safe way to stop it (see the KNOWN LIMIT note in batch.h).
+/// Once a job has overstayed its soft cancel by about a second the
+/// watchdog warns on stderr, naming the job, so the stall is never
+/// silent; the actual fix is IsolationMode::Process.
 class Watchdog {
 public:
-  Watchdog(unsigned PollMs, std::vector<support::CancellationToken> &Tokens)
-      : Tokens(Tokens),
+  Watchdog(unsigned PollMs, std::vector<support::CancellationToken> &Tokens,
+           const std::vector<BatchJob> &Jobs)
+      : Tokens(Tokens), Jobs(Jobs), CancelScans(Tokens.size(), 0),
         Thr([this, PollMs] { run(PollMs); }) {}
   ~Watchdog() {
     {
@@ -211,22 +223,77 @@ public:
 
 private:
   void run(unsigned PollMs) {
+    const unsigned WarnScans = std::max(1u, 1000 / std::max(1u, PollMs));
     std::unique_lock<std::mutex> Lock(Mu);
     while (!Stop) {
-      for (support::CancellationToken &T : Tokens)
-        if (T.deadlinePassed() && !T.cancelRequested())
+      for (std::size_t I = 0; I != Tokens.size(); ++I) {
+        support::CancellationToken &T = Tokens[I];
+        if (!T.deadlinePassed()) {
+          CancelScans[I] = 0; // attempt over (or rearmed for retry)
+          continue;
+        }
+        if (!T.cancelRequested()) {
           T.requestCancel(support::BudgetReason::Deadline);
+          CancelScans[I] = 1;
+          continue;
+        }
+        if (++CancelScans[I] == WarnScans)
+          std::fprintf(
+              stderr,
+              "optoct: watchdog: job '%s' ignored its soft cancel for "
+              "~%u ms and is still running (it is not reaching a "
+              "cancellation poll); thread isolation cannot stop it — "
+              "rerun with --isolate=process for a hard kill\n",
+              Jobs[I].Name.c_str(), WarnScans * PollMs);
+      }
       Cv.wait_for(Lock, std::chrono::milliseconds(PollMs),
                   [this] { return Stop; });
     }
   }
 
   std::vector<support::CancellationToken> &Tokens;
+  const std::vector<BatchJob> &Jobs;
+  std::vector<unsigned> CancelScans; ///< Scans spent cancel-pending.
   std::mutex Mu;
   std::condition_variable Cv;
   bool Stop = false;
   std::thread Thr;
 };
+
+/// Folds the per-job results into the report's status counts and
+/// aggregates; shared by the thread and process execution paths.
+void tallyReport(BatchReport &Report) {
+  for (const JobResult &R : Report.Results) {
+    switch (R.Status) {
+    case JobStatus::Ok:
+      ++Report.JobsOk;
+      break;
+    case JobStatus::Degraded:
+      ++Report.JobsDegraded;
+      break;
+    case JobStatus::Failed:
+      ++Report.JobsFailed;
+      break;
+    case JobStatus::Timeout:
+      ++Report.JobsTimedOut;
+      break;
+    case JobStatus::Crashed:
+      ++Report.JobsCrashed;
+      break;
+    }
+    if (R.Attempts > 1)
+      Report.Retries += R.Attempts - 1;
+    Report.AuditIncidentTotal += R.AuditIncidentCount;
+    if (!R.Ok)
+      continue;
+    Report.AssertsProven += R.AssertsProven;
+    Report.AssertsTotal += R.AssertsTotal;
+    Report.NumClosures += R.NumClosures;
+    Report.ClosureCycles += R.ClosureCycles;
+    Report.OctagonCycles += R.OctagonCycles;
+    Report.BlockVisits += R.BlockVisits;
+  }
+}
 
 } // namespace
 
@@ -234,6 +301,18 @@ JobResult optoct::runtime::runJob(const BatchJob &Job,
                                   const BatchOptions &Opts) {
   support::CancellationToken Token;
   return runJobWithRetry(Job, Opts, Token);
+}
+
+JobResult optoct::runtime::runJobSingleAttempt(const BatchJob &Job,
+                                               const BatchOptions &Opts,
+                                               bool &Retryable) {
+  // No watchdog here: in a process-mode worker the deadline is enforced
+  // by self-polling from the inside and by the supervisor's hard-kill
+  // escalation from the outside.
+  support::CancellationToken Token;
+  JobResult R = runJobAttempt(Job, Opts, Token, Retryable);
+  R.Attempts = 1;
+  return R;
 }
 
 BatchReport optoct::runtime::runBatch(const std::vector<BatchJob> &Jobs,
@@ -287,13 +366,34 @@ BatchReport optoct::runtime::runBatch(const std::vector<BatchJob> &Jobs,
     if (!Done[I])
       Pending.push_back(I);
 
+  // Level-3 recovery: hand the pending jobs to the process supervisor.
+  // The journal stays in this (the supervisor's) process — workers
+  // never touch it — so the completion callback is the durability
+  // point, exactly like the thread path's RunOne.
+  if (Opts.Isolation == IsolationMode::Process) {
+    WallTimer Timer;
+    Timer.start();
+    if (!Pending.empty())
+      Report.Supervisor = runSupervised(
+          Jobs, Pending, Opts, Report.Results,
+          [&Journal](std::size_t I, const JobResult &R) {
+            if (Journal.isOpen())
+              Journal.append(I, R);
+          });
+    Timer.stop();
+    Journal.close();
+    Report.WallSeconds = Timer.seconds();
+    tallyReport(Report);
+    return Report;
+  }
+
   // One token per job, alive for the whole batch so the watchdog can
   // scan without coordination (see Watchdog).
   std::vector<support::CancellationToken> Tokens(Jobs.size());
   std::optional<Watchdog> Dog;
   if (Opts.Budget.DeadlineMs != 0 && Opts.WatchdogPollMs != 0 &&
       !Pending.empty())
-    Dog.emplace(Opts.WatchdogPollMs, Tokens);
+    Dog.emplace(Opts.WatchdogPollMs, Tokens, Jobs);
 
   // Checkpoint in completion order, from the completing worker: the
   // journal write is the job's durability point, so an immediately
@@ -327,34 +427,7 @@ BatchReport optoct::runtime::runBatch(const std::vector<BatchJob> &Jobs,
   Journal.close();
   Report.WallSeconds = Timer.seconds();
 
-  for (const JobResult &R : Report.Results) {
-    switch (R.Status) {
-    case JobStatus::Ok:
-      ++Report.JobsOk;
-      break;
-    case JobStatus::Degraded:
-      ++Report.JobsDegraded;
-      break;
-    case JobStatus::Failed:
-      ++Report.JobsFailed;
-      break;
-    case JobStatus::Timeout:
-      ++Report.JobsTimedOut;
-      break;
-    }
-    if (R.Attempts > 1)
-      Report.Retries += R.Attempts - 1;
-    if (!R.Ok)
-      continue;
-    Report.AssertsProven += R.AssertsProven;
-    Report.AssertsTotal += R.AssertsTotal;
-    Report.NumClosures += R.NumClosures;
-    Report.ClosureCycles += R.ClosureCycles;
-    Report.OctagonCycles += R.OctagonCycles;
-    Report.BlockVisits += R.BlockVisits;
-  }
-  for (const JobResult &R : Report.Results)
-    Report.AuditIncidentTotal += R.AuditIncidentCount;
+  tallyReport(Report);
   return Report;
 }
 
@@ -402,11 +475,21 @@ std::string optoct::runtime::reportToJson(const BatchReport &Report,
     Out << "  \"wall_seconds\": " << Report.WallSeconds << ",\n";
     Out << "  \"throughput_jobs_per_sec\": " << Report.throughput() << ",\n";
     Out << "  \"jobs_resumed\": " << Report.JobsResumed << ",\n";
+    if (Report.Supervisor.WorkersSpawned != 0) {
+      // Pool counters are placement-dependent (which worker a crash
+      // lands on), so they stay out of canonical output.
+      const SupervisorStats &S = Report.Supervisor;
+      Out << "  \"supervisor\": {\"workers_spawned\": " << S.WorkersSpawned
+          << ", \"workers_crashed\": " << S.WorkersCrashed
+          << ", \"workers_recycled\": " << S.WorkersRecycled
+          << ", \"hard_kills\": " << S.HardKills << "},\n";
+    }
   }
   Out << "  \"jobs_ok\": " << Report.JobsOk << ",\n";
   Out << "  \"jobs_degraded\": " << Report.JobsDegraded << ",\n";
   Out << "  \"jobs_failed\": " << Report.JobsFailed << ",\n";
   Out << "  \"jobs_timeout\": " << Report.JobsTimedOut << ",\n";
+  Out << "  \"jobs_crashed\": " << Report.JobsCrashed << ",\n";
   Out << "  \"retries\": " << Report.Retries << ",\n";
   Out << "  \"asserts_proven\": " << Report.AssertsProven << ",\n";
   Out << "  \"asserts_total\": " << Report.AssertsTotal << ",\n";

@@ -21,8 +21,23 @@
 /// BatchOptions::MaxAttempts; budget trips are terminal (they would
 /// recur deterministically) and map to Degraded or Timeout statuses. A
 /// watchdog thread scans the armed tokens and flags jobs stuck past
-/// their deadline via requestCancel. One crashing or hanging job can
-/// therefore never take down the batch.
+/// their deadline via requestCancel.
+///
+/// KNOWN LIMIT of thread isolation: the watchdog can only *request*
+/// cancellation — the job notices at its next pollBudget(). A job that
+/// never polls (a tight non-polling loop, e.g. deep inside the AVX2
+/// closure kernels) keeps its worker thread forever, and because
+/// threads cannot be killed safely, runBatch cannot complete until it
+/// returns. The watchdog escalates by warning on stderr once the job
+/// has overstayed its soft cancel (so the stall is never silent), and a
+/// job that *did* stop at a poll reports how it was stopped
+/// (self-detected deadline vs. watchdog soft cancel) in its failure
+/// detail. The real fix is IsolationMode::Process: each job runs in a
+/// forked worker process (runtime/supervisor.h) that the supervisor
+/// hard-kills with SIGKILL once it overstays the deadline, and a
+/// segfaulting, OOM-killed, or wedged job costs exactly one worker —
+/// the new JobStatus::Crashed — never the batch. Thread mode stays the
+/// zero-overhead default.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -50,10 +65,23 @@ enum class JobStatus {
   Ok,       ///< Converged; results are the fixpoint invariants.
   Degraded, ///< A fuel budget tripped; invariants sound but Top.
   Failed,   ///< Parse error or exception on every allowed attempt.
-  Timeout,  ///< Deadline passed (self-polled or watchdog-flagged).
+  Timeout,  ///< Deadline passed: self-polled, watchdog soft cancel, or
+            ///< (process mode) the supervisor's hard SIGKILL.
+  Crashed,  ///< Process mode only: the worker process died under the
+            ///< job — segfault, abort, OOM/external kill, rlimit — on
+            ///< every allowed attempt. The failure log names the signal
+            ///< or limit per attempt.
 };
 
 const char *jobStatusName(JobStatus S);
+
+/// Where jobs execute.
+enum class IsolationMode {
+  Thread,  ///< In-process worker threads (zero-overhead default).
+  Process, ///< Forked worker processes under a supervisor: survives
+           ///< segfaults, OOM kills, and hard hangs at the cost of one
+           ///< fork + pipe round-trip per job (runtime/supervisor.h).
+};
 
 /// Per-job outcome.
 struct JobResult {
@@ -116,6 +144,22 @@ struct BatchOptions {
   /// 0 disables the watchdog (self-polling still enforces deadlines).
   unsigned WatchdogPollMs = 20;
 
+  /// Process isolation (the third rung of the recovery ladder; see the
+  /// file comment). Thread mode ignores the three knobs below it.
+  IsolationMode Isolation = IsolationMode::Thread;
+  /// Per-worker address-space limit in MiB (RLIMIT_AS); 0 = unlimited.
+  /// Ignored in sanitizer builds, whose shadow mappings need the whole
+  /// address space. Process mode only.
+  std::uint64_t MaxRssMb = 0;
+  /// Workers are retired and respawned after this many jobs, bounding
+  /// leak accumulation in long batches; 0 = never recycle.
+  unsigned RecycleAfter = 0;
+  /// Hard-kill escalation: with a deadline armed, the supervisor
+  /// SIGKILLs a worker still busy DeadlineMs + HardKillGraceMs after
+  /// job start — the grace window is the soft cancel's chance to land
+  /// at a poll. The job reports Timeout with a "hard-killed" detail.
+  unsigned HardKillGraceMs = 500;
+
   /// Level-1 recovery: audit configuration applied process-wide for the
   /// batch's duration when Audit.Enabled is set. Per-job incident
   /// counters land in the JobResults.
@@ -132,6 +176,16 @@ struct BatchOptions {
   bool Resume = false;
 };
 
+/// Supervisor-side counters for a process-isolated run (all zero in
+/// thread mode). Deterministic given the job set and fault plan, but
+/// placement-dependent, so they render only in non-canonical JSON.
+struct SupervisorStats {
+  unsigned WorkersSpawned = 0;  ///< Forks, including respawns.
+  unsigned WorkersCrashed = 0;  ///< Died with a job in flight.
+  unsigned WorkersRecycled = 0; ///< Retired after RecycleAfter jobs.
+  unsigned HardKills = 0;       ///< SIGKILL escalations past deadline.
+};
+
 /// Whole-batch outcome. Results[i] always corresponds to Jobs[i].
 struct BatchReport {
   std::vector<JobResult> Results;
@@ -143,8 +197,10 @@ struct BatchReport {
   unsigned JobsDegraded = 0;
   unsigned JobsFailed = 0;
   unsigned JobsTimedOut = 0;
+  unsigned JobsCrashed = 0; ///< Process mode: worker died under the job.
   unsigned Retries = 0;     ///< Extra attempts consumed across all jobs.
   unsigned JobsResumed = 0; ///< Results loaded from the journal, not run.
+  SupervisorStats Supervisor; ///< Process-mode pool counters.
 
   // Aggregates over all jobs with results (Ok flag).
   unsigned AssertsProven = 0, AssertsTotal = 0;
@@ -164,6 +220,14 @@ struct BatchReport {
 /// Runs one job in the calling thread, through the thread's arena.
 /// This is exactly the unit the scheduler submits to its workers.
 JobResult runJob(const BatchJob &Job, const BatchOptions &Opts = {});
+
+/// One isolated attempt with no retry loop: the unit a process-mode
+/// worker executes per job message. Never throws. \p Retryable is set
+/// only for exception failures (parse errors and budget trips recur
+/// deterministically); the supervisor owns the cross-attempt retry and
+/// backoff policy in process mode.
+JobResult runJobSingleAttempt(const BatchJob &Job, const BatchOptions &Opts,
+                              bool &Retryable);
 
 /// Runs every job, sharded over Opts.Jobs workers, and aggregates.
 BatchReport runBatch(const std::vector<BatchJob> &Jobs,

@@ -1,0 +1,219 @@
+//===- runtime/ipc.cpp - Framed supervisor/worker pipe protocol -----------===//
+
+#include "runtime/ipc.h"
+
+#include "runtime/journal.h"
+#include "support/fnv.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <unistd.h>
+
+using namespace optoct;
+using namespace optoct::runtime;
+using namespace optoct::runtime::ipc;
+
+namespace {
+
+constexpr char Magic[4] = {'O', 'F', 'R', '1'};
+constexpr std::size_t HeaderBytes = 4 + 4 + 8 + 8;
+
+void putU32(char *P, std::uint32_t V) {
+  for (int I = 0; I != 4; ++I)
+    P[I] = static_cast<char>((V >> (8 * I)) & 0xff);
+}
+
+void putU64(char *P, std::uint64_t V) {
+  for (int I = 0; I != 8; ++I)
+    P[I] = static_cast<char>((V >> (8 * I)) & 0xff);
+}
+
+std::uint32_t getU32(const char *P) {
+  std::uint32_t V = 0;
+  for (int I = 0; I != 4; ++I)
+    V |= static_cast<std::uint32_t>(static_cast<unsigned char>(P[I]))
+         << (8 * I);
+  return V;
+}
+
+std::uint64_t getU64(const char *P) {
+  std::uint64_t V = 0;
+  for (int I = 0; I != 8; ++I)
+    V |= static_cast<std::uint64_t>(static_cast<unsigned char>(P[I]))
+         << (8 * I);
+  return V;
+}
+
+bool writeAllFd(int Fd, const char *Data, std::size_t Len) {
+  while (Len != 0) {
+    ssize_t N = ::write(Fd, Data, Len);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Data += N;
+    Len -= static_cast<std::size_t>(N);
+  }
+  return true;
+}
+
+/// Blocking full read; returns bytes read (short only at EOF/error).
+std::size_t readAllFd(int Fd, char *Data, std::size_t Len) {
+  std::size_t Got = 0;
+  while (Got != Len) {
+    ssize_t N = ::read(Fd, Data + Got, Len - Got);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      break;
+    }
+    if (N == 0)
+      break;
+    Got += static_cast<std::size_t>(N);
+  }
+  return Got;
+}
+
+/// Parses a header buffer; false on bad magic/oversize.
+bool parseHeader(const char *H, MsgType &Type, std::uint64_t &BodyLen,
+                 std::uint64_t &Sum) {
+  if (std::memcmp(H, Magic, 4) != 0)
+    return false;
+  Type = static_cast<MsgType>(getU32(H + 4));
+  BodyLen = getU64(H + 8);
+  Sum = getU64(H + 16);
+  return BodyLen <= MaxFrameBytes;
+}
+
+} // namespace
+
+bool optoct::runtime::ipc::writeFrame(int Fd, MsgType Type,
+                                      const std::string &Body) {
+  char Header[HeaderBytes];
+  std::memcpy(Header, Magic, 4);
+  putU32(Header + 4, static_cast<std::uint32_t>(Type));
+  putU64(Header + 8, Body.size());
+  putU64(Header + 16, support::fnv1a64(Body));
+  // One buffer, one writeAll: pipe writes up to PIPE_BUF are atomic,
+  // and larger frames are only ever written by the single owner of the
+  // fd, so interleaving cannot occur either way.
+  std::string Frame;
+  Frame.reserve(HeaderBytes + Body.size());
+  Frame.append(Header, HeaderBytes);
+  Frame.append(Body);
+  return writeAllFd(Fd, Frame.data(), Frame.size());
+}
+
+ReadStatus optoct::runtime::ipc::readFrame(int Fd, MsgType &Type,
+                                           std::string &Body) {
+  char Header[HeaderBytes];
+  std::size_t Got = readAllFd(Fd, Header, HeaderBytes);
+  if (Got == 0)
+    return ReadStatus::Eof;
+  if (Got != HeaderBytes)
+    return ReadStatus::Torn;
+  std::uint64_t BodyLen = 0, Sum = 0;
+  if (!parseHeader(Header, Type, BodyLen, Sum))
+    return ReadStatus::Torn;
+  Body.resize(static_cast<std::size_t>(BodyLen));
+  if (readAllFd(Fd, Body.data(), Body.size()) != Body.size())
+    return ReadStatus::Torn;
+  if (support::fnv1a64(Body) != Sum)
+    return ReadStatus::Torn;
+  return ReadStatus::Ok;
+}
+
+void FrameReader::feed(const char *Data, std::size_t Len) {
+  if (Corrupt)
+    return;
+  Buf.append(Data, Len);
+}
+
+bool FrameReader::next(MsgType &Type, std::string &Body) {
+  if (Corrupt)
+    return false;
+  if (Buf.size() - Pos < HeaderBytes)
+    return false;
+  std::uint64_t BodyLen = 0, Sum = 0;
+  if (!parseHeader(Buf.data() + Pos, Type, BodyLen, Sum)) {
+    Corrupt = true;
+    return false;
+  }
+  if (Buf.size() - Pos - HeaderBytes < BodyLen)
+    return false;
+  Body.assign(Buf, Pos + HeaderBytes, static_cast<std::size_t>(BodyLen));
+  if (support::fnv1a64(Body) != Sum) {
+    Corrupt = true;
+    return false;
+  }
+  Pos += HeaderBytes + static_cast<std::size_t>(BodyLen);
+  // Compact once the consumed prefix dominates, keeping feed() O(1)
+  // amortized without unbounded growth across a long batch.
+  if (Pos > 4096 && Pos * 2 > Buf.size()) {
+    Buf.erase(0, Pos);
+    Pos = 0;
+  }
+  return true;
+}
+
+std::string optoct::runtime::ipc::encodeJob(std::size_t Index,
+                                            unsigned Attempt,
+                                            const BatchJob &Job) {
+  // "job <index> <attempt> <namebytes>\n" then raw name and source.
+  std::string Body = "job " + std::to_string(Index) + " " +
+                     std::to_string(Attempt) + " " +
+                     std::to_string(Job.Name.size()) + "\n";
+  Body += Job.Name;
+  Body += Job.Source;
+  return Body;
+}
+
+bool optoct::runtime::ipc::decodeJob(const std::string &Body,
+                                     std::size_t &Index, unsigned &Attempt,
+                                     BatchJob &Job) {
+  std::size_t Nl = Body.find('\n');
+  if (Nl == std::string::npos || Body.rfind("job ", 0) != 0)
+    return false;
+  unsigned long long Idx = 0, Att = 0, NameLen = 0;
+  if (std::sscanf(Body.c_str() + 4, "%llu %llu %llu", &Idx, &Att, &NameLen) !=
+      3)
+    return false;
+  std::size_t Payload = Nl + 1;
+  if (NameLen > Body.size() - Payload)
+    return false;
+  Index = static_cast<std::size_t>(Idx);
+  Attempt = static_cast<unsigned>(Att);
+  Job.Name = Body.substr(Payload, static_cast<std::size_t>(NameLen));
+  Job.Source = Body.substr(Payload + static_cast<std::size_t>(NameLen));
+  return true;
+}
+
+std::string optoct::runtime::ipc::encodeResult(std::size_t Index,
+                                               bool Retryable,
+                                               const JobResult &R) {
+  return "res " + std::to_string(Index) + " " + (Retryable ? "1" : "0") +
+         "\n" + serializeJobResult(R);
+}
+
+bool optoct::runtime::ipc::decodeResult(const std::string &Body,
+                                        std::size_t &Index, bool &Retryable,
+                                        JobResult &R, std::string &Error) {
+  std::size_t Nl = Body.find('\n');
+  if (Nl == std::string::npos || Body.rfind("res ", 0) != 0) {
+    Error = "malformed result frame";
+    return false;
+  }
+  unsigned long long Idx = 0;
+  int Retry = 0;
+  if (std::sscanf(Body.c_str() + 4, "%llu %d", &Idx, &Retry) != 2 ||
+      (Retry != 0 && Retry != 1)) {
+    Error = "malformed result frame";
+    return false;
+  }
+  Index = static_cast<std::size_t>(Idx);
+  Retryable = Retry == 1;
+  return deserializeJobResult(Body.substr(Nl + 1), R, Error);
+}

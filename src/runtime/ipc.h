@@ -1,0 +1,97 @@
+//===- runtime/ipc.h - Framed supervisor/worker pipe protocol ---*- C++ -*-===//
+///
+/// \file
+/// The wire protocol between the batch supervisor and its forked
+/// worker processes (runtime/supervisor.h): length-prefixed, FNV-64
+/// checksummed frames over pipes. The framing reuses the journal's
+/// integrity scheme (support/fnv.h) for the same reason the journal
+/// has one — the peer can die mid-write, and a torn or corrupt frame
+/// must be *detected* (and attributed to a dead worker), never parsed.
+///
+/// Frame layout (all integers little-endian, fixed width):
+///
+///   'O' 'F' 'R' '1'   magic (4 bytes)
+///   u32 type          MsgType
+///   u64 body length   bounded by MaxFrameBytes
+///   u64 fnv1a64(body) checksum over the body bytes only
+///   body bytes
+///
+/// Two message bodies ride on top:
+///   * Job    (supervisor -> worker): job index, attempt number, and
+///     the full BatchJob (name + source) — the protocol is
+///     self-contained; a worker needs nothing but its pipes.
+///   * Result (worker -> supervisor): job index, the retryable flag,
+///     and a serialized JobResult, reusing the journal's lossless
+///     record serialization (runtime/journal.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPTOCT_RUNTIME_IPC_H
+#define OPTOCT_RUNTIME_IPC_H
+
+#include "runtime/batch.h"
+
+#include <cstdint>
+#include <string>
+
+namespace optoct::runtime::ipc {
+
+enum class MsgType : std::uint32_t {
+  Job = 1,    ///< Supervisor -> worker: run this job.
+  Result = 2, ///< Worker -> supervisor: the job's attempt result.
+};
+
+/// Sanity bound on a frame body; anything larger is treated as a
+/// corrupt frame (a real result for our workloads is a few KiB).
+constexpr std::uint64_t MaxFrameBytes = 64ull << 20;
+
+/// Writes one framed message, retrying EINTR and short writes. Returns
+/// false on any I/O error (EPIPE with SIGPIPE ignored = peer died).
+bool writeFrame(int Fd, MsgType Type, const std::string &Body);
+
+/// Outcome of a blocking readFrame.
+enum class ReadStatus {
+  Ok,   ///< A whole, checksum-valid frame was read.
+  Eof,  ///< Clean close before any byte of a frame (peer finished).
+  Torn, ///< Partial frame, bad magic, oversize, or checksum mismatch.
+};
+
+/// Blocking read of exactly one frame (the worker side; its only job
+/// source is this pipe, so blocking is the point).
+ReadStatus readFrame(int Fd, MsgType &Type, std::string &Body);
+
+/// Incremental decoder for the supervisor side, which multiplexes many
+/// nonblocking result pipes through poll(2): feed() whatever bytes
+/// arrived, next() yields complete frames. A framing violation sets
+/// corrupt() permanently — the supervisor treats the worker as dead.
+class FrameReader {
+public:
+  void feed(const char *Data, std::size_t Len);
+  /// Extracts the next complete, checksum-valid frame.
+  bool next(MsgType &Type, std::string &Body);
+  bool corrupt() const { return Corrupt; }
+  /// True if a frame prefix is buffered but incomplete (a torn tail if
+  /// the peer is known dead).
+  bool midFrame() const { return !Corrupt && Buf.size() != Pos; }
+
+private:
+  std::string Buf;
+  std::size_t Pos = 0; ///< Consumed prefix (compacted lazily).
+  bool Corrupt = false;
+};
+
+// --- Message body codecs (text first line + raw payload bytes). -------------
+
+std::string encodeJob(std::size_t Index, unsigned Attempt,
+                      const BatchJob &Job);
+bool decodeJob(const std::string &Body, std::size_t &Index,
+               unsigned &Attempt, BatchJob &Job);
+
+std::string encodeResult(std::size_t Index, bool Retryable,
+                         const JobResult &R);
+bool decodeResult(const std::string &Body, std::size_t &Index,
+                  bool &Retryable, JobResult &R, std::string &Error);
+
+} // namespace optoct::runtime::ipc
+
+#endif // OPTOCT_RUNTIME_IPC_H

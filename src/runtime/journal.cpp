@@ -3,6 +3,7 @@
 #include "runtime/journal.h"
 
 #include "support/faultinject.h"
+#include "support/fnv.h"
 
 #include <cerrno>
 #include <cinttypes>
@@ -19,27 +20,20 @@ using namespace optoct::runtime;
 
 namespace {
 
-/// FNV-1a 64: tiny, dependency-free, and plenty for torn-write
-/// detection (the threat model is a crash mid-write, not an adversary).
-std::uint64_t fnv1a64(const char *Data, std::size_t Len) {
-  std::uint64_t H = 0xcbf29ce484222325ull;
-  for (std::size_t I = 0; I != Len; ++I) {
-    H ^= static_cast<unsigned char>(Data[I]);
-    H *= 0x100000001b3ull;
-  }
-  return H;
-}
-
-std::uint64_t fnv1a64(const std::string &S) { return fnv1a64(S.data(), S.size()); }
+// FNV-1a 64 (support/fnv.h): tiny, dependency-free, and plenty for
+// torn-write detection (the threat model is a crash mid-write, not an
+// adversary). Shared with the supervisor/worker pipe framing
+// (runtime/ipc.h) so both integrity layers agree on one hash.
+using optoct::support::fnv1a64;
 
 /// Mixes one string into a running fingerprint, length-prefixed so
 /// ("ab","c") and ("a","bc") hash differently.
 void fingerprintString(std::uint64_t &H, const std::string &S) {
   std::string Len = std::to_string(S.size()) + ":";
   H ^= fnv1a64(Len);
-  H *= 0x100000001b3ull;
+  H *= optoct::support::Fnv1a64Prime;
   H ^= fnv1a64(S);
-  H *= 0x100000001b3ull;
+  H *= optoct::support::Fnv1a64Prime;
 }
 
 /// Record bodies are line-oriented key-value text; values are
@@ -147,6 +141,8 @@ bool statusFromName(const std::string &S, JobStatus &Out) {
     Out = JobStatus::Failed;
   else if (S == "timeout")
     Out = JobStatus::Timeout;
+  else if (S == "crashed")
+    Out = JobStatus::Crashed;
   else
     return false;
   return true;
@@ -177,7 +173,7 @@ std::string errnoString(const char *What) {
 std::uint64_t
 optoct::runtime::jobSetFingerprint(const std::vector<BatchJob> &Jobs,
                                    const BatchOptions &Opts) {
-  std::uint64_t H = 0xcbf29ce484222325ull;
+  std::uint64_t H = optoct::support::Fnv1a64Offset;
   fingerprintString(H, "optoct-journal-fp-v1");
   fingerprintString(H, std::to_string(Jobs.size()));
   for (const BatchJob &J : Jobs) {

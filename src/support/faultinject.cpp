@@ -4,8 +4,11 @@
 
 #include "support/budget.h"
 
+#include <algorithm>
 #include <chrono>
+#include <csignal>
 #include <cstdlib>
+#include <cstring>
 #include <limits>
 #include <mutex>
 #include <new>
@@ -82,6 +85,34 @@ void FaultPlan::resetCounters() {
   S.HitCounts.clear();
 }
 
+void FaultPlan::notePriorLethalAttempts(const std::string &Job,
+                                        unsigned PriorAttempts) {
+  if (PriorAttempts == 0)
+    return;
+  State &S = state();
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  for (std::size_t R = 0; R != S.Rules.size(); ++R) {
+    const FaultRule &Rule = S.Rules[R];
+    if (!faultKindLethal(Rule.Kind))
+      continue;
+    if (!Rule.JobPattern.empty() &&
+        Job.find(Rule.JobPattern) == std::string::npos)
+      continue;
+    // A lethal rule kills the worker the moment it triggers, so each
+    // dead attempt ended at visit index After + (firings so far): k
+    // prior attempts consumed min(k, Hits) of the rule's firing window
+    // and After skipped visits at most once. Raising the counter to
+    // After + min(k, Hits) replays exactly that history, keeping
+    // "hits=1 fails the first attempt, the retry passes" true across
+    // process respawns.
+    unsigned &Count = S.HitCounts[std::to_string(R) + "\x1f" + Job];
+    unsigned Spent =
+        Rule.After + std::min(PriorAttempts, Rule.Hits);
+    if (Count < Spent)
+      Count = Spent;
+  }
+}
+
 bool FaultPlan::parseRule(const std::string &Spec, std::string &Error) {
   FaultRule Rule;
   bool HaveSite = false, HaveKind = false;
@@ -114,6 +145,12 @@ bool FaultPlan::parseRule(const std::string &Spec, std::string &Error) {
           Rule.Kind = FaultKind::PoisonBound;
         else if (Val == "crash")
           Rule.Kind = FaultKind::Crash;
+        else if (Val == "segv")
+          Rule.Kind = FaultKind::Segv;
+        else if (Val == "oom")
+          Rule.Kind = FaultKind::Oom;
+        else if (Val == "hang")
+          Rule.Kind = FaultKind::Hang;
         else {
           Error = "unknown fault kind '" + Val + "'";
           return false;
@@ -205,5 +242,44 @@ void optoct::support::faultPointSlow(const char *Site, double *Bound) {
     // not already fsync'd (journal records are) is lost, which is the
     // point of the crash-at-checkpoint resume tests.
     std::_Exit(FaultCrashExitCode);
+  case FaultKind::Segv:
+    // A raw segfault, not a modeled one: restore the default
+    // disposition first so sanitizer/death-test handlers cannot turn
+    // the signal into a clean exit, then raise it. The supervisor must
+    // see a genuine WIFSIGNALED(SIGSEGV) worker corpse.
+    std::signal(SIGSEGV, SIG_DFL);
+    ::raise(SIGSEGV);
+    std::_Exit(FaultCrashExitCode); // unreachable; belt and braces
+  case FaultKind::Oom: {
+    // Unbounded allocate-and-touch loop. Under the supervisor's
+    // RLIMIT_AS the allocation fails within a few hundred iterations
+    // and the job dies the way unhandled allocation failure does:
+    // abort, i.e. SIGABRT. The 1 GiB self-cap bounds the damage if
+    // someone injects this without process isolation or a limit.
+    constexpr std::size_t Chunk = std::size_t{1} << 20;
+    constexpr std::size_t SelfCap = std::size_t{1} << 30;
+    std::size_t Hoarded = 0;
+    for (;;) {
+      char *P = static_cast<char *>(std::malloc(Chunk));
+      if (!P || Hoarded >= SelfCap) {
+        std::signal(SIGABRT, SIG_DFL);
+        std::abort();
+      }
+      std::memset(P, 0x5a, Chunk); // touch every page: RSS, not just VA
+      Hoarded += Chunk;            // never freed — that is the fault
+    }
+  }
+  case FaultKind::Hang: {
+    // A non-polling spin: no pollBudget(), no sleep, no syscalls the
+    // cancellation machinery could piggyback on. Thread-mode soft
+    // cancel cannot stop it; only the supervisor's hard wall-clock
+    // SIGKILL can. Capped at ten minutes so a misconfigured run
+    // eventually frees CI instead of wedging it forever.
+    auto End = std::chrono::steady_clock::now() + std::chrono::minutes(10);
+    volatile std::uint64_t Sink = 0;
+    while (std::chrono::steady_clock::now() < End)
+      Sink = Sink + 1;
+    return;
+  }
   }
 }

@@ -27,6 +27,24 @@
 /// immediately via std::_Exit — no atexit handlers, no stream flushes —
 /// emulating a SIGKILL for the crash-at-checkpoint resume tests.
 ///
+/// Three further *lethal* kinds exist to prove the process-isolation
+/// containment claim (runtime/supervisor.h) rather than assert it:
+///   * Segv resets the SIGSEGV disposition and raises it raw — a
+///     genuine signal death, even under sanitizers that would otherwise
+///     intercept the fault and exit cleanly;
+///   * Oom allocates and touches memory in an unbounded loop until
+///     malloc fails (under the supervisor's RLIMIT_AS that is quick),
+///     then dies the way unhandled allocation failure does (SIGABRT).
+///     A 1 GiB self-cap keeps a thread-mode misuse from OOMing the
+///     host;
+///   * Hang spins without ever reaching a cancellation poll — the
+///     failure mode the thread-mode watchdog can flag but not stop —
+///     capped at ten minutes so a misconfigured run eventually frees
+///     CI. Only the supervisor's hard wall-clock kill resolves it
+///     promptly.
+/// None of these can be contained by try/catch; inject them only under
+/// --isolate=process (or in tests that expect the whole process down).
+///
 /// Hit counters are keyed by (rule, job name) and persist across retry
 /// attempts, so a rule with hits=1 fails a job's first attempt and
 /// lets the retry succeed — deterministically. A rule additionally
@@ -49,7 +67,23 @@
 
 namespace optoct::support {
 
-enum class FaultKind { AllocFail, Slow, Timeout, PoisonBound, Crash };
+enum class FaultKind {
+  AllocFail,
+  Slow,
+  Timeout,
+  PoisonBound,
+  Crash,
+  Segv, ///< raise(SIGSEGV) with the default disposition restored.
+  Oom,  ///< Allocate-and-touch loop until the address-space limit kills.
+  Hang, ///< Non-polling busy spin; immune to cooperative cancellation.
+};
+
+/// True for kinds that take the whole process down (or wedge it) and
+/// therefore can only be contained by process isolation.
+inline bool faultKindLethal(FaultKind K) {
+  return K == FaultKind::Crash || K == FaultKind::Segv ||
+         K == FaultKind::Oom || K == FaultKind::Hang;
+}
 
 /// Exit code of a Crash fault, distinct from the CLIs' error exits so
 /// the resume tests can assert the death was the injected one.
@@ -82,9 +116,9 @@ public:
   void setSeed(std::uint64_t S);   ///< Seed for the probability gates.
   void addRule(FaultRule Rule);
 
-  /// Parses "site=<s>,kind=<alloc|slow|timeout|poison|crash>
-  /// [,job=<substr>][,hits=<n>][,after=<n>][,ms=<n>][,prob=<p>]" (the
-  /// CLI --inject syntax). Returns false with \p Error set on a
+  /// Parses "site=<s>,kind=<alloc|slow|timeout|poison|crash|segv|oom|
+  /// hang>[,job=<substr>][,hits=<n>][,after=<n>][,ms=<n>][,prob=<p>]"
+  /// (the CLI --inject syntax). Returns false with \p Error set on a
   /// malformed spec.
   bool parseRule(const std::string &Spec, std::string &Error);
 
@@ -92,6 +126,20 @@ public:
   /// replay one plan against several equivalent runs (e.g. the
   /// serial-vs-parallel determinism oracle).
   void resetCounters();
+
+  /// Process-isolation retry support. Thread-mode retries see one
+  /// monotonic per-(rule, job) hit counter, so a hits=1 rule fails the
+  /// first attempt and lets the retry pass. A job retried on a *fresh
+  /// worker process* would restart those counters at zero and a lethal
+  /// rule would re-fire forever. Before rerunning attempt k+1, the
+  /// worker calls this with k: every *lethal* rule (faultKindLethal)
+  /// matching \p Job has its counter raised to at least
+  /// After + min(k, Hits) — the visit count the rule had reached when
+  /// it killed the k-th attempt — as if the dead attempts' visits had
+  /// happened in this process.
+  /// Non-lethal rules keep their honest in-process counts (they cannot
+  /// have killed the previous worker).
+  void notePriorLethalAttempts(const std::string &Job, unsigned PriorAttempts);
 
 private:
   friend void faultPointSlow(const char *Site, double *Bound);

@@ -2,6 +2,7 @@
 
 #include "capi/opt_oct.h"
 #include "capi/opt_oct_batch.h"
+#include "support/faultinject.h"
 
 #include <gtest/gtest.h>
 
@@ -283,6 +284,40 @@ TEST(CApiBatch, BudgetedRunReportsStatusAndAttempts) {
   EXPECT_EQ(opt_oct_batch_job_status(R, 1), OPT_OCT_BATCH_JOB_FAILED);
   EXPECT_STRNE(opt_oct_batch_job_error(R, 1), "");
   opt_oct_batch_free(R);
+}
+
+TEST(CApiBatch, IsolatedRunContainsWorkerCrash) {
+  // A job poisoned with a real SIGSEGV costs one worker process, never
+  // the embedding process: the report comes back with the poisoned job
+  // marked CRASHED and its neighbors analyzed normally.
+  optoct::support::FaultPlan::global().clear();
+  std::string Error;
+  ASSERT_TRUE(optoct::support::FaultPlan::global().parseRule(
+      "site=batch.job,kind=segv,job=boom", Error))
+      << Error;
+
+  const char *Names[] = {"tiny", "boom", "other"};
+  const char *Sources[] = {"var x; x = 2; assert(x <= 2);",
+                           "var y; y = 1; assert(y <= 1);",
+                           "var z; z = 3; assert(z <= 3);"};
+  opt_oct_batch_report_t *R = opt_oct_batch_run_isolated(
+      Names, Sources, 3, /*jobs=*/2, /*deadline_ms=*/0, /*max_rss_mb=*/0,
+      /*max_attempts=*/1);
+  optoct::support::FaultPlan::global().clear();
+  ASSERT_NE(R, nullptr);
+  EXPECT_EQ(opt_oct_batch_num_jobs(R), 3u);
+  EXPECT_EQ(opt_oct_batch_job_status(R, 0), OPT_OCT_BATCH_JOB_OK);
+  EXPECT_EQ(opt_oct_batch_job_status(R, 1), OPT_OCT_BATCH_JOB_CRASHED);
+  EXPECT_NE(std::string(opt_oct_batch_job_error(R, 1)).find("SIGSEGV"),
+            std::string::npos);
+  EXPECT_EQ(opt_oct_batch_job_status(R, 2), OPT_OCT_BATCH_JOB_OK);
+  EXPECT_EQ(opt_oct_batch_job_asserts_proven(R, 0), 1u);
+  opt_oct_batch_free(R);
+
+  EXPECT_EQ(opt_oct_batch_run_isolated(nullptr, Sources, 1, 1, 0, 0, 1),
+            nullptr);
+  EXPECT_EQ(opt_oct_batch_run_isolated(Names, nullptr, 1, 1, 0, 0, 1),
+            nullptr);
 }
 
 } // namespace

@@ -327,6 +327,41 @@ TEST_F(Journal, ResumeRejectsForeignJournal) {
   std::remove(Path.c_str());
 }
 
+TEST_F(Journal, ResumeRejectsMismatchedJobSetFingerprint) {
+  // A journal written for one job set must refuse to seed a resume of
+  // a *different* job set — silently merging foreign records would
+  // attribute one program's invariants to another. Same options, same
+  // job count, one source edited: only the fingerprint can tell.
+  std::vector<BatchJob> Jobs = testJobs();
+  std::string Path = tempPath("jobset");
+  BatchOptions Opts;
+  Opts.JournalPath = Path;
+  runBatch(Jobs, Opts);
+
+  std::vector<BatchJob> Edited = testJobs();
+  Edited[1].Source = StraightLineProgram + std::string("assert(a == 1);\n");
+  BatchOptions ResumeOpts;
+  ResumeOpts.JournalPath = Path;
+  ResumeOpts.Resume = true;
+  try {
+    runBatch(Edited, ResumeOpts);
+    FAIL() << "resume accepted a journal from a different job set";
+  } catch (const std::runtime_error &E) {
+    EXPECT_NE(std::string(E.what()).find("fingerprint"), std::string::npos)
+        << E.what();
+  }
+
+  // Renaming a job (same sources otherwise) must be rejected too.
+  std::vector<BatchJob> Renamed = testJobs();
+  Renamed[0].Name = "loop-renamed";
+  EXPECT_THROW(runBatch(Renamed, ResumeOpts), std::runtime_error);
+
+  // The unedited job set still resumes fine against the same journal.
+  BatchReport Resumed = runBatch(Jobs, ResumeOpts);
+  EXPECT_EQ(Resumed.JobsResumed, Jobs.size());
+  std::remove(Path.c_str());
+}
+
 TEST_F(Journal, CrashAtCheckpointDiesAfterDurableAppend) {
   // Deterministic stand-in for the CI SIGKILL smoke: the injected
   // crash fires *after* the second append's fsync, so exactly two

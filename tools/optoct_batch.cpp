@@ -22,9 +22,20 @@
 ///     --backoff-ms=<n>      base backoff before the first retry
 ///     --inject=<spec>       seeded fault injection (repeatable);
 ///                           spec: site=<s>,kind=<alloc|slow|timeout|
-///                           poison|crash>[,job=<substr>][,hits=<n>]
-///                           [,after=<n>][,ms=<n>][,prob=<p>]
+///                           poison|crash|segv|oom|hang>[,job=<substr>]
+///                           [,hits=<n>][,after=<n>][,ms=<n>][,prob=<p>]
 ///     --fault-seed=<n>      seed for probabilistic injection rules
+///
+///   Process isolation (Level 3 of the recovery ladder):
+///     --isolate=<mode>      thread (default) or process: fork a pool
+///                           of supervised worker processes so a job
+///                           that segfaults, gets OOM-killed, or hangs
+///                           without polling is contained (CRASHED /
+///                           TIMEOUT), never the batch
+///     --max-rss-mb=<n>      per-worker RLIMIT_AS in MiB (process mode;
+///                           0 = unlimited; ignored under sanitizers)
+///     --recycle-after=<n>   retire and respawn each worker after n
+///                           jobs (process mode; 0 = never)
 ///
 ///   Recovery ladder (see README / EXPERIMENTS):
 ///     --audit               Level 1: validate closure results and
@@ -41,7 +52,8 @@
 ///
 /// Exit code: 0 if every job analyzed and all assertions were proven,
 /// 1 if some assertion is unknown or a job failed/degraded/timed out,
-/// 2 on usage errors or internal failures.
+/// 2 on usage errors or internal failures, 3 if any job CRASHED (its
+/// worker process died — process mode only).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -84,6 +96,8 @@ void usage(const char *Argv0) {
                "[--fault-seed=<n>]\n"
                "       [--audit] [--audit-rate=<p>] [--audit-triples=<n>] "
                "[--audit-seed=<n>]\n"
+               "       [--isolate=thread|process] [--max-rss-mb=<n>] "
+               "[--recycle-after=<n>]\n"
                "       [--journal=<path>] [--resume] [--canonical-json]\n"
                "       [files.imp...]\n",
                Argv0);
@@ -209,6 +223,26 @@ bool parseArgs(int Argc, char **Argv, BatchCliOptions &Opts) {
       if (!parseU64(Arg.substr(13), "--audit-seed", Opts.Batch.Audit.Seed))
         return false;
       Opts.Batch.Audit.Enabled = true;
+    } else if (Arg.rfind("--isolate=", 0) == 0) {
+      std::string Mode = Arg.substr(10);
+      if (Mode == "thread")
+        Opts.Batch.Isolation = runtime::IsolationMode::Thread;
+      else if (Mode == "process")
+        Opts.Batch.Isolation = runtime::IsolationMode::Process;
+      else {
+        std::fprintf(stderr,
+                     "error: --isolate expects 'thread' or 'process', "
+                     "got '%s'\n",
+                     Mode.c_str());
+        return false;
+      }
+    } else if (Arg.rfind("--max-rss-mb=", 0) == 0) {
+      if (!parseU64(Arg.substr(13), "--max-rss-mb", Opts.Batch.MaxRssMb))
+        return false;
+    } else if (Arg.rfind("--recycle-after=", 0) == 0) {
+      if (!parseUnsigned(Arg.substr(16), "--recycle-after",
+                         Opts.Batch.RecycleAfter))
+        return false;
     } else if (Arg.rfind("--journal=", 0) == 0)
       Opts.Batch.JournalPath = Arg.substr(10);
     else if (Arg == "--resume")
@@ -259,9 +293,11 @@ int run(int Argc, char **Argv) {
   bool AllProven = true;
   for (const runtime::JobResult &R : Report.Results) {
     if (!R.Ok) {
-      std::printf("%-24s %s: %s%s\n", R.Name.c_str(),
-                  R.Status == runtime::JobStatus::Timeout ? "TIMEOUT"
-                                                          : "FAILED",
+      const char *Label = R.Status == runtime::JobStatus::Timeout ? "TIMEOUT"
+                          : R.Status == runtime::JobStatus::Crashed
+                              ? "CRASHED"
+                              : "FAILED";
+      std::printf("%-24s %s: %s%s\n", R.Name.c_str(), Label,
                   R.Error.c_str(),
                   R.Attempts > 1
                       ? (" (after " + std::to_string(R.Attempts) +
@@ -299,6 +335,8 @@ int run(int Argc, char **Argv) {
     std::printf(", %u timeout", Report.JobsTimedOut);
   if (Report.JobsFailed)
     std::printf(", %u failed", Report.JobsFailed);
+  if (Report.JobsCrashed)
+    std::printf(", %u crashed", Report.JobsCrashed);
   if (Report.Retries)
     std::printf(", %u retries", Report.Retries);
   if (Report.JobsResumed)
@@ -306,11 +344,22 @@ int run(int Argc, char **Argv) {
   if (Report.AuditIncidentTotal)
     std::printf(", %llu audit incidents",
                 static_cast<unsigned long long>(Report.AuditIncidentTotal));
-  std::printf(") on %u worker%s in %.1f ms (%.1f jobs/s), "
+  std::printf(") on %u %s in %.1f ms (%.1f jobs/s), "
               "%u/%u assertions proven\n",
-              Report.Workers, Report.Workers == 1 ? "" : "s",
+              Report.Workers,
+              Opts.Batch.Isolation == runtime::IsolationMode::Process
+                  ? (Report.Workers == 1 ? "worker process"
+                                         : "worker processes")
+                  : (Report.Workers == 1 ? "worker" : "workers"),
               Report.WallSeconds * 1e3, Report.throughput(),
               Report.AssertsProven, Report.AssertsTotal);
+  if (Report.Supervisor.WorkersSpawned != 0)
+    std::printf("supervisor: %u spawned, %u crashed, %u recycled, "
+                "%u hard kills\n",
+                Report.Supervisor.WorkersSpawned,
+                Report.Supervisor.WorkersCrashed,
+                Report.Supervisor.WorkersRecycled,
+                Report.Supervisor.HardKills);
 
   if (!Opts.JsonPath.empty()) {
     // Atomic write: a crash (or the CI kill-and-resume smoke's SIGKILL)
@@ -324,6 +373,8 @@ int run(int Argc, char **Argv) {
       return 2;
     }
   }
+  if (Report.JobsCrashed != 0)
+    return 3; // a worker process died under a job: the loudest failure
   return AllProven && Report.JobsOk == Report.Results.size() ? 0 : 1;
 }
 
