@@ -1,0 +1,240 @@
+//===- bench/bench_server.cpp - Daemon request throughput -----------------===//
+///
+/// \file
+/// Measures the analysis daemon (src/server) end to end: an in-process
+/// Server on its own thread, one blocking client, and a deterministic
+/// request stream with a configurable repeat ratio. Reports sustained
+/// requests per second, p50/p99 round-trip latency, and the cache hit
+/// rate — then replays the identical stream a second time, which must
+/// be ~100% cache hits with byte-identical result records (the daemon's
+/// core contract; the run fails if a digest diverges).
+///
+/// Writes BENCH_server.json (override with --json=<path>), annotated
+/// with the CPU features and OPTOCT_* environment via
+/// support/cpuinfo.h, so runs on different machines stay comparable.
+///
+///   --requests=<n>  stream length per pass           (default 400)
+///   --repeat=<r>    fraction of repeated programs     (default 0.5)
+///   --workers=<n>   daemon worker processes           (default 2)
+///   --json=<path>   output file      (default BENCH_server.json)
+///
+//===----------------------------------------------------------------------===//
+
+#include "server/client.h"
+#include "server/server.h"
+#include "support/cpuinfo.h"
+#include "support/fnv.h"
+#include "support/table.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+using namespace optoct;
+
+namespace {
+
+/// Small bounded-loop program parameterized for distinct cache keys;
+/// analyzes in well under a millisecond, so the bench measures the
+/// daemon, not the fixpoint engine.
+std::string loopProgram(unsigned Bound) {
+  std::string B = std::to_string(Bound);
+  return "var x, y, n;\n"
+         "n = havoc(); assume(n >= 0 && n <= " + B + ");\n"
+         "x = 0; y = 0;\n"
+         "while (x < n) {\n"
+         "  x = x + 1;\n"
+         "  if (y < x) { y = y + 1; }\n"
+         "}\n"
+         "assert(y <= x);\n"
+         "assert(x <= " + B + ");\n";
+}
+
+/// Deterministic 64-bit LCG — the stream must be identical run to run.
+struct Rng {
+  std::uint64_t State = 0x9e3779b97f4a7c15ull;
+  std::uint64_t next() {
+    State = State * 6364136223846793005ull + 1442695040888963407ull;
+    return State >> 17;
+  }
+};
+
+double percentile(std::vector<double> Sorted, double P) {
+  if (Sorted.empty())
+    return 0.0;
+  std::size_t I = static_cast<std::size_t>(P * (Sorted.size() - 1));
+  return Sorted[I];
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string JsonPath = "BENCH_server.json";
+  unsigned Requests = 400;
+  unsigned Workers = 2;
+  double RepeatRatio = 0.5;
+  for (int I = 1; I != Argc; ++I) {
+    if (std::strncmp(Argv[I], "--json=", 7) == 0)
+      JsonPath = Argv[I] + 7;
+    else if (std::strncmp(Argv[I], "--requests=", 11) == 0)
+      Requests = static_cast<unsigned>(std::strtoul(Argv[I] + 11, nullptr, 10));
+    else if (std::strncmp(Argv[I], "--workers=", 10) == 0)
+      Workers = static_cast<unsigned>(std::strtoul(Argv[I] + 10, nullptr, 10));
+    else if (std::strncmp(Argv[I], "--repeat=", 9) == 0)
+      RepeatRatio = std::strtod(Argv[I] + 9, nullptr);
+  }
+  if (Requests == 0)
+    Requests = 1;
+  RepeatRatio = std::min(1.0, std::max(0.0, RepeatRatio));
+
+  // The request stream: each slot either repeats an already-requested
+  // program (probability RepeatRatio) or introduces a fresh one.
+  Rng R;
+  std::vector<unsigned> Stream; // program bound per request
+  unsigned Fresh = 0;
+  for (unsigned I = 0; I != Requests; ++I) {
+    bool Repeat = Fresh != 0 && (R.next() % 1000) < RepeatRatio * 1000;
+    if (Repeat)
+      Stream.push_back(10 + static_cast<unsigned>(R.next() % Fresh));
+    else
+      Stream.push_back(10 + Fresh++);
+  }
+
+  server::ServerOptions Opts;
+  Opts.SocketPath = "bench_server." + std::to_string(::getpid()) + ".sock";
+  Opts.Workers = Workers;
+  server::Server Daemon(Opts);
+  std::string Error;
+  if (!Daemon.start(Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+  std::thread ServerThread([&] { Daemon.serve(); });
+
+  server::DaemonClient Client;
+  if (!Client.connect(Opts.SocketPath, Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    Daemon.requestStop();
+    ServerThread.join();
+    return 1;
+  }
+
+  std::printf("=== Daemon throughput (%u requests/pass, %.0f%% repeat "
+              "ratio, %u workers) ===\n\n",
+              Requests, RepeatRatio * 100, Workers);
+
+  struct Pass {
+    double WallSeconds = 0.0;
+    double ReqPerSec = 0.0;
+    double P50Ms = 0.0, P99Ms = 0.0;
+    double HitRate = 0.0;
+    std::uint64_t Hits = 0, Misses = 0;
+  };
+  Pass Passes[2];
+  std::vector<std::uint64_t> Digests[2];
+  bool AllServed = true;
+
+  for (int PassNo = 0; PassNo != 2; ++PassNo) {
+    server::DaemonStats Before;
+    if (!Client.queryStats(Before, Error)) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      break;
+    }
+    std::vector<double> LatMs;
+    LatMs.reserve(Stream.size());
+    auto PassStart = std::chrono::steady_clock::now();
+    for (unsigned Bound : Stream) {
+      server::AnalyzeRequest Req;
+      Req.Job.Name = "loop" + std::to_string(Bound);
+      Req.Job.Source = loopProgram(Bound);
+      server::AnalyzeResponse Resp;
+      auto T0 = std::chrono::steady_clock::now();
+      if (!Client.analyze(std::move(Req), Resp, Error) || !Resp.Ok) {
+        std::fprintf(stderr, "error: request failed: %s%s\n", Error.c_str(),
+                     Resp.Error.c_str());
+        AllServed = false;
+        break;
+      }
+      auto T1 = std::chrono::steady_clock::now();
+      LatMs.push_back(std::chrono::duration<double, std::milli>(T1 - T0)
+                          .count());
+      Digests[PassNo].push_back(support::fnv1a64(Resp.ResultRecord));
+    }
+    auto PassEnd = std::chrono::steady_clock::now();
+    server::DaemonStats After;
+    if (!Client.queryStats(After, Error))
+      break;
+
+    Pass &P = Passes[PassNo];
+    P.WallSeconds = std::chrono::duration<double>(PassEnd - PassStart).count();
+    P.ReqPerSec = P.WallSeconds > 0 ? LatMs.size() / P.WallSeconds : 0.0;
+    std::sort(LatMs.begin(), LatMs.end());
+    P.P50Ms = percentile(LatMs, 0.50);
+    P.P99Ms = percentile(LatMs, 0.99);
+    P.Hits = After.CacheHits - Before.CacheHits;
+    P.Misses = After.CacheMisses - Before.CacheMisses;
+    P.HitRate = P.Hits + P.Misses
+                    ? static_cast<double>(P.Hits) / (P.Hits + P.Misses)
+                    : 0.0;
+  }
+
+  Client.close();
+  Daemon.requestStop();
+  ServerThread.join();
+
+  // Replaying an identical stream must replay identical bytes: the
+  // canonicalized record for a key never depends on which pass (or
+  // which worker) produced it.
+  bool Deterministic =
+      AllServed && Digests[0].size() == Digests[1].size() &&
+      std::equal(Digests[0].begin(), Digests[0].end(), Digests[1].begin());
+
+  TextTable Table({"Pass", "Wall ms", "Req/s", "p50 ms", "p99 ms",
+                   "Hit rate"});
+  for (int I = 0; I != 2; ++I)
+    Table.addRow({I == 0 ? "cold" : "warm",
+                  TextTable::num(Passes[I].WallSeconds * 1e3, 1),
+                  TextTable::num(Passes[I].ReqPerSec, 1),
+                  TextTable::num(Passes[I].P50Ms, 3),
+                  TextTable::num(Passes[I].P99Ms, 3),
+                  TextTable::num(Passes[I].HitRate * 100, 1) + "%"});
+  std::printf("%s\n", Table.render().c_str());
+  std::printf("replayed responses byte-identical: %s\n\n",
+              Deterministic ? "yes" : "NO (BUG)");
+
+  std::ofstream Out(JsonPath);
+  if (!Out) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", JsonPath.c_str());
+    return 1;
+  }
+  Out << "{\n  \"bench\": \"bench_server\",\n  "
+      << support::benchContextJson() << ",\n"
+      << "  \"requests_per_pass\": " << Requests << ",\n"
+      << "  \"repeat_ratio\": " << RepeatRatio << ",\n"
+      << "  \"workers\": " << Workers << ",\n"
+      << "  \"unique_programs\": " << Fresh << ",\n"
+      << "  \"passes\": [\n";
+  for (int I = 0; I != 2; ++I)
+    Out << "    {\"pass\": \"" << (I == 0 ? "cold" : "warm")
+        << "\", \"wall_seconds\": " << Passes[I].WallSeconds
+        << ", \"requests_per_sec\": " << Passes[I].ReqPerSec
+        << ", \"latency_p50_ms\": " << Passes[I].P50Ms
+        << ", \"latency_p99_ms\": " << Passes[I].P99Ms
+        << ", \"cache_hits\": " << Passes[I].Hits
+        << ", \"cache_misses\": " << Passes[I].Misses
+        << ", \"cache_hit_rate\": " << Passes[I].HitRate << "}"
+        << (I == 0 ? "," : "") << "\n";
+  Out << "  ],\n"
+      << "  \"replay_byte_identical\": " << (Deterministic ? "true" : "false")
+      << "\n}\n";
+  std::printf("wrote %s\n", JsonPath.c_str());
+
+  return AllServed && Deterministic ? 0 : 1;
+}

@@ -1,0 +1,83 @@
+/*===- capi/opt_oct_daemon.h - C API for the analysis daemon ----*- C -*-===*
+ *
+ * C-linkage client for a running optoctd analysis daemon (src/server):
+ * connect to its Unix-domain socket, submit named mini-IMP programs,
+ * and read the verdicts back. The daemon memoizes results in a
+ * content-addressed invariant cache, so repeated submissions of the
+ * same program and options return byte-identical results without
+ * re-analysis; each request runs in a supervised worker process on the
+ * daemon side, so a request that crashes the analyzer is reported as
+ * OPT_OCT_BATCH_JOB_CRASHED to this client only — the daemon and other
+ * clients keep going.
+ *
+ * Robustness: connect returns NULL when no daemon listens; analyze
+ * returns NULL on transport failure (the handle is then dead and only
+ * good for _disconnect); all accessors tolerate NULL results and
+ * return the documented error value. Status codes are shared with the
+ * batch C API (opt_oct_batch.h).
+ *
+ *===---------------------------------------------------------------------===*/
+
+#ifndef OPTOCT_CAPI_OPT_OCT_DAEMON_H
+#define OPTOCT_CAPI_OPT_OCT_DAEMON_H
+
+#include "opt_oct_batch.h" /* OPT_OCT_BATCH_JOB_* status codes */
+
+#include <stddef.h>
+#include <stdint.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+typedef struct opt_oct_daemon_t opt_oct_daemon_t;
+typedef struct opt_oct_daemon_result_t opt_oct_daemon_result_t;
+
+/* Connects to the daemon listening on `socket_path`. NULL if none. */
+opt_oct_daemon_t *opt_oct_daemon_connect(const char *socket_path);
+void opt_oct_daemon_disconnect(opt_oct_daemon_t *d);
+
+/* Submits one program and blocks for the verdict. NULL on invalid
+ * arguments or transport failure (daemon gone mid-request). A NULL
+ * `name` or `source` is rejected here, not sent. */
+opt_oct_daemon_result_t *opt_oct_daemon_analyze(opt_oct_daemon_t *d,
+                                                const char *name,
+                                                const char *source);
+
+/* Like opt_oct_daemon_analyze with engine options: `widening_delay`
+ * joins before widening, `narrowing_passes` descending sweeps,
+ * `max_dbm_cells` allocation budget (0 = unlimited). Results for
+ * different options are cached independently. */
+opt_oct_daemon_result_t *
+opt_oct_daemon_analyze_opts(opt_oct_daemon_t *d, const char *name,
+                            const char *source, unsigned widening_delay,
+                            unsigned narrowing_passes,
+                            uint64_t max_dbm_cells);
+
+/* Result accessors (NULL-tolerant). */
+
+/* 1 when the daemon served a verdict; 0 when it rejected the request
+ * (malformed input); -1 on a NULL result. */
+int opt_oct_daemon_result_ok(const opt_oct_daemon_result_t *r);
+/* 1 when the verdict was replayed from the invariant cache. */
+int opt_oct_daemon_result_cached(const opt_oct_daemon_result_t *r);
+/* The request's content-address (cache key); 0 on NULL. */
+uint64_t opt_oct_daemon_result_key(const opt_oct_daemon_result_t *r);
+/* One of the OPT_OCT_BATCH_JOB_* codes; -1 on NULL/rejected. */
+int opt_oct_daemon_result_status(const opt_oct_daemon_result_t *r);
+/* Rejection or analysis error text ("" when none). */
+const char *opt_oct_daemon_result_error(const opt_oct_daemon_result_t *r);
+unsigned opt_oct_daemon_result_asserts_proven(const opt_oct_daemon_result_t *r);
+unsigned opt_oct_daemon_result_asserts_total(const opt_oct_daemon_result_t *r);
+/* Loop-head invariants, in RPO; i < .._num_invariants(r). */
+size_t opt_oct_daemon_result_num_invariants(const opt_oct_daemon_result_t *r);
+const char *opt_oct_daemon_result_invariant(const opt_oct_daemon_result_t *r,
+                                            size_t i);
+
+void opt_oct_daemon_result_free(opt_oct_daemon_result_t *r);
+
+#ifdef __cplusplus
+} /* extern "C" */
+#endif
+
+#endif /* OPTOCT_CAPI_OPT_OCT_DAEMON_H */

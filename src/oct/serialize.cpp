@@ -2,10 +2,12 @@
 
 #include "oct/serialize.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <new>
 #include <sstream>
+#include <vector>
 
 using namespace optoct;
 
@@ -18,7 +20,7 @@ std::string optoct::serializeOctagon(Octagon &O) {
     Out += "bottom\nend\n";
     return Out;
   }
-  std::string Body;
+  std::vector<OctCons> Cs;
   for (const OctCons &C : O.constraints()) {
     // Closure arithmetic can overflow a pair of huge finite bounds to
     // -inf without tripping the (diagonal-based) emptiness check. A
@@ -33,12 +35,33 @@ std::string optoct::serializeOctagon(Octagon &O) {
       Out += "bottom\nend\n";
       return Out;
     }
+    Cs.push_back(C);
+  }
+  // constraints() iterates in representation order — global DBM rows
+  // for dense octagons, per-component rows for decomposed ones. The
+  // closed form is a canonical *set*, so sort the emission into one
+  // canonical sequence: identical elements serialize to identical
+  // bytes whichever kernel or representation produced them (the
+  // daemon's invariant cache replays these bytes across processes
+  // whose OPTOCT_* configuration may differ).
+  std::sort(Cs.begin(), Cs.end(), [](const OctCons &A, const OctCons &B) {
+    unsigned AJ = A.isUnary() ? A.I : A.J, BJ = B.isUnary() ? B.I : B.J;
+    if (AJ != BJ)
+      return AJ < BJ;
+    if (A.I != B.I)
+      return A.I < B.I;
+    if (A.CoefI != B.CoefI)
+      return A.CoefI < B.CoefI;
+    if (A.CoefJ != B.CoefJ)
+      return A.CoefJ < B.CoefJ;
+    return A.Bound < B.Bound;
+  });
+  for (const OctCons &C : Cs) {
     // %.17g round-trips doubles exactly.
     std::snprintf(Buf, sizeof(Buf), "c %d %u %d %u %.17g\n", C.CoefI, C.I,
                   C.CoefJ, C.isUnary() ? C.I : C.J, C.Bound);
-    Body += Buf;
+    Out += Buf;
   }
-  Out += Body;
   Out += "end\n";
   return Out;
 }

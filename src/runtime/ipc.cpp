@@ -4,9 +4,11 @@
 
 #include "runtime/journal.h"
 #include "support/fnv.h"
+#include "support/textcodec.h"
 
 #include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include <unistd.h>
@@ -77,38 +79,46 @@ std::size_t readAllFd(int Fd, char *Data, std::size_t Len) {
   return Got;
 }
 
-/// Parses a header buffer; false on bad magic/oversize.
+/// Parses a header buffer; false on bad magic or a body length above
+/// \p MaxFrame (the reader's configured allocation bound).
 bool parseHeader(const char *H, MsgType &Type, std::uint64_t &BodyLen,
-                 std::uint64_t &Sum) {
+                 std::uint64_t &Sum, std::uint64_t MaxFrame) {
   if (std::memcmp(H, Magic, 4) != 0)
     return false;
   Type = static_cast<MsgType>(getU32(H + 4));
   BodyLen = getU64(H + 8);
   Sum = getU64(H + 16);
-  return BodyLen <= MaxFrameBytes;
+  return BodyLen <= MaxFrame;
 }
 
 } // namespace
 
-bool optoct::runtime::ipc::writeFrame(int Fd, MsgType Type,
-                                      const std::string &Body) {
+std::string optoct::runtime::ipc::frameBytes(MsgType Type,
+                                             const std::string &Body) {
   char Header[HeaderBytes];
   std::memcpy(Header, Magic, 4);
   putU32(Header + 4, static_cast<std::uint32_t>(Type));
   putU64(Header + 8, Body.size());
   putU64(Header + 16, support::fnv1a64(Body));
-  // One buffer, one writeAll: pipe writes up to PIPE_BUF are atomic,
-  // and larger frames are only ever written by the single owner of the
-  // fd, so interleaving cannot occur either way.
   std::string Frame;
   Frame.reserve(HeaderBytes + Body.size());
   Frame.append(Header, HeaderBytes);
   Frame.append(Body);
+  return Frame;
+}
+
+bool optoct::runtime::ipc::writeFrame(int Fd, MsgType Type,
+                                      const std::string &Body) {
+  // One buffer, one writeAll: pipe writes up to PIPE_BUF are atomic,
+  // and larger frames are only ever written by the single owner of the
+  // fd, so interleaving cannot occur either way.
+  std::string Frame = frameBytes(Type, Body);
   return writeAllFd(Fd, Frame.data(), Frame.size());
 }
 
 ReadStatus optoct::runtime::ipc::readFrame(int Fd, MsgType &Type,
-                                           std::string &Body) {
+                                           std::string &Body,
+                                           std::uint64_t MaxFrame) {
   char Header[HeaderBytes];
   std::size_t Got = readAllFd(Fd, Header, HeaderBytes);
   if (Got == 0)
@@ -116,7 +126,7 @@ ReadStatus optoct::runtime::ipc::readFrame(int Fd, MsgType &Type,
   if (Got != HeaderBytes)
     return ReadStatus::Torn;
   std::uint64_t BodyLen = 0, Sum = 0;
-  if (!parseHeader(Header, Type, BodyLen, Sum))
+  if (!parseHeader(Header, Type, BodyLen, Sum, MaxFrame))
     return ReadStatus::Torn;
   Body.resize(static_cast<std::size_t>(BodyLen));
   if (readAllFd(Fd, Body.data(), Body.size()) != Body.size())
@@ -135,10 +145,18 @@ void FrameReader::feed(const char *Data, std::size_t Len) {
 bool FrameReader::next(MsgType &Type, std::string &Body) {
   if (Corrupt)
     return false;
+  // Validate the magic as soon as it could be present: a peer speaking
+  // the wrong protocol is flagged on its first four bytes instead of
+  // sitting mid-"frame" until it happens to deliver a header's worth.
+  if (Buf.size() - Pos >= 4 &&
+      std::memcmp(Buf.data() + Pos, Magic, 4) != 0) {
+    Corrupt = true;
+    return false;
+  }
   if (Buf.size() - Pos < HeaderBytes)
     return false;
   std::uint64_t BodyLen = 0, Sum = 0;
-  if (!parseHeader(Buf.data() + Pos, Type, BodyLen, Sum)) {
+  if (!parseHeader(Buf.data() + Pos, Type, BodyLen, Sum, MaxFrame)) {
     Corrupt = true;
     return false;
   }
@@ -159,35 +177,112 @@ bool FrameReader::next(MsgType &Type, std::string &Body) {
   return true;
 }
 
+std::string
+optoct::runtime::ipc::encodeEngineOptions(const analysis::AnalysisOptions &E,
+                                          std::uint64_t MaxDbmCells) {
+  // The same key-value lines as the daemon's request body, restricted
+  // to the result-shaping knobs (the fields jobSetFingerprint hashes).
+  std::string Out;
+  Out += "wdelay " + std::to_string(E.WideningDelay) + "\n";
+  Out += "narrow " + std::to_string(E.NarrowingPasses) + "\n";
+  Out += "maxvisits " + std::to_string(E.MaxBlockVisits) + "\n";
+  Out += std::string("linearize ") + (E.LinearizeGuards ? "1" : "0") + "\n";
+  Out += "maxcells " + std::to_string(MaxDbmCells) + "\n";
+  for (double T : E.WideningThresholds)
+    Out += "thr " + support::formatDouble(T) + "\n";
+  return Out;
+}
+
+bool optoct::runtime::ipc::decodeEngineOptions(const std::string &Blob,
+                                               analysis::AnalysisOptions &E,
+                                               std::uint64_t &MaxDbmCells) {
+  E = analysis::AnalysisOptions();
+  E.WideningThresholds.clear();
+  MaxDbmCells = 0;
+  std::size_t Pos = 0;
+  while (Pos < Blob.size()) {
+    std::size_t Nl = Blob.find('\n', Pos);
+    if (Nl == std::string::npos)
+      return false; // every line is terminated; a bare tail is a tear
+    std::string Line = Blob.substr(Pos, Nl - Pos);
+    Pos = Nl + 1;
+    std::size_t Sp = Line.find(' ');
+    if (Sp == std::string::npos)
+      return false;
+    std::string Key = Line.substr(0, Sp), Val = Line.substr(Sp + 1);
+    std::uint64_t U = 0;
+    if (Key == "wdelay") {
+      if (!support::parseU64(Val, U))
+        return false;
+      E.WideningDelay = static_cast<unsigned>(U);
+    } else if (Key == "narrow") {
+      if (!support::parseU64(Val, U))
+        return false;
+      E.NarrowingPasses = static_cast<unsigned>(U);
+    } else if (Key == "maxvisits") {
+      if (!support::parseU64(Val, U))
+        return false;
+      E.MaxBlockVisits = static_cast<unsigned>(U);
+    } else if (Key == "linearize") {
+      if (Val != "0" && Val != "1")
+        return false;
+      E.LinearizeGuards = Val == "1";
+    } else if (Key == "maxcells") {
+      if (!support::parseU64(Val, MaxDbmCells))
+        return false;
+    } else if (Key == "thr") {
+      errno = 0;
+      char *End = nullptr;
+      double T = std::strtod(Val.c_str(), &End);
+      if (errno != 0 || End != Val.c_str() + Val.size())
+        return false;
+      E.WideningThresholds.push_back(T);
+    }
+    // Unknown keys skip silently: same forward-compatibility stance as
+    // the journal's record parser.
+  }
+  return true;
+}
+
 std::string optoct::runtime::ipc::encodeJob(std::size_t Index,
                                             unsigned Attempt,
-                                            const BatchJob &Job) {
-  // "job <index> <attempt> <namebytes>\n" then raw name and source.
+                                            const BatchJob &Job,
+                                            const std::string &EngineBlob) {
+  // "job <index> <attempt> <namebytes> <optbytes>\n" then raw name,
+  // options blob, and source.
   std::string Body = "job " + std::to_string(Index) + " " +
                      std::to_string(Attempt) + " " +
-                     std::to_string(Job.Name.size()) + "\n";
+                     std::to_string(Job.Name.size()) + " " +
+                     std::to_string(EngineBlob.size()) + "\n";
   Body += Job.Name;
+  Body += EngineBlob;
   Body += Job.Source;
   return Body;
 }
 
 bool optoct::runtime::ipc::decodeJob(const std::string &Body,
                                      std::size_t &Index, unsigned &Attempt,
-                                     BatchJob &Job) {
+                                     BatchJob &Job, std::string *EngineBlob) {
   std::size_t Nl = Body.find('\n');
   if (Nl == std::string::npos || Body.rfind("job ", 0) != 0)
     return false;
-  unsigned long long Idx = 0, Att = 0, NameLen = 0;
-  if (std::sscanf(Body.c_str() + 4, "%llu %llu %llu", &Idx, &Att, &NameLen) !=
-      3)
+  unsigned long long Idx = 0, Att = 0, NameLen = 0, OptLen = 0;
+  if (std::sscanf(Body.c_str() + 4, "%llu %llu %llu %llu", &Idx, &Att,
+                  &NameLen, &OptLen) != 4)
     return false;
   std::size_t Payload = Nl + 1;
-  if (NameLen > Body.size() - Payload)
+  if (NameLen > Body.size() - Payload ||
+      OptLen > Body.size() - Payload - NameLen)
     return false;
   Index = static_cast<std::size_t>(Idx);
   Attempt = static_cast<unsigned>(Att);
   Job.Name = Body.substr(Payload, static_cast<std::size_t>(NameLen));
-  Job.Source = Body.substr(Payload + static_cast<std::size_t>(NameLen));
+  std::string Blob = Body.substr(Payload + static_cast<std::size_t>(NameLen),
+                                 static_cast<std::size_t>(OptLen));
+  if (EngineBlob)
+    *EngineBlob = Blob;
+  Job.Source = Body.substr(Payload + static_cast<std::size_t>(NameLen) +
+                           static_cast<std::size_t>(OptLen));
   return true;
 }
 

@@ -37,13 +37,26 @@
 namespace optoct::runtime::ipc {
 
 enum class MsgType : std::uint32_t {
-  Job = 1,    ///< Supervisor -> worker: run this job.
-  Result = 2, ///< Worker -> supervisor: the job's attempt result.
+  Job = 1,      ///< Supervisor -> worker: run this job.
+  Result = 2,   ///< Worker -> supervisor: the job's attempt result.
+  Request = 3,  ///< Daemon client -> optoctd (server/protocol.h bodies).
+  Response = 4, ///< optoctd -> daemon client.
 };
 
-/// Sanity bound on a frame body; anything larger is treated as a
-/// corrupt frame (a real result for our workloads is a few KiB).
+/// Default sanity bound on a frame body; anything larger is treated as
+/// a corrupt frame (a real result for our workloads is a few KiB).
+/// Readers exposed to less trusted peers than our own forked workers —
+/// the daemon's client sockets — tighten this with setMaxFrameBytes /
+/// the readFrame parameter: the length prefix is attacker-controlled
+/// bytes, and the bound is what stands between a corrupt or hostile
+/// prefix and an unbounded allocation.
 constexpr std::uint64_t MaxFrameBytes = 64ull << 20;
+
+/// Renders one complete frame (header + body) as bytes, for callers
+/// that buffer writes themselves — the daemon's nonblocking client
+/// sockets append frames to a per-connection output buffer and flush
+/// under POLLOUT instead of blocking in writeFrame.
+std::string frameBytes(MsgType Type, const std::string &Body);
 
 /// Writes one framed message, retrying EINTR and short writes. Returns
 /// false on any I/O error (EPIPE with SIGPIPE ignored = peer died).
@@ -57,15 +70,28 @@ enum class ReadStatus {
 };
 
 /// Blocking read of exactly one frame (the worker side; its only job
-/// source is this pipe, so blocking is the point).
-ReadStatus readFrame(int Fd, MsgType &Type, std::string &Body);
+/// source is this pipe, so blocking is the point). A header announcing
+/// a body larger than \p MaxFrame is Torn — rejected before any body
+/// allocation happens.
+ReadStatus readFrame(int Fd, MsgType &Type, std::string &Body,
+                     std::uint64_t MaxFrame = MaxFrameBytes);
 
 /// Incremental decoder for the supervisor side, which multiplexes many
 /// nonblocking result pipes through poll(2): feed() whatever bytes
-/// arrived, next() yields complete frames. A framing violation sets
-/// corrupt() permanently — the supervisor treats the worker as dead.
+/// arrived, next() yields complete frames. A framing violation —
+/// including a length prefix above the configured maximum — sets
+/// corrupt() permanently; the supervisor treats the worker as dead and
+/// the daemon drops the client connection.
 class FrameReader {
 public:
+  FrameReader() = default;
+  explicit FrameReader(std::uint64_t MaxFrame) : MaxFrame(MaxFrame) {}
+
+  /// Tightens (or relaxes) the per-frame body bound. Takes effect at
+  /// the next header parse; bytes already buffered are unaffected.
+  void setMaxFrameBytes(std::uint64_t Max) { MaxFrame = Max; }
+  std::uint64_t maxFrameBytes() const { return MaxFrame; }
+
   void feed(const char *Data, std::size_t Len);
   /// Extracts the next complete, checksum-valid frame.
   bool next(MsgType &Type, std::string &Body);
@@ -73,19 +99,38 @@ public:
   /// True if a frame prefix is buffered but incomplete (a torn tail if
   /// the peer is known dead).
   bool midFrame() const { return !Corrupt && Buf.size() != Pos; }
+  /// Bytes buffered but not yet consumed as frames (flow-control input
+  /// for servers deciding when a peer is flooding).
+  std::size_t bufferedBytes() const { return Buf.size() - Pos; }
 
 private:
   std::string Buf;
   std::size_t Pos = 0; ///< Consumed prefix (compacted lazily).
   bool Corrupt = false;
+  std::uint64_t MaxFrame = MaxFrameBytes;
 };
 
 // --- Message body codecs (text first line + raw payload bytes). -------------
 
-std::string encodeJob(std::size_t Index, unsigned Attempt,
-                      const BatchJob &Job);
+/// Per-job engine-option override blob. The batch supervisor never
+/// sends one — its workers inherit a uniform BatchOptions at fork — but
+/// the analysis daemon's workers serve heterogeneous requests, so each
+/// Job frame may carry the result-shaping options (AnalysisOptions plus
+/// the DBM-cell budget) to apply for that one job.
+std::string encodeEngineOptions(const analysis::AnalysisOptions &Engine,
+                                std::uint64_t MaxDbmCells);
+bool decodeEngineOptions(const std::string &Blob,
+                         analysis::AnalysisOptions &Engine,
+                         std::uint64_t &MaxDbmCells);
+
+/// \p EngineBlob, when non-empty, must be an encodeEngineOptions blob;
+/// decodeJob hands it back for the worker to apply over its forked
+/// defaults (empty = run with the defaults, the batch path).
+std::string encodeJob(std::size_t Index, unsigned Attempt, const BatchJob &Job,
+                      const std::string &EngineBlob = {});
 bool decodeJob(const std::string &Body, std::size_t &Index,
-               unsigned &Attempt, BatchJob &Job);
+               unsigned &Attempt, BatchJob &Job,
+               std::string *EngineBlob = nullptr);
 
 std::string encodeResult(std::size_t Index, bool Retryable,
                          const JobResult &R);

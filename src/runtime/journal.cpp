@@ -4,6 +4,7 @@
 
 #include "support/faultinject.h"
 #include "support/fnv.h"
+#include "support/textcodec.h"
 
 #include <cerrno>
 #include <cinttypes>
@@ -37,70 +38,19 @@ void fingerprintString(std::uint64_t &H, const std::string &S) {
 }
 
 /// Record bodies are line-oriented key-value text; values are
-/// percent-escaped so embedded newlines, '%', and control bytes are
-/// binary-safe within one line.
-std::string escapeValue(const std::string &S) {
-  std::string Out;
-  Out.reserve(S.size());
-  for (char C : S) {
-    unsigned char U = static_cast<unsigned char>(C);
-    if (C == '%' || U < 0x20 || U == 0x7f) {
-      char Buf[4];
-      std::snprintf(Buf, sizeof(Buf), "%%%02x", U);
-      Out += Buf;
-    } else
-      Out += C;
-  }
-  return Out;
-}
+/// percent-escaped (support/textcodec.h) so embedded newlines, '%',
+/// and control bytes are binary-safe within one line.
+using optoct::support::percentEscape;
+using optoct::support::percentUnescape;
+const auto &escapeValue = percentEscape;
+const auto &unescapeValue = percentUnescape;
 
-bool unescapeValue(const std::string &S, std::string &Out) {
-  Out.clear();
-  Out.reserve(S.size());
-  for (std::size_t I = 0; I != S.size(); ++I) {
-    if (S[I] != '%') {
-      Out += S[I];
-      continue;
-    }
-    if (I + 2 >= S.size())
-      return false;
-    auto Hex = [](char C) -> int {
-      if (C >= '0' && C <= '9')
-        return C - '0';
-      if (C >= 'a' && C <= 'f')
-        return C - 'a' + 10;
-      if (C >= 'A' && C <= 'F')
-        return C - 'A' + 10;
-      return -1;
-    };
-    int Hi = Hex(S[I + 1]), Lo = Hex(S[I + 2]);
-    if (Hi < 0 || Lo < 0)
-      return false;
-    Out += static_cast<char>(Hi * 16 + Lo);
-    I += 2;
-  }
-  return true;
-}
-
-/// %.17g round-trips IEEE doubles exactly (same contract as the octagon
-/// serializer); "inf"/"-inf"/"nan" spellings are normalized by strtod.
-std::string formatDouble(double V) {
-  char Buf[64];
-  std::snprintf(Buf, sizeof(Buf), "%.17g", V);
-  return Buf;
-}
-
-bool parseU64(const std::string &S, std::uint64_t &V) {
-  if (S.empty())
-    return false;
-  errno = 0;
-  char *End = nullptr;
-  unsigned long long X = std::strtoull(S.c_str(), &End, 10);
-  if (errno != 0 || End != S.c_str() + S.size())
-    return false;
-  V = X;
-  return true;
-}
+// Numeric field codecs are shared with the daemon cache/protocol for
+// the same one-implementation reason.
+using optoct::support::formatDouble;
+using optoct::support::hex64;
+using optoct::support::parseHex64;
+using optoct::support::parseU64;
 
 bool parseI64(const std::string &S, long long &V) {
   if (S.empty())
@@ -112,24 +62,6 @@ bool parseI64(const std::string &S, long long &V) {
     return false;
   V = X;
   return true;
-}
-
-bool parseHex64(const std::string &S, std::uint64_t &V) {
-  if (S.empty())
-    return false;
-  errno = 0;
-  char *End = nullptr;
-  unsigned long long X = std::strtoull(S.c_str(), &End, 16);
-  if (errno != 0 || End != S.c_str() + S.size())
-    return false;
-  V = X;
-  return true;
-}
-
-std::string hex64(std::uint64_t V) {
-  char Buf[24];
-  std::snprintf(Buf, sizeof(Buf), "%016" PRIx64, V);
-  return Buf;
 }
 
 bool statusFromName(const std::string &S, JobStatus &Out) {

@@ -48,11 +48,6 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-/// Worker self-exit codes. Distinct from FaultCrashExitCode (42) so an
-/// injected kind=crash in a worker still classifies as a crash.
-constexpr int WorkerRecycleExit = 46;  ///< Clean retirement after N jobs.
-constexpr int WorkerProtocolExit = 47; ///< Pipe protocol breakdown.
-
 const char *signalName(int Sig) {
   switch (Sig) {
   case SIGSEGV:
@@ -123,12 +118,21 @@ void applyWorkerLimits(const BatchOptions &Opts) {
     if (RS == ipc::ReadStatus::Eof)
       std::_Exit(0); // supervisor closed the job pipe: batch over
     if (RS != ipc::ReadStatus::Ok || Type != ipc::MsgType::Job)
-      std::_Exit(WorkerProtocolExit);
+      std::_Exit(WorkerProtocolExitCode);
     std::size_t Index = 0;
     unsigned Attempt = 0;
     BatchJob Job;
-    if (!ipc::decodeJob(Body, Index, Attempt, Job))
-      std::_Exit(WorkerProtocolExit);
+    std::string EngineBlob;
+    if (!ipc::decodeJob(Body, Index, Attempt, Job, &EngineBlob))
+      std::_Exit(WorkerProtocolExitCode);
+    // The daemon sends per-job result-shaping options (its requests are
+    // heterogeneous); the batch supervisor sends none and the forked
+    // defaults in Opts stand.
+    BatchOptions JobOpts = Opts;
+    if (!EngineBlob.empty() &&
+        !ipc::decodeEngineOptions(EngineBlob, JobOpts.Engine,
+                                  JobOpts.Budget.MaxDbmCells))
+      std::_Exit(WorkerProtocolExitCode);
     // A retried job reruns here with fresh fault counters; replay the
     // prior lethal attempts so burned-out rules stay burned out
     // (support/faultinject.h).
@@ -136,13 +140,13 @@ void applyWorkerLimits(const BatchOptions &Opts) {
       support::FaultPlan::global().notePriorLethalAttempts(Job.Name,
                                                            Attempt - 1);
     bool Retryable = false;
-    JobResult R = runJobSingleAttempt(Job, Opts, Retryable);
+    JobResult R = runJobSingleAttempt(Job, JobOpts, Retryable);
     if (!ipc::writeFrame(ResFd, ipc::MsgType::Result,
                          ipc::encodeResult(Index, Retryable, R)))
-      std::_Exit(WorkerProtocolExit); // supervisor died; nothing to do
+      std::_Exit(WorkerProtocolExitCode); // supervisor died; nothing to do
     ++Done;
     if (Opts.RecycleAfter != 0 && Done >= Opts.RecycleAfter)
-      std::_Exit(WorkerRecycleExit);
+      std::_Exit(WorkerRecycleExitCode);
   }
 }
 
@@ -232,41 +236,20 @@ private:
   // --- Spawning -------------------------------------------------------------
 
   bool spawnWorker() {
-    int JobP[2], ResP[2];
-    if (::pipe(JobP) != 0)
-      return false;
-    if (::pipe(ResP) != 0) {
-      ::close(JobP[0]);
-      ::close(JobP[1]);
-      return false;
+    // The siblings' pipes must not stay open in the child or their
+    // EOFs would never fire.
+    std::vector<int> Siblings;
+    for (const Worker &W : Workers) {
+      Siblings.push_back(W.JobFd);
+      Siblings.push_back(W.ResFd);
     }
-    std::fflush(nullptr); // fork duplicates unflushed stdio buffers
-    pid_t Pid = ::fork();
-    if (Pid < 0) {
-      for (int Fd : {JobP[0], JobP[1], ResP[0], ResP[1]})
-        ::close(Fd);
+    WorkerProcess P;
+    if (!spawnJobWorker(Opts, Siblings, P))
       return false;
-    }
-    if (Pid == 0) {
-      // Child: keep only this worker's two ends; the siblings' pipes
-      // must not stay open here or their EOFs would never fire.
-      ::close(JobP[1]);
-      ::close(ResP[0]);
-      for (const Worker &W : Workers) {
-        ::close(W.JobFd);
-        ::close(W.ResFd);
-      }
-      applyWorkerLimits(Opts);
-      workerMain(JobP[0], ResP[1], Opts); // noreturn
-    }
-    ::close(JobP[0]);
-    ::close(ResP[1]);
-    ::fcntl(ResP[0], F_SETFL,
-            ::fcntl(ResP[0], F_GETFL, 0) | O_NONBLOCK);
     Worker W;
-    W.Pid = Pid;
-    W.JobFd = JobP[1];
-    W.ResFd = ResP[0];
+    W.Pid = P.Pid;
+    W.JobFd = P.JobFd;
+    W.ResFd = P.ResFd;
     Workers.push_back(std::move(W));
     ++Stats.WorkersSpawned;
     return true;
@@ -494,23 +477,8 @@ private:
         R.Error = What;
         finalize(Idx, std::move(R)); // deadlines recur: terminal
       } else {
-        What = "worker pid " + std::to_string(W.Pid) + " ";
-        if (WIFSIGNALED(St)) {
-          int Sig = WTERMSIG(St);
-          What += "killed by " + describeSignal(Sig);
-          if (Sig == SIGABRT && Opts.MaxRssMb != 0 && !OPTOCT_SANITIZED)
-            What += " (allocation failure under RLIMIT_AS " +
-                    std::to_string(Opts.MaxRssMb) + " MiB)";
-          else if (Sig == SIGKILL)
-            What += " (external kill — kernel OOM killer?)";
-          else if (Sig == SIGXCPU)
-            What += " (RLIMIT_CPU backstop)";
-        } else if (WIFEXITED(St)) {
-          What += "exited unexpectedly with status " +
-                  std::to_string(WEXITSTATUS(St));
-        } else {
-          What += "vanished";
-        }
+        What = "worker pid " + std::to_string(W.Pid) + " " +
+               describeWorkerDeath(St, Opts);
         if (!W.Note.empty())
           What += " [" + W.Note + "]";
         ++Stats.WorkersCrashed;
@@ -526,7 +494,7 @@ private:
           finalize(Idx, std::move(R));
         }
       }
-    } else if (WIFEXITED(St) && WEXITSTATUS(St) == WorkerRecycleExit) {
+    } else if (WIFEXITED(St) && WEXITSTATUS(St) == WorkerRecycleExitCode) {
       ++Stats.WorkersRecycled;
     }
     ::close(W.JobFd);
@@ -597,6 +565,62 @@ private:
 };
 
 } // namespace
+
+bool optoct::runtime::spawnJobWorker(const BatchOptions &Opts,
+                                     const std::vector<int> &ExtraCloseFds,
+                                     WorkerProcess &Out) {
+  int JobP[2], ResP[2];
+  if (::pipe(JobP) != 0)
+    return false;
+  if (::pipe(ResP) != 0) {
+    ::close(JobP[0]);
+    ::close(JobP[1]);
+    return false;
+  }
+  std::fflush(nullptr); // fork duplicates unflushed stdio buffers
+  pid_t Pid = ::fork();
+  if (Pid < 0) {
+    for (int Fd : {JobP[0], JobP[1], ResP[0], ResP[1]})
+      ::close(Fd);
+    return false;
+  }
+  if (Pid == 0) {
+    // Child: keep only this worker's two ends.
+    ::close(JobP[1]);
+    ::close(ResP[0]);
+    for (int Fd : ExtraCloseFds)
+      ::close(Fd);
+    applyWorkerLimits(Opts);
+    workerMain(JobP[0], ResP[1], Opts); // noreturn
+  }
+  ::close(JobP[0]);
+  ::close(ResP[1]);
+  ::fcntl(ResP[0], F_SETFL, ::fcntl(ResP[0], F_GETFL, 0) | O_NONBLOCK);
+  Out.Pid = Pid;
+  Out.JobFd = JobP[1];
+  Out.ResFd = ResP[0];
+  return true;
+}
+
+std::string optoct::runtime::describeWorkerDeath(int WaitStatus,
+                                                 const BatchOptions &Opts) {
+  if (WIFSIGNALED(WaitStatus)) {
+    int Sig = WTERMSIG(WaitStatus);
+    std::string What = "killed by " + describeSignal(Sig);
+    if (Sig == SIGABRT && Opts.MaxRssMb != 0 && !OPTOCT_SANITIZED)
+      What += " (allocation failure under RLIMIT_AS " +
+              std::to_string(Opts.MaxRssMb) + " MiB)";
+    else if (Sig == SIGKILL)
+      What += " (external kill — kernel OOM killer?)";
+    else if (Sig == SIGXCPU)
+      What += " (RLIMIT_CPU backstop)";
+    return What;
+  }
+  if (WIFEXITED(WaitStatus))
+    return "exited unexpectedly with status " +
+           std::to_string(WEXITSTATUS(WaitStatus));
+  return "vanished";
+}
 
 SupervisorStats optoct::runtime::runSupervised(
     const std::vector<BatchJob> &Jobs, const std::vector<std::size_t> &Pending,

@@ -52,7 +52,10 @@
 
 #include <cstddef>
 #include <functional>
+#include <string>
 #include <vector>
+
+#include <sys/types.h>
 
 namespace optoct::runtime {
 
@@ -60,6 +63,45 @@ namespace optoct::runtime {
 /// result (success or final failure) — the journal append hook.
 using JobCompletionFn =
     std::function<void(std::size_t Index, const JobResult &Result)>;
+
+// --- Shared fork-pool building blocks ---------------------------------------
+//
+// The batch supervisor below and the analysis daemon (server/server.h)
+// both run pools of forked workers speaking the same frame protocol:
+// Job frames in, Result frames out, one attempt per message. The pieces
+// every pool owner needs — spawning a fenced worker, recognizing its
+// self-exit codes, naming its corpse — live here so the two schedulers
+// cannot drift apart on worker semantics.
+
+/// Worker self-exit codes. Distinct from the fault injector's
+/// deterministic crash exit (42) so an injected kind=crash in a worker
+/// still classifies as a crash, not a recycle.
+constexpr int WorkerRecycleExitCode = 46;  ///< Clean retirement after N jobs.
+constexpr int WorkerProtocolExitCode = 47; ///< Pipe protocol breakdown.
+
+/// One forked analysis worker and the owner's ends of its framed pipes.
+struct WorkerProcess {
+  pid_t Pid = -1;
+  int JobFd = -1; ///< Owner -> worker job frames (blocking writes).
+  int ResFd = -1; ///< Worker -> owner result frames (nonblocking reads).
+};
+
+/// Forks one worker process running the job-frame loop: read a Job
+/// frame, run one attempt (runJobSingleAttempt), write a Result frame,
+/// repeat; retire after Opts.RecycleAfter jobs. RLIMIT fences from
+/// \p Opts are applied in the child before the first job. The fds in
+/// \p ExtraCloseFds are closed in the child — sibling workers' pipe
+/// ends, listening sockets, client connections: anything whose EOF
+/// semantics a forked copy must not hold open. Returns false (and
+/// spawns nothing) if a pipe or fork fails; errno is preserved.
+bool spawnJobWorker(const BatchOptions &Opts,
+                    const std::vector<int> &ExtraCloseFds, WorkerProcess &Out);
+
+/// Human-readable classification of a dead worker's waitpid status:
+/// names the signal and any armed limit that plausibly fired ("killed
+/// by SIGABRT (allocation failure under RLIMIT_AS 256 MiB)"). \p Opts
+/// supplies the armed-limit context.
+std::string describeWorkerDeath(int WaitStatus, const BatchOptions &Opts);
 
 /// Runs Jobs[I] for each I in \p Pending inside forked worker
 /// processes, writing Results[I] as jobs finish. Worker count, budgets,

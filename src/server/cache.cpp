@@ -1,0 +1,127 @@
+//===- server/cache.cpp - Content-addressed invariant cache ---------------===//
+
+#include "server/cache.h"
+
+#include "runtime/journal.h"
+#include "support/fnv.h"
+#include "support/textcodec.h"
+
+#include <fstream>
+#include <sstream>
+
+using namespace optoct;
+using namespace optoct::server;
+
+namespace {
+
+using support::fnv1a64;
+using support::hex64;
+using support::parseHex64;
+using support::parseU64;
+
+constexpr const char *CacheMagic = "optoct-cache v1";
+
+std::size_t entryCost(const std::string &Record) {
+  return Record.size() + InvariantCache::EntryOverheadBytes;
+}
+
+} // namespace
+
+bool InvariantCache::lookup(std::uint64_t Key, std::string &Record) {
+  auto It = Map.find(Key);
+  if (It == Map.end()) {
+    ++Counters.Misses;
+    return false;
+  }
+  ++Counters.Hits;
+  Lru.splice(Lru.begin(), Lru, It->second); // promote to hottest
+  Record = It->second->Record;
+  return true;
+}
+
+void InvariantCache::insert(std::uint64_t Key, const std::string &Record) {
+  if (entryCost(Record) > MaxBytes_)
+    return; // cannot ever fit; not worth evicting the world for
+  auto It = Map.find(Key);
+  if (It != Map.end()) {
+    // Same key, same canonical record (content addressing) — only the
+    // recency changes. Replace anyway so a salvaged-but-stale disk
+    // entry heals on the next cold run-through.
+    Bytes -= entryCost(It->second->Record);
+    Bytes += entryCost(Record);
+    It->second->Record = Record;
+    Lru.splice(Lru.begin(), Lru, It->second);
+  } else {
+    Lru.push_front(Entry{Key, Record});
+    Map.emplace(Key, Lru.begin());
+    Bytes += entryCost(Record);
+    ++Counters.Insertions;
+  }
+  evictToBudget();
+}
+
+void InvariantCache::evictToBudget() {
+  while (Bytes > MaxBytes_ && !Lru.empty()) {
+    const Entry &Cold = Lru.back();
+    Bytes -= entryCost(Cold.Record);
+    Map.erase(Cold.Key);
+    Lru.pop_back();
+    ++Counters.Evictions;
+  }
+}
+
+bool InvariantCache::save(const std::string &Path, std::string &Error) const {
+  std::ostringstream Out;
+  Out << CacheMagic << "\n";
+  // Cold to hot: load() inserts in file order and insertion promotes,
+  // so the reloaded cache ends with the same recency ranking.
+  for (auto It = Lru.rbegin(); It != Lru.rend(); ++It)
+    Out << "ent " << hex64(It->Key) << " " << It->Record.size() << " "
+        << hex64(fnv1a64(It->Record)) << "\n"
+        << It->Record;
+  return runtime::writeFileAtomic(Path, Out.str(), Error);
+}
+
+bool InvariantCache::load(const std::string &Path, std::string &Error) {
+  Error.clear();
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    // No cache yet — a fresh daemon. Only an *unreadable existing* file
+    // would be suspicious, and we cannot distinguish portably; treat
+    // all open failures as cold start.
+    return true;
+  }
+  std::ostringstream Whole;
+  Whole << In.rdbuf();
+  std::string Data = Whole.str();
+
+  std::size_t Pos = Data.find('\n');
+  if (Pos == std::string::npos || Data.substr(0, Pos) != CacheMagic) {
+    Error = "bad cache magic";
+    return false;
+  }
+  ++Pos;
+  while (Pos < Data.size()) {
+    std::size_t Nl = Data.find('\n', Pos);
+    if (Nl == std::string::npos)
+      return true; // torn tail: keep the salvaged prefix
+    std::string Line = Data.substr(Pos, Nl - Pos);
+    if (Line.rfind("ent ", 0) != 0)
+      return true;
+    std::istringstream Fields(Line.substr(4));
+    std::string KeyS, LenS, SumS;
+    std::uint64_t Key = 0, Len = 0, Sum = 0;
+    if (!(Fields >> KeyS >> LenS >> SumS) || !parseHex64(KeyS, Key) ||
+        !parseU64(LenS, Len) || !parseHex64(SumS, Sum))
+      return true;
+    std::size_t BodyStart = Nl + 1;
+    if (Len > Data.size() - BodyStart)
+      return true; // truncated body
+    std::string Record = Data.substr(BodyStart, static_cast<std::size_t>(Len));
+    Pos = BodyStart + static_cast<std::size_t>(Len);
+    if (fnv1a64(Record) != Sum)
+      return true; // corrupt body: stop, keep prefix
+    insert(Key, Record);
+  }
+  return true;
+}

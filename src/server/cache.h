@@ -1,0 +1,97 @@
+//===- server/cache.h - Content-addressed invariant cache -------*- C++ -*-===//
+///
+/// \file
+/// The daemon's memo table: serialized JobResult records keyed by the
+/// request fingerprint (server/protocol.h). Two requests with the same
+/// program bytes and result-shaping options share a key, so the second
+/// one replays the first one's record — byte-identical, because records
+/// are canonicalized (timing zeroed) before insertion.
+///
+/// Eviction is LRU under a byte budget: each entry is charged its
+/// record size plus a fixed bookkeeping overhead, and inserts evict
+/// from the cold end until the budget holds. A record alone larger than
+/// the whole budget is simply not cached.
+///
+/// Persistence reuses the journal's crash-safety idioms
+/// (runtime/journal.h): save() renders every entry — cold to hot, so a
+/// reload restores recency order — with per-record FNV-64 checksums and
+/// writes the file atomically (temp + fsync + rename); load() salvages
+/// the longest valid prefix and treats anything after the first bad
+/// record as a torn tail, never an error. A daemon killed mid-save
+/// leaves either the old cache file or the new one, nothing in between.
+///
+/// Single-threaded by design: the daemon's event loop is the only
+/// caller. (The forked workers never see the cache — it lives in the
+/// server process only.)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPTOCT_SERVER_CACHE_H
+#define OPTOCT_SERVER_CACHE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+
+namespace optoct::server {
+
+/// Monotonic cache counters (never reset by eviction).
+struct CacheCounters {
+  std::uint64_t Hits = 0;
+  std::uint64_t Misses = 0;
+  std::uint64_t Insertions = 0;
+  std::uint64_t Evictions = 0;
+};
+
+class InvariantCache {
+public:
+  /// Per-entry bookkeeping charge on top of the record bytes, so a
+  /// million tiny records cannot hide from the byte budget.
+  static constexpr std::size_t EntryOverheadBytes = 64;
+
+  explicit InvariantCache(std::size_t MaxBytes = 64u << 20)
+      : MaxBytes_(MaxBytes) {}
+
+  /// True with \p Record filled on a hit (the entry becomes
+  /// most-recently-used). Counts a hit or a miss either way.
+  bool lookup(std::uint64_t Key, std::string &Record);
+
+  /// Inserts or refreshes \p Key, then evicts cold entries until the
+  /// byte budget holds. An over-budget record is dropped silently.
+  void insert(std::uint64_t Key, const std::string &Record);
+
+  std::size_t entries() const { return Map.size(); }
+  std::size_t bytes() const { return Bytes; }
+  std::size_t maxBytes() const { return MaxBytes_; }
+  const CacheCounters &counters() const { return Counters; }
+
+  /// Atomic whole-cache snapshot to \p Path (cold-to-hot order).
+  bool save(const std::string &Path, std::string &Error) const;
+
+  /// Loads a save() file into the current cache (entries insert in file
+  /// order, restoring recency). A missing file is a fresh start (true);
+  /// a bad record stops the load keeping the valid prefix (true); only
+  /// an unreadable file or bad magic returns false with \p Error.
+  bool load(const std::string &Path, std::string &Error);
+
+private:
+  struct Entry {
+    std::uint64_t Key = 0;
+    std::string Record;
+  };
+
+  void evictToBudget();
+
+  /// Front = hottest, back = coldest.
+  std::list<Entry> Lru;
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> Map;
+  std::size_t Bytes = 0;
+  std::size_t MaxBytes_ = 0;
+  CacheCounters Counters;
+};
+
+} // namespace optoct::server
+
+#endif // OPTOCT_SERVER_CACHE_H

@@ -1,0 +1,63 @@
+//===- server/client.h - Blocking daemon client -----------------*- C++ -*-===//
+///
+/// \file
+/// The client side of the daemon protocol: connect to optoctd's Unix
+/// socket, send one Request frame, block for the matching Response.
+/// Shared by the optoctd --client mode, the C API
+/// (capi/opt_oct_daemon.h), the server benchmark, and the tests — one
+/// implementation of the round trip, everywhere.
+///
+/// Strictly sequential (one request in flight per connection); the
+/// daemon itself multiplexes across *connections*, so concurrency means
+/// more clients, not pipelining — which keeps the blocking client
+/// trivial and the failure model obvious: any transport error poisons
+/// the connection and every later call fails fast.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPTOCT_SERVER_CLIENT_H
+#define OPTOCT_SERVER_CLIENT_H
+
+#include "server/protocol.h"
+
+#include <cstdint>
+#include <string>
+
+namespace optoct::server {
+
+class DaemonClient {
+public:
+  DaemonClient() = default;
+  ~DaemonClient();
+  DaemonClient(const DaemonClient &) = delete;
+  DaemonClient &operator=(const DaemonClient &) = delete;
+
+  /// Connects to \p SocketPath. False with \p Error if the daemon is
+  /// not there (no retry loop — callers own their backoff policy).
+  bool connect(const std::string &SocketPath, std::string &Error);
+  void close();
+  bool connected() const { return Fd >= 0; }
+
+  /// One analyze round trip. \p Req.Id is overwritten with a
+  /// connection-unique id. Returns false only on transport failure
+  /// (send/recv/framing); a daemon-side rejection returns true with
+  /// Out.Ok == false and the reason in Out.Error.
+  bool analyze(AnalyzeRequest Req, AnalyzeResponse &Out, std::string &Error);
+
+  /// Convenience: analyze \p Name/\p Source with default options.
+  bool analyze(const std::string &Name, const std::string &Source,
+               AnalyzeResponse &Out, std::string &Error);
+
+  bool queryStats(DaemonStats &Out, std::string &Error);
+
+private:
+  bool roundTrip(const std::string &ReqBody, std::string &RespBody,
+                 std::string &Error);
+
+  int Fd = -1;
+  std::uint64_t NextId = 1;
+};
+
+} // namespace optoct::server
+
+#endif // OPTOCT_SERVER_CLIENT_H

@@ -1,0 +1,128 @@
+//===- server/protocol.h - Daemon request/response bodies -------*- C++ -*-===//
+///
+/// \file
+/// Message bodies for the analysis daemon (server/server.h), riding in
+/// MsgType::Request / MsgType::Response frames of the runtime's pipe
+/// protocol (runtime/ipc.h) over a Unix-domain stream socket. See
+/// docs/protocol.md for the full wire specification.
+///
+/// Bodies are line-oriented "key value\n" text with percent-escaped
+/// values (support/textcodec.h) — the same shape as journal records, so
+/// program sources and serialized results are binary-safe within one
+/// line. Every body opens with a tag line carrying the client's request
+/// id and closes with "end"; unknown keys are skipped for forward
+/// compatibility, malformed values reject the request (never crash —
+/// socket bytes are untrusted).
+///
+/// Two request kinds:
+///   * analyze ("areq"): one named mini-IMP program plus the
+///     result-shaping engine options. The response ("ares") carries a
+///     serialized JobResult (runtime/journal.h) — the daemon's cache
+///     stores exactly these bytes, so a cache hit is byte-identical to
+///     the cold response it replays.
+///   * stats ("sreq"/"sres"): the daemon's counters, for monitoring and
+///     the CI smoke's cache-hit assertions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPTOCT_SERVER_PROTOCOL_H
+#define OPTOCT_SERVER_PROTOCOL_H
+
+#include "runtime/batch.h"
+
+#include <cstdint>
+#include <string>
+
+namespace optoct::server {
+
+/// First-line dispatch over a Request frame body.
+enum class RequestKind {
+  Analyze, ///< "areq": run (or replay from cache) one analysis.
+  Stats,   ///< "sreq": report daemon counters.
+  Invalid, ///< Unrecognized tag — protocol violation.
+};
+
+RequestKind peekRequestKind(const std::string &Body);
+
+/// One analysis request. Engine options default-construct to the same
+/// values the batch CLI uses; only the result-shaping knobs travel
+/// (timing knobs like deadlines are daemon policy, not request data).
+struct AnalyzeRequest {
+  std::uint64_t Id = 0; ///< Client-chosen correlation id, echoed back.
+  runtime::BatchJob Job;
+  analysis::AnalysisOptions Engine;
+  std::uint64_t MaxDbmCells = 0; ///< DBM-cell budget; 0 = unlimited.
+  /// Bypass the cache entirely — no lookup, no insertion, no counter
+  /// movement: the bench's cold-latency control must not warm or skew
+  /// the cache it is being compared against.
+  bool NoCache = false;
+};
+
+std::string encodeAnalyzeRequest(const AnalyzeRequest &R);
+
+/// False with \p Error on malformed input. R.Id is populated whenever
+/// the tag line parsed, so a rejection can still be correlated.
+bool decodeAnalyzeRequest(const std::string &Body, AnalyzeRequest &R,
+                          std::string &Error);
+
+std::string encodeStatsRequest(std::uint64_t Id);
+bool decodeStatsRequest(const std::string &Body, std::uint64_t &Id);
+
+/// Analysis response. Ok means the request was *served* — the payload
+/// is a serialized JobResult whose own status may still be failed,
+/// crashed, or timeout. !Ok means the request itself was rejected
+/// (malformed body, daemon shutting down) and only Error is set.
+struct AnalyzeResponse {
+  std::uint64_t Id = 0;
+  bool Ok = false;
+  bool Cached = false;        ///< Replayed from the invariant cache.
+  std::uint64_t Key = 0;      ///< Content-address of the request.
+  std::string Error;          ///< Rejection reason when !Ok.
+  std::string ResultRecord;   ///< serializeJobResult bytes when Ok.
+};
+
+std::string encodeAnalyzeResponse(const AnalyzeResponse &R);
+bool decodeAnalyzeResponse(const std::string &Body, AnalyzeResponse &R,
+                           std::string &Error);
+
+/// Daemon counters, as served by a stats request. Cache fields come
+/// from the invariant cache (server/cache.h); the worker fields mirror
+/// runtime::SupervisorStats.
+struct DaemonStats {
+  std::uint64_t Requests = 0;       ///< Analyze requests accepted.
+  std::uint64_t Served = 0;         ///< Ok analyze responses sent.
+  std::uint64_t Rejected = 0;       ///< Rejections sent.
+  std::uint64_t CrashedReplies = 0; ///< Served with a crashed result.
+  std::uint64_t TimeoutReplies = 0; ///< Served with a hard-kill timeout.
+  std::uint64_t CacheHits = 0;
+  std::uint64_t CacheMisses = 0;
+  std::uint64_t CacheEntries = 0;
+  std::uint64_t CacheBytes = 0;
+  std::uint64_t CacheEvictions = 0;
+  std::uint64_t Workers = 0;         ///< Pool size.
+  std::uint64_t WorkersSpawned = 0;  ///< Forks, including respawns.
+  std::uint64_t WorkersCrashed = 0;  ///< Died with a request in flight.
+  std::uint64_t WorkersRecycled = 0; ///< Clean retirements.
+  std::uint64_t HardKills = 0;       ///< SIGKILL escalations.
+};
+
+std::string encodeStatsResponse(std::uint64_t Id, const DaemonStats &S);
+bool decodeStatsResponse(const std::string &Body, std::uint64_t &Id,
+                         DaemonStats &S, std::string &Error);
+
+/// Zeroes the timing fields (WallSeconds, cycle counters) that vary
+/// between identical runs. Applied to every result before caching *and*
+/// before any cold response, so a cached replay is byte-identical to
+/// the cold response for the same request — the property the CI smoke
+/// diffs.
+void canonicalizeResult(runtime::JobResult &R);
+
+/// Content-address of a request: the journal's job-set fingerprint
+/// (runtime/journal.h) of the singleton job set with the request's
+/// result-shaping options — same inputs, same key, across daemon
+/// restarts and versions that keep the fingerprint stable.
+std::uint64_t requestFingerprint(const AnalyzeRequest &R);
+
+} // namespace optoct::server
+
+#endif // OPTOCT_SERVER_PROTOCOL_H

@@ -1,0 +1,634 @@
+//===- server/server.cpp - Persistent analysis daemon ---------------------===//
+
+#include "server/server.h"
+
+#include "runtime/journal.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace optoct;
+using namespace optoct::server;
+using runtime::ipc::MsgType;
+
+namespace {
+
+bool setNonBlocking(int Fd) {
+  int Flags = ::fcntl(Fd, F_GETFL, 0);
+  return Flags >= 0 && ::fcntl(Fd, F_SETFL, Flags | O_NONBLOCK) == 0;
+}
+
+} // namespace
+
+Server::Server(ServerOptions Opts)
+    : Opts(std::move(Opts)), Cache(this->Opts.CacheMaxBytes) {}
+
+Server::~Server() { shutdown(); }
+
+bool Server::spawnWorker(WorkerSlot &Slot, std::string &Error) {
+  // A forked worker must not hold open any fd whose EOF someone waits
+  // on: the listener, every client, every sibling worker pipe, and the
+  // wake pipe.
+  std::vector<int> CloseFds;
+  CloseFds.push_back(ListenFd);
+  CloseFds.push_back(WakePipe[0]);
+  CloseFds.push_back(WakePipe[1]);
+  for (const auto &KV : Clients)
+    CloseFds.push_back(KV.second.Fd);
+  for (const WorkerSlot &Other : Pool) {
+    if (Other.Proc.JobFd >= 0)
+      CloseFds.push_back(Other.Proc.JobFd);
+    if (Other.Proc.ResFd >= 0)
+      CloseFds.push_back(Other.Proc.ResFd);
+  }
+  if (!runtime::spawnJobWorker(Opts.Worker, CloseFds, Slot.Proc)) {
+    Error = std::string("cannot spawn worker: ") + std::strerror(errno);
+    return false;
+  }
+  Slot.Reader = runtime::ipc::FrameReader();
+  Slot.Busy = false;
+  Slot.KillSent = false;
+  ++Counters.WorkersSpawned;
+  return true;
+}
+
+bool Server::start(std::string &Error) {
+  if (Opts.SocketPath.empty()) {
+    Error = "no socket path configured";
+    return false;
+  }
+  sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (Opts.SocketPath.size() >= sizeof(Addr.sun_path)) {
+    Error = "socket path too long: " + Opts.SocketPath;
+    return false;
+  }
+  std::memcpy(Addr.sun_path, Opts.SocketPath.c_str(),
+              Opts.SocketPath.size() + 1);
+
+  // EPIPE over SIGPIPE for the daemon's lifetime (a client may vanish
+  // between poll and write).
+  struct sigaction SA;
+  std::memset(&SA, 0, sizeof(SA));
+  SA.sa_handler = SIG_IGN;
+  ::sigaction(SIGPIPE, &SA, &OldSigPipe);
+  SigPipeSaved = true;
+
+  if (::pipe(WakePipe) != 0) {
+    Error = std::string("pipe: ") + std::strerror(errno);
+    shutdown();
+    return false;
+  }
+  setNonBlocking(WakePipe[0]);
+  setNonBlocking(WakePipe[1]);
+
+  ListenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (ListenFd < 0) {
+    Error = std::string("socket: ") + std::strerror(errno);
+    shutdown();
+    return false;
+  }
+  // A previous daemon's socket file would make bind fail with
+  // EADDRINUSE; connecting to tell a live daemon apart from a stale
+  // file is racy, so we do what most daemons do — unlink and rebind.
+  ::unlink(Opts.SocketPath.c_str());
+  if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) !=
+          0 ||
+      ::listen(ListenFd, 64) != 0) {
+    Error = std::string("bind/listen ") + Opts.SocketPath + ": " +
+            std::strerror(errno);
+    shutdown();
+    return false;
+  }
+  setNonBlocking(ListenFd);
+
+  if (!Opts.CachePath.empty()) {
+    std::string LoadError;
+    if (!Cache.load(Opts.CachePath, LoadError))
+      std::fprintf(stderr, "optoctd: ignoring cache file %s: %s\n",
+                   Opts.CachePath.c_str(), LoadError.c_str());
+  }
+
+  unsigned N = Opts.Workers != 0 ? Opts.Workers
+                                 : std::max(1u, std::thread::hardware_concurrency());
+  Pool.resize(N);
+  Counters.Workers = N;
+  for (WorkerSlot &Slot : Pool)
+    if (!spawnWorker(Slot, Error)) {
+      shutdown();
+      return false;
+    }
+  return true;
+}
+
+void Server::requestStop() {
+  StopFlag = true;
+  if (WakePipe[1] >= 0) {
+    char B = 'x';
+    // Best effort; the poll timeout is the fallback wake.
+    [[maybe_unused]] ssize_t N = ::write(WakePipe[1], &B, 1);
+  }
+}
+
+void Server::serve() {
+  std::vector<pollfd> Fds;
+  std::vector<std::uint64_t> ClientOfFd; // parallel: client seq or 0
+  while (!StopFlag) {
+    Fds.clear();
+    ClientOfFd.clear();
+    Fds.push_back({WakePipe[0], POLLIN, 0});
+    ClientOfFd.push_back(0);
+    if (Clients.size() < Opts.MaxClients) {
+      Fds.push_back({ListenFd, POLLIN, 0});
+      ClientOfFd.push_back(0);
+    }
+    for (auto &KV : Clients) {
+      short Ev = POLLIN;
+      if (KV.second.OutPos < KV.second.OutBuf.size())
+        Ev |= POLLOUT;
+      Fds.push_back({KV.second.Fd, Ev, 0});
+      ClientOfFd.push_back(KV.first);
+    }
+    std::size_t WorkerBase = Fds.size();
+    for (WorkerSlot &Slot : Pool) {
+      Fds.push_back({Slot.Proc.ResFd, POLLIN, 0});
+      ClientOfFd.push_back(0);
+    }
+
+    int N = ::poll(Fds.data(), Fds.size(), static_cast<int>(Opts.PollMs));
+    if (N < 0 && errno != EINTR)
+      break;
+    if (StopFlag)
+      break;
+
+    scanDeadlines();
+
+    for (std::size_t I = 0; I != Fds.size() && N > 0; ++I) {
+      if (Fds[I].revents == 0)
+        continue;
+      if (Fds[I].fd == WakePipe[0]) {
+        char Buf[64];
+        while (::read(WakePipe[0], Buf, sizeof(Buf)) > 0) {
+        }
+        continue;
+      }
+      if (Fds[I].fd == ListenFd && I < WorkerBase) {
+        acceptClients();
+        continue;
+      }
+      if (I >= WorkerBase) {
+        readWorker(I - WorkerBase);
+        continue;
+      }
+      std::uint64_t Seq = ClientOfFd[I];
+      auto It = Clients.find(Seq);
+      if (It == Clients.end())
+        continue; // dropped earlier this sweep
+      if (Fds[I].revents & (POLLERR | POLLNVAL)) {
+        dropClient(Seq);
+        continue;
+      }
+      if (Fds[I].revents & POLLOUT) {
+        if (!flushClient(It->second)) {
+          dropClient(Seq);
+          continue;
+        }
+        It = Clients.find(Seq);
+        if (It == Clients.end())
+          continue;
+      }
+      if (Fds[I].revents & (POLLIN | POLLHUP))
+        readClient(Seq);
+    }
+  }
+  shutdown();
+}
+
+void Server::acceptClients() {
+  for (;;) {
+    if (Clients.size() >= Opts.MaxClients)
+      return;
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0)
+      return; // EAGAIN or a transient error; poll will retry
+    setNonBlocking(Fd);
+    ClientConn C;
+    C.Fd = Fd;
+    C.Reader.setMaxFrameBytes(Opts.MaxFrameBytes);
+    Clients.emplace(NextClientSeq++, std::move(C));
+  }
+}
+
+void Server::readClient(std::uint64_t Seq) {
+  auto It = Clients.find(Seq);
+  if (It == Clients.end())
+    return;
+  ClientConn &C = It->second;
+  char Buf[65536];
+  for (;;) {
+    ssize_t N = ::read(C.Fd, Buf, sizeof(Buf));
+    if (N > 0) {
+      C.Reader.feed(Buf, static_cast<std::size_t>(N));
+      continue;
+    }
+    if (N < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+      break;
+    if (N < 0 && errno == EINTR)
+      continue;
+    // EOF or hard error: drain whatever complete frames arrived, then
+    // drop. A mid-frame tail here is exactly a torn peer.
+    C.Drop = true;
+    break;
+  }
+  MsgType Type{};
+  std::string Body;
+  while (true) {
+    // handleFrame can drop the client (protocol violation) or, via
+    // sendResponse, leave it alone; re-find to stay safe.
+    auto Cur = Clients.find(Seq);
+    if (Cur == Clients.end())
+      return;
+    if (!Cur->second.Reader.next(Type, Body))
+      break;
+    handleFrame(Seq, Type, Body);
+  }
+  auto Cur = Clients.find(Seq);
+  if (Cur == Clients.end())
+    return;
+  if (Cur->second.Reader.corrupt() ||
+      (Cur->second.Drop && Cur->second.OutPos >= Cur->second.OutBuf.size()))
+    dropClient(Seq);
+}
+
+bool Server::flushClient(ClientConn &C) {
+  while (C.OutPos < C.OutBuf.size()) {
+    ssize_t N = ::write(C.Fd, C.OutBuf.data() + C.OutPos,
+                        C.OutBuf.size() - C.OutPos);
+    if (N > 0) {
+      C.OutPos += static_cast<std::size_t>(N);
+      continue;
+    }
+    if (N < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+      return true; // poll will call back with POLLOUT
+    if (N < 0 && errno == EINTR)
+      continue;
+    return false; // peer gone
+  }
+  if (C.OutPos == C.OutBuf.size() && C.OutPos != 0) {
+    C.OutBuf.clear();
+    C.OutPos = 0;
+  }
+  return true;
+}
+
+void Server::dropClient(std::uint64_t Seq) {
+  auto It = Clients.find(Seq);
+  if (It == Clients.end())
+    return;
+  ::close(It->second.Fd);
+  Clients.erase(It);
+  // Results for this client's in-flight jobs still complete and cache;
+  // they just have nowhere to go.
+  for (PendingJob &P : Queue)
+    if (P.ClientSeq == Seq)
+      P.ClientSeq = 0;
+  for (WorkerSlot &Slot : Pool)
+    if (Slot.Busy && Slot.Current.ClientSeq == Seq)
+      Slot.Current.ClientSeq = 0;
+}
+
+void Server::handleFrame(std::uint64_t Seq, MsgType Type,
+                         const std::string &Body) {
+  if (Type != MsgType::Request) {
+    dropClient(Seq); // only clients speak Request on this socket
+    return;
+  }
+  switch (peekRequestKind(Body)) {
+  case RequestKind::Analyze:
+    handleAnalyze(Seq, Body);
+    return;
+  case RequestKind::Stats: {
+    std::uint64_t Id = 0;
+    if (!decodeStatsRequest(Body, Id)) {
+      dropClient(Seq);
+      return;
+    }
+    auto It = Clients.find(Seq);
+    if (It == Clients.end())
+      return;
+    It->second.OutBuf += runtime::ipc::frameBytes(
+        MsgType::Response, encodeStatsResponse(Id, stats()));
+    flushClient(It->second);
+    return;
+  }
+  case RequestKind::Invalid:
+    dropClient(Seq);
+    return;
+  }
+}
+
+void Server::handleAnalyze(std::uint64_t Seq, const std::string &Body) {
+  AnalyzeRequest Req;
+  std::string Error;
+  if (!decodeAnalyzeRequest(Body, Req, Error)) {
+    ++Counters.Rejected;
+    AnalyzeResponse R;
+    R.Id = Req.Id; // populated whenever the tag line parsed
+    R.Ok = false;
+    R.Error = Error;
+    sendResponse(Seq, R);
+    return;
+  }
+  ++Counters.Requests;
+  std::uint64_t Key = requestFingerprint(Req);
+
+  if (!Req.NoCache) {
+    std::string Record;
+    if (Cache.lookup(Key, Record)) {
+      AnalyzeResponse R;
+      R.Id = Req.Id;
+      R.Ok = true;
+      R.Cached = true;
+      R.Key = Key;
+      R.ResultRecord = std::move(Record);
+      ++Counters.Served;
+      sendResponse(Seq, R);
+      return;
+    }
+  } else {
+    // A NoCache request never consults the cache; do not let it skew
+    // the hit-rate counters either. (lookup() above counted a miss for
+    // genuine lookups only.)
+  }
+
+  PendingJob P;
+  P.ClientSeq = Seq;
+  P.ReqId = Req.Id;
+  P.Key = Key;
+  P.Job = Req.Job;
+  P.EngineBlob = runtime::ipc::encodeEngineOptions(Req.Engine, Req.MaxDbmCells);
+  P.NoCache = Req.NoCache;
+  Queue.push_back(std::move(P));
+  dispatch();
+}
+
+void Server::sendResponse(std::uint64_t Seq, const AnalyzeResponse &R) {
+  if (Seq == 0)
+    return; // requester disconnected while the job ran
+  auto It = Clients.find(Seq);
+  if (It == Clients.end())
+    return;
+  It->second.OutBuf +=
+      runtime::ipc::frameBytes(MsgType::Response, encodeAnalyzeResponse(R));
+  if (!flushClient(It->second))
+    dropClient(Seq);
+}
+
+void Server::dispatch() {
+  for (WorkerSlot &Slot : Pool) {
+    if (Queue.empty())
+      return;
+    if (Slot.Busy || Slot.Proc.Pid < 0)
+      continue;
+    PendingJob P = std::move(Queue.front());
+    Queue.pop_front();
+    // Index/attempt ride the frame for the worker's fault-replay logic;
+    // the daemon correlates by slot, not index.
+    std::string Frame =
+        runtime::ipc::encodeJob(0, P.Attempt, P.Job, P.EngineBlob);
+    if (!runtime::ipc::writeFrame(Slot.Proc.JobFd, MsgType::Job, Frame)) {
+      // Worker pipe already broken; its ResFd EOF will classify the
+      // corpse. Put the job back for the next dispatch.
+      Queue.push_front(std::move(P));
+      continue;
+    }
+    Slot.Busy = true;
+    Slot.Current = std::move(P);
+    Slot.BusySince = std::chrono::steady_clock::now();
+    Slot.KillSent = false;
+  }
+}
+
+void Server::readWorker(std::size_t W) {
+  WorkerSlot &Slot = Pool[W];
+  char Buf[65536];
+  bool Dead = false;
+  for (;;) {
+    ssize_t N = ::read(Slot.Proc.ResFd, Buf, sizeof(Buf));
+    if (N > 0) {
+      Slot.Reader.feed(Buf, static_cast<std::size_t>(N));
+      continue;
+    }
+    if (N < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+      break;
+    if (N < 0 && errno == EINTR)
+      continue;
+    Dead = true; // EOF is the death certificate
+    break;
+  }
+  MsgType Type{};
+  std::string Body;
+  while (Slot.Reader.next(Type, Body)) {
+    std::size_t Index = 0;
+    bool Retryable = false;
+    runtime::JobResult R;
+    std::string Error;
+    if (Type != MsgType::Result ||
+        !runtime::ipc::decodeResult(Body, Index, Retryable, R, Error)) {
+      Dead = true; // protocol breakdown: treat as a dying worker
+      break;
+    }
+    if (Slot.Busy) {
+      PendingJob P = std::move(Slot.Current);
+      Slot.Busy = false;
+      // Deterministic outcomes are cacheable; a Timeout depends on the
+      // wall clock and must re-run next time.
+      bool Cacheable = R.Status == runtime::JobStatus::Ok ||
+                       R.Status == runtime::JobStatus::Degraded ||
+                       R.Status == runtime::JobStatus::Failed;
+      finishJob(P, std::move(R), Cacheable);
+    }
+  }
+  if (Slot.Reader.corrupt())
+    Dead = true;
+  if (Dead)
+    onWorkerDeath(W);
+  else
+    dispatch();
+}
+
+void Server::onWorkerDeath(std::size_t W) {
+  WorkerSlot &Slot = Pool[W];
+  int St = 0;
+  pid_t Reaped = -1;
+  if (Slot.Proc.Pid > 0)
+    Reaped = ::waitpid(Slot.Proc.Pid, &St, 0);
+  std::string Death = Reaped == Slot.Proc.Pid
+                          ? runtime::describeWorkerDeath(St, Opts.Worker)
+                          : "vanished";
+  bool CleanRecycle = Reaped == Slot.Proc.Pid && WIFEXITED(St) &&
+                      WEXITSTATUS(St) == runtime::WorkerRecycleExitCode;
+
+  if (Slot.Proc.JobFd >= 0)
+    ::close(Slot.Proc.JobFd);
+  if (Slot.Proc.ResFd >= 0)
+    ::close(Slot.Proc.ResFd);
+  Slot.Proc = runtime::WorkerProcess();
+
+  if (Slot.Busy) {
+    PendingJob P = std::move(Slot.Current);
+    Slot.Busy = false;
+    ++Counters.WorkersCrashed;
+    if (Slot.KillSent) {
+      // Our own deadline escalation: the request timed out.
+      runtime::JobResult R;
+      R.Name = P.Job.Name;
+      R.Ok = false;
+      R.Status = runtime::JobStatus::Timeout;
+      R.Attempts = P.Attempt;
+      R.Error = "deadline exceeded";
+      R.Detail = "hard-killed by the daemon after deadline + grace";
+      R.FailureLog.push_back("attempt " + std::to_string(P.Attempt) +
+                             ": hard-killed past the deadline");
+      ++Counters.TimeoutReplies;
+      ++Counters.HardKills;
+      finishJob(P, std::move(R), /*Cacheable=*/false);
+    } else if (P.Attempt < Opts.MaxAttempts) {
+      ++P.Attempt;
+      Queue.push_front(std::move(P));
+    } else {
+      runtime::JobResult R;
+      R.Name = P.Job.Name;
+      R.Ok = false;
+      R.Status = runtime::JobStatus::Crashed;
+      R.Attempts = P.Attempt;
+      R.Error = "worker " + Death;
+      R.FailureLog.push_back("attempt " + std::to_string(P.Attempt) +
+                             ": worker " + Death);
+      ++Counters.CrashedReplies;
+      // A crash is deterministic for a deterministic workload, but the
+      // kill may have been external (OOM); never cache crash verdicts.
+      finishJob(P, std::move(R), /*Cacheable=*/false);
+    }
+  } else if (CleanRecycle) {
+    ++Counters.WorkersRecycled;
+  }
+
+  if (!StopFlag) {
+    std::string Error;
+    if (!spawnWorker(Slot, Error))
+      std::fprintf(stderr, "optoctd: %s\n", Error.c_str());
+    else
+      dispatch();
+  }
+}
+
+void Server::finishJob(const PendingJob &P, runtime::JobResult R,
+                       bool Cacheable) {
+  canonicalizeResult(R);
+  std::string Record = runtime::serializeJobResult(R);
+  if (Cacheable && !P.NoCache)
+    Cache.insert(P.Key, Record);
+  AnalyzeResponse Resp;
+  Resp.Id = P.ReqId;
+  Resp.Ok = true;
+  Resp.Cached = false;
+  Resp.Key = P.Key;
+  Resp.ResultRecord = std::move(Record);
+  ++Counters.Served;
+  sendResponse(P.ClientSeq, Resp);
+}
+
+void Server::scanDeadlines() {
+  if (Opts.Worker.Budget.DeadlineMs == 0)
+    return;
+  auto Now = std::chrono::steady_clock::now();
+  auto Limit = std::chrono::milliseconds(Opts.Worker.Budget.DeadlineMs +
+                                         Opts.Worker.HardKillGraceMs);
+  for (WorkerSlot &Slot : Pool) {
+    if (!Slot.Busy || Slot.KillSent || Slot.Proc.Pid <= 0)
+      continue;
+    if (Now - Slot.BusySince >= Limit) {
+      Slot.KillSent = true;
+      ::kill(Slot.Proc.Pid, SIGKILL);
+      // The ResFd EOF arrives next sweep and classifies as Timeout.
+    }
+  }
+}
+
+DaemonStats Server::stats() const {
+  DaemonStats S = Counters;
+  const CacheCounters &CC = Cache.counters();
+  S.CacheHits = CC.Hits;
+  S.CacheMisses = CC.Misses;
+  S.CacheEntries = Cache.entries();
+  S.CacheBytes = Cache.bytes();
+  S.CacheEvictions = CC.Evictions;
+  return S;
+}
+
+void Server::shutdown() {
+  // Clients first: no new requests land while the pool drains.
+  if (ListenFd >= 0) {
+    ::close(ListenFd);
+    ListenFd = -1;
+    ::unlink(Opts.SocketPath.c_str());
+  }
+  for (auto &KV : Clients)
+    ::close(KV.second.Fd);
+  Clients.clear();
+  Queue.clear();
+
+  // Closing the job pipe is the workers' retirement notice (EOF in
+  // workerMain); SIGKILL backstops a worker wedged mid-job.
+  for (WorkerSlot &Slot : Pool) {
+    if (Slot.Proc.JobFd >= 0)
+      ::close(Slot.Proc.JobFd);
+    if (Slot.Proc.ResFd >= 0)
+      ::close(Slot.Proc.ResFd);
+  }
+  for (WorkerSlot &Slot : Pool) {
+    if (Slot.Proc.Pid <= 0)
+      continue;
+    int St = 0;
+    pid_t R = ::waitpid(Slot.Proc.Pid, &St, WNOHANG);
+    for (int Spin = 0; R == 0 && Spin < 100; ++Spin) { // ~1s of grace
+      ::usleep(10000);
+      R = ::waitpid(Slot.Proc.Pid, &St, WNOHANG);
+    }
+    if (R == 0) {
+      ::kill(Slot.Proc.Pid, SIGKILL);
+      ::waitpid(Slot.Proc.Pid, &St, 0);
+    }
+    Slot.Proc = runtime::WorkerProcess();
+  }
+  Pool.clear();
+
+  if (WakePipe[0] >= 0) {
+    ::close(WakePipe[0]);
+    ::close(WakePipe[1]);
+    WakePipe[0] = WakePipe[1] = -1;
+  }
+
+  if (!Opts.CachePath.empty() && Cache.entries() != 0) {
+    std::string Error;
+    if (!Cache.save(Opts.CachePath, Error))
+      std::fprintf(stderr, "optoctd: cache save failed: %s\n", Error.c_str());
+  }
+
+  if (SigPipeSaved) {
+    ::sigaction(SIGPIPE, &OldSigPipe, nullptr);
+    SigPipeSaved = false;
+  }
+}

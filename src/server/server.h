@@ -1,0 +1,181 @@
+//===- server/server.h - Persistent analysis daemon -------------*- C++ -*-===//
+///
+/// \file
+/// The optoctd core: a single-threaded poll(2) event loop that accepts
+/// analysis requests over a Unix-domain stream socket and multiplexes
+/// them onto a pool of supervised fork workers — the same fenced,
+/// recyclable workers the batch supervisor runs (runtime/supervisor.h),
+/// so one segfaulting request costs one worker and one "crashed"
+/// response, never the daemon or any other in-flight request.
+///
+///   clients ──frames──► poll loop ──job pipes──► worker 1..N
+///      ▲                   │    ▲──result pipes────┘
+///      └──────responses────┘
+///                │
+///         invariant cache (server/cache.h)
+///
+/// Request lifecycle:
+///   1. A Request frame arrives; the body decodes to an AnalyzeRequest
+///      (server/protocol.h). Malformed bodies get a rejection; framing
+///      violations (bad magic, oversize length prefix) drop the client.
+///   2. The request's fingerprint is looked up in the invariant cache;
+///      a hit replays the stored record immediately — byte-identical to
+///      the cold response, because records are canonicalized before
+///      both caching and cold replies.
+///   3. A miss queues the job; an idle worker gets a Job frame carrying
+///      the request's engine options. Its Result frame is
+///      canonicalized, cached (deterministic outcomes only), and sent.
+///   4. A worker that dies mid-job yields a crashed (or, after a
+///      supervisor SIGKILL past the deadline, timeout) result for that
+///      one request; the worker is respawned and the queue drains on.
+///
+/// Shutdown (requestStop, async-signal-safe): stop accepting, drop
+/// clients, close job pipes (workers exit on EOF), reap with a SIGKILL
+/// backstop, persist the cache if a path is configured.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPTOCT_SERVER_SERVER_H
+#define OPTOCT_SERVER_SERVER_H
+
+#include "runtime/ipc.h"
+#include "runtime/supervisor.h"
+#include "server/cache.h"
+#include "server/protocol.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <signal.h>
+
+namespace optoct::server {
+
+struct ServerOptions {
+  std::string SocketPath;
+
+  /// Worker processes; 0 = one per hardware thread.
+  unsigned Workers = 1;
+
+  /// Invariant cache byte budget (the --cache-mb knob).
+  std::size_t CacheMaxBytes = 64u << 20;
+  /// Cache persistence file; empty = in-memory only. Loaded on start,
+  /// written atomically on shutdown.
+  std::string CachePath;
+
+  /// Per-frame body bound for *client* connections — the hostile-input
+  /// edge. Worker pipes keep the default ipc::MaxFrameBytes.
+  std::uint64_t MaxFrameBytes = 16u << 20;
+  unsigned MaxClients = 64;
+
+  /// Event-loop tick: the latency floor for deadline kill scans and
+  /// stop-flag checks while idle.
+  unsigned PollMs = 20;
+
+  /// Attempts per request when the worker crashes under it (mirrors the
+  /// batch --retries semantics; deterministic failures never retry).
+  unsigned MaxAttempts = 1;
+
+  /// Worker policy: Budget.DeadlineMs, MaxRssMb, RecycleAfter, and
+  /// HardKillGraceMs apply per worker exactly as in batch process mode.
+  /// Engine options here are ignored — each request carries its own.
+  runtime::BatchOptions Worker;
+};
+
+class Server {
+public:
+  explicit Server(ServerOptions Opts);
+  ~Server();
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  /// Binds the socket (replacing a stale file), loads the cache, spawns
+  /// the pool. False with \p Error on any failure, nothing left bound.
+  bool start(std::string &Error);
+
+  /// Runs the event loop until requestStop(). Calls shutdown() on the
+  /// way out. Must follow a successful start().
+  void serve();
+
+  /// Stops serve() from another thread or a signal handler: sets the
+  /// stop flag and pokes the self-pipe (both async-signal-safe).
+  void requestStop();
+
+  /// Idempotent teardown; serve() calls it, the destructor backstops.
+  void shutdown();
+
+  bool started() const { return ListenFd >= 0; }
+  const ServerOptions &options() const { return Opts; }
+
+  /// Counters merged with the live cache statistics.
+  DaemonStats stats() const;
+
+private:
+  struct ClientConn {
+    int Fd = -1;
+    runtime::ipc::FrameReader Reader;
+    std::string OutBuf;     ///< Frames rendered but not yet written.
+    std::size_t OutPos = 0; ///< Written prefix of OutBuf.
+    bool Drop = false;      ///< Close once OutBuf drains.
+  };
+
+  struct PendingJob {
+    std::uint64_t ClientSeq = 0; ///< 0 = requester already disconnected.
+    std::uint64_t ReqId = 0;
+    std::uint64_t Key = 0;
+    runtime::BatchJob Job;
+    std::string EngineBlob; ///< encodeEngineOptions for the worker.
+    bool NoCache = false;
+    unsigned Attempt = 1;
+  };
+
+  struct WorkerSlot {
+    runtime::WorkerProcess Proc;
+    runtime::ipc::FrameReader Reader;
+    bool Busy = false;
+    PendingJob Current;                ///< Valid while Busy.
+    std::chrono::steady_clock::time_point BusySince;
+    bool KillSent = false; ///< Supervisor SIGKILL escalation fired.
+  };
+
+  bool spawnWorker(WorkerSlot &Slot, std::string &Error);
+  void acceptClients();
+  void readClient(std::uint64_t Seq);
+  bool flushClient(ClientConn &C);
+  void dropClient(std::uint64_t Seq);
+  void handleFrame(std::uint64_t Seq, runtime::ipc::MsgType Type,
+                   const std::string &Body);
+  void handleAnalyze(std::uint64_t Seq, const std::string &Body);
+  void sendResponse(std::uint64_t Seq, const AnalyzeResponse &R);
+  void dispatch();
+  void readWorker(std::size_t W);
+  void onWorkerDeath(std::size_t W);
+  void finishJob(const PendingJob &P, runtime::JobResult R, bool Cacheable);
+  void scanDeadlines();
+
+  ServerOptions Opts;
+  InvariantCache Cache;
+  DaemonStats Counters; ///< Cache fields filled lazily by stats().
+
+  int ListenFd = -1;
+  int WakePipe[2] = {-1, -1}; ///< Self-pipe: requestStop pokes [1].
+  std::atomic<bool> StopFlag{false}; ///< Lock-free: signal-handler safe.
+  /// Writes to a vanished peer must fail with EPIPE, not kill the
+  /// daemon; the old disposition is restored on shutdown.
+  bool SigPipeSaved = false;
+  struct sigaction OldSigPipe {};
+
+  std::map<std::uint64_t, ClientConn> Clients; ///< By accept sequence.
+  std::uint64_t NextClientSeq = 1;
+  std::vector<WorkerSlot> Pool;
+  std::deque<PendingJob> Queue;
+};
+
+} // namespace optoct::server
+
+#endif // OPTOCT_SERVER_SERVER_H

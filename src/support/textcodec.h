@@ -1,0 +1,117 @@
+//===- support/textcodec.h - Percent-escaped line-safe text -----*- C++ -*-===//
+///
+/// \file
+/// The one percent-escape used by every line-oriented record format in
+/// the runtime: journal record bodies (runtime/journal.cpp) and the
+/// daemon's request/response protocol (server/protocol.cpp). Values are
+/// binary-safe within one line — embedded newlines, '%', and control
+/// bytes are escaped as %XX — so a "key value\n" framing can carry
+/// arbitrary program sources and error text without a length prefix.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPTOCT_SUPPORT_TEXTCODEC_H
+#define OPTOCT_SUPPORT_TEXTCODEC_H
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace optoct::support {
+
+/// Escapes '%', control bytes, and DEL as %XX; everything else passes
+/// through verbatim. The output never contains '\n'.
+inline std::string percentEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    unsigned char U = static_cast<unsigned char>(C);
+    if (C == '%' || U < 0x20 || U == 0x7f) {
+      char Buf[4];
+      std::snprintf(Buf, sizeof(Buf), "%%%02x", U);
+      Out += Buf;
+    } else
+      Out += C;
+  }
+  return Out;
+}
+
+/// Inverse of percentEscape. Returns false on a malformed escape
+/// (truncated or non-hex) — escaped bytes are untrusted input after a
+/// crash or over a socket, so this must reject, never assert.
+inline bool percentUnescape(const std::string &S, std::string &Out) {
+  Out.clear();
+  Out.reserve(S.size());
+  for (std::size_t I = 0; I != S.size(); ++I) {
+    if (S[I] != '%') {
+      Out += S[I];
+      continue;
+    }
+    if (I + 2 >= S.size())
+      return false;
+    auto Hex = [](char C) -> int {
+      if (C >= '0' && C <= '9')
+        return C - '0';
+      if (C >= 'a' && C <= 'f')
+        return C - 'a' + 10;
+      if (C >= 'A' && C <= 'F')
+        return C - 'A' + 10;
+      return -1;
+    };
+    int Hi = Hex(S[I + 1]), Lo = Hex(S[I + 2]);
+    if (Hi < 0 || Lo < 0)
+      return false;
+    Out += static_cast<char>(Hi * 16 + Lo);
+    I += 2;
+  }
+  return true;
+}
+
+/// Strict full-string parses: the whole value must consume, no sign,
+/// no trailing junk. Record fields are untrusted bytes (crash debris,
+/// socket input), so every parse must reject, never wrap or crash.
+inline bool parseU64(const std::string &S, std::uint64_t &V) {
+  if (S.empty())
+    return false;
+  errno = 0;
+  char *End = nullptr;
+  unsigned long long X = std::strtoull(S.c_str(), &End, 10);
+  if (errno != 0 || End != S.c_str() + S.size() || S[0] == '-')
+    return false;
+  V = X;
+  return true;
+}
+
+inline bool parseHex64(const std::string &S, std::uint64_t &V) {
+  if (S.empty())
+    return false;
+  errno = 0;
+  char *End = nullptr;
+  unsigned long long X = std::strtoull(S.c_str(), &End, 16);
+  if (errno != 0 || End != S.c_str() + S.size() || S[0] == '-')
+    return false;
+  V = X;
+  return true;
+}
+
+/// Fixed-width lowercase hex, the journal's and cache's key rendering.
+inline std::string hex64(std::uint64_t V) {
+  char Buf[24];
+  std::snprintf(Buf, sizeof(Buf), "%016" PRIx64, V);
+  return Buf;
+}
+
+/// %.17g round-trips IEEE doubles exactly (same contract as the
+/// octagon serializer); "inf"/"-inf"/"nan" are normalized by strtod.
+inline std::string formatDouble(double V) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", V);
+  return Buf;
+}
+
+} // namespace optoct::support
+
+#endif // OPTOCT_SUPPORT_TEXTCODEC_H

@@ -2,6 +2,7 @@
 
 #include "oct/serialize.h"
 
+#include "oct/config.h"
 #include "support/random.h"
 
 #include <gtest/gtest.h>
@@ -199,6 +200,104 @@ TEST(Serialize, MutationFuzzSmokeNeverCrashes) {
   for (std::size_t Len = 0; Len < Seed.size(); ++Len) {
     std::string Error;
     deserializeOctagon(Seed.substr(0, Len), Error);
+  }
+}
+
+// The daemon's invariant cache replays serialized results byte for
+// byte across processes whose kernel configuration may differ (a cache
+// file written under OPTOCT_VECTORIZE=0 must hit under the AVX build
+// and vice versa). That only holds if serializeOctagon is a pure
+// function of the abstract element — bit-identical output across the
+// vectorized/scalar kernels and the dense/decomposed representations.
+TEST(Serialize, ByteStableAcrossKernelAndRepresentationConfigs) {
+  struct ConfigSaver {
+    bool Vec = octConfig().EnableVectorization;
+    bool Dec = octConfig().EnableDecomposition;
+    ~ConfigSaver() {
+      octConfig().EnableVectorization = Vec;
+      octConfig().EnableDecomposition = Dec;
+    }
+  } Saved;
+
+  // Constraint scripts are generated once, as plain data, so every
+  // configuration replays the exact same construction.
+  struct Script {
+    unsigned NumVars;
+    std::vector<OctCons> ConsA, ConsB;
+  };
+  std::vector<Script> Scripts;
+  Rng R(31337);
+  for (int It = 0; It != 40; ++It) {
+    Script S;
+    // Straddle the sparse/dense and vector-width thresholds.
+    S.NumVars = 1 + static_cast<unsigned>(R.indexBelow(24));
+    auto GenInto = [&](std::vector<OctCons> &Out) {
+      for (int K = 0, E = R.intIn(0, 16); K != E; ++K) {
+        unsigned I = static_cast<unsigned>(R.indexBelow(S.NumVars));
+        unsigned J = static_cast<unsigned>(R.indexBelow(S.NumVars));
+        double Bound = R.intIn(-9, 30) + (R.chance(0.3) ? 0.5 : 0.0);
+        if (I == J || R.chance(0.3)) {
+          Out.push_back(R.chance(0.5) ? OctCons::upper(I, Bound)
+                                      : OctCons::lower(I, Bound));
+          continue;
+        }
+        switch (R.intIn(0, 2)) {
+        case 0:
+          Out.push_back(OctCons::diff(I, J, Bound));
+          break;
+        case 1:
+          Out.push_back(OctCons::sum(I, J, Bound));
+          break;
+        default:
+          Out.push_back(OctCons::negSum(I, J, Bound));
+          break;
+        }
+      }
+    };
+    GenInto(S.ConsA);
+    GenInto(S.ConsB);
+    Scripts.push_back(std::move(S));
+  }
+
+  // Replay under one configuration: closure of A (serialize closes),
+  // plus a join and a widening to route through the binary kernels.
+  auto Replay = [&](bool Vec, bool Dec) {
+    octConfig().EnableVectorization = Vec;
+    octConfig().EnableDecomposition = Dec;
+    std::vector<std::string> Bytes;
+    for (const Script &S : Scripts) {
+      Octagon A(S.NumVars), B(S.NumVars);
+      for (const OctCons &C : S.ConsA)
+        A.addConstraint(C);
+      for (const OctCons &C : S.ConsB)
+        B.addConstraint(C);
+      Bytes.push_back(serializeOctagon(A));
+      Octagon J = Octagon::join(A, B);
+      Bytes.push_back(serializeOctagon(J));
+      Octagon W = Octagon::widen(A, B);
+      Bytes.push_back(serializeOctagon(W));
+    }
+    return Bytes;
+  };
+
+  const std::vector<std::string> Baseline =
+      Replay(/*Vec=*/true, /*Dec=*/true);
+  const struct {
+    bool Vec, Dec;
+    const char *Label;
+  } Configs[] = {
+      {true, false, "vectorized dense"},
+      {false, true, "scalar decomposed"},
+      {false, false, "scalar dense"},
+  };
+  for (const auto &Cfg : Configs) {
+    std::vector<std::string> Got = Replay(Cfg.Vec, Cfg.Dec);
+    ASSERT_EQ(Got.size(), Baseline.size());
+    for (std::size_t I = 0; I != Got.size(); ++I) {
+      EXPECT_EQ(Got[I], Baseline[I])
+          << Cfg.Label << " diverged from vectorized decomposed on case "
+          << I;
+    }
   }
 }
 

@@ -1,0 +1,1180 @@
+//===- tests/test_server.cpp - Analysis daemon tests ----------------------===//
+///
+/// Four layers, bottom up:
+///   * IpcStream.*      — FrameReader/readFrame against adversarial
+///     SOCK_STREAM delivery: 1-byte reads, frames split at arbitrary
+///     boundaries, EINTR mid-read, mid-frame disconnects, and hostile
+///     length prefixes (the configurable max-frame bound).
+///   * DaemonProtocol.* — request/response body codecs and the request
+///     fingerprint (cache key) algebra.
+///   * DaemonCache.*    — the LRU invariant cache: byte budget,
+///     promotion, persistence round trip, torn-file salvage.
+///   * Daemon.*         — the daemon end to end over a real Unix
+///     socket, including the acceptance containment test: a request
+///     that segfaults its worker is reported crashed to that one
+///     client while a concurrent in-flight request completes normally.
+///
+/// Fixture naming is load-bearing for CI: `IpcStream.*` deliberately
+/// does NOT match the TSan leg's `Ipc.*` filter (no '.' after "Ipc"),
+/// and the fork-heavy `Daemon.*` tests stay out of it entirely.
+
+#include "runtime/ipc.h"
+#include "runtime/journal.h"
+#include "server/cache.h"
+#include "server/client.h"
+#include "server/protocol.h"
+#include "server/server.h"
+#include "support/faultinject.h"
+#include "support/fnv.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <pthread.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace optoct;
+using namespace optoct::runtime;
+
+namespace {
+
+std::string loopProgram(unsigned Bound) {
+  std::string B = std::to_string(Bound);
+  return "var x, y, n;\n"
+         "n = havoc(); assume(n >= 0 && n <= " + B + ");\n"
+         "x = 0; y = 0;\n"
+         "while (x < n) {\n"
+         "  x = x + 1;\n"
+         "  if (y < x) { y = y + 1; }\n"
+         "}\n"
+         "assert(y <= x);\n"
+         "assert(x <= " + B + ");\n";
+}
+
+std::string tempPath(const std::string &Name) {
+  return ::testing::TempDir() + "optoct_srv_" + Name + "." +
+         std::to_string(::getpid());
+}
+
+void appendLe32(std::string &Out, std::uint32_t V) {
+  for (int I = 0; I != 4; ++I)
+    Out.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+}
+
+void appendLe64(std::string &Out, std::uint64_t V) {
+  for (int I = 0; I != 8; ++I)
+    Out.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+}
+
+/// A syntactically valid frame header announcing \p BodyLen bytes —
+/// the attacker-controlled prefix the max-frame bound must stop.
+std::string headerAnnouncing(std::uint64_t BodyLen) {
+  std::string H = "OFR1";
+  appendLe32(H, static_cast<std::uint32_t>(ipc::MsgType::Request));
+  appendLe64(H, BodyLen);
+  appendLe64(H, 0); // checksum never reached
+  return H;
+}
+
+} // namespace
+
+// --- FrameReader under adversarial stream delivery (satellite 3) -----------
+
+class IpcStream : public ::testing::Test {};
+
+TEST_F(IpcStream, OneByteDeliveryOverSocket) {
+  int Sp[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Sp), 0);
+  std::string Body("binary\0body % with\nnewlines", 27);
+  std::string Wire = ipc::frameBytes(ipc::MsgType::Request, Body);
+
+  std::thread Writer([&] {
+    for (char C : Wire)
+      ASSERT_EQ(::send(Sp[1], &C, 1, 0), 1);
+    ::close(Sp[1]);
+  });
+
+  ipc::FrameReader Reader;
+  std::vector<std::pair<ipc::MsgType, std::string>> Frames;
+  char C;
+  ssize_t N;
+  while ((N = ::recv(Sp[0], &C, 1, 0)) == 1) {
+    Reader.feed(&C, 1);
+    ipc::MsgType Type{};
+    std::string Got;
+    while (Reader.next(Type, Got))
+      Frames.emplace_back(Type, Got);
+  }
+  EXPECT_EQ(N, 0); // clean EOF
+  Writer.join();
+  ::close(Sp[0]);
+
+  ASSERT_EQ(Frames.size(), 1u);
+  EXPECT_EQ(Frames[0].first, ipc::MsgType::Request);
+  EXPECT_EQ(Frames[0].second, Body);
+  EXPECT_FALSE(Reader.corrupt());
+  EXPECT_FALSE(Reader.midFrame());
+  EXPECT_EQ(Reader.bufferedBytes(), 0u);
+}
+
+TEST_F(IpcStream, FramesSplitAtEveryChunkSize) {
+  std::string Wire;
+  Wire += ipc::frameBytes(ipc::MsgType::Request, "first");
+  Wire += ipc::frameBytes(ipc::MsgType::Response, std::string(1000, 'x'));
+  Wire += ipc::frameBytes(ipc::MsgType::Request, "");
+  for (std::size_t Chunk = 1; Chunk <= 17; ++Chunk) {
+    ipc::FrameReader Reader;
+    std::size_t Frames = 0;
+    for (std::size_t Off = 0; Off < Wire.size(); Off += Chunk) {
+      Reader.feed(Wire.data() + Off, std::min(Chunk, Wire.size() - Off));
+      ipc::MsgType Type{};
+      std::string Body;
+      while (Reader.next(Type, Body))
+        ++Frames;
+    }
+    EXPECT_EQ(Frames, 3u) << "chunk size " << Chunk;
+    EXPECT_FALSE(Reader.corrupt()) << "chunk size " << Chunk;
+    EXPECT_FALSE(Reader.midFrame()) << "chunk size " << Chunk;
+  }
+}
+
+namespace {
+std::atomic<int> SigusrHits{0};
+void onSigusr1(int) { SigusrHits.fetch_add(1); }
+} // namespace
+
+TEST_F(IpcStream, BlockingReadFrameSurvivesEintr) {
+  // A handler installed WITHOUT SA_RESTART makes recv/read fail with
+  // EINTR; readFrame must retry, not report a torn frame.
+  struct sigaction Sa, Old;
+  std::memset(&Sa, 0, sizeof(Sa));
+  Sa.sa_handler = onSigusr1;
+  sigemptyset(&Sa.sa_mask);
+  Sa.sa_flags = 0; // no SA_RESTART — the point of the test
+  ASSERT_EQ(::sigaction(SIGUSR1, &Sa, &Old), 0);
+  SigusrHits.store(0);
+
+  int Sp[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Sp), 0);
+  std::string Body(64 * 1024, 'q');
+  std::string Wire = ipc::frameBytes(ipc::MsgType::Request, Body);
+
+  std::atomic<bool> ReaderDone{false};
+  ipc::ReadStatus Status = ipc::ReadStatus::Torn;
+  std::string Got;
+  std::thread Reader([&] {
+    ipc::MsgType Type{};
+    Status = ipc::readFrame(Sp[0], Type, Got);
+    ReaderDone.store(true);
+  });
+
+  // Dribble the frame while peppering the blocked reader with signals.
+  std::size_t Off = 0;
+  while (Off < Wire.size()) {
+    std::size_t Len = std::min<std::size_t>(4096, Wire.size() - Off);
+    ASSERT_GT(::send(Sp[1], Wire.data() + Off, Len, 0), 0);
+    Off += Len;
+    pthread_kill(Reader.native_handle(), SIGUSR1);
+    ::usleep(500);
+  }
+  while (!ReaderDone.load()) {
+    pthread_kill(Reader.native_handle(), SIGUSR1);
+    ::usleep(500);
+  }
+  Reader.join();
+  ::close(Sp[0]);
+  ::close(Sp[1]);
+  ASSERT_EQ(::sigaction(SIGUSR1, &Old, nullptr), 0);
+
+  EXPECT_EQ(Status, ipc::ReadStatus::Ok);
+  EXPECT_EQ(Got, Body);
+  EXPECT_GT(SigusrHits.load(), 0) << "test never actually interrupted";
+}
+
+TEST_F(IpcStream, MidFrameDisconnectIsTorn) {
+  int Sp[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Sp), 0);
+  std::string Wire = ipc::frameBytes(ipc::MsgType::Request, "cut short");
+  // Header plus half the body, then the peer vanishes.
+  ASSERT_GT(::send(Sp[1], Wire.data(), Wire.size() - 4, 0), 0);
+  ::close(Sp[1]);
+
+  ipc::MsgType Type{};
+  std::string Body;
+  EXPECT_EQ(ipc::readFrame(Sp[0], Type, Body), ipc::ReadStatus::Torn);
+  ::close(Sp[0]);
+
+  // The incremental reader reports the same situation as a mid-frame
+  // stall (torn only once the peer is known dead), not as corruption.
+  ipc::FrameReader Reader;
+  Reader.feed(Wire.data(), Wire.size() - 4);
+  EXPECT_FALSE(Reader.next(Type, Body));
+  EXPECT_TRUE(Reader.midFrame());
+  EXPECT_FALSE(Reader.corrupt());
+}
+
+TEST_F(IpcStream, CleanEofBetweenFramesIsEof) {
+  int Sp[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Sp), 0);
+  ::close(Sp[1]); // no bytes at all
+  ipc::MsgType Type{};
+  std::string Body;
+  EXPECT_EQ(ipc::readFrame(Sp[0], Type, Body), ipc::ReadStatus::Eof);
+  ::close(Sp[0]);
+}
+
+TEST_F(IpcStream, HostileLengthPrefixRejectedBeforeAllocation) {
+  // A 1 TiB announcement must be refused at the header, both by the
+  // blocking reader and by FrameReader, without touching the body path.
+  std::string Header = headerAnnouncing(1ull << 40);
+
+  int Sp[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Sp), 0);
+  ASSERT_EQ(::send(Sp[1], Header.data(), Header.size(), 0),
+            static_cast<ssize_t>(Header.size()));
+  ipc::MsgType Type{};
+  std::string Body;
+  EXPECT_EQ(ipc::readFrame(Sp[0], Type, Body, /*MaxFrame=*/1u << 20),
+            ipc::ReadStatus::Torn);
+  ::close(Sp[0]);
+  ::close(Sp[1]);
+
+  ipc::FrameReader Reader(/*MaxFrame=*/1024);
+  Reader.feed(Header.data(), Header.size());
+  EXPECT_FALSE(Reader.next(Type, Body));
+  EXPECT_TRUE(Reader.corrupt());
+  // Corruption is permanent: even a subsequent pristine frame is
+  // untrusted once the stream desynchronized.
+  std::string Good = ipc::frameBytes(ipc::MsgType::Request, "late");
+  Reader.feed(Good.data(), Good.size());
+  EXPECT_FALSE(Reader.next(Type, Body));
+  EXPECT_TRUE(Reader.corrupt());
+}
+
+TEST_F(IpcStream, MaxFrameBoundIsExact) {
+  std::string AtLimit = ipc::frameBytes(ipc::MsgType::Request,
+                                        std::string(64, 'a'));
+  std::string OverLimit = ipc::frameBytes(ipc::MsgType::Request,
+                                          std::string(65, 'b'));
+  ipc::MsgType Type{};
+  std::string Body;
+
+  ipc::FrameReader Tight(/*MaxFrame=*/64);
+  Tight.feed(AtLimit.data(), AtLimit.size());
+  ASSERT_TRUE(Tight.next(Type, Body));
+  EXPECT_EQ(Body.size(), 64u);
+  Tight.feed(OverLimit.data(), OverLimit.size());
+  EXPECT_FALSE(Tight.next(Type, Body));
+  EXPECT_TRUE(Tight.corrupt());
+
+  // setMaxFrameBytes takes effect at the next header parse.
+  ipc::FrameReader Relaxed(/*MaxFrame=*/64);
+  Relaxed.setMaxFrameBytes(65);
+  Relaxed.feed(OverLimit.data(), OverLimit.size());
+  ASSERT_TRUE(Relaxed.next(Type, Body));
+  EXPECT_EQ(Body.size(), 65u);
+}
+
+TEST_F(IpcStream, GarbageMagicIsCorrupt) {
+  ipc::FrameReader Reader;
+  const char Garbage[] = "HTTP/1.1 200 OK\r\n\r\n";
+  Reader.feed(Garbage, sizeof(Garbage) - 1);
+  ipc::MsgType Type{};
+  std::string Body;
+  EXPECT_FALSE(Reader.next(Type, Body));
+  EXPECT_TRUE(Reader.corrupt());
+}
+
+// --- Request/response codecs ------------------------------------------------
+
+class DaemonProtocol : public ::testing::Test {};
+
+TEST_F(DaemonProtocol, AnalyzeRequestRoundTripsBinarySafely) {
+  server::AnalyzeRequest In;
+  In.Id = 0xdeadbeefcafeull;
+  In.Job.Name = std::string("weird name\nwith % and \x01", 23);
+  In.Job.Source = std::string("var x;\nx = 0;\0trailing", 22);
+  In.Engine.WideningDelay = 7;
+  In.Engine.NarrowingPasses = 0;
+  In.Engine.MaxBlockVisits = 1234;
+  In.Engine.LinearizeGuards = false;
+  In.Engine.WideningThresholds = {1.5, -3.25, 2.0e10};
+  In.MaxDbmCells = 4096;
+  In.NoCache = true;
+
+  std::string Body = server::encodeAnalyzeRequest(In);
+  EXPECT_EQ(server::peekRequestKind(Body), server::RequestKind::Analyze);
+
+  server::AnalyzeRequest Out;
+  std::string Error;
+  ASSERT_TRUE(server::decodeAnalyzeRequest(Body, Out, Error)) << Error;
+  EXPECT_EQ(Out.Id, In.Id);
+  EXPECT_EQ(Out.Job.Name, In.Job.Name);
+  EXPECT_EQ(Out.Job.Source, In.Job.Source);
+  EXPECT_EQ(Out.Engine.WideningDelay, 7u);
+  EXPECT_EQ(Out.Engine.NarrowingPasses, 0u);
+  EXPECT_EQ(Out.Engine.MaxBlockVisits, 1234u);
+  EXPECT_FALSE(Out.Engine.LinearizeGuards);
+  EXPECT_EQ(Out.Engine.WideningThresholds, In.Engine.WideningThresholds);
+  EXPECT_EQ(Out.MaxDbmCells, 4096u);
+  EXPECT_TRUE(Out.NoCache);
+}
+
+TEST_F(DaemonProtocol, MinimalRequestGetsEngineDefaults) {
+  server::AnalyzeRequest Out;
+  std::string Error;
+  ASSERT_TRUE(server::decodeAnalyzeRequest(
+      "areq 9\nname n\nsource s\nend\n", Out, Error))
+      << Error;
+  analysis::AnalysisOptions Defaults;
+  EXPECT_EQ(Out.Id, 9u);
+  EXPECT_EQ(Out.Engine.WideningDelay, Defaults.WideningDelay);
+  EXPECT_EQ(Out.Engine.NarrowingPasses, Defaults.NarrowingPasses);
+  EXPECT_EQ(Out.Engine.MaxBlockVisits, Defaults.MaxBlockVisits);
+  EXPECT_EQ(Out.Engine.LinearizeGuards, Defaults.LinearizeGuards);
+  EXPECT_TRUE(Out.Engine.WideningThresholds.empty());
+  EXPECT_EQ(Out.MaxDbmCells, 0u);
+  EXPECT_FALSE(Out.NoCache);
+}
+
+TEST_F(DaemonProtocol, UnknownKeysAreSkippedForForwardCompatibility) {
+  server::AnalyzeRequest Out;
+  std::string Error;
+  EXPECT_TRUE(server::decodeAnalyzeRequest(
+      "areq 1\nname n\nfuturefield 42\nsource s\nend\n", Out, Error))
+      << Error;
+  EXPECT_EQ(Out.Job.Name, "n");
+}
+
+TEST_F(DaemonProtocol, RejectsMalformedRequests) {
+  server::AnalyzeRequest Out;
+  std::string Error;
+  // Missing terminator: could be a truncated body.
+  EXPECT_FALSE(server::decodeAnalyzeRequest("areq 1\nname n\nsource s\n",
+                                            Out, Error));
+  // Missing mandatory fields.
+  EXPECT_FALSE(
+      server::decodeAnalyzeRequest("areq 2\nsource s\nend\n", Out, Error));
+  EXPECT_FALSE(
+      server::decodeAnalyzeRequest("areq 3\nname n\nend\n", Out, Error));
+  // A malformed value is a rejection, never a default.
+  EXPECT_FALSE(server::decodeAnalyzeRequest(
+      "areq 4\nname n\nsource s\nwdelay banana\nend\n", Out, Error));
+  // The id still parses out of a rejected body so the daemon can
+  // correlate its rejection response.
+  EXPECT_EQ(Out.Id, 4u);
+  // Wrong tag entirely.
+  EXPECT_FALSE(server::decodeAnalyzeRequest("zreq 5\nend\n", Out, Error));
+  EXPECT_EQ(server::peekRequestKind("zreq 5\nend\n"),
+            server::RequestKind::Invalid);
+  EXPECT_EQ(server::peekRequestKind(""), server::RequestKind::Invalid);
+}
+
+TEST_F(DaemonProtocol, ResponseRoundTrip) {
+  server::AnalyzeResponse In;
+  In.Id = 77;
+  In.Ok = true;
+  In.Cached = true;
+  In.Key = 0x0123456789abcdefull;
+  In.ResultRecord = std::string("record\nwith\nlines % and \x7f", 26);
+  server::AnalyzeResponse Out;
+  std::string Error;
+  ASSERT_TRUE(server::decodeAnalyzeResponse(server::encodeAnalyzeResponse(In),
+                                            Out, Error))
+      << Error;
+  EXPECT_EQ(Out.Id, 77u);
+  EXPECT_TRUE(Out.Ok);
+  EXPECT_TRUE(Out.Cached);
+  EXPECT_EQ(Out.Key, In.Key);
+  EXPECT_EQ(Out.ResultRecord, In.ResultRecord);
+
+  server::AnalyzeResponse Reject;
+  Reject.Id = 78;
+  Reject.Ok = false;
+  Reject.Error = "malformed request: no source";
+  ASSERT_TRUE(server::decodeAnalyzeResponse(
+      server::encodeAnalyzeResponse(Reject), Out, Error))
+      << Error;
+  EXPECT_EQ(Out.Id, 78u);
+  EXPECT_FALSE(Out.Ok);
+  EXPECT_EQ(Out.Error, Reject.Error);
+  EXPECT_TRUE(Out.ResultRecord.empty());
+}
+
+TEST_F(DaemonProtocol, StatsRoundTrip) {
+  server::DaemonStats In;
+  In.Requests = 1;
+  In.Served = 2;
+  In.Rejected = 3;
+  In.CrashedReplies = 4;
+  In.TimeoutReplies = 5;
+  In.CacheHits = 6;
+  In.CacheMisses = 7;
+  In.CacheEntries = 8;
+  In.CacheBytes = 9;
+  In.CacheEvictions = 10;
+  In.Workers = 11;
+  In.WorkersSpawned = 12;
+  In.WorkersCrashed = 13;
+  In.WorkersRecycled = 14;
+  In.HardKills = 15;
+
+  std::string Req = server::encodeStatsRequest(21);
+  EXPECT_EQ(server::peekRequestKind(Req), server::RequestKind::Stats);
+  std::uint64_t Id = 0;
+  ASSERT_TRUE(server::decodeStatsRequest(Req, Id));
+  EXPECT_EQ(Id, 21u);
+
+  server::DaemonStats Out;
+  std::string Error;
+  ASSERT_TRUE(server::decodeStatsResponse(server::encodeStatsResponse(21, In),
+                                          Id, Out, Error))
+      << Error;
+  EXPECT_EQ(Id, 21u);
+  EXPECT_EQ(Out.Requests, 1u);
+  EXPECT_EQ(Out.Served, 2u);
+  EXPECT_EQ(Out.Rejected, 3u);
+  EXPECT_EQ(Out.CrashedReplies, 4u);
+  EXPECT_EQ(Out.TimeoutReplies, 5u);
+  EXPECT_EQ(Out.CacheHits, 6u);
+  EXPECT_EQ(Out.CacheMisses, 7u);
+  EXPECT_EQ(Out.CacheEntries, 8u);
+  EXPECT_EQ(Out.CacheBytes, 9u);
+  EXPECT_EQ(Out.CacheEvictions, 10u);
+  EXPECT_EQ(Out.Workers, 11u);
+  EXPECT_EQ(Out.WorkersSpawned, 12u);
+  EXPECT_EQ(Out.WorkersCrashed, 13u);
+  EXPECT_EQ(Out.WorkersRecycled, 14u);
+  EXPECT_EQ(Out.HardKills, 15u);
+}
+
+TEST_F(DaemonProtocol, FingerprintKeysOnContentNotIdentity) {
+  server::AnalyzeRequest A;
+  A.Id = 1;
+  A.Job.Name = "prog";
+  A.Job.Source = loopProgram(10);
+
+  server::AnalyzeRequest B = A;
+  B.Id = 999;       // correlation id is not content
+  B.NoCache = true; // neither is the cache directive
+  EXPECT_EQ(server::requestFingerprint(A), server::requestFingerprint(B));
+
+  server::AnalyzeRequest C = A;
+  C.Job.Source = loopProgram(11);
+  EXPECT_NE(server::requestFingerprint(A), server::requestFingerprint(C));
+
+  // Every result-shaping knob separates keys: the same program under
+  // different options has genuinely different invariants.
+  server::AnalyzeRequest D = A;
+  D.Engine.WideningDelay += 1;
+  EXPECT_NE(server::requestFingerprint(A), server::requestFingerprint(D));
+  server::AnalyzeRequest E = A;
+  E.Engine.WideningThresholds = {64.0};
+  EXPECT_NE(server::requestFingerprint(A), server::requestFingerprint(E));
+  server::AnalyzeRequest F = A;
+  F.MaxDbmCells = 1u << 20;
+  EXPECT_NE(server::requestFingerprint(A), server::requestFingerprint(F));
+}
+
+TEST_F(DaemonProtocol, CanonicalizeZeroesOnlyTimingFields) {
+  JobResult R;
+  R.Name = "j";
+  R.Ok = true;
+  R.Status = JobStatus::Ok;
+  R.AssertsProven = 2;
+  R.AssertsTotal = 2;
+  R.NumClosures = 17;
+  R.WallSeconds = 1.25;
+  R.ClosureCycles = 123456;
+  R.OctagonCycles = 654321;
+  server::canonicalizeResult(R);
+  EXPECT_EQ(R.WallSeconds, 0.0);
+  EXPECT_EQ(R.ClosureCycles, 0u);
+  EXPECT_EQ(R.OctagonCycles, 0u);
+  // Everything semantic survives.
+  EXPECT_EQ(R.NumClosures, 17u);
+  EXPECT_EQ(R.AssertsProven, 2u);
+  EXPECT_TRUE(R.Ok);
+}
+
+// --- The LRU invariant cache ------------------------------------------------
+
+class DaemonCache : public ::testing::Test {};
+
+TEST_F(DaemonCache, HitMissAndCounters) {
+  server::InvariantCache Cache(1u << 20);
+  std::string Record;
+  EXPECT_FALSE(Cache.lookup(1, Record));
+  Cache.insert(1, "alpha");
+  EXPECT_TRUE(Cache.lookup(1, Record));
+  EXPECT_EQ(Record, "alpha");
+  EXPECT_EQ(Cache.counters().Hits, 1u);
+  EXPECT_EQ(Cache.counters().Misses, 1u);
+  EXPECT_EQ(Cache.counters().Insertions, 1u);
+  EXPECT_EQ(Cache.entries(), 1u);
+  EXPECT_EQ(Cache.bytes(),
+            5 + server::InvariantCache::EntryOverheadBytes);
+}
+
+TEST_F(DaemonCache, LruEvictsColdestUnderByteBudget) {
+  // Room for exactly three 100-byte records.
+  const std::size_t Slot = 100 + server::InvariantCache::EntryOverheadBytes;
+  server::InvariantCache Cache(3 * Slot);
+  Cache.insert(1, std::string(100, 'a'));
+  Cache.insert(2, std::string(100, 'b'));
+  Cache.insert(3, std::string(100, 'c'));
+  EXPECT_EQ(Cache.entries(), 3u);
+
+  // Touch 1: it becomes hottest, leaving 2 coldest.
+  std::string Record;
+  ASSERT_TRUE(Cache.lookup(1, Record));
+  Cache.insert(4, std::string(100, 'd'));
+
+  EXPECT_EQ(Cache.entries(), 3u);
+  EXPECT_EQ(Cache.counters().Evictions, 1u);
+  EXPECT_TRUE(Cache.lookup(1, Record));
+  EXPECT_FALSE(Cache.lookup(2, Record)) << "LRU must evict the coldest";
+  EXPECT_TRUE(Cache.lookup(3, Record));
+  EXPECT_TRUE(Cache.lookup(4, Record));
+  EXPECT_LE(Cache.bytes(), Cache.maxBytes());
+}
+
+TEST_F(DaemonCache, ReinsertReplacesInPlace) {
+  server::InvariantCache Cache(1u << 20);
+  Cache.insert(9, "old");
+  Cache.insert(9, "newer");
+  EXPECT_EQ(Cache.entries(), 1u);
+  std::string Record;
+  ASSERT_TRUE(Cache.lookup(9, Record));
+  EXPECT_EQ(Record, "newer");
+  EXPECT_EQ(Cache.bytes(),
+            5 + server::InvariantCache::EntryOverheadBytes);
+}
+
+TEST_F(DaemonCache, RecordLargerThanBudgetIsNotCached) {
+  server::InvariantCache Cache(256);
+  Cache.insert(1, std::string(4096, 'z'));
+  EXPECT_EQ(Cache.entries(), 0u);
+  EXPECT_EQ(Cache.bytes(), 0u);
+  // And it must not have evicted a fitting resident to make room.
+  Cache.insert(2, "small");
+  Cache.insert(1, std::string(4096, 'z'));
+  std::string Record;
+  EXPECT_TRUE(Cache.lookup(2, Record));
+}
+
+TEST_F(DaemonCache, SaveLoadRoundTripPreservesEntriesAndRecency) {
+  std::string Path = tempPath("cache_rt");
+  std::string Error;
+  {
+    server::InvariantCache Cache(1u << 20);
+    Cache.insert(1, "one");
+    Cache.insert(2, std::string("two\nwith % binary \x02", 19));
+    Cache.insert(3, "three");
+    std::string Record;
+    ASSERT_TRUE(Cache.lookup(1, Record)); // 1 hottest, 2 coldest
+    ASSERT_TRUE(Cache.save(Path, Error)) << Error;
+  }
+  const std::size_t Slot2 = 19 + server::InvariantCache::EntryOverheadBytes;
+  const std::size_t SlotSmall =
+      5 + server::InvariantCache::EntryOverheadBytes;
+  server::InvariantCache Cache(1u << 20);
+  ASSERT_TRUE(Cache.load(Path, Error)) << Error;
+  EXPECT_EQ(Cache.entries(), 3u);
+  EXPECT_EQ(Cache.bytes(), Slot2 + SlotSmall +
+                               (3 + server::InvariantCache::EntryOverheadBytes));
+  std::string Record;
+  ASSERT_TRUE(Cache.lookup(2, Record));
+  EXPECT_EQ(Record, std::string("two\nwith % binary \x02", 19));
+
+  // Recency survived the round trip: shrink the budget by inserting
+  // into a fresh cache loaded from the same file and confirm the entry
+  // that was coldest at save time is the one to go.
+  server::InvariantCache Tight(3 * (8 + server::InvariantCache::EntryOverheadBytes));
+  ASSERT_TRUE(Tight.load(Path, Error)) << Error;
+  Tight.insert(4, "fourfour");
+  EXPECT_FALSE(Tight.lookup(2, Record))
+      << "coldest-at-save must still be coldest after load";
+  EXPECT_TRUE(Tight.lookup(1, Record));
+  ::unlink(Path.c_str());
+}
+
+TEST_F(DaemonCache, MissingFileIsAFreshStart) {
+  server::InvariantCache Cache(1u << 20);
+  std::string Error;
+  EXPECT_TRUE(Cache.load(tempPath("cache_nonexistent"), Error)) << Error;
+  EXPECT_EQ(Cache.entries(), 0u);
+}
+
+TEST_F(DaemonCache, LoadSalvagesValidPrefixOfTornFile) {
+  std::string Path = tempPath("cache_torn");
+  std::string Error;
+  {
+    server::InvariantCache Cache(1u << 20);
+    Cache.insert(1, std::string(200, 'a'));
+    Cache.insert(2, std::string(200, 'b'));
+    Cache.insert(3, std::string(200, 'c'));
+    ASSERT_TRUE(Cache.save(Path, Error)) << Error;
+  }
+  // Tear the tail mid-record, as a crash mid-write would.
+  std::ifstream In(Path, std::ios::binary);
+  std::string Bytes((std::istreambuf_iterator<char>(In)),
+                    std::istreambuf_iterator<char>());
+  In.close();
+  ASSERT_GT(Bytes.size(), 120u);
+  {
+    std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+    Out.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size() - 100));
+  }
+  server::InvariantCache Cache(1u << 20);
+  EXPECT_TRUE(Cache.load(Path, Error)) << Error;
+  EXPECT_EQ(Cache.entries(), 2u) << "longest valid prefix";
+
+  // A flipped byte inside an early record stops the load there: the
+  // checksum refuses to resurrect corrupt invariants.
+  {
+    std::string Flipped = Bytes;
+    Flipped[Flipped.size() / 2] ^= 0x40;
+    std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+    Out.write(Flipped.data(), static_cast<std::streamsize>(Flipped.size()));
+  }
+  server::InvariantCache Cache2(1u << 20);
+  EXPECT_TRUE(Cache2.load(Path, Error)) << Error;
+  EXPECT_LT(Cache2.entries(), 3u);
+  ::unlink(Path.c_str());
+}
+
+TEST_F(DaemonCache, LoadRejectsForeignFile) {
+  std::string Path = tempPath("cache_foreign");
+  {
+    std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+    Out << "definitely not a cache file\n";
+  }
+  server::InvariantCache Cache(1u << 20);
+  std::string Error;
+  EXPECT_FALSE(Cache.load(Path, Error));
+  EXPECT_FALSE(Error.empty());
+  ::unlink(Path.c_str());
+}
+
+// --- The daemon end to end --------------------------------------------------
+
+namespace {
+
+/// Starts an in-process daemon on a std::thread and tears it down in
+/// TearDown. Fault rules must be armed BEFORE startServer(): workers
+/// inherit the global plan at fork.
+class Daemon : public ::testing::Test {
+protected:
+  void SetUp() override { support::FaultPlan::global().clear(); }
+
+  void TearDown() override {
+    stopServer();
+    support::FaultPlan::global().clear();
+  }
+
+  void startServer(server::ServerOptions Opts) {
+    if (Opts.SocketPath.empty())
+      Opts.SocketPath = tempPath("daemon.sock");
+    SocketPath = Opts.SocketPath;
+    Srv = std::make_unique<server::Server>(std::move(Opts));
+    std::string Error;
+    ASSERT_TRUE(Srv->start(Error)) << Error;
+    Loop = std::thread([this] { Srv->serve(); });
+  }
+
+  void stopServer() {
+    if (Loop.joinable()) {
+      Srv->requestStop();
+      Loop.join();
+    }
+    Srv.reset();
+    if (!SocketPath.empty())
+      ::unlink(SocketPath.c_str());
+  }
+
+  void connect(server::DaemonClient &Client) {
+    std::string Error;
+    ASSERT_TRUE(Client.connect(SocketPath, Error)) << Error;
+  }
+
+  void arm(const std::string &Rule) {
+    std::string Error;
+    ASSERT_TRUE(support::FaultPlan::global().parseRule(Rule, Error)) << Error;
+  }
+
+  /// Analyze expecting a served (Ok) response; returns the decoded
+  /// result record.
+  JobResult served(server::DaemonClient &Client, server::AnalyzeRequest Req,
+                   server::AnalyzeResponse &Resp) {
+    std::string Error;
+    EXPECT_TRUE(Client.analyze(std::move(Req), Resp, Error)) << Error;
+    EXPECT_TRUE(Resp.Ok) << Resp.Error;
+    JobResult R;
+    EXPECT_TRUE(deserializeJobResult(Resp.ResultRecord, R, Error)) << Error;
+    return R;
+  }
+
+  std::unique_ptr<server::Server> Srv;
+  std::thread Loop;
+  std::string SocketPath;
+};
+
+/// Raw-socket client for protocol-violation tests the cooperative
+/// DaemonClient cannot express.
+int rawConnect(const std::string &Path) {
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return -1;
+  sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+/// Reads until EOF (or error), discarding; returns total bytes seen.
+std::size_t drainUntilEof(int Fd) {
+  std::size_t Total = 0;
+  char Buf[4096];
+  ssize_t N;
+  while ((N = ::read(Fd, Buf, sizeof(Buf))) > 0)
+    Total += static_cast<std::size_t>(N);
+  return Total;
+}
+
+} // namespace
+
+TEST_F(Daemon, ServesAndReplaysByteIdenticalFromCache) {
+  server::ServerOptions Opts;
+  Opts.Workers = 1;
+  startServer(Opts);
+
+  server::DaemonClient Client;
+  connect(Client);
+
+  server::AnalyzeRequest Req;
+  Req.Job.Name = "loop12";
+  Req.Job.Source = loopProgram(12);
+  server::AnalyzeResponse Cold;
+  JobResult R = served(Client, Req, Cold);
+  EXPECT_FALSE(Cold.Cached);
+  EXPECT_NE(Cold.Key, 0u);
+  EXPECT_EQ(R.Status, JobStatus::Ok);
+  EXPECT_EQ(R.AssertsProven, 2u);
+  EXPECT_EQ(R.AssertsTotal, 2u);
+  EXPECT_FALSE(R.LoopInvariants.empty());
+  // Canonicalized before the cold reply too, not only before caching.
+  EXPECT_EQ(R.WallSeconds, 0.0);
+  EXPECT_EQ(R.ClosureCycles, 0u);
+
+  server::AnalyzeResponse Warm;
+  served(Client, Req, Warm);
+  EXPECT_TRUE(Warm.Cached);
+  EXPECT_EQ(Warm.Key, Cold.Key);
+  EXPECT_EQ(Warm.ResultRecord, Cold.ResultRecord)
+      << "cached replay must be byte-identical to the cold response";
+
+  server::DaemonStats Stats;
+  std::string Error;
+  ASSERT_TRUE(Client.queryStats(Stats, Error)) << Error;
+  EXPECT_EQ(Stats.Requests, 2u);
+  EXPECT_EQ(Stats.Served, 2u);
+  EXPECT_EQ(Stats.CacheMisses, 1u);
+  EXPECT_EQ(Stats.CacheHits, 1u);
+  EXPECT_EQ(Stats.CacheEntries, 1u);
+  EXPECT_EQ(Stats.Workers, 1u);
+}
+
+TEST_F(Daemon, EngineOptionsSeparateCacheEntriesAndShapeResults) {
+  server::ServerOptions Opts;
+  Opts.Workers = 1;
+  startServer(Opts);
+  server::DaemonClient Client;
+  connect(Client);
+
+  server::AnalyzeRequest Plain;
+  Plain.Job.Name = "prog";
+  Plain.Job.Source = loopProgram(20);
+  server::AnalyzeResponse RespPlain;
+  served(Client, Plain, RespPlain);
+
+  // Same program, different widening delay: a different request.
+  server::AnalyzeRequest Tuned = Plain;
+  Tuned.Engine.WideningDelay = 6;
+  server::AnalyzeResponse RespTuned;
+  served(Client, Tuned, RespTuned);
+  EXPECT_FALSE(RespTuned.Cached);
+  EXPECT_NE(RespTuned.Key, RespPlain.Key);
+
+  // Each keyed entry replays independently.
+  server::AnalyzeResponse Again;
+  served(Client, Tuned, Again);
+  EXPECT_TRUE(Again.Cached);
+  EXPECT_EQ(Again.ResultRecord, RespTuned.ResultRecord);
+
+  // And the options genuinely reached the worker: a one-visit fuel
+  // budget degrades the run instead of converging.
+  server::AnalyzeRequest Starved = Plain;
+  Starved.Engine.MaxBlockVisits = 1;
+  server::AnalyzeResponse RespStarved;
+  JobResult R = served(Client, Starved, RespStarved);
+  EXPECT_FALSE(RespStarved.Cached);
+  EXPECT_EQ(R.Status, JobStatus::Degraded);
+}
+
+TEST_F(Daemon, NoCacheBypassesTheCacheEntirely) {
+  server::ServerOptions Opts;
+  Opts.Workers = 1;
+  startServer(Opts);
+  server::DaemonClient Client;
+  connect(Client);
+
+  server::AnalyzeRequest Req;
+  Req.Job.Name = "nc";
+  Req.Job.Source = loopProgram(15);
+  Req.NoCache = true;
+
+  server::AnalyzeResponse A, B;
+  served(Client, Req, A);
+  served(Client, Req, B);
+  EXPECT_FALSE(A.Cached);
+  EXPECT_FALSE(B.Cached);
+
+  server::DaemonStats Stats;
+  std::string Error;
+  ASSERT_TRUE(Client.queryStats(Stats, Error)) << Error;
+  EXPECT_EQ(Stats.CacheHits, 0u);
+  EXPECT_EQ(Stats.CacheMisses, 0u) << "NoCache must not skew hit-rate stats";
+  EXPECT_EQ(Stats.CacheEntries, 0u) << "NoCache results are not inserted";
+
+  // A normal request afterwards computes cold (nothing was cached) and
+  // its record matches the NoCache responses bit for bit — recomputation
+  // is deterministic.
+  Req.NoCache = false;
+  server::AnalyzeResponse C;
+  served(Client, Req, C);
+  EXPECT_FALSE(C.Cached);
+  EXPECT_EQ(C.ResultRecord, A.ResultRecord);
+}
+
+TEST_F(Daemon, MalformedRequestBodyIsRejectedWithId) {
+  server::ServerOptions Opts;
+  Opts.Workers = 1;
+  startServer(Opts);
+
+  int Fd = rawConnect(SocketPath);
+  ASSERT_GE(Fd, 0);
+  // Valid frame, valid tag, missing mandatory source field.
+  ASSERT_TRUE(ipc::writeFrame(Fd, ipc::MsgType::Request,
+                              "areq 41\nname broken\nend\n"));
+  ipc::MsgType Type{};
+  std::string Body;
+  ASSERT_EQ(ipc::readFrame(Fd, Type, Body), ipc::ReadStatus::Ok);
+  ASSERT_EQ(Type, ipc::MsgType::Response);
+  server::AnalyzeResponse Resp;
+  std::string Error;
+  ASSERT_TRUE(server::decodeAnalyzeResponse(Body, Resp, Error)) << Error;
+  EXPECT_EQ(Resp.Id, 41u);
+  EXPECT_FALSE(Resp.Ok);
+  EXPECT_FALSE(Resp.Error.empty());
+
+  // The connection survives a rejection: a good request still works.
+  server::AnalyzeRequest Good;
+  Good.Id = 42;
+  Good.Job.Name = "ok";
+  Good.Job.Source = loopProgram(5);
+  ASSERT_TRUE(ipc::writeFrame(Fd, ipc::MsgType::Request,
+                              server::encodeAnalyzeRequest(Good)));
+  ASSERT_EQ(ipc::readFrame(Fd, Type, Body), ipc::ReadStatus::Ok);
+  ASSERT_TRUE(server::decodeAnalyzeResponse(Body, Resp, Error)) << Error;
+  EXPECT_TRUE(Resp.Ok);
+  ::close(Fd);
+
+  server::DaemonStats Stats;
+  server::DaemonClient Client;
+  connect(Client);
+  ASSERT_TRUE(Client.queryStats(Stats, Error)) << Error;
+  EXPECT_EQ(Stats.Rejected, 1u);
+  EXPECT_EQ(Stats.Served, 1u);
+}
+
+TEST_F(Daemon, ProtocolViolationsDropTheClientOnly) {
+  server::ServerOptions Opts;
+  Opts.Workers = 1;
+  Opts.MaxFrameBytes = 4096; // tightened hostile-input bound
+  startServer(Opts);
+
+  // An unknown request tag is a protocol violation, not a rejection.
+  int Fd = rawConnect(SocketPath);
+  ASSERT_GE(Fd, 0);
+  ASSERT_TRUE(ipc::writeFrame(Fd, ipc::MsgType::Request, "zreq 1\nend\n"));
+  EXPECT_EQ(drainUntilEof(Fd), 0u) << "daemon must close without a response";
+  ::close(Fd);
+
+  // A hostile length prefix (1 GiB announcement against a 4 KiB bound)
+  // is dropped at the header — no allocation, no response.
+  Fd = rawConnect(SocketPath);
+  ASSERT_GE(Fd, 0);
+  std::string Header = headerAnnouncing(1ull << 30);
+  ASSERT_EQ(::send(Fd, Header.data(), Header.size(), 0),
+            static_cast<ssize_t>(Header.size()));
+  EXPECT_EQ(drainUntilEof(Fd), 0u);
+  ::close(Fd);
+
+  // A frame type clients may not send is equally fatal to the client.
+  Fd = rawConnect(SocketPath);
+  ASSERT_GE(Fd, 0);
+  ASSERT_TRUE(ipc::writeFrame(Fd, ipc::MsgType::Job, "not yours"));
+  EXPECT_EQ(drainUntilEof(Fd), 0u);
+  ::close(Fd);
+
+  // The daemon itself shrugged all three off.
+  server::DaemonClient Client;
+  connect(Client);
+  server::AnalyzeRequest Req;
+  Req.Job.Name = "alive";
+  Req.Job.Source = loopProgram(7);
+  server::AnalyzeResponse Resp;
+  JobResult R = served(Client, Req, Resp);
+  EXPECT_EQ(R.Status, JobStatus::Ok);
+}
+
+TEST_F(Daemon, CachePersistsAcrossRestart) {
+  std::string CachePath = tempPath("daemon_cache");
+  server::ServerOptions Opts;
+  Opts.Workers = 1;
+  Opts.CachePath = CachePath;
+
+  startServer(Opts);
+  server::AnalyzeRequest Req;
+  Req.Job.Name = "persist";
+  Req.Job.Source = loopProgram(30);
+  std::string ColdRecord;
+  {
+    server::DaemonClient Client;
+    connect(Client);
+    server::AnalyzeResponse Cold;
+    served(Client, Req, Cold);
+    EXPECT_FALSE(Cold.Cached);
+    ColdRecord = Cold.ResultRecord;
+  }
+  stopServer(); // graceful: persists the cache atomically
+
+  startServer(Opts); // fresh process state, same cache file
+  {
+    server::DaemonClient Client;
+    connect(Client);
+    server::AnalyzeResponse Warm;
+    served(Client, Req, Warm);
+    EXPECT_TRUE(Warm.Cached) << "restart must reload the persisted cache";
+    EXPECT_EQ(Warm.ResultRecord, ColdRecord);
+    server::DaemonStats Stats;
+    std::string Error;
+    ASSERT_TRUE(Client.queryStats(Stats, Error)) << Error;
+    EXPECT_EQ(Stats.CacheHits, 1u);
+    EXPECT_EQ(Stats.CacheMisses, 0u);
+  }
+  stopServer();
+  ::unlink(CachePath.c_str());
+}
+
+// The acceptance containment test: a segfaulting request is reported
+// crashed to its one client; a request in flight on another worker at
+// the moment of death completes normally; the pool heals.
+TEST_F(Daemon, SegvIsContainedWhileConcurrentRequestCompletes) {
+  // Armed before startServer so the forked workers inherit the plan:
+  // "slowjob" holds a worker busy long enough for the crash to land
+  // mid-flight; "crashme" raises a genuine SIGSEGV inside its worker.
+  arm("site=batch.job,kind=slow,ms=400,job=slowjob,hits=1");
+  arm("site=batch.job,kind=segv,job=crashme,hits=1");
+
+  server::ServerOptions Opts;
+  Opts.Workers = 2;
+  startServer(Opts);
+
+  server::AnalyzeRequest Slow;
+  Slow.Job.Name = "slowjob";
+  Slow.Job.Source = loopProgram(25);
+
+  server::AnalyzeResponse SlowResp;
+  JobResult SlowResult;
+  std::thread InFlight([&] {
+    server::DaemonClient A;
+    std::string Error;
+    ASSERT_TRUE(A.connect(SocketPath, Error)) << Error;
+    SlowResult = served(A, Slow, SlowResp);
+  });
+
+  // Let slowjob reach its worker, then detonate the other one.
+  ::usleep(100 * 1000);
+  server::DaemonClient B;
+  connect(B);
+  server::AnalyzeRequest Crash;
+  Crash.Job.Name = "crashme";
+  Crash.Job.Source = loopProgram(26);
+  server::AnalyzeResponse CrashResp;
+  JobResult CrashResult = served(B, Crash, CrashResp);
+  EXPECT_EQ(CrashResult.Status, JobStatus::Crashed);
+  EXPECT_FALSE(CrashResp.Cached);
+  EXPECT_NE(CrashResult.Error.find("worker"), std::string::npos)
+      << CrashResult.Error;
+
+  // The concurrent request was untouched by its neighbor's death.
+  InFlight.join();
+  EXPECT_EQ(SlowResult.Status, JobStatus::Ok);
+  EXPECT_EQ(SlowResult.AssertsProven, 2u);
+  EXPECT_FALSE(SlowResp.Cached);
+
+  // The pool healed: a fresh request on the same connection succeeds.
+  server::AnalyzeRequest After;
+  After.Job.Name = "aftermath";
+  After.Job.Source = loopProgram(27);
+  server::AnalyzeResponse AfterResp;
+  JobResult AfterResult = served(B, After, AfterResp);
+  EXPECT_EQ(AfterResult.Status, JobStatus::Ok);
+
+  server::DaemonStats Stats;
+  std::string Error;
+  ASSERT_TRUE(B.queryStats(Stats, Error)) << Error;
+  EXPECT_EQ(Stats.WorkersCrashed, 1u);
+  EXPECT_EQ(Stats.CrashedReplies, 1u);
+  EXPECT_EQ(Stats.Workers, 2u);
+  EXPECT_GE(Stats.WorkersSpawned, 3u) << "crashed worker must be respawned";
+  // Crashes are not deterministic outcomes: never cached.
+  EXPECT_EQ(Stats.CacheEntries, 2u) << "slowjob and aftermath only";
+}
+
+TEST_F(Daemon, CrashedRequestRetriesWhenConfigured) {
+  // hits=1: lethal on the first attempt, burned out on the second —
+  // the worker replays prior lethal attempts from the attempt number.
+  arm("site=batch.job,kind=segv,job=flaky,hits=1");
+
+  server::ServerOptions Opts;
+  Opts.Workers = 1;
+  Opts.MaxAttempts = 2;
+  startServer(Opts);
+  server::DaemonClient Client;
+  connect(Client);
+
+  server::AnalyzeRequest Req;
+  Req.Job.Name = "flaky";
+  Req.Job.Source = loopProgram(18);
+  server::AnalyzeResponse Resp;
+  JobResult R = served(Client, Req, Resp);
+  EXPECT_EQ(R.Status, JobStatus::Ok) << R.Error;
+  EXPECT_EQ(R.AssertsProven, 2u);
+
+  server::DaemonStats Stats;
+  std::string Error;
+  ASSERT_TRUE(Client.queryStats(Stats, Error)) << Error;
+  EXPECT_EQ(Stats.WorkersCrashed, 1u);
+  EXPECT_EQ(Stats.CrashedReplies, 0u) << "the retry hid the crash";
+  // A recovered deterministic result is cacheable.
+  server::AnalyzeResponse Warm;
+  served(Client, Req, Warm);
+  EXPECT_TRUE(Warm.Cached);
+}
+
+TEST_F(Daemon, HungWorkerIsHardKilledAndReportedAsTimeout) {
+  arm("site=batch.job,kind=hang,job=hangjob,hits=1");
+
+  server::ServerOptions Opts;
+  Opts.Workers = 1;
+  Opts.Worker.Budget.DeadlineMs = 150;
+  Opts.Worker.HardKillGraceMs = 100;
+  startServer(Opts);
+  server::DaemonClient Client;
+  connect(Client);
+
+  server::AnalyzeRequest Req;
+  Req.Job.Name = "hangjob";
+  Req.Job.Source = loopProgram(9);
+  server::AnalyzeResponse Resp;
+  JobResult R = served(Client, Req, Resp);
+  EXPECT_EQ(R.Status, JobStatus::Timeout) << R.Error;
+
+  // Daemon alive, worker respawned, timeout kept out of the cache.
+  server::AnalyzeRequest After;
+  After.Job.Name = "postmortem";
+  After.Job.Source = loopProgram(8);
+  server::AnalyzeResponse AfterResp;
+  EXPECT_EQ(served(Client, After, AfterResp).Status, JobStatus::Ok);
+
+  server::DaemonStats Stats;
+  std::string Error;
+  ASSERT_TRUE(Client.queryStats(Stats, Error)) << Error;
+  EXPECT_EQ(Stats.HardKills, 1u);
+  EXPECT_EQ(Stats.TimeoutReplies, 1u);
+  EXPECT_EQ(Stats.CacheEntries, 1u) << "timeouts are never cached";
+}
+
+TEST_F(Daemon, InterleavedClientsAllServedCorrectly) {
+  server::ServerOptions Opts;
+  Opts.Workers = 2;
+  startServer(Opts);
+
+  constexpr int ClientCount = 4, PerClient = 8;
+  std::atomic<int> Failures{0};
+  std::vector<std::thread> Threads;
+  for (int T = 0; T != ClientCount; ++T)
+    Threads.emplace_back([&, T] {
+      server::DaemonClient Client;
+      std::string Error;
+      if (!Client.connect(SocketPath, Error)) {
+        Failures.fetch_add(1);
+        return;
+      }
+      for (int I = 0; I != PerClient; ++I) {
+        unsigned Bound = 10 + static_cast<unsigned>((T * PerClient + I) % 6);
+        server::AnalyzeRequest Req;
+        Req.Job.Name = "mix" + std::to_string(Bound);
+        Req.Job.Source = loopProgram(Bound);
+        server::AnalyzeResponse Resp;
+        JobResult R;
+        if (!Client.analyze(std::move(Req), Resp, Error) || !Resp.Ok ||
+            !deserializeJobResult(Resp.ResultRecord, R, Error) ||
+            R.Status != JobStatus::Ok || R.AssertsProven != 2) {
+          Failures.fetch_add(1);
+          return;
+        }
+      }
+    });
+  for (auto &T : Threads)
+    T.join();
+  EXPECT_EQ(Failures.load(), 0);
+
+  server::DaemonClient Client;
+  connect(Client);
+  server::DaemonStats Stats;
+  std::string Error;
+  ASSERT_TRUE(Client.queryStats(Stats, Error)) << Error;
+  EXPECT_EQ(Stats.Served, ClientCount * PerClient);
+  // 6 distinct programs across 32 requests. Misses can exceed 6: the
+  // daemon does not coalesce in-flight duplicates, so two concurrent
+  // requests for a key may both miss before either result lands (the
+  // second insert replaces the first, byte-identical). Every request
+  // is either a hit or a miss, and the cache converges to one entry
+  // per distinct program.
+  EXPECT_EQ(Stats.CacheEntries, 6u);
+  EXPECT_GE(Stats.CacheMisses, 6u);
+  EXPECT_EQ(Stats.CacheHits + Stats.CacheMisses,
+            static_cast<std::uint64_t>(ClientCount * PerClient));
+  EXPECT_GE(Stats.CacheHits, static_cast<std::uint64_t>(
+                                 ClientCount * PerClient - 2 * 6));
+}

@@ -1,0 +1,425 @@
+//===- tools/optoctd.cpp - Persistent analysis daemon ---------------------===//
+///
+/// \file
+/// The analysis daemon and its command-line client.
+///
+/// Daemon mode (default): bind a Unix-domain socket and serve analysis
+/// requests until SIGTERM/SIGINT, multiplexing them onto supervised
+/// fork workers with a content-addressed invariant cache in front
+/// (src/server). A request that segfaults its worker is reported as
+/// crashed to that one client; everyone else keeps being served.
+///
+///   optoctd --socket=<path> [options]
+///     --workers=N         worker processes (default 1; 0 = one per
+///                         hardware thread)
+///     --cache-mb=N        invariant-cache budget in MiB (default 64)
+///     --cache-file=<path> persist the cache here on shutdown and
+///                         reload it on start
+///     --deadline-ms=<n>   per-request wall-clock budget; overstaying
+///                         workers are hard-killed (0 = off)
+///     --max-rss-mb=<n>    per-worker RLIMIT_AS in MiB (0 = unlimited;
+///                         ignored under sanitizers)
+///     --recycle-after=<n> retire each worker after n requests (0 = never)
+///     --retries=<n>       re-run a request on a fresh worker up to n
+///                         times if its worker crashes
+///     --max-frame-mb=<n>  per-client frame size bound (default 16)
+///     --max-clients=<n>   concurrent connection cap (default 64)
+///     --inject=<spec>, --fault-seed=<n>
+///                         seeded fault injection, inherited by workers
+///                         (spec as in optoct_batch; the daemon-smoke
+///                         CI job injects kind=segv through this)
+///
+/// Client mode: connect to a running daemon, submit programs, print
+/// one line per response plus (with --stats) the daemon's counters.
+///
+///   optoctd --client --socket=<path> [files.imp...]
+///     --generated         submit the 17 generated paper workloads
+///     --repeat=<n>        submit the whole job list n times (cache
+///                         exercise; default 1)
+///     --no-cache          ask the daemon to skip cache lookups
+///     --stats             print daemon counters after the jobs
+///     --invariants        print loop-head invariants per response
+///     --widening-delay=<k>, --narrowing=<k>, --no-linearize,
+///     --thresholds=a,b,..., --max-cells=<n>
+///                         per-request engine options
+///
+/// Each response line is stable, greppable evidence for the CI smoke:
+///   <name> <STATUS> <proven>/<total> cached=<0|1> key=<hex> digest=<hex>
+/// where digest is the FNV-64 of the (canonicalized) result record —
+/// two passes over the same workload must print identical digests,
+/// cached or not.
+///
+/// Exit codes: 0 all responses ok and proven, 1 some unproven or
+/// failed, 2 usage/transport errors, 3 some request crashed its worker.
+///
+//===----------------------------------------------------------------------===//
+
+#include "runtime/journal.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "support/faultinject.h"
+#include "support/fnv.h"
+#include "support/textcodec.h"
+#include "workloads/workload.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <signal.h>
+
+using namespace optoct;
+
+namespace {
+
+struct DaemonCliOptions {
+  bool ClientMode = false;
+  server::ServerOptions Server;
+
+  // Client-mode state.
+  std::vector<std::string> Files;
+  bool AddGenerated = false;
+  unsigned Repeat = 1;
+  bool NoCache = false;
+  bool PrintStats = false;
+  bool PrintInvariants = false;
+  analysis::AnalysisOptions Engine;
+  std::uint64_t MaxDbmCells = 0;
+};
+
+void usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --socket=<path> [--workers=N] [--cache-mb=N]\n"
+      "       [--cache-file=<path>] [--deadline-ms=<n>] [--max-rss-mb=<n>]\n"
+      "       [--recycle-after=<n>] [--retries=<n>] [--max-frame-mb=<n>]\n"
+      "       [--max-clients=<n>] [--inject=<spec>] [--fault-seed=<n>]\n"
+      "   or: %s --client --socket=<path> [files.imp...] [--generated]\n"
+      "       [--repeat=<n>] [--no-cache] [--stats] [--invariants]\n"
+      "       [--widening-delay=<k>] [--narrowing=<k>] [--no-linearize]\n"
+      "       [--thresholds=a,b,...] [--max-cells=<n>]\n",
+      Argv0, Argv0);
+}
+
+bool parseU64(const std::string &Val, const char *Flag, std::uint64_t &Out) {
+  try {
+    std::size_t End = 0;
+    Out = std::stoull(Val, &End);
+    if (End == Val.size())
+      return true;
+  } catch (const std::exception &) {
+  }
+  std::fprintf(stderr, "error: %s expects a non-negative integer, got '%s'\n",
+               Flag, Val.c_str());
+  return false;
+}
+
+bool parseUnsigned(const std::string &Val, const char *Flag, unsigned &Out) {
+  std::uint64_t Wide;
+  if (!parseU64(Val, Flag, Wide) || Wide > 0xffffffffull) {
+    Out = 0;
+    return false;
+  }
+  Out = static_cast<unsigned>(Wide);
+  return true;
+}
+
+bool parseDouble(const std::string &Val, const char *Flag, double &Out) {
+  try {
+    std::size_t End = 0;
+    Out = std::stod(Val, &End);
+    if (End == Val.size())
+      return true;
+  } catch (const std::exception &) {
+  }
+  std::fprintf(stderr, "error: %s expects a number, got '%s'\n", Flag,
+               Val.c_str());
+  return false;
+}
+
+bool parseArgs(int Argc, char **Argv, DaemonCliOptions &Opts) {
+  std::uint64_t U = 0;
+  for (int I = 1; I != Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--client")
+      Opts.ClientMode = true;
+    else if (Arg.rfind("--socket=", 0) == 0)
+      Opts.Server.SocketPath = Arg.substr(9);
+    else if (Arg.rfind("--workers=", 0) == 0) {
+      if (!parseUnsigned(Arg.substr(10), "--workers", Opts.Server.Workers))
+        return false;
+    } else if (Arg.rfind("--cache-mb=", 0) == 0) {
+      if (!parseU64(Arg.substr(11), "--cache-mb", U))
+        return false;
+      Opts.Server.CacheMaxBytes = static_cast<std::size_t>(U) << 20;
+    } else if (Arg.rfind("--cache-file=", 0) == 0)
+      Opts.Server.CachePath = Arg.substr(13);
+    else if (Arg.rfind("--deadline-ms=", 0) == 0) {
+      if (!parseU64(Arg.substr(14), "--deadline-ms",
+                    Opts.Server.Worker.Budget.DeadlineMs))
+        return false;
+    } else if (Arg.rfind("--max-rss-mb=", 0) == 0) {
+      if (!parseU64(Arg.substr(13), "--max-rss-mb",
+                    Opts.Server.Worker.MaxRssMb))
+        return false;
+    } else if (Arg.rfind("--recycle-after=", 0) == 0) {
+      if (!parseUnsigned(Arg.substr(16), "--recycle-after",
+                         Opts.Server.Worker.RecycleAfter))
+        return false;
+    } else if (Arg.rfind("--retries=", 0) == 0) {
+      unsigned Retries;
+      if (!parseUnsigned(Arg.substr(10), "--retries", Retries))
+        return false;
+      Opts.Server.MaxAttempts = Retries + 1;
+    } else if (Arg.rfind("--max-frame-mb=", 0) == 0) {
+      if (!parseU64(Arg.substr(15), "--max-frame-mb", U))
+        return false;
+      Opts.Server.MaxFrameBytes = U << 20;
+    } else if (Arg.rfind("--max-clients=", 0) == 0) {
+      if (!parseUnsigned(Arg.substr(14), "--max-clients",
+                         Opts.Server.MaxClients))
+        return false;
+    } else if (Arg.rfind("--inject=", 0) == 0) {
+      std::string Error;
+      if (!support::FaultPlan::global().parseRule(Arg.substr(9), Error)) {
+        std::fprintf(stderr, "error: --inject: %s\n", Error.c_str());
+        return false;
+      }
+    } else if (Arg.rfind("--fault-seed=", 0) == 0) {
+      if (!parseU64(Arg.substr(13), "--fault-seed", U))
+        return false;
+      support::FaultPlan::global().setSeed(U);
+    } else if (Arg == "--generated")
+      Opts.AddGenerated = true;
+    else if (Arg.rfind("--repeat=", 0) == 0) {
+      if (!parseUnsigned(Arg.substr(9), "--repeat", Opts.Repeat))
+        return false;
+    } else if (Arg == "--no-cache")
+      Opts.NoCache = true;
+    else if (Arg == "--stats")
+      Opts.PrintStats = true;
+    else if (Arg == "--invariants")
+      Opts.PrintInvariants = true;
+    else if (Arg.rfind("--widening-delay=", 0) == 0) {
+      if (!parseUnsigned(Arg.substr(17), "--widening-delay",
+                         Opts.Engine.WideningDelay))
+        return false;
+    } else if (Arg.rfind("--narrowing=", 0) == 0) {
+      if (!parseUnsigned(Arg.substr(12), "--narrowing",
+                         Opts.Engine.NarrowingPasses))
+        return false;
+    } else if (Arg == "--no-linearize")
+      Opts.Engine.LinearizeGuards = false;
+    else if (Arg.rfind("--thresholds=", 0) == 0) {
+      std::stringstream List(Arg.substr(13));
+      std::string Item;
+      while (std::getline(List, Item, ',')) {
+        double T;
+        if (!parseDouble(Item, "--thresholds", T))
+          return false;
+        Opts.Engine.WideningThresholds.push_back(T);
+      }
+      std::sort(Opts.Engine.WideningThresholds.begin(),
+                Opts.Engine.WideningThresholds.end());
+    } else if (Arg.rfind("--max-cells=", 0) == 0) {
+      if (!parseU64(Arg.substr(12), "--max-cells", Opts.MaxDbmCells))
+        return false;
+    } else if (Arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
+      return false;
+    } else
+      Opts.Files.push_back(Arg);
+  }
+  if (Opts.Server.SocketPath.empty()) {
+    std::fprintf(stderr, "error: --socket=<path> is required\n");
+    return false;
+  }
+  if (!Opts.ClientMode && (Opts.AddGenerated || !Opts.Files.empty())) {
+    std::fprintf(stderr,
+                 "error: program arguments are client-mode only "
+                 "(did you mean --client?)\n");
+    return false;
+  }
+  if (Opts.ClientMode && Opts.Files.empty() && !Opts.AddGenerated &&
+      !Opts.PrintStats) {
+    std::fprintf(stderr, "error: no input files (and no --generated)\n");
+    return false;
+  }
+  return true;
+}
+
+// --- Daemon mode ------------------------------------------------------------
+
+server::Server *ActiveServer = nullptr;
+
+void onTermSignal(int) {
+  if (ActiveServer)
+    ActiveServer->requestStop(); // async-signal-safe: flag + self-pipe
+}
+
+int runDaemon(const DaemonCliOptions &Opts) {
+  server::Server Daemon(Opts.Server);
+  std::string Error;
+  if (!Daemon.start(Error)) {
+    std::fprintf(stderr, "optoctd: %s\n", Error.c_str());
+    return 2;
+  }
+  ActiveServer = &Daemon;
+  struct sigaction SA;
+  std::memset(&SA, 0, sizeof(SA));
+  SA.sa_handler = onTermSignal;
+  ::sigaction(SIGTERM, &SA, nullptr);
+  ::sigaction(SIGINT, &SA, nullptr);
+
+  std::fprintf(stderr, "optoctd: serving on %s (%u workers, %zu MiB cache)\n",
+               Opts.Server.SocketPath.c_str(),
+               static_cast<unsigned>(Daemon.stats().Workers),
+               Opts.Server.CacheMaxBytes >> 20);
+  Daemon.serve();
+  ActiveServer = nullptr;
+
+  server::DaemonStats S = Daemon.stats();
+  std::fprintf(stderr,
+               "optoctd: served %llu requests (%llu cache hits, "
+               "%llu crashed, %llu timeouts); shutting down\n",
+               static_cast<unsigned long long>(S.Served),
+               static_cast<unsigned long long>(S.CacheHits),
+               static_cast<unsigned long long>(S.CrashedReplies),
+               static_cast<unsigned long long>(S.TimeoutReplies));
+  return 0;
+}
+
+// --- Client mode ------------------------------------------------------------
+
+void printStats(const server::DaemonStats &S) {
+  std::printf("daemon: requests=%llu served=%llu rejected=%llu "
+              "cache_hits=%llu cache_misses=%llu cache_entries=%llu "
+              "cache_bytes=%llu cache_evictions=%llu crashed=%llu "
+              "timeouts=%llu workers=%llu spawned=%llu worker_crashes=%llu "
+              "recycled=%llu hard_kills=%llu\n",
+              static_cast<unsigned long long>(S.Requests),
+              static_cast<unsigned long long>(S.Served),
+              static_cast<unsigned long long>(S.Rejected),
+              static_cast<unsigned long long>(S.CacheHits),
+              static_cast<unsigned long long>(S.CacheMisses),
+              static_cast<unsigned long long>(S.CacheEntries),
+              static_cast<unsigned long long>(S.CacheBytes),
+              static_cast<unsigned long long>(S.CacheEvictions),
+              static_cast<unsigned long long>(S.CrashedReplies),
+              static_cast<unsigned long long>(S.TimeoutReplies),
+              static_cast<unsigned long long>(S.Workers),
+              static_cast<unsigned long long>(S.WorkersSpawned),
+              static_cast<unsigned long long>(S.WorkersCrashed),
+              static_cast<unsigned long long>(S.WorkersRecycled),
+              static_cast<unsigned long long>(S.HardKills));
+}
+
+int runClient(const DaemonCliOptions &Opts) {
+  std::vector<runtime::BatchJob> Jobs;
+  for (const std::string &File : Opts.Files) {
+    std::ifstream In(File);
+    if (!In) {
+      std::fprintf(stderr, "error: cannot open '%s'\n", File.c_str());
+      return 2;
+    }
+    std::stringstream Buffer;
+    Buffer << In.rdbuf();
+    Jobs.push_back({File, Buffer.str()});
+  }
+  if (Opts.AddGenerated)
+    for (const workloads::WorkloadSpec &Spec : workloads::paperBenchmarks())
+      Jobs.push_back({Spec.Name, workloads::generateProgram(Spec)});
+
+  server::DaemonClient Client;
+  std::string Error;
+  if (!Client.connect(Opts.Server.SocketPath, Error)) {
+    std::fprintf(stderr, "optoctd: %s\n", Error.c_str());
+    return 2;
+  }
+
+  bool AllProven = true, AnyCrashed = false;
+  for (unsigned Pass = 0; Pass != std::max(1u, Opts.Repeat); ++Pass) {
+    for (const runtime::BatchJob &Job : Jobs) {
+      server::AnalyzeRequest Req;
+      Req.Job = Job;
+      Req.Engine = Opts.Engine;
+      Req.MaxDbmCells = Opts.MaxDbmCells;
+      Req.NoCache = Opts.NoCache;
+      server::AnalyzeResponse Resp;
+      if (!Client.analyze(std::move(Req), Resp, Error)) {
+        std::fprintf(stderr, "optoctd: %s: %s\n", Job.Name.c_str(),
+                     Error.c_str());
+        return 2;
+      }
+      if (!Resp.Ok) {
+        std::printf("%-24s REJECTED: %s\n", Job.Name.c_str(),
+                    Resp.Error.c_str());
+        AllProven = false;
+        continue;
+      }
+      runtime::JobResult R;
+      if (!runtime::deserializeJobResult(Resp.ResultRecord, R, Error)) {
+        std::fprintf(stderr, "optoctd: %s: bad result record: %s\n",
+                     Job.Name.c_str(), Error.c_str());
+        return 2;
+      }
+      const char *Label = R.Status == runtime::JobStatus::Ok ? "OK"
+                          : R.Status == runtime::JobStatus::Degraded
+                              ? "DEGRADED"
+                          : R.Status == runtime::JobStatus::Failed ? "FAILED"
+                          : R.Status == runtime::JobStatus::Timeout
+                              ? "TIMEOUT"
+                              : "CRASHED";
+      std::printf("%-24s %s %u/%u cached=%d key=%s digest=%s\n",
+                  R.Name.c_str(), Label, R.AssertsProven, R.AssertsTotal,
+                  Resp.Cached ? 1 : 0, support::hex64(Resp.Key).c_str(),
+                  support::hex64(support::fnv1a64(Resp.ResultRecord)).c_str());
+      if (R.Status == runtime::JobStatus::Crashed) {
+        AnyCrashed = true;
+        std::printf("    %s\n", R.Error.c_str());
+      }
+      if (R.Status != runtime::JobStatus::Ok ||
+          R.AssertsProven != R.AssertsTotal)
+        AllProven = false;
+      if (Opts.PrintInvariants)
+        for (const std::string &Inv : R.LoopInvariants)
+          std::printf("    %s\n", Inv.c_str());
+    }
+  }
+
+  if (Opts.PrintStats) {
+    server::DaemonStats S;
+    if (!Client.queryStats(S, Error)) {
+      std::fprintf(stderr, "optoctd: stats: %s\n", Error.c_str());
+      return 2;
+    }
+    printStats(S);
+  }
+  if (AnyCrashed)
+    return 3;
+  return AllProven ? 0 : 1;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  try {
+    DaemonCliOptions Opts;
+    if (!parseArgs(Argc, Argv, Opts)) {
+      usage(Argv[0]);
+      return 2;
+    }
+    return Opts.ClientMode ? runClient(Opts) : runDaemon(Opts);
+  } catch (const std::exception &E) {
+    std::fprintf(stderr, "optoctd: fatal: %s\n", E.what());
+    return 2;
+  } catch (...) {
+    std::fprintf(stderr, "optoctd: fatal: unknown error\n");
+    return 2;
+  }
+}
