@@ -13,9 +13,18 @@
 /// with the CPU features and OPTOCT_* environment via
 /// support/cpuinfo.h, so runs on different machines stay comparable.
 ///
+/// A third, contended leg measures the overload machinery: K client
+/// threads fire the *same fresh program* simultaneously each round, so
+/// every round is one cache miss plus K-1 candidates for in-flight
+/// coalescing. Reports the coalescing rate (coalesced replies over the
+/// K-1 duplicates per round), the shed rate, and whether every reply in
+/// a round carried byte-identical result records.
+///
 ///   --requests=<n>  stream length per pass           (default 400)
 ///   --repeat=<r>    fraction of repeated programs     (default 0.5)
 ///   --workers=<n>   daemon worker processes           (default 2)
+///   --contended-clients=<k>  threads in the contended leg (default 4)
+///   --contended-rounds=<n>   rounds in the contended leg  (default 50)
 ///   --json=<path>   output file      (default BENCH_server.json)
 ///
 //===----------------------------------------------------------------------===//
@@ -27,6 +36,7 @@
 #include "support/table.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -58,7 +68,8 @@ std::string loopProgram(unsigned Bound) {
 }
 
 /// Deterministic 64-bit LCG — the stream must be identical run to run.
-struct Rng {
+/// (Named Lcg, not Rng: optoct::Rng is now visible through client.h.)
+struct Lcg {
   std::uint64_t State = 0x9e3779b97f4a7c15ull;
   std::uint64_t next() {
     State = State * 6364136223846793005ull + 1442695040888963407ull;
@@ -80,6 +91,8 @@ int main(int Argc, char **Argv) {
   unsigned Requests = 400;
   unsigned Workers = 2;
   double RepeatRatio = 0.5;
+  unsigned ContendedClients = 4;
+  unsigned ContendedRounds = 50;
   for (int I = 1; I != Argc; ++I) {
     if (std::strncmp(Argv[I], "--json=", 7) == 0)
       JsonPath = Argv[I] + 7;
@@ -89,6 +102,12 @@ int main(int Argc, char **Argv) {
       Workers = static_cast<unsigned>(std::strtoul(Argv[I] + 10, nullptr, 10));
     else if (std::strncmp(Argv[I], "--repeat=", 9) == 0)
       RepeatRatio = std::strtod(Argv[I] + 9, nullptr);
+    else if (std::strncmp(Argv[I], "--contended-clients=", 20) == 0)
+      ContendedClients =
+          static_cast<unsigned>(std::strtoul(Argv[I] + 20, nullptr, 10));
+    else if (std::strncmp(Argv[I], "--contended-rounds=", 19) == 0)
+      ContendedRounds =
+          static_cast<unsigned>(std::strtoul(Argv[I] + 19, nullptr, 10));
   }
   if (Requests == 0)
     Requests = 1;
@@ -96,7 +115,7 @@ int main(int Argc, char **Argv) {
 
   // The request stream: each slot either repeats an already-requested
   // program (probability RepeatRatio) or introduces a fresh one.
-  Rng R;
+  Lcg R;
   std::vector<unsigned> Stream; // program bound per request
   unsigned Fresh = 0;
   for (unsigned I = 0; I != Requests; ++I) {
@@ -185,6 +204,103 @@ int main(int Argc, char **Argv) {
                     : 0.0;
   }
 
+  // --- Contended leg: K threads, same fresh program per round --------
+  struct ContendedStats {
+    std::uint64_t Requests = 0, OkReplies = 0, OverloadedFinal = 0;
+    std::uint64_t Coalesced = 0, ShedQueueFull = 0, ShedClientCap = 0;
+    double CoalesceRate = 0.0, WallSeconds = 0.0, ReqPerSec = 0.0;
+    bool ByteIdentical = true;
+  } Cont;
+  if (AllServed && ContendedClients > 1 && ContendedRounds != 0) {
+    std::vector<server::DaemonClient> Peers(ContendedClients);
+    for (server::DaemonClient &Peer : Peers)
+      if (!Peer.connect(Opts.SocketPath, Error)) {
+        std::fprintf(stderr, "error: %s\n", Error.c_str());
+        AllServed = false;
+      }
+    server::DaemonStats Before;
+    if (AllServed && !Client.queryStats(Before, Error))
+      AllServed = false;
+    auto ContStart = std::chrono::steady_clock::now();
+    for (unsigned Round = 0; AllServed && Round != ContendedRounds; ++Round) {
+      // Fresh key every round (bounds disjoint from the pass stream):
+      // one miss plus K-1 concurrent duplicates, released together so
+      // the duplicates land while the miss is in flight.
+      std::string Name = "contended" + std::to_string(Round);
+      std::string Source = loopProgram(1000000 + Round);
+      std::atomic<unsigned> Ready{0};
+      std::atomic<bool> Go{false};
+      std::vector<std::uint64_t> Digests(ContendedClients, 0);
+      std::vector<int> Outcome(ContendedClients, 0); // 0 ok, 1 shed, 2 err
+      std::vector<std::thread> Threads;
+      for (unsigned C = 0; C != ContendedClients; ++C)
+        Threads.emplace_back([&, C] {
+          server::AnalyzeRequest Req;
+          Req.Job.Name = Name;
+          Req.Job.Source = Source;
+          server::RetryPolicy Policy;
+          Policy.Seed += C; // decorrelate the jitter streams
+          server::AnalyzeResponse Resp;
+          std::string ThreadError;
+          ++Ready;
+          while (!Go.load(std::memory_order_acquire))
+            std::this_thread::yield();
+          if (!Peers[C].analyzeRetry(Req, Policy, Resp, ThreadError))
+            Outcome[C] = 2;
+          else if (Resp.Overloaded)
+            Outcome[C] = 1;
+          else if (!Resp.Ok)
+            Outcome[C] = 2;
+          else
+            Digests[C] = support::fnv1a64(Resp.ResultRecord);
+        });
+      while (Ready.load() != ContendedClients)
+        std::this_thread::yield();
+      Go.store(true, std::memory_order_release);
+      for (std::thread &T : Threads)
+        T.join();
+      std::uint64_t RefDigest = 0;
+      for (unsigned C = 0; C != ContendedClients; ++C) {
+        ++Cont.Requests;
+        if (Outcome[C] == 0) {
+          ++Cont.OkReplies;
+          if (RefDigest == 0)
+            RefDigest = Digests[C];
+          else if (Digests[C] != RefDigest)
+            Cont.ByteIdentical = false; // duplicates must match the miss
+        } else if (Outcome[C] == 1) {
+          ++Cont.OverloadedFinal;
+        } else {
+          AllServed = false;
+        }
+      }
+    }
+    Cont.WallSeconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - ContStart)
+                           .count();
+    Cont.ReqPerSec =
+        Cont.WallSeconds > 0 ? Cont.Requests / Cont.WallSeconds : 0.0;
+    server::DaemonStats After;
+    if (AllServed && Client.queryStats(After, Error)) {
+      Cont.Coalesced = After.CoalescedReplies - Before.CoalescedReplies;
+      Cont.ShedQueueFull = After.ShedQueueFull - Before.ShedQueueFull;
+      Cont.ShedClientCap = After.ShedClientCap - Before.ShedClientCap;
+      std::uint64_t Duplicates =
+          std::uint64_t(ContendedRounds) * (ContendedClients - 1);
+      Cont.CoalesceRate = Duplicates
+                              ? static_cast<double>(Cont.Coalesced) / Duplicates
+                              : 0.0;
+    }
+    std::printf("contended: %u clients x %u rounds: %.0f req/s, "
+                "%.0f%% of duplicates coalesced, %llu shed, "
+                "replies byte-identical: %s\n\n",
+                ContendedClients, ContendedRounds, Cont.ReqPerSec,
+                Cont.CoalesceRate * 100,
+                static_cast<unsigned long long>(Cont.ShedQueueFull +
+                                                Cont.ShedClientCap),
+                Cont.ByteIdentical ? "yes" : "NO (BUG)");
+  }
+
   Client.close();
   Daemon.requestStop();
   ServerThread.join();
@@ -232,9 +348,21 @@ int main(int Argc, char **Argv) {
         << ", \"cache_hit_rate\": " << Passes[I].HitRate << "}"
         << (I == 0 ? "," : "") << "\n";
   Out << "  ],\n"
+      << "  \"contended\": {\"clients\": " << ContendedClients
+      << ", \"rounds\": " << ContendedRounds
+      << ", \"requests\": " << Cont.Requests
+      << ", \"ok_replies\": " << Cont.OkReplies
+      << ", \"overloaded_final\": " << Cont.OverloadedFinal
+      << ", \"coalesced_replies\": " << Cont.Coalesced
+      << ", \"coalesce_rate\": " << Cont.CoalesceRate
+      << ", \"shed_queue_full\": " << Cont.ShedQueueFull
+      << ", \"shed_client_cap\": " << Cont.ShedClientCap
+      << ", \"requests_per_sec\": " << Cont.ReqPerSec
+      << ", \"replies_byte_identical\": "
+      << (Cont.ByteIdentical ? "true" : "false") << "},\n"
       << "  \"replay_byte_identical\": " << (Deterministic ? "true" : "false")
       << "\n}\n";
   std::printf("wrote %s\n", JsonPath.c_str());
 
-  return AllServed && Deterministic ? 0 : 1;
+  return AllServed && Deterministic && Cont.ByteIdentical ? 0 : 1;
 }

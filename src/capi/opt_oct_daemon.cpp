@@ -9,6 +9,7 @@ using namespace optoct;
 
 struct opt_oct_daemon_t {
   server::DaemonClient Client;
+  server::RetryPolicy Policy; ///< MaxAttempts forced to 1 on connect.
 };
 
 struct opt_oct_daemon_result_t {
@@ -48,7 +49,7 @@ opt_oct_daemon_result_t *analyzeImpl(opt_oct_daemon_t *D, const char *Name,
     Req.MaxDbmCells = MaxDbmCells;
     server::AnalyzeResponse Resp;
     std::string Error;
-    if (!D->Client.analyze(std::move(Req), Resp, Error))
+    if (!D->Client.analyzeRetry(Req, D->Policy, Resp, Error))
       return nullptr; // transport failure: the connection is dead
     auto *R = new opt_oct_daemon_result_t;
     R->Response = std::move(Resp);
@@ -75,6 +76,7 @@ opt_oct_daemon_t *opt_oct_daemon_connect(const char *socket_path) {
     return nullptr;
   try {
     auto *D = new opt_oct_daemon_t;
+    D->Policy.MaxAttempts = 1; // single-shot unless set_retry opts in
     std::string Error;
     if (!D->Client.connect(socket_path, Error)) {
       delete D;
@@ -87,6 +89,19 @@ opt_oct_daemon_t *opt_oct_daemon_connect(const char *socket_path) {
 }
 
 void opt_oct_daemon_disconnect(opt_oct_daemon_t *d) { delete d; }
+
+void opt_oct_daemon_set_retry(opt_oct_daemon_t *d, unsigned max_attempts,
+                              unsigned base_backoff_ms,
+                              unsigned max_backoff_ms) {
+  if (!d)
+    return;
+  server::RetryPolicy Defaults;
+  d->Policy.MaxAttempts = max_attempts != 0 ? max_attempts : 1;
+  d->Policy.BaseBackoffMs =
+      base_backoff_ms != 0 ? base_backoff_ms : Defaults.BaseBackoffMs;
+  d->Policy.MaxBackoffMs =
+      max_backoff_ms != 0 ? max_backoff_ms : Defaults.MaxBackoffMs;
+}
 
 opt_oct_daemon_result_t *opt_oct_daemon_analyze(opt_oct_daemon_t *d,
                                                 const char *name,
@@ -109,6 +124,14 @@ int opt_oct_daemon_result_ok(const opt_oct_daemon_result_t *r) {
   if (!r)
     return -1;
   return r->Response.Ok ? 1 : 0;
+}
+
+int opt_oct_daemon_result_overloaded(const opt_oct_daemon_result_t *r) {
+  return r && r->Response.Overloaded ? 1 : 0;
+}
+
+uint64_t opt_oct_daemon_result_retry_ms(const opt_oct_daemon_result_t *r) {
+  return r && r->Response.Overloaded ? r->Response.RetryMs : 0;
 }
 
 int opt_oct_daemon_result_cached(const opt_oct_daemon_result_t *r) {

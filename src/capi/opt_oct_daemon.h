@@ -37,6 +37,18 @@ typedef struct opt_oct_daemon_result_t opt_oct_daemon_result_t;
 opt_oct_daemon_t *opt_oct_daemon_connect(const char *socket_path);
 void opt_oct_daemon_disconnect(opt_oct_daemon_t *d);
 
+/* Retry policy for subsequent analyze calls on this handle. By default
+ * (max_attempts 1) every call is single-shot, exactly the historical
+ * behavior. With max_attempts > 1, retryable failures — transport
+ * errors (the handle reconnects) and "overloaded" sheds — are retried
+ * with capped exponential backoff plus jitter, honoring the daemon's
+ * own backoff hint. base_backoff_ms 0 keeps the default (25);
+ * max_backoff_ms 0 keeps the default (2000). Non-retryable outcomes
+ * (rejections, served crash/timeout verdicts) are never retried. */
+void opt_oct_daemon_set_retry(opt_oct_daemon_t *d, unsigned max_attempts,
+                              unsigned base_backoff_ms,
+                              unsigned max_backoff_ms);
+
 /* Submits one program and blocks for the verdict. NULL on invalid
  * arguments or transport failure (daemon gone mid-request). A NULL
  * `name` or `source` is rejected here, not sent. */
@@ -57,8 +69,15 @@ opt_oct_daemon_analyze_opts(opt_oct_daemon_t *d, const char *name,
 /* Result accessors (NULL-tolerant). */
 
 /* 1 when the daemon served a verdict; 0 when it rejected the request
- * (malformed input); -1 on a NULL result. */
+ * (malformed input) or shed it under load (see .._result_overloaded);
+ * -1 on a NULL result. */
 int opt_oct_daemon_result_ok(const opt_oct_daemon_result_t *r);
+/* 1 when the daemon shed the request under load — the one *retryable*
+ * failure; retry after .._result_retry_ms(r) milliseconds (or raise
+ * max_attempts via opt_oct_daemon_set_retry and let the handle do it). */
+int opt_oct_daemon_result_overloaded(const opt_oct_daemon_result_t *r);
+/* The daemon's suggested backoff in ms when overloaded; 0 otherwise. */
+uint64_t opt_oct_daemon_result_retry_ms(const opt_oct_daemon_result_t *r);
 /* 1 when the verdict was replayed from the invariant cache. */
 int opt_oct_daemon_result_cached(const opt_oct_daemon_result_t *r);
 /* The request's content-address (cache key); 0 on NULL. */

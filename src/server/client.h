@@ -13,17 +13,46 @@
 /// trivial and the failure model obvious: any transport error poisons
 /// the connection and every later call fails fast.
 ///
+/// analyzeRetry() layers the standard retry discipline on top: capped
+/// exponential backoff with jitter, honoring the daemon's own backoff
+/// hint, retrying only the two *retryable* failures — transport errors
+/// (daemon restarting; reconnect and resend) and "overloaded" sheds.
+/// Rejections and served-but-crashed results are never retried here;
+/// the former are permanent, the latter are the daemon's verdict.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef OPTOCT_SERVER_CLIENT_H
 #define OPTOCT_SERVER_CLIENT_H
 
 #include "server/protocol.h"
+#include "support/random.h"
 
 #include <cstdint>
 #include <string>
 
 namespace optoct::server {
+
+/// Client-side retry discipline for retryable daemon failures.
+struct RetryPolicy {
+  unsigned MaxAttempts = 4;    ///< Total tries, including the first.
+  unsigned BaseBackoffMs = 25; ///< Delay after the first failure.
+  unsigned MaxBackoffMs = 2000; ///< Cap on the exponential growth.
+  /// Delay is drawn uniformly from [d*(1-Jitter), d*(1+Jitter)] so a
+  /// shed burst does not retry in lockstep. Clamped to [0, 1].
+  double Jitter = 0.5;
+  std::uint64_t Seed = 0x6f637464; ///< Jitter stream seed ("octd").
+  /// Reconnect and resend on transport errors (daemon restarted). When
+  /// false, transport errors fail immediately — only sheds retry.
+  bool ReconnectTransportErrors = true;
+};
+
+/// The backoff schedule, exposed for tests: delay before retrying after
+/// the \p Attempt-th failure (1-based). The exponential base-2 ramp is
+/// floored by the server's \p HintMs (the server knows its own queue)
+/// and capped by MaxBackoffMs, then jittered via \p R.
+std::uint64_t retryDelayMs(const RetryPolicy &P, unsigned Attempt,
+                           std::uint64_t HintMs, Rng &R);
 
 class DaemonClient {
 public:
@@ -48,6 +77,18 @@ public:
   bool analyze(const std::string &Name, const std::string &Source,
                AnalyzeResponse &Out, std::string &Error);
 
+  /// analyze() under \p Policy: retries transport failures (with a
+  /// reconnect to the socket passed to connect()) and "overloaded"
+  /// sheds, sleeping retryDelayMs between attempts. Returns true once
+  /// any response decodes — on attempt exhaustion under sustained
+  /// overload that response still has Out.Overloaded set, so the caller
+  /// sees exactly what the daemon last said. False only when every
+  /// attempt failed at the transport and \p Error holds the last error.
+  /// \p AttemptsOut (optional) reports the attempts consumed.
+  bool analyzeRetry(const AnalyzeRequest &Req, const RetryPolicy &Policy,
+                    AnalyzeResponse &Out, std::string &Error,
+                    unsigned *AttemptsOut = nullptr);
+
   bool queryStats(DaemonStats &Out, std::string &Error);
 
 private:
@@ -56,6 +97,7 @@ private:
 
   int Fd = -1;
   std::uint64_t NextId = 1;
+  std::string Path; ///< Last connect() target; analyzeRetry reconnects here.
 };
 
 } // namespace optoct::server

@@ -204,9 +204,12 @@ bool optoct::server::decodeStatsRequest(const std::string &Body,
 std::string optoct::server::encodeAnalyzeResponse(const AnalyzeResponse &R) {
   std::ostringstream Out;
   Out << "ares " << R.Id << "\n";
-  Out << "outcome " << (R.Ok ? "ok" : "rejected") << "\n";
+  Out << "outcome "
+      << (R.Ok ? "ok" : (R.Overloaded ? "overloaded" : "rejected")) << "\n";
   Out << "cached " << (R.Cached ? 1 : 0) << "\n";
   Out << "key " << hex64(R.Key) << "\n";
+  if (R.Overloaded)
+    Out << "retry_ms " << R.RetryMs << "\n";
   if (R.Ok)
     Out << "result " << percentEscape(R.ResultRecord) << "\n";
   else
@@ -230,9 +233,10 @@ bool optoct::server::decodeAnalyzeResponse(const std::string &Body,
       Body, Pos,
       [&](const std::string &Key, const std::string &Val) {
         if (Key == "outcome") {
-          if (Val != "ok" && Val != "rejected")
+          if (Val != "ok" && Val != "rejected" && Val != "overloaded")
             return false;
           R.Ok = Val == "ok";
+          R.Overloaded = Val == "overloaded";
           HaveOutcome = true;
           return true;
         }
@@ -240,6 +244,8 @@ bool optoct::server::decodeAnalyzeResponse(const std::string &Body,
           return parseBool01(Val, R.Cached);
         if (Key == "key")
           return parseHex64(Val, R.Key);
+        if (Key == "retry_ms")
+          return parseU64(Val, R.RetryMs);
         if (Key == "result")
           return percentUnescape(Val, R.ResultRecord);
         if (Key == "error")
@@ -277,6 +283,16 @@ std::string optoct::server::encodeStatsResponse(std::uint64_t Id,
   Out << "workers_crashed " << S.WorkersCrashed << "\n";
   Out << "workers_recycled " << S.WorkersRecycled << "\n";
   Out << "hard_kills " << S.HardKills << "\n";
+  Out << "shed_queue_full " << S.ShedQueueFull << "\n";
+  Out << "shed_client_cap " << S.ShedClientCap << "\n";
+  Out << "shed_draining " << S.ShedDraining << "\n";
+  Out << "queue_depth " << S.QueueDepth << "\n";
+  Out << "queue_peak " << S.QueuePeak << "\n";
+  Out << "coalesced_replies " << S.CoalescedReplies << "\n";
+  Out << "quarantine_replies " << S.QuarantineReplies << "\n";
+  Out << "quarantined_keys " << S.QuarantinedKeys << "\n";
+  Out << "quarantined_total " << S.QuarantinedTotal << "\n";
+  Out << "drained_jobs " << S.DrainedJobs << "\n";
   Out << "end\n";
   return Out.str();
 }
@@ -325,6 +341,26 @@ bool optoct::server::decodeStatsResponse(const std::string &Body,
           Field = &S.WorkersRecycled;
         else if (Key == "hard_kills")
           Field = &S.HardKills;
+        else if (Key == "shed_queue_full")
+          Field = &S.ShedQueueFull;
+        else if (Key == "shed_client_cap")
+          Field = &S.ShedClientCap;
+        else if (Key == "shed_draining")
+          Field = &S.ShedDraining;
+        else if (Key == "queue_depth")
+          Field = &S.QueueDepth;
+        else if (Key == "queue_peak")
+          Field = &S.QueuePeak;
+        else if (Key == "coalesced_replies")
+          Field = &S.CoalescedReplies;
+        else if (Key == "quarantine_replies")
+          Field = &S.QuarantineReplies;
+        else if (Key == "quarantined_keys")
+          Field = &S.QuarantinedKeys;
+        else if (Key == "quarantined_total")
+          Field = &S.QuarantinedTotal;
+        else if (Key == "drained_jobs")
+          Field = &S.DrainedJobs;
         else
           return true;
         return parseU64(Val, *Field);

@@ -70,14 +70,23 @@ bool decodeStatsRequest(const std::string &Body, std::uint64_t &Id);
 
 /// Analysis response. Ok means the request was *served* — the payload
 /// is a serialized JobResult whose own status may still be failed,
-/// crashed, or timeout. !Ok means the request itself was rejected
-/// (malformed body, daemon shutting down) and only Error is set.
+/// crashed, or timeout. !Ok means the request itself was not run:
+/// either rejected (malformed body — permanent, do not retry) or
+/// overloaded (shed by admission control — retryable; RetryMs carries
+/// the server's suggested backoff).
 struct AnalyzeResponse {
   std::uint64_t Id = 0;
   bool Ok = false;
-  bool Cached = false;        ///< Replayed from the invariant cache.
+  /// The daemon shed this request under load (queue bound, per-client
+  /// cap, or drain). The one *retryable* failure: same request later
+  /// can succeed. Mutually exclusive with Ok.
+  bool Overloaded = false;
+  std::uint64_t RetryMs = 0;  ///< Suggested backoff when Overloaded.
+  bool Cached = false;        ///< Replayed from the invariant cache
+                              ///< (including the quarantine's negative
+                              ///< cache).
   std::uint64_t Key = 0;      ///< Content-address of the request.
-  std::string Error;          ///< Rejection reason when !Ok.
+  std::string Error;          ///< Rejection/overload reason when !Ok.
   std::string ResultRecord;   ///< serializeJobResult bytes when Ok.
 };
 
@@ -104,6 +113,20 @@ struct DaemonStats {
   std::uint64_t WorkersCrashed = 0;  ///< Died with a request in flight.
   std::uint64_t WorkersRecycled = 0; ///< Clean retirements.
   std::uint64_t HardKills = 0;       ///< SIGKILL escalations.
+  // Overload / robustness counters (all zero on an unloaded daemon).
+  std::uint64_t ShedQueueFull = 0;   ///< Overloaded: queue high-water.
+  std::uint64_t ShedClientCap = 0;   ///< Overloaded: per-client cap.
+  std::uint64_t ShedDraining = 0;    ///< Overloaded: shed during drain.
+  std::uint64_t QueueDepth = 0;      ///< Gauge: queued, not running.
+  std::uint64_t QueuePeak = 0;       ///< High-water mark of QueueDepth.
+  std::uint64_t CoalescedReplies = 0; ///< Waiters attached to an
+                                      ///< in-flight same-key request.
+  std::uint64_t QuarantineReplies = 0; ///< Served from the negative
+                                       ///< (crash-quarantine) cache.
+  std::uint64_t QuarantinedKeys = 0;  ///< Gauge: keys under quarantine.
+  std::uint64_t QuarantinedTotal = 0; ///< Keys ever quarantined.
+  std::uint64_t DrainedJobs = 0;      ///< In-flight jobs finished
+                                      ///< during graceful drain.
 };
 
 std::string encodeStatsResponse(std::uint64_t Id, const DaemonStats &S);

@@ -212,6 +212,7 @@ void Server::serve() {
         readClient(Seq);
     }
   }
+  drain();
   shutdown();
 }
 
@@ -273,8 +274,12 @@ void Server::readClient(std::uint64_t Seq) {
 
 bool Server::flushClient(ClientConn &C) {
   while (C.OutPos < C.OutBuf.size()) {
-    ssize_t N = ::write(C.Fd, C.OutBuf.data() + C.OutPos,
-                        C.OutBuf.size() - C.OutPos);
+    // MSG_NOSIGNAL belt on top of the SIG_IGN braces: a fork-exec'd
+    // helper or embedding host may reset the disposition between our
+    // save and this write, and a hit-and-run client (sent the request,
+    // closed without reading) must cost EPIPE, never SIGPIPE.
+    ssize_t N = ::send(C.Fd, C.OutBuf.data() + C.OutPos,
+                       C.OutBuf.size() - C.OutPos, MSG_NOSIGNAL);
     if (N > 0) {
       C.OutPos += static_cast<std::size_t>(N);
       continue;
@@ -298,14 +303,18 @@ void Server::dropClient(std::uint64_t Seq) {
     return;
   ::close(It->second.Fd);
   Clients.erase(It);
-  // Results for this client's in-flight jobs still complete and cache;
-  // they just have nowhere to go.
+  // Results for this client's in-flight jobs still complete and cache
+  // (and still release any *other* coalesced waiters); this client's
+  // waiter entries just have nowhere to go.
   for (PendingJob &P : Queue)
-    if (P.ClientSeq == Seq)
-      P.ClientSeq = 0;
+    for (Waiter &W : P.Waiters)
+      if (W.ClientSeq == Seq)
+        W.ClientSeq = 0;
   for (WorkerSlot &Slot : Pool)
-    if (Slot.Busy && Slot.Current.ClientSeq == Seq)
-      Slot.Current.ClientSeq = 0;
+    if (Slot.Busy)
+      for (Waiter &W : Slot.Current.Waiters)
+        if (W.ClientSeq == Seq)
+          W.ClientSeq = 0;
 }
 
 void Server::handleFrame(std::uint64_t Seq, MsgType Type,
@@ -354,6 +363,27 @@ void Server::handleAnalyze(std::uint64_t Seq, const std::string &Body) {
   std::uint64_t Key = requestFingerprint(Req);
 
   if (!Req.NoCache) {
+    // Quarantine gate before the cache: a quarantined key has no cache
+    // entry (crash verdicts are never inserted), and its replay is a
+    // negative-cache hit, not a cache-counter event.
+    auto QIt = Crashes.find(Key);
+    if (QIt != Crashes.end() && QIt->second.Quarantined) {
+      if (std::chrono::steady_clock::now() < QIt->second.Until) {
+        AnalyzeResponse R;
+        R.Id = Req.Id;
+        R.Ok = true;
+        R.Cached = true;
+        R.Key = Key;
+        R.ResultRecord = QIt->second.Record;
+        ++Counters.QuarantineReplies;
+        ++Counters.Served;
+        sendResponse(Seq, R);
+        return;
+      }
+      // TTL expired: half-open — forget the ledger and let this request
+      // probe with a fresh worker.
+      Crashes.erase(QIt);
+    }
     std::string Record;
     if (Cache.lookup(Key, Record)) {
       AnalyzeResponse R;
@@ -366,21 +396,94 @@ void Server::handleAnalyze(std::uint64_t Seq, const std::string &Body) {
       sendResponse(Seq, R);
       return;
     }
+    // Coalesce with an identical in-flight miss: attach as a waiter and
+    // share its one worker execution. Counts against the client's
+    // pending cap — a waiter still owes a reply.
+    if (PendingJob *Leader = findInFlight(Key)) {
+      auto It = Clients.find(Seq);
+      if (It != Clients.end() && It->second.Pending >= Opts.MaxClientPending) {
+        sendOverloaded(Seq, Req.Id, Counters.ShedClientCap,
+                       "per-client pending cap reached");
+        return;
+      }
+      Leader->Waiters.push_back({Seq, Req.Id});
+      if (It != Clients.end())
+        ++It->second.Pending;
+      ++Counters.CoalescedReplies;
+      return;
+    }
   } else {
     // A NoCache request never consults the cache; do not let it skew
-    // the hit-rate counters either. (lookup() above counted a miss for
-    // genuine lookups only.)
+    // the hit-rate counters either. It is equally invisible to
+    // coalescing (both directions): the bench's cold-latency control
+    // must measure real executions.
+  }
+
+  // Admission control. Everything above answered from memory; from here
+  // the request costs a queue slot and eventually a worker.
+  if (Draining) {
+    sendOverloaded(Seq, Req.Id, Counters.ShedDraining, "daemon draining");
+    return;
+  }
+  if (Queue.size() >= Opts.MaxQueueDepth) {
+    sendOverloaded(Seq, Req.Id, Counters.ShedQueueFull, "queue full");
+    return;
+  }
+  auto It = Clients.find(Seq);
+  if (It != Clients.end() && It->second.Pending >= Opts.MaxClientPending) {
+    sendOverloaded(Seq, Req.Id, Counters.ShedClientCap,
+                   "per-client pending cap reached");
+    return;
   }
 
   PendingJob P;
-  P.ClientSeq = Seq;
-  P.ReqId = Req.Id;
+  P.Waiters.push_back({Seq, Req.Id});
   P.Key = Key;
   P.Job = Req.Job;
   P.EngineBlob = runtime::ipc::encodeEngineOptions(Req.Engine, Req.MaxDbmCells);
   P.NoCache = Req.NoCache;
+  if (It != Clients.end())
+    ++It->second.Pending;
   Queue.push_back(std::move(P));
+  Counters.QueuePeak = std::max<std::uint64_t>(Counters.QueuePeak,
+                                               Queue.size());
   dispatch();
+}
+
+Server::PendingJob *Server::findInFlight(std::uint64_t Key) {
+  for (WorkerSlot &Slot : Pool)
+    if (Slot.Busy && !Slot.Current.NoCache && Slot.Current.Key == Key)
+      return &Slot.Current;
+  for (PendingJob &P : Queue)
+    if (!P.NoCache && P.Key == Key)
+      return &P;
+  return nullptr;
+}
+
+std::uint64_t Server::retryHintMs() const {
+  // Base backoff, stretched toward 2x as the queue fills: a deeper
+  // backlog pushes retries further out instead of stampeding.
+  std::uint64_t Base = Opts.OverloadRetryMs;
+  std::size_t Bound = std::max<std::size_t>(1, Opts.MaxQueueDepth);
+  return Base + Base * std::min(Queue.size(), Bound) / Bound;
+}
+
+void Server::sendOverloaded(std::uint64_t Seq, std::uint64_t ReqId,
+                            std::uint64_t &Counter, const char *Reason) {
+  ++Counter;
+  AnalyzeResponse R;
+  R.Id = ReqId;
+  R.Ok = false;
+  R.Overloaded = true;
+  R.RetryMs = retryHintMs();
+  R.Error = Reason;
+  sendResponse(Seq, R);
+}
+
+void Server::noteReplied(std::uint64_t Seq) {
+  auto It = Clients.find(Seq);
+  if (It != Clients.end() && It->second.Pending != 0)
+    --It->second.Pending;
 }
 
 void Server::sendResponse(std::uint64_t Seq, const AnalyzeResponse &R) {
@@ -490,6 +593,12 @@ void Server::onWorkerDeath(std::size_t W) {
     PendingJob P = std::move(Slot.Current);
     Slot.Busy = false;
     ++Counters.WorkersCrashed;
+    // Charge the quarantine ledger per worker death (crash, OOM kill,
+    // or our own hard-kill), including retried attempts: a key that
+    // needs MaxAttempts fresh workers per request burns toward its
+    // quarantine threshold that much faster.
+    if (!P.NoCache && Opts.QuarantineAfter != 0)
+      ++Crashes[P.Key].Deaths;
     if (Slot.KillSent) {
       // Our own deadline escalation: the request timed out.
       runtime::JobResult R;
@@ -504,7 +613,9 @@ void Server::onWorkerDeath(std::size_t W) {
       ++Counters.TimeoutReplies;
       ++Counters.HardKills;
       finishJob(P, std::move(R), /*Cacheable=*/false);
-    } else if (P.Attempt < Opts.MaxAttempts) {
+    } else if (P.Attempt < Opts.MaxAttempts && !Draining) {
+      // (During drain there is no respawn to retry on; fall through to
+      // the final crashed verdict so waiters are released.)
       ++P.Attempt;
       Queue.push_front(std::move(P));
     } else {
@@ -537,25 +648,56 @@ void Server::onWorkerDeath(std::size_t W) {
 void Server::finishJob(const PendingJob &P, runtime::JobResult R,
                        bool Cacheable) {
   canonicalizeResult(R);
+  bool Terminal = R.Status == runtime::JobStatus::Crashed ||
+                  R.Status == runtime::JobStatus::Timeout;
   std::string Record = runtime::serializeJobResult(R);
-  if (Cacheable && !P.NoCache)
+  if (Cacheable && !P.NoCache) {
     Cache.insert(P.Key, Record);
+    // Proof of life resets the crash ledger: a flaky key that finally
+    // completed should not carry old deaths toward quarantine.
+    Crashes.erase(P.Key);
+  } else if (Terminal && !P.NoCache && Opts.QuarantineAfter != 0) {
+    // onWorkerDeath already charged this key's deaths; if it crossed
+    // the threshold, arm the circuit breaker with this final verdict.
+    auto It = Crashes.find(P.Key);
+    if (It != Crashes.end() && !It->second.Quarantined &&
+        It->second.Deaths >= Opts.QuarantineAfter) {
+      It->second.Quarantined = true;
+      It->second.Until = std::chrono::steady_clock::now() +
+                         std::chrono::milliseconds(Opts.QuarantineTtlMs);
+      It->second.Record = Record;
+      ++Counters.QuarantinedTotal;
+    }
+  }
+  if (Draining)
+    ++Counters.DrainedJobs;
   AnalyzeResponse Resp;
-  Resp.Id = P.ReqId;
   Resp.Ok = true;
   Resp.Cached = false;
   Resp.Key = P.Key;
-  Resp.ResultRecord = std::move(Record);
-  ++Counters.Served;
-  sendResponse(P.ClientSeq, Resp);
+  for (const Waiter &W : P.Waiters) {
+    if (W.ClientSeq == 0)
+      continue; // disconnected while the job ran
+    Resp.Id = W.ReqId;
+    Resp.ResultRecord = Record; // byte-identical for every waiter
+    ++Counters.Served;
+    noteReplied(W.ClientSeq);
+    sendResponse(W.ClientSeq, Resp);
+  }
 }
 
 void Server::scanDeadlines() {
-  if (Opts.Worker.Budget.DeadlineMs == 0)
+  // With no configured deadline, MaxRequestMs is the hard ceiling — a
+  // hung worker must never wedge its coalesced waiters forever. Only
+  // MaxRequestMs=0 *and* DeadlineMs=0 opts out entirely.
+  std::uint64_t LimitMs =
+      Opts.Worker.Budget.DeadlineMs != 0
+          ? Opts.Worker.Budget.DeadlineMs + Opts.Worker.HardKillGraceMs
+          : Opts.MaxRequestMs;
+  if (LimitMs == 0)
     return;
   auto Now = std::chrono::steady_clock::now();
-  auto Limit = std::chrono::milliseconds(Opts.Worker.Budget.DeadlineMs +
-                                         Opts.Worker.HardKillGraceMs);
+  auto Limit = std::chrono::milliseconds(LimitMs);
   for (WorkerSlot &Slot : Pool) {
     if (!Slot.Busy || Slot.KillSent || Slot.Proc.Pid <= 0)
       continue;
@@ -575,7 +717,106 @@ DaemonStats Server::stats() const {
   S.CacheEntries = Cache.entries();
   S.CacheBytes = Cache.bytes();
   S.CacheEvictions = CC.Evictions;
+  S.QueueDepth = Queue.size();
+  auto Now = std::chrono::steady_clock::now();
+  for (const auto &KV : Crashes)
+    if (KV.second.Quarantined && Now < KV.second.Until)
+      ++S.QuarantinedKeys;
   return S;
+}
+
+void Server::drain() {
+  if (Pool.empty() && Queue.empty())
+    return; // never started, or already torn down
+  Draining = true;
+
+  // Stop accepting immediately: the socket file disappears, so fresh
+  // connects fail fast instead of queueing behind a dying daemon.
+  if (ListenFd >= 0) {
+    ::close(ListenFd);
+    ListenFd = -1;
+    ::unlink(Opts.SocketPath.c_str());
+  }
+
+  // Shed everything queued but not yet on a worker: those clients can
+  // retry elsewhere; work already running is worth finishing.
+  std::uint64_t Shed = 0;
+  std::deque<PendingJob> Dropped;
+  Dropped.swap(Queue);
+  for (PendingJob &P : Dropped)
+    for (const Waiter &W : P.Waiters) {
+      if (W.ClientSeq == 0)
+        continue;
+      ++Shed;
+      noteReplied(W.ClientSeq);
+      sendOverloaded(W.ClientSeq, W.ReqId, Counters.ShedDraining,
+                     "daemon draining");
+    }
+
+  // Finish in-flight jobs and flush replies, bounded by DrainMs.
+  // Deadline kills stay armed, so a hung worker cannot stall the exit
+  // past its ceiling; onWorkerDeath skips retries while Draining.
+  auto Deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(Opts.DrainMs);
+  std::vector<pollfd> Fds;
+  std::vector<std::size_t> SlotOfFd;
+  std::vector<std::uint64_t> ClientOfFd;
+  for (;;) {
+    bool BusyWorkers = false;
+    for (const WorkerSlot &Slot : Pool)
+      if (Slot.Busy)
+        BusyWorkers = true;
+    bool PendingOut = false;
+    for (const auto &KV : Clients)
+      if (KV.second.OutPos < KV.second.OutBuf.size())
+        PendingOut = true;
+    if (!BusyWorkers && !PendingOut)
+      break;
+    if (std::chrono::steady_clock::now() >= Deadline)
+      break; // shutdown()'s SIGKILL backstop owns the stragglers
+
+    Fds.clear();
+    SlotOfFd.clear();
+    ClientOfFd.clear();
+    for (std::size_t W = 0; W != Pool.size(); ++W) {
+      if (Pool[W].Proc.ResFd < 0)
+        continue;
+      Fds.push_back({Pool[W].Proc.ResFd, POLLIN, 0});
+      SlotOfFd.push_back(W);
+      ClientOfFd.push_back(0);
+    }
+    std::size_t ClientBase = Fds.size();
+    for (auto &KV : Clients) {
+      if (KV.second.OutPos >= KV.second.OutBuf.size())
+        continue;
+      Fds.push_back({KV.second.Fd, POLLOUT, 0});
+      SlotOfFd.push_back(0);
+      ClientOfFd.push_back(KV.first);
+    }
+    ::poll(Fds.data(), Fds.size(), static_cast<int>(Opts.PollMs));
+    scanDeadlines();
+    for (std::size_t I = 0; I != Fds.size(); ++I) {
+      if (Fds[I].revents == 0)
+        continue;
+      if (I < ClientBase) {
+        readWorker(SlotOfFd[I]);
+        continue;
+      }
+      auto It = Clients.find(ClientOfFd[I]);
+      if (It != Clients.end() && !flushClient(It->second))
+        dropClient(ClientOfFd[I]);
+    }
+  }
+
+  // Only a shutdown that actually had work to wind down merits a log
+  // line; a quiet exit stays quiet.
+  if (Counters.DrainedJobs != 0 || Shed != 0)
+    std::fprintf(stderr,
+                 "optoctd: drained %llu in-flight job(s), shed %llu queued "
+                 "request(s)\n",
+                 static_cast<unsigned long long>(Counters.DrainedJobs),
+                 static_cast<unsigned long long>(Shed));
+  Draining = false;
 }
 
 void Server::shutdown() {

@@ -29,9 +29,24 @@
 ///      supervisor SIGKILL past the deadline, timeout) result for that
 ///      one request; the worker is respawned and the queue drains on.
 ///
-/// Shutdown (requestStop, async-signal-safe): stop accepting, drop
-/// clients, close job pipes (workers exit on EOF), reap with a SIGKILL
-/// backstop, persist the cache if a path is configured.
+/// Overload ladder (each rung bounded, none lies):
+///   * coalescing — concurrent misses on one fingerprint attach to the
+///     in-flight computation; all waiters get the byte-identical reply
+///     for one worker execution.
+///   * admission control — the pending queue is bounded (MaxQueueDepth)
+///     with a per-client cap (MaxClientPending); past either, the
+///     daemon replies "overloaded" with a suggested backoff instead of
+///     buffering unboundedly. DaemonClient::analyzeRetry is the
+///     matching client half.
+///   * quarantine — a fingerprint whose worker dies QuarantineAfter
+///     times is negatively cached for QuarantineTtlMs: further requests
+///     replay the crashed verdict instead of consuming fresh workers.
+///
+/// Shutdown (requestStop, async-signal-safe): stop accepting, shed the
+/// queue with "overloaded", *finish* in-flight jobs and their coalesced
+/// waiters (bounded by DrainMs), then close job pipes (workers exit on
+/// EOF), reap with a SIGKILL backstop, persist the cache if a path is
+/// configured.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -81,6 +96,32 @@ struct ServerOptions {
   /// batch --retries semantics; deterministic failures never retry).
   unsigned MaxAttempts = 1;
 
+  /// Admission control: jobs queued (not yet on a worker) past this
+  /// bound are shed with an "overloaded" reply instead of buffered.
+  std::size_t MaxQueueDepth = 256;
+  /// Unanswered admitted requests (queued, running, or coalesced) per
+  /// client connection before further ones are shed.
+  unsigned MaxClientPending = 32;
+  /// Base of the server-suggested backoff hint in overloaded replies;
+  /// the hint scales with queue depth up to ~2x this base.
+  unsigned OverloadRetryMs = 50;
+
+  /// Worker deaths (crash or hard-kill) on one fingerprint before it is
+  /// quarantined: further requests replay the negatively-cached verdict
+  /// for QuarantineTtlMs instead of consuming fresh workers. 0 = off.
+  unsigned QuarantineAfter = 3;
+  std::uint64_t QuarantineTtlMs = 60'000;
+
+  /// Hard per-request wall-clock ceiling applied when no deadline is
+  /// configured (Worker.Budget.DeadlineMs == 0), so a hung worker can
+  /// never wedge its coalesced waiters forever. 0 = genuinely
+  /// unlimited (opt-in).
+  std::uint64_t MaxRequestMs = 300'000;
+
+  /// Graceful-drain budget on stop: in-flight jobs get this long to
+  /// finish (deadline kills stay armed) before teardown proceeds.
+  std::uint64_t DrainMs = 5'000;
+
   /// Worker policy: Budget.DeadlineMs, MaxRssMb, RecycleAfter, and
   /// HardKillGraceMs apply per worker exactly as in batch process mode.
   /// Engine options here are ignored — each request carries its own.
@@ -122,16 +163,31 @@ private:
     std::string OutBuf;     ///< Frames rendered but not yet written.
     std::size_t OutPos = 0; ///< Written prefix of OutBuf.
     bool Drop = false;      ///< Close once OutBuf drains.
+    unsigned Pending = 0;   ///< Admitted, unanswered requests.
+  };
+
+  /// One party awaiting a job's result: the admitting requester or a
+  /// coalesced duplicate. ClientSeq 0 = already disconnected.
+  struct Waiter {
+    std::uint64_t ClientSeq = 0;
+    std::uint64_t ReqId = 0;
   };
 
   struct PendingJob {
-    std::uint64_t ClientSeq = 0; ///< 0 = requester already disconnected.
-    std::uint64_t ReqId = 0;
+    std::vector<Waiter> Waiters; ///< [0] is the admitting request.
     std::uint64_t Key = 0;
     runtime::BatchJob Job;
     std::string EngineBlob; ///< encodeEngineOptions for the worker.
     bool NoCache = false;
     unsigned Attempt = 1;
+  };
+
+  /// Per-fingerprint crash ledger backing the poison quarantine.
+  struct CrashEntry {
+    unsigned Deaths = 0;     ///< Worker deaths attributed to this key.
+    bool Quarantined = false;
+    std::chrono::steady_clock::time_point Until{}; ///< TTL expiry.
+    std::string Record; ///< Canonicalized verdict replayed while quarantined.
   };
 
   struct WorkerSlot {
@@ -157,6 +213,20 @@ private:
   void onWorkerDeath(std::size_t W);
   void finishJob(const PendingJob &P, runtime::JobResult R, bool Cacheable);
   void scanDeadlines();
+  /// The in-flight or queued non-NoCache job for \p Key, if any — the
+  /// coalescing target for a concurrent duplicate miss.
+  PendingJob *findInFlight(std::uint64_t Key);
+  /// Server-suggested backoff for an overloaded reply: scales with the
+  /// current queue depth so a deeper backlog pushes clients further out.
+  std::uint64_t retryHintMs() const;
+  /// Sheds one request with an "overloaded" reply, bumping \p Counter.
+  void sendOverloaded(std::uint64_t Seq, std::uint64_t ReqId,
+                      std::uint64_t &Counter, const char *Reason);
+  /// Bookkeeping for any reply to an *admitted* waiter.
+  void noteReplied(std::uint64_t Seq);
+  /// Graceful drain: shed the queue, finish in-flight jobs (bounded by
+  /// DrainMs), flush client buffers. Runs between serve() and shutdown().
+  void drain();
 
   ServerOptions Opts;
   InvariantCache Cache;
@@ -174,6 +244,8 @@ private:
   std::uint64_t NextClientSeq = 1;
   std::vector<WorkerSlot> Pool;
   std::deque<PendingJob> Queue;
+  std::map<std::uint64_t, CrashEntry> Crashes; ///< Quarantine ledger.
+  bool Draining = false; ///< In drain(): shed admissions, no retries.
 };
 
 } // namespace optoct::server

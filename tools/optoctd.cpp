@@ -24,6 +24,26 @@
 ///                         times if its worker crashes
 ///     --max-frame-mb=<n>  per-client frame size bound (default 16)
 ///     --max-clients=<n>   concurrent connection cap (default 64)
+///     --max-queue=<n>     pending-request high-water mark; past it
+///                         requests are shed with "overloaded"
+///                         (default 256)
+///     --max-pending=<n>   unanswered requests per client connection
+///                         before shedding (default 32)
+///     --overload-retry-ms=<n>
+///                         base of the backoff hint in overloaded
+///                         replies (default 50)
+///     --quarantine-after=<n>
+///                         worker deaths on one fingerprint before it
+///                         is quarantined (default 3; 0 = off)
+///     --quarantine-ttl-ms=<n>
+///                         quarantine entry lifetime (default 60000)
+///     --max-request-ms=<n>
+///                         hard per-request ceiling when no
+///                         --deadline-ms is set, so a hung worker can
+///                         never wedge its waiters (default 300000;
+///                         0 = unlimited)
+///     --drain-ms=<n>      SIGTERM drain budget for in-flight work
+///                         (default 5000)
 ///     --inject=<spec>, --fault-seed=<n>
 ///                         seeded fault injection, inherited by workers
 ///                         (spec as in optoct_batch; the daemon-smoke
@@ -39,6 +59,13 @@
 ///     --no-cache          ask the daemon to skip cache lookups
 ///     --stats             print daemon counters after the jobs
 ///     --invariants        print loop-head invariants per response
+///     --retry-attempts=<n>
+///                         attempts per request under the client retry
+///                         policy — transport errors and "overloaded"
+///                         sheds retry with capped exponential backoff
+///                         + jitter, honoring the daemon's hint
+///                         (default 4; 1 = single-shot)
+///     --retry-base-ms=<n> first-retry backoff base (default 25)
 ///     --widening-delay=<k>, --narrowing=<k>, --no-linearize,
 ///     --thresholds=a,b,..., --max-cells=<n>
 ///                         per-request engine options
@@ -47,10 +74,11 @@
 ///   <name> <STATUS> <proven>/<total> cached=<0|1> key=<hex> digest=<hex>
 /// where digest is the FNV-64 of the (canonicalized) result record —
 /// two passes over the same workload must print identical digests,
-/// cached or not.
+/// cached or not. A request still shed after every retry prints
+///   <name> OVERLOADED after <n> attempts (retry_ms=<hint>)
 ///
-/// Exit codes: 0 all responses ok and proven, 1 some unproven or
-/// failed, 2 usage/transport errors, 3 some request crashed its worker.
+/// Exit codes: 0 all responses ok and proven, 1 some unproven, failed,
+/// or shed, 2 usage/transport errors, 3 some request crashed its worker.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -90,6 +118,7 @@ struct DaemonCliOptions {
   bool PrintInvariants = false;
   analysis::AnalysisOptions Engine;
   std::uint64_t MaxDbmCells = 0;
+  server::RetryPolicy Retry;
 };
 
 void usage(const char *Argv0) {
@@ -98,9 +127,13 @@ void usage(const char *Argv0) {
       "usage: %s --socket=<path> [--workers=N] [--cache-mb=N]\n"
       "       [--cache-file=<path>] [--deadline-ms=<n>] [--max-rss-mb=<n>]\n"
       "       [--recycle-after=<n>] [--retries=<n>] [--max-frame-mb=<n>]\n"
-      "       [--max-clients=<n>] [--inject=<spec>] [--fault-seed=<n>]\n"
+      "       [--max-clients=<n>] [--max-queue=<n>] [--max-pending=<n>]\n"
+      "       [--overload-retry-ms=<n>] [--quarantine-after=<n>]\n"
+      "       [--quarantine-ttl-ms=<n>] [--max-request-ms=<n>]\n"
+      "       [--drain-ms=<n>] [--inject=<spec>] [--fault-seed=<n>]\n"
       "   or: %s --client --socket=<path> [files.imp...] [--generated]\n"
       "       [--repeat=<n>] [--no-cache] [--stats] [--invariants]\n"
+      "       [--retry-attempts=<n>] [--retry-base-ms=<n>]\n"
       "       [--widening-delay=<k>] [--narrowing=<k>] [--no-linearize]\n"
       "       [--thresholds=a,b,...] [--max-cells=<n>]\n",
       Argv0, Argv0);
@@ -183,6 +216,41 @@ bool parseArgs(int Argc, char **Argv, DaemonCliOptions &Opts) {
     } else if (Arg.rfind("--max-clients=", 0) == 0) {
       if (!parseUnsigned(Arg.substr(14), "--max-clients",
                          Opts.Server.MaxClients))
+        return false;
+    } else if (Arg.rfind("--max-queue=", 0) == 0) {
+      if (!parseU64(Arg.substr(12), "--max-queue", U))
+        return false;
+      Opts.Server.MaxQueueDepth = static_cast<std::size_t>(U);
+    } else if (Arg.rfind("--max-pending=", 0) == 0) {
+      if (!parseUnsigned(Arg.substr(14), "--max-pending",
+                         Opts.Server.MaxClientPending))
+        return false;
+    } else if (Arg.rfind("--overload-retry-ms=", 0) == 0) {
+      if (!parseUnsigned(Arg.substr(20), "--overload-retry-ms",
+                         Opts.Server.OverloadRetryMs))
+        return false;
+    } else if (Arg.rfind("--quarantine-after=", 0) == 0) {
+      if (!parseUnsigned(Arg.substr(19), "--quarantine-after",
+                         Opts.Server.QuarantineAfter))
+        return false;
+    } else if (Arg.rfind("--quarantine-ttl-ms=", 0) == 0) {
+      if (!parseU64(Arg.substr(20), "--quarantine-ttl-ms",
+                    Opts.Server.QuarantineTtlMs))
+        return false;
+    } else if (Arg.rfind("--max-request-ms=", 0) == 0) {
+      if (!parseU64(Arg.substr(17), "--max-request-ms",
+                    Opts.Server.MaxRequestMs))
+        return false;
+    } else if (Arg.rfind("--drain-ms=", 0) == 0) {
+      if (!parseU64(Arg.substr(11), "--drain-ms", Opts.Server.DrainMs))
+        return false;
+    } else if (Arg.rfind("--retry-attempts=", 0) == 0) {
+      if (!parseUnsigned(Arg.substr(17), "--retry-attempts",
+                         Opts.Retry.MaxAttempts))
+        return false;
+    } else if (Arg.rfind("--retry-base-ms=", 0) == 0) {
+      if (!parseUnsigned(Arg.substr(16), "--retry-base-ms",
+                         Opts.Retry.BaseBackoffMs))
         return false;
     } else if (Arg.rfind("--inject=", 0) == 0) {
       std::string Error;
@@ -301,7 +369,11 @@ void printStats(const server::DaemonStats &S) {
               "cache_hits=%llu cache_misses=%llu cache_entries=%llu "
               "cache_bytes=%llu cache_evictions=%llu crashed=%llu "
               "timeouts=%llu workers=%llu spawned=%llu worker_crashes=%llu "
-              "recycled=%llu hard_kills=%llu\n",
+              "recycled=%llu hard_kills=%llu shed_queue_full=%llu "
+              "shed_client_cap=%llu shed_draining=%llu queue_depth=%llu "
+              "queue_peak=%llu coalesced_replies=%llu "
+              "quarantine_replies=%llu quarantined_keys=%llu "
+              "quarantined_total=%llu drained_jobs=%llu\n",
               static_cast<unsigned long long>(S.Requests),
               static_cast<unsigned long long>(S.Served),
               static_cast<unsigned long long>(S.Rejected),
@@ -316,7 +388,17 @@ void printStats(const server::DaemonStats &S) {
               static_cast<unsigned long long>(S.WorkersSpawned),
               static_cast<unsigned long long>(S.WorkersCrashed),
               static_cast<unsigned long long>(S.WorkersRecycled),
-              static_cast<unsigned long long>(S.HardKills));
+              static_cast<unsigned long long>(S.HardKills),
+              static_cast<unsigned long long>(S.ShedQueueFull),
+              static_cast<unsigned long long>(S.ShedClientCap),
+              static_cast<unsigned long long>(S.ShedDraining),
+              static_cast<unsigned long long>(S.QueueDepth),
+              static_cast<unsigned long long>(S.QueuePeak),
+              static_cast<unsigned long long>(S.CoalescedReplies),
+              static_cast<unsigned long long>(S.QuarantineReplies),
+              static_cast<unsigned long long>(S.QuarantinedKeys),
+              static_cast<unsigned long long>(S.QuarantinedTotal),
+              static_cast<unsigned long long>(S.DrainedJobs));
 }
 
 int runClient(const DaemonCliOptions &Opts) {
@@ -351,10 +433,18 @@ int runClient(const DaemonCliOptions &Opts) {
       Req.MaxDbmCells = Opts.MaxDbmCells;
       Req.NoCache = Opts.NoCache;
       server::AnalyzeResponse Resp;
-      if (!Client.analyze(std::move(Req), Resp, Error)) {
+      unsigned Attempts = 0;
+      if (!Client.analyzeRetry(Req, Opts.Retry, Resp, Error, &Attempts)) {
         std::fprintf(stderr, "optoctd: %s: %s\n", Job.Name.c_str(),
                      Error.c_str());
         return 2;
+      }
+      if (Resp.Overloaded) {
+        std::printf("%-24s OVERLOADED after %u attempts (retry_ms=%llu)\n",
+                    Job.Name.c_str(), Attempts,
+                    static_cast<unsigned long long>(Resp.RetryMs));
+        AllProven = false;
+        continue;
       }
       if (!Resp.Ok) {
         std::printf("%-24s REJECTED: %s\n", Job.Name.c_str(),
