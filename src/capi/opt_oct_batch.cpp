@@ -3,6 +3,7 @@
 #include "capi/opt_oct_batch.h"
 
 #include "runtime/batch.h"
+#include "runtime/shard.h"
 
 using namespace optoct;
 
@@ -95,6 +96,40 @@ opt_oct_batch_run_isolated(const char *const *names,
   return runWithOptions(names, sources, count, Opts);
 }
 
+opt_oct_batch_report_t *
+opt_oct_batch_run_sharded(const char *const *names,
+                          const char *const *sources, size_t count,
+                          unsigned nodes, unsigned shard_size,
+                          uint64_t lease_ms, const char *journal_prefix,
+                          int resume) {
+  if (count != 0 && (!names || !sources))
+    return nullptr;
+  // Resume needs journals to resume from; a temp prefix cannot have any.
+  if (resume && (!journal_prefix || !*journal_prefix))
+    return nullptr;
+  try {
+    std::vector<runtime::BatchJob> Jobs;
+    Jobs.reserve(count);
+    for (size_t I = 0; I != count; ++I)
+      Jobs.push_back({names[I] ? names[I] : "(null)",
+                      sources[I] ? sources[I] : ""});
+    runtime::BatchOptions Opts;
+    runtime::ShardOptions Shard;
+    Shard.Nodes = nodes == 0 ? 1 : nodes;
+    Shard.ShardSize = shard_size;
+    if (lease_ms != 0)
+      Shard.LeaseMs = lease_ms;
+    if (journal_prefix)
+      Shard.JournalPrefix = journal_prefix;
+    Shard.Resume = resume != 0;
+    auto *R = new opt_oct_batch_report_t;
+    R->Report = runtime::runShardedBatch(Jobs, Opts, Shard);
+    return R;
+  } catch (...) {
+    return nullptr;
+  }
+}
+
 opt_oct_batch_report_t *opt_oct_batch_resume(const char *const *names,
                                              const char *const *sources,
                                              size_t count, unsigned jobs,
@@ -121,6 +156,10 @@ uint64_t opt_oct_batch_total_closures(const opt_oct_batch_report_t *r) {
 
 unsigned opt_oct_batch_jobs_resumed(const opt_oct_batch_report_t *r) {
   return r ? r->Report.JobsResumed : 0;
+}
+
+unsigned opt_oct_batch_jobs_lost(const opt_oct_batch_report_t *r) {
+  return r ? r->Report.Shard.JobsLost : 0;
 }
 
 uint64_t opt_oct_batch_audit_incidents(const opt_oct_batch_report_t *r) {

@@ -87,6 +87,32 @@ opt_oct_batch_run_isolated(const char *const *names,
                            unsigned jobs, uint64_t deadline_ms,
                            uint64_t max_rss_mb, unsigned max_attempts);
 
+/* Sharded multi-node variant (recovery Level 4): the batch is split
+ * into job shards leased to `nodes` forked worker-node processes; each
+ * node journals its completions to "<journal_prefix>.node<slot>"
+ * (fsync per record) and the coordinator merges the journals into one
+ * report that is byte-identical (in canonical terms: verdicts,
+ * invariants, assert counts) to a single-node run. Nodes that crash or
+ * stop heartbeating have their leases revoked and their incomplete
+ * jobs re-leased elsewhere; duplicate completions from work-stealing
+ * races are deduplicated deterministically. `shard_size` is jobs per
+ * lease (0 = auto), `lease_ms` the heartbeat-renewed lease duration
+ * (0 = default 10s; must exceed the longest single job). A NULL or
+ * empty `journal_prefix` uses a private temp prefix deleted after the
+ * run; with a real prefix and `resume` nonzero, surviving node
+ * journals from an interrupted run (even one whose coordinator was
+ * SIGKILLed) are merged first and only the missing jobs are run.
+ * Jobs re-leased too many times are reported as
+ * OPT_OCT_BATCH_JOB_CRASHED and counted by opt_oct_batch_jobs_lost.
+ * Returns NULL on invalid arguments, if no node can be forked, or on
+ * a resume fingerprint mismatch. */
+opt_oct_batch_report_t *
+opt_oct_batch_run_sharded(const char *const *names,
+                          const char *const *sources, size_t count,
+                          unsigned nodes, unsigned shard_size,
+                          uint64_t lease_ms, const char *journal_prefix,
+                          int resume);
+
 /* Convenience wrapper: opt_oct_batch_run_journaled with resume = 1. */
 opt_oct_batch_report_t *opt_oct_batch_resume(const char *const *names,
                                              const char *const *sources,
@@ -100,6 +126,10 @@ double opt_oct_batch_wall_seconds(const opt_oct_batch_report_t *r);
 uint64_t opt_oct_batch_total_closures(const opt_oct_batch_report_t *r);
 /* Jobs whose results were loaded from the journal instead of run. */
 unsigned opt_oct_batch_jobs_resumed(const opt_oct_batch_report_t *r);
+/* Sharded runs only: jobs declared unrecoverably lost (re-leased past
+ * the release cap with no surviving journal record). Nonzero means the
+ * report is incomplete in the same way the CLI's exit code 4 is. */
+unsigned opt_oct_batch_jobs_lost(const opt_oct_batch_report_t *r);
 /* Corruption events detected and recovered by the audit layer (0 when
  * audit mode was off). */
 uint64_t opt_oct_batch_audit_incidents(const opt_oct_batch_report_t *r);

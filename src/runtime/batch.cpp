@@ -297,6 +297,10 @@ void tallyReport(BatchReport &Report) {
 
 } // namespace
 
+void optoct::runtime::tallyBatchReport(BatchReport &Report) {
+  tallyReport(Report);
+}
+
 JobResult optoct::runtime::runJob(const BatchJob &Job,
                                   const BatchOptions &Opts) {
   support::CancellationToken Token;
@@ -483,6 +487,20 @@ std::string optoct::runtime::reportToJson(const BatchReport &Report,
           << ", \"workers_crashed\": " << S.WorkersCrashed
           << ", \"workers_recycled\": " << S.WorkersRecycled
           << ", \"hard_kills\": " << S.HardKills << "},\n";
+    }
+    if (Report.Shard.Nodes != 0) {
+      // Coordinator counters depend on which node a kill or theft lands
+      // on, so like the supervisor's they stay out of canonical output.
+      const ShardStats &S = Report.Shard;
+      Out << "  \"shard\": {\"nodes\": " << S.Nodes
+          << ", \"nodes_spawned\": " << S.NodesSpawned
+          << ", \"nodes_died\": " << S.NodesDied
+          << ", \"leases_granted\": " << S.LeasesGranted
+          << ", \"leases_expired\": " << S.LeasesExpired
+          << ", \"releases\": " << S.Releases
+          << ", \"jobs_stolen\": " << S.JobsStolen
+          << ", \"duplicates_discarded\": " << S.DuplicatesDiscarded
+          << ", \"jobs_lost\": " << S.JobsLost << "},\n";
     }
   }
   Out << "  \"jobs_ok\": " << Report.JobsOk << ",\n";

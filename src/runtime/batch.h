@@ -186,6 +186,24 @@ struct SupervisorStats {
   unsigned HardKills = 0;       ///< SIGKILL escalations past deadline.
 };
 
+/// Coordinator-side counters for a sharded multi-node run (all zero
+/// otherwise; see runtime/shard.h). Like SupervisorStats they are
+/// placement- and timing-dependent, so they render only in
+/// non-canonical JSON.
+struct ShardStats {
+  unsigned Nodes = 0;          ///< Node slots the coordinator ran with.
+  unsigned NodesSpawned = 0;   ///< Forks, including respawns after death.
+  unsigned NodesDied = 0;      ///< Node processes that died or wedged.
+  unsigned LeasesGranted = 0;  ///< Shard leases handed out.
+  unsigned LeasesExpired = 0;  ///< Leases revoked for missed heartbeats.
+  unsigned Releases = 0;       ///< Jobs re-leased after a node loss.
+  unsigned JobsStolen = 0;     ///< Jobs trimmed from a busy node's lease
+                               ///< and granted to an idle one.
+  unsigned DuplicatesDiscarded = 0; ///< Journal-merge dedup discards.
+  unsigned JobsLost = 0;       ///< Jobs with no genuine result (shard
+                               ///< loss); nonzero => exit code 4.
+};
+
 /// Whole-batch outcome. Results[i] always corresponds to Jobs[i].
 struct BatchReport {
   std::vector<JobResult> Results;
@@ -201,6 +219,7 @@ struct BatchReport {
   unsigned Retries = 0;     ///< Extra attempts consumed across all jobs.
   unsigned JobsResumed = 0; ///< Results loaded from the journal, not run.
   SupervisorStats Supervisor; ///< Process-mode pool counters.
+  ShardStats Shard;           ///< Multi-node coordinator counters.
 
   // Aggregates over all jobs with results (Ok flag).
   unsigned AssertsProven = 0, AssertsTotal = 0;
@@ -232,6 +251,11 @@ JobResult runJobSingleAttempt(const BatchJob &Job, const BatchOptions &Opts,
 /// Runs every job, sharded over Opts.Jobs workers, and aggregates.
 BatchReport runBatch(const std::vector<BatchJob> &Jobs,
                      const BatchOptions &Opts = {});
+
+/// Folds Report.Results into the status counts and aggregate fields
+/// (shared by runBatch and the multi-node coordinator in
+/// runtime/shard.h, which assembles Results from merged journals).
+void tallyBatchReport(BatchReport &Report);
 
 /// Machine-readable rendering of a report (the CLI's --json output).
 /// With \p Canonical set, every timing-dependent field (wall times,

@@ -82,8 +82,12 @@ bool InvariantCache::save(const std::string &Path, std::string &Error) const {
   return runtime::writeFileAtomic(Path, Out.str(), Error);
 }
 
-bool InvariantCache::load(const std::string &Path, std::string &Error) {
+bool InvariantCache::load(const std::string &Path, std::string &Error,
+                          CacheLoadStats *Stats) {
   Error.clear();
+  CacheLoadStats Local;
+  CacheLoadStats &S = Stats ? *Stats : Local;
+  S = CacheLoadStats();
   std::ifstream In(Path, std::ios::binary);
   if (!In) {
     // No cache yet — a fresh daemon. Only an *unreadable existing* file
@@ -98,30 +102,41 @@ bool InvariantCache::load(const std::string &Path, std::string &Error) {
   std::size_t Pos = Data.find('\n');
   if (Pos == std::string::npos || Data.substr(0, Pos) != CacheMagic) {
     Error = "bad cache magic";
+    S.BytesDiscarded = Data.size();
     return false;
   }
   ++Pos;
+  // Stop at the first bad record, keeping the salvaged prefix and
+  // recording why and how much of the file was thrown away.
+  auto Salvage = [&](const char *Why) {
+    S.Corruption = Why;
+    S.BytesKept = Pos;
+    S.BytesDiscarded = Data.size() - Pos;
+    return true;
+  };
   while (Pos < Data.size()) {
     std::size_t Nl = Data.find('\n', Pos);
     if (Nl == std::string::npos)
-      return true; // torn tail: keep the salvaged prefix
+      return Salvage("torn entry header");
     std::string Line = Data.substr(Pos, Nl - Pos);
     if (Line.rfind("ent ", 0) != 0)
-      return true;
+      return Salvage("unrecognized entry line");
     std::istringstream Fields(Line.substr(4));
     std::string KeyS, LenS, SumS;
     std::uint64_t Key = 0, Len = 0, Sum = 0;
     if (!(Fields >> KeyS >> LenS >> SumS) || !parseHex64(KeyS, Key) ||
         !parseU64(LenS, Len) || !parseHex64(SumS, Sum))
-      return true;
+      return Salvage("malformed entry header");
     std::size_t BodyStart = Nl + 1;
     if (Len > Data.size() - BodyStart)
-      return true; // truncated body
+      return Salvage("truncated record body");
     std::string Record = Data.substr(BodyStart, static_cast<std::size_t>(Len));
-    Pos = BodyStart + static_cast<std::size_t>(Len);
     if (fnv1a64(Record) != Sum)
-      return true; // corrupt body: stop, keep prefix
+      return Salvage("record checksum mismatch");
+    Pos = BodyStart + static_cast<std::size_t>(Len);
     insert(Key, Record);
+    ++S.EntriesLoaded;
+    S.BytesKept = Pos;
   }
   return true;
 }

@@ -37,6 +37,18 @@
 
 namespace optoct::server {
 
+/// What InvariantCache::load found on disk — the daemon logs this so a
+/// corrupt cache file is a visible event (with a cold or warm start),
+/// never a silent one and never a fatal one.
+struct CacheLoadStats {
+  std::size_t EntriesLoaded = 0;   ///< Records inserted from the file.
+  std::size_t BytesKept = 0;       ///< File bytes covered by them.
+  std::size_t BytesDiscarded = 0;  ///< File bytes after the salvage stop.
+  /// Empty on a clean load; otherwise why the salvage stopped
+  /// ("record checksum mismatch", "truncated record body", ...).
+  std::string Corruption;
+};
+
 /// Monotonic cache counters (never reset by eviction).
 struct CacheCounters {
   std::uint64_t Hits = 0;
@@ -72,9 +84,12 @@ public:
 
   /// Loads a save() file into the current cache (entries insert in file
   /// order, restoring recency). A missing file is a fresh start (true);
-  /// a bad record stops the load keeping the valid prefix (true); only
-  /// an unreadable file or bad magic returns false with \p Error.
-  bool load(const std::string &Path, std::string &Error);
+  /// a bad record stops the load keeping the valid prefix (true, with
+  /// the reason and discarded byte count in \p Stats); only an
+  /// unreadable file or bad magic returns false with \p Error — and
+  /// even then the caller is expected to log and cold-start, not abort.
+  bool load(const std::string &Path, std::string &Error,
+            CacheLoadStats *Stats = nullptr);
 
 private:
   struct Entry {

@@ -115,9 +115,22 @@ bool Server::start(std::string &Error) {
 
   if (!Opts.CachePath.empty()) {
     std::string LoadError;
-    if (!Cache.load(Opts.CachePath, LoadError))
-      std::fprintf(stderr, "optoctd: ignoring cache file %s: %s\n",
-                   Opts.CachePath.c_str(), LoadError.c_str());
+    CacheLoadStats LoadStats;
+    if (!Cache.load(Opts.CachePath, LoadError, &LoadStats))
+      // Unusable file (bad magic / unreadable): a corrupt cache is a
+      // performance event, never a fatal one — log it and cold-start.
+      std::fprintf(stderr,
+                   "optoctd: discarding cache file %s (%s, %zu bytes); "
+                   "starting with a cold cache\n",
+                   Opts.CachePath.c_str(), LoadError.c_str(),
+                   LoadStats.BytesDiscarded);
+    else if (!LoadStats.Corruption.empty())
+      std::fprintf(stderr,
+                   "optoctd: cache file %s has a corrupt tail (%s); "
+                   "salvaged %zu entries (%zu bytes), discarded %zu bytes\n",
+                   Opts.CachePath.c_str(), LoadStats.Corruption.c_str(),
+                   LoadStats.EntriesLoaded, LoadStats.BytesKept,
+                   LoadStats.BytesDiscarded);
   }
 
   unsigned N = Opts.Workers != 0 ? Opts.Workers

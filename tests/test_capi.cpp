@@ -286,6 +286,43 @@ TEST(CApiBatch, BudgetedRunReportsStatusAndAttempts) {
   opt_oct_batch_free(R);
 }
 
+TEST(CApiBatch, ShardedRunMatchesSingleNodeVerdicts) {
+  const char *Names[] = {"a", "b", "c", "d", "e"};
+  const char *Sources[] = {
+      "var x; x = 1; assert(x <= 1);", "var x; x = 2; assert(x <= 2);",
+      "var x; x = 3; assert(x <= 3);", "var x; x = 4; assert(x <= 4);",
+      "var x; x = 5; assert(x <= 5);"};
+  opt_oct_batch_report_t *Base = opt_oct_batch_run(Names, Sources, 5, 1);
+  ASSERT_NE(Base, nullptr);
+  // Temp journal prefix, default lease/shard knobs, two nodes.
+  opt_oct_batch_report_t *Sharded = opt_oct_batch_run_sharded(
+      Names, Sources, 5, /*nodes=*/2, /*shard_size=*/0, /*lease_ms=*/0,
+      /*journal_prefix=*/nullptr, /*resume=*/0);
+  ASSERT_NE(Sharded, nullptr);
+  EXPECT_EQ(opt_oct_batch_num_jobs(Sharded), 5u);
+  EXPECT_EQ(opt_oct_batch_jobs_lost(Sharded), 0u);
+  for (size_t I = 0; I != 5; ++I) {
+    EXPECT_STREQ(opt_oct_batch_job_name(Sharded, I),
+                 opt_oct_batch_job_name(Base, I));
+    EXPECT_EQ(opt_oct_batch_job_status(Sharded, I),
+              opt_oct_batch_job_status(Base, I));
+    EXPECT_EQ(opt_oct_batch_job_asserts_proven(Sharded, I),
+              opt_oct_batch_job_asserts_proven(Base, I));
+  }
+  opt_oct_batch_free(Sharded);
+  opt_oct_batch_free(Base);
+
+  // Error paths: NULL arrays, and resume without a real prefix to
+  // resume from.
+  EXPECT_EQ(opt_oct_batch_run_sharded(nullptr, Sources, 1, 2, 0, 0,
+                                      nullptr, 0),
+            nullptr);
+  EXPECT_EQ(opt_oct_batch_run_sharded(Names, Sources, 5, 2, 0, 0, nullptr,
+                                      /*resume=*/1),
+            nullptr);
+  EXPECT_EQ(opt_oct_batch_jobs_lost(nullptr), 0u);
+}
+
 TEST(CApiBatch, IsolatedRunContainsWorkerCrash) {
   // A job poisoned with a real SIGSEGV costs one worker process, never
   // the embedding process: the report comes back with the poisoned job

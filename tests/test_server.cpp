@@ -656,6 +656,83 @@ TEST_F(DaemonCache, LoadSalvagesValidPrefixOfTornFile) {
   ::unlink(Path.c_str());
 }
 
+TEST_F(DaemonCache, LoadReportsSalvageDiagnostics) {
+  std::string Path = tempPath("cache_diag");
+  std::string Error;
+  {
+    server::InvariantCache Cache(1u << 20);
+    Cache.insert(1, std::string(200, 'a'));
+    Cache.insert(2, std::string(200, 'b'));
+    Cache.insert(3, std::string(200, 'c'));
+    ASSERT_TRUE(Cache.save(Path, Error)) << Error;
+  }
+  std::ifstream In(Path, std::ios::binary);
+  std::string Bytes((std::istreambuf_iterator<char>(In)),
+                    std::istreambuf_iterator<char>());
+  In.close();
+
+  // Clean load: no corruption reported, every byte accounted for.
+  {
+    server::InvariantCache Cache(1u << 20);
+    server::CacheLoadStats Stats;
+    ASSERT_TRUE(Cache.load(Path, Error, &Stats)) << Error;
+    EXPECT_EQ(Stats.EntriesLoaded, 3u);
+    EXPECT_EQ(Stats.BytesKept, Bytes.size());
+    EXPECT_EQ(Stats.BytesDiscarded, 0u);
+    EXPECT_TRUE(Stats.Corruption.empty());
+  }
+
+  // Truncation mid-record: two entries salvaged, tail bytes counted.
+  {
+    std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+    Out.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size() - 100));
+  }
+  {
+    server::InvariantCache Cache(1u << 20);
+    server::CacheLoadStats Stats;
+    ASSERT_TRUE(Cache.load(Path, Error, &Stats)) << Error;
+    EXPECT_EQ(Stats.EntriesLoaded, 2u);
+    EXPECT_EQ(Stats.Corruption, "truncated record body");
+    EXPECT_GT(Stats.BytesDiscarded, 0u);
+    EXPECT_EQ(Stats.BytesKept + Stats.BytesDiscarded, Bytes.size() - 100);
+  }
+
+  // A bit flip inside a record body trips its checksum, and the stats
+  // name the reason.
+  {
+    std::string Flipped = Bytes;
+    Flipped[Flipped.size() / 2] ^= 0x40;
+    std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+    Out.write(Flipped.data(), static_cast<std::streamsize>(Flipped.size()));
+  }
+  {
+    server::InvariantCache Cache(1u << 20);
+    server::CacheLoadStats Stats;
+    ASSERT_TRUE(Cache.load(Path, Error, &Stats)) << Error;
+    EXPECT_LT(Stats.EntriesLoaded, 3u);
+    EXPECT_EQ(Stats.Corruption, "record checksum mismatch");
+    EXPECT_GT(Stats.BytesDiscarded, 0u);
+  }
+
+  // A flipped magic header rejects the whole file — but still via a
+  // false return the caller can log, with the size it threw away.
+  {
+    std::string BadMagic = Bytes;
+    BadMagic[0] ^= 0x01;
+    std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+    Out.write(BadMagic.data(), static_cast<std::streamsize>(BadMagic.size()));
+  }
+  {
+    server::InvariantCache Cache(1u << 20);
+    server::CacheLoadStats Stats;
+    EXPECT_FALSE(Cache.load(Path, Error, &Stats));
+    EXPECT_EQ(Error, "bad cache magic");
+    EXPECT_EQ(Stats.BytesDiscarded, Bytes.size());
+    EXPECT_EQ(Cache.entries(), 0u);
+  }
+  ::unlink(Path.c_str());
+}
+
 TEST_F(DaemonCache, LoadRejectsForeignFile) {
   std::string Path = tempPath("cache_foreign");
   {
@@ -990,6 +1067,87 @@ TEST_F(Daemon, CachePersistsAcrossRestart) {
     ASSERT_TRUE(Client.queryStats(Stats, Error)) << Error;
     EXPECT_EQ(Stats.CacheHits, 1u);
     EXPECT_EQ(Stats.CacheMisses, 0u);
+  }
+  stopServer();
+  ::unlink(CachePath.c_str());
+}
+
+// Satellite regression: a corrupt persisted cache file must never stop
+// the daemon from starting — it logs, discards (or salvages), and
+// serves cold.
+TEST_F(Daemon, StartsColdOnCorruptCacheFile) {
+  std::string CachePath = tempPath("daemon_cache_corrupt");
+  {
+    std::ofstream Out(CachePath, std::ios::binary | std::ios::trunc);
+    Out << "xptoct-cache v1\nent garbage\n\x7f\x00\x13 bits";
+  }
+  server::ServerOptions Opts;
+  Opts.Workers = 1;
+  Opts.CachePath = CachePath;
+  startServer(Opts); // asserts start(Error) succeeded
+  server::DaemonClient Client;
+  connect(Client);
+  server::AnalyzeRequest Req;
+  Req.Job.Name = "after_corrupt_cache";
+  Req.Job.Source = loopProgram(9);
+  server::AnalyzeResponse Resp;
+  JobResult R = served(Client, Req, Resp);
+  EXPECT_EQ(R.Status, JobStatus::Ok);
+  EXPECT_FALSE(Resp.Cached) << "corrupt cache must cold-start";
+  server::DaemonStats Stats;
+  std::string Error;
+  ASSERT_TRUE(Client.queryStats(Stats, Error)) << Error;
+  EXPECT_EQ(Stats.CacheHits, 0u);
+  stopServer();
+  ::unlink(CachePath.c_str());
+}
+
+// A bit-flipped (salvageable-prefix) cache file also starts fine,
+// keeping the valid prefix: warm hits for salvaged entries, cold for
+// the discarded tail.
+TEST_F(Daemon, SalvagesCacheTailCorruptionOnStartup) {
+  std::string CachePath = tempPath("daemon_cache_tail");
+  server::ServerOptions Opts;
+  Opts.Workers = 1;
+  Opts.CachePath = CachePath;
+
+  startServer(Opts);
+  server::AnalyzeRequest First, Second;
+  First.Job.Name = "salvaged";
+  First.Job.Source = loopProgram(11);
+  Second.Job.Name = "discarded";
+  Second.Job.Source = loopProgram(13);
+  {
+    server::DaemonClient Client;
+    connect(Client);
+    server::AnalyzeResponse Resp;
+    served(Client, First, Resp);
+    served(Client, Second, Resp); // hottest → saved last in the file
+  }
+  stopServer(); // persists both entries
+
+  // Flip a byte in the last record's body: the salvage keeps "salvaged"
+  // (cold end, saved first) and discards "discarded".
+  {
+    std::ifstream In(CachePath, std::ios::binary);
+    std::string Bytes((std::istreambuf_iterator<char>(In)),
+                      std::istreambuf_iterator<char>());
+    In.close();
+    ASSERT_GT(Bytes.size(), 8u);
+    Bytes[Bytes.size() - 4] ^= 0x20;
+    std::ofstream Out(CachePath, std::ios::binary | std::ios::trunc);
+    Out.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
+  }
+
+  startServer(Opts);
+  {
+    server::DaemonClient Client;
+    connect(Client);
+    server::AnalyzeResponse Resp;
+    served(Client, First, Resp);
+    EXPECT_TRUE(Resp.Cached) << "valid prefix entry must survive salvage";
+    served(Client, Second, Resp);
+    EXPECT_FALSE(Resp.Cached) << "corrupt-tail entry must be discarded";
   }
   stopServer();
   ::unlink(CachePath.c_str());

@@ -50,15 +50,36 @@
 ///     --canonical-json      omit timing fields from --json so reruns
 ///                           and resumed runs compare byte-identical
 ///
+///   Sharded multi-node tier (Level 4 of the recovery ladder):
+///     --nodes=N             shard the batch across N worker-node
+///                           processes under a lease-based coordinator;
+///                           killing any node mid-run re-leases its
+///                           shards and the merged report stays
+///                           byte-identical (canonical JSON) to the
+///                           single-node run. With --journal=<prefix>
+///                           the per-node journals land at
+///                           <prefix>.node<k> and --resume recovers
+///                           even from a SIGKILLed coordinator.
+///     --lease-ms=<n>        lease duration; renewed by each per-job
+///                           heartbeat, so it must exceed the longest
+///                           single job (default 10000)
+///     --shard-size=<n>      jobs per lease (0 = auto)
+///     --max-releases=<n>    times a job may take its node down before
+///                           it is declared lost (default 5)
+///     --no-steal            disable work stealing from busy nodes
+///
 /// Exit code: 0 if every job analyzed and all assertions were proven,
 /// 1 if some assertion is unknown or a job failed/degraded/timed out,
 /// 2 on usage errors or internal failures, 3 if any job CRASHED (its
-/// worker process died — process mode only).
+/// worker process died — process/shard mode only), 4 on unrecoverable
+/// shard loss (a job with no genuine result after exhausting its
+/// release cap — shard mode only). See README "Exit codes".
 ///
 //===----------------------------------------------------------------------===//
 
 #include "runtime/batch.h"
 #include "runtime/journal.h"
+#include "runtime/shard.h"
 #include "runtime/thread_pool.h"
 #include "support/faultinject.h"
 #include "workloads/workload.h"
@@ -77,6 +98,8 @@ namespace {
 
 struct BatchCliOptions {
   runtime::BatchOptions Batch;
+  runtime::ShardOptions Shard;
+  bool UseShard = false; ///< --nodes given: run the Level 4 coordinator.
   std::vector<std::string> Files;
   bool AddGenerated = false;
   bool PrintInvariants = false;
@@ -99,6 +122,8 @@ void usage(const char *Argv0) {
                "       [--isolate=thread|process] [--max-rss-mb=<n>] "
                "[--recycle-after=<n>]\n"
                "       [--journal=<path>] [--resume] [--canonical-json]\n"
+               "       [--nodes=N] [--lease-ms=<n>] [--shard-size=<n>]\n"
+               "       [--max-releases=<n>] [--no-steal]\n"
                "       [files.imp...]\n",
                Argv0);
 }
@@ -247,6 +272,27 @@ bool parseArgs(int Argc, char **Argv, BatchCliOptions &Opts) {
       Opts.Batch.JournalPath = Arg.substr(10);
     else if (Arg == "--resume")
       Opts.Batch.Resume = true;
+    else if (Arg.rfind("--nodes=", 0) == 0) {
+      if (!parseUnsigned(Arg.substr(8), "--nodes", Opts.Shard.Nodes))
+        return false;
+      if (Opts.Shard.Nodes == 0) {
+        std::fprintf(stderr, "error: --nodes expects at least 1\n");
+        return false;
+      }
+      Opts.UseShard = true;
+    } else if (Arg.rfind("--lease-ms=", 0) == 0) {
+      if (!parseU64(Arg.substr(11), "--lease-ms", Opts.Shard.LeaseMs))
+        return false;
+    } else if (Arg.rfind("--shard-size=", 0) == 0) {
+      if (!parseUnsigned(Arg.substr(13), "--shard-size",
+                         Opts.Shard.ShardSize))
+        return false;
+    } else if (Arg.rfind("--max-releases=", 0) == 0) {
+      if (!parseUnsigned(Arg.substr(15), "--max-releases",
+                         Opts.Shard.MaxJobReleases))
+        return false;
+    } else if (Arg == "--no-steal")
+      Opts.Shard.WorkSteal = false;
     else if (Arg == "--canonical-json")
       Opts.CanonicalJson = true;
     else if (Arg.rfind("--", 0) == 0) {
@@ -261,6 +307,13 @@ bool parseArgs(int Argc, char **Argv, BatchCliOptions &Opts) {
   }
   if (Opts.Batch.Resume && Opts.Batch.JournalPath.empty()) {
     std::fprintf(stderr, "error: --resume requires --journal=<path>\n");
+    return false;
+  }
+  if (Opts.UseShard &&
+      Opts.Batch.Isolation == runtime::IsolationMode::Process) {
+    std::fprintf(stderr,
+                 "error: --nodes already isolates jobs in node processes; "
+                 "it does not combine with --isolate=process\n");
     return false;
   }
   return true;
@@ -288,7 +341,20 @@ int run(int Argc, char **Argv) {
     for (const workloads::WorkloadSpec &Spec : workloads::paperBenchmarks())
       Jobs.push_back({Spec.Name, workloads::generateProgram(Spec)});
 
-  runtime::BatchReport Report = runtime::runBatch(Jobs, Opts.Batch);
+  runtime::BatchReport Report;
+  if (Opts.UseShard) {
+    // Level 4: --journal names the per-node journal *prefix* and
+    // --resume recovers from whatever journals survive (including after
+    // a SIGKILLed coordinator). The coordinator owns journaling, so the
+    // single-node journal knobs are handed over rather than applied.
+    Opts.Shard.JournalPrefix = Opts.Batch.JournalPath;
+    Opts.Shard.Resume = Opts.Batch.Resume;
+    Opts.Batch.JournalPath.clear();
+    Opts.Batch.Resume = false;
+    Report = runtime::runShardedBatch(Jobs, Opts.Batch, Opts.Shard);
+  } else {
+    Report = runtime::runBatch(Jobs, Opts.Batch);
+  }
 
   bool AllProven = true;
   for (const runtime::JobResult &R : Report.Results) {
@@ -347,10 +413,12 @@ int run(int Argc, char **Argv) {
   std::printf(") on %u %s in %.1f ms (%.1f jobs/s), "
               "%u/%u assertions proven\n",
               Report.Workers,
-              Opts.Batch.Isolation == runtime::IsolationMode::Process
-                  ? (Report.Workers == 1 ? "worker process"
-                                         : "worker processes")
-                  : (Report.Workers == 1 ? "worker" : "workers"),
+              Opts.UseShard
+                  ? (Report.Workers == 1 ? "node" : "nodes")
+                  : Opts.Batch.Isolation == runtime::IsolationMode::Process
+                        ? (Report.Workers == 1 ? "worker process"
+                                               : "worker processes")
+                        : (Report.Workers == 1 ? "worker" : "workers"),
               Report.WallSeconds * 1e3, Report.throughput(),
               Report.AssertsProven, Report.AssertsTotal);
   if (Report.Supervisor.WorkersSpawned != 0)
@@ -360,6 +428,15 @@ int run(int Argc, char **Argv) {
                 Report.Supervisor.WorkersCrashed,
                 Report.Supervisor.WorkersRecycled,
                 Report.Supervisor.HardKills);
+  if (Report.Shard.Nodes != 0)
+    std::printf("coordinator: %u nodes (%u spawned, %u died), %u leases "
+                "granted, %u expired, %u jobs re-leased, %u stolen, "
+                "%u duplicates discarded, %u lost\n",
+                Report.Shard.Nodes, Report.Shard.NodesSpawned,
+                Report.Shard.NodesDied, Report.Shard.LeasesGranted,
+                Report.Shard.LeasesExpired, Report.Shard.Releases,
+                Report.Shard.JobsStolen, Report.Shard.DuplicatesDiscarded,
+                Report.Shard.JobsLost);
 
   if (!Opts.JsonPath.empty()) {
     // Atomic write: a crash (or the CI kill-and-resume smoke's SIGKILL)
@@ -373,6 +450,8 @@ int run(int Argc, char **Argv) {
       return 2;
     }
   }
+  if (Report.Shard.JobsLost != 0)
+    return 4; // unrecoverable shard loss: some job has no genuine result
   if (Report.JobsCrashed != 0)
     return 3; // a worker process died under a job: the loudest failure
   return AllProven && Report.JobsOk == Report.Results.size() ? 0 : 1;
