@@ -20,6 +20,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "oct/simd_dispatch.h"
 #include "runtime/batch.h"
 #include "runtime/shard.h"
 #include "runtime/thread_pool.h"
@@ -209,7 +210,7 @@ int main(int Argc, char **Argv) {
     return 1;
   }
   Out << "{\n  \"bench\": \"bench_batch\",\n  "
-      << support::benchContextJson() << ",\n"
+      << support::benchContextJson(simdTierName(activeSimdTier())) << ",\n"
       << "  \"jobs\": " << Jobs.size() << ",\n"
       << "  \"hardware_threads\": " << Hw << ",\n"
       << "  \"repeats\": " << Repeats << ",\n"

@@ -25,15 +25,18 @@
 
 #include "oct/config.h"
 #include "oct/octagon.h"
+#include "oct/simd_dispatch.h"
 #include "support/cpuinfo.h"
 #include "support/random.h"
 #include "support/table.h"
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <functional>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -155,27 +158,53 @@ void runShape(const std::string &Shape, unsigned N, unsigned K, Octagon &A,
 
 } // namespace
 
+/// Geometric mean of the per-op speedups of one (shape, n, k) group —
+/// the summary number the "closing the decomposed gap" experiment
+/// tracks across k.
+std::map<std::string, double> shapeGeomeans(const std::vector<Row> &Rows) {
+  std::map<std::string, std::pair<double, unsigned>> Acc;
+  for (const Row &R : Rows) {
+    if (R.speedup() <= 0)
+      continue;
+    std::string Key = R.Shape + "_n" + std::to_string(R.N);
+    if (R.Shape == "decomposed")
+      Key += "_k" + std::to_string(R.K);
+    auto &[LogSum, Count] = Acc[Key];
+    LogSum += std::log(R.speedup());
+    ++Count;
+  }
+  std::map<std::string, double> Out;
+  for (const auto &[Key, LC] : Acc)
+    Out[Key] = std::exp(LC.first / LC.second);
+  return Out;
+}
+
 int main(int Argc, char **Argv) {
   std::string JsonPath = "BENCH_operators.json";
   unsigned Repeats = 5;
+  bool Strict = false;
   for (int I = 1; I != Argc; ++I) {
     if (std::strncmp(Argv[I], "--json=", 7) == 0)
       JsonPath = Argv[I] + 7;
     else if (std::strncmp(Argv[I], "--repeats=", 10) == 0)
       Repeats = static_cast<unsigned>(std::strtoul(Argv[I] + 10, nullptr, 10));
+    else if (std::strcmp(Argv[I], "--strict") == 0)
+      Strict = true;
   }
   if (Repeats == 0)
     Repeats = 1;
 
   support::CpuFeatures Cpu = support::cpuFeatures();
+  const char *Tier = simdTierName(activeSimdTier());
   std::printf("=== Lattice-operator vectorization ablation "
-              "(compiled_avx=%d, cpu avx2=%d) ===\n\n",
-              Cpu.CompiledAvx, Cpu.Avx2);
-  if (!Cpu.CompiledAvx)
+              "(simd tier=%s, cpu avx2=%d avx512=%d) ===\n\n",
+              Tier, Cpu.Avx2, Cpu.Avx512);
+  if (activeSimdTier() == SimdTier::Scalar)
     std::fprintf(stderr,
-                 "warning: binary built without AVX (-DOPTOCT_NATIVE=OFF?); "
-                 "the \"vector\" column measures the span-restructured "
-                 "operators with scalar kernel tails, not SIMD\n");
+                 "warning: runtime dispatch selected the scalar tier "
+                 "(OPTOCT_SIMD=scalar, or no vector ISA on this cpu); the "
+                 "\"vector\" column measures the span-restructured operators "
+                 "with pinned-scalar kernels, not SIMD\n");
 
   bool Saved = octConfig().EnableVectorization;
   std::vector<Row> Rows;
@@ -189,15 +218,20 @@ int main(int Argc, char **Argv) {
     Tight.addConstraint(OctCons::upper(0, A.bounds(0).Hi - 1));
     runShape("dense", N, 1, A, B, Tight, Repeats, Rows);
   }
-  for (unsigned K : {4u, 16u}) {
-    unsigned N = 64;
-    Octagon A = makeDecomposed(N, K, 7), B = makeDecomposed(N, K, 8);
-    // Tighten a binary bound inside the first component by one (a unary
-    // bound would merge components during strengthening; the chain's
-    // opposite bound leaves slack 8, so -1 keeps Tight non-empty).
-    Octagon Tight = A;
-    Tight.addConstraint(OctCons::diff(1, 0, A.boundOf(OctCons::diff(1, 0, 0)) - 1));
-    runShape("decomposed", N, K, A, B, Tight, Repeats, Rows);
+  // The k-sweep of the blocked-layout experiment: component count k
+  // doubles from "a few big blocks" to "a swarm of tiny ones" (n=64
+  // k=32 means 2-variable components), at two dimensions.
+  for (unsigned N : {64u, 128u}) {
+    for (unsigned K : {2u, 4u, 8u, 16u, 32u}) {
+      Octagon A = makeDecomposed(N, K, 7), B = makeDecomposed(N, K, 8);
+      // Tighten a binary bound inside the first component by one (a unary
+      // bound would merge components during strengthening; the chain's
+      // opposite bound leaves slack 8, so -1 keeps Tight non-empty).
+      Octagon Tight = A;
+      Tight.addConstraint(
+          OctCons::diff(1, 0, A.boundOf(OctCons::diff(1, 0, 0)) - 1));
+      runShape("decomposed", N, K, A, B, Tight, Repeats, Rows);
+    }
   }
   octConfig().EnableVectorization = Saved;
 
@@ -209,13 +243,32 @@ int main(int Argc, char **Argv) {
                   TextTable::num(R.speedup(), 2) + "x"});
   std::printf("%s\n", Table.render().c_str());
 
+  std::map<std::string, double> Geo = shapeGeomeans(Rows);
+  for (const auto &[Key, G] : Geo)
+    std::printf("geomean %-20s %5.2fx\n", Key.c_str(), G);
+
+  // Acceptance checks (meaningful only when a vector tier is running):
+  // dense widen_thr carries the branchless threshold scan and must not
+  // fall back under 3x; --strict turns a violation into a failing exit
+  // so CI and the experiment driver can gate on it.
+  bool Accepted = true;
+  if (activeSimdTier() != SimdTier::Scalar) {
+    for (const Row &R : Rows)
+      if (R.Shape == "dense" && R.Op == "widen_thr" && R.speedup() < 3.0) {
+        std::fprintf(stderr,
+                     "acceptance: dense widen_thr n=%u speedup %.2fx < 3x\n",
+                     R.N, R.speedup());
+        Accepted = false;
+      }
+  }
+
   std::ofstream Out(JsonPath);
   if (!Out) {
     std::fprintf(stderr, "error: cannot write '%s'\n", JsonPath.c_str());
     return 1;
   }
   Out << "{\n  \"bench\": \"bench_operators\",\n  "
-      << support::benchContextJson() << ",\n"
+      << support::benchContextJson(Tier) << ",\n"
       << "  \"repeats\": " << Repeats << ",\n"
       << "  \"results\": [\n";
   for (std::size_t I = 0; I != Rows.size(); ++I) {
@@ -227,7 +280,16 @@ int main(int Argc, char **Argv) {
         << ", \"speedup\": " << R.speedup() << "}"
         << (I + 1 == Rows.size() ? "" : ",") << "\n";
   }
-  Out << "  ]\n}\n";
+  Out << "  ],\n  \"geomean_speedup\": {";
+  bool First = true;
+  for (const auto &[Key, G] : Geo) {
+    Out << (First ? "" : ", ") << "\"" << Key << "\": " << G;
+    First = false;
+  }
+  Out << "}\n}\n";
   std::printf("wrote %s\n", JsonPath.c_str());
-  return 0;
+  if (!Accepted)
+    std::fprintf(stderr, Strict ? "acceptance checks FAILED\n"
+                                : "acceptance checks failed (non-strict)\n");
+  return Strict && !Accepted ? 1 : 0;
 }

@@ -29,6 +29,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "oct/simd_dispatch.h"
 #include "server/client.h"
 #include "server/server.h"
 #include "support/cpuinfo.h"
@@ -331,7 +332,7 @@ int main(int Argc, char **Argv) {
     return 1;
   }
   Out << "{\n  \"bench\": \"bench_server\",\n  "
-      << support::benchContextJson() << ",\n"
+      << support::benchContextJson(simdTierName(activeSimdTier())) << ",\n"
       << "  \"requests_per_pass\": " << Requests << ",\n"
       << "  \"repeat_ratio\": " << RepeatRatio << ",\n"
       << "  \"workers\": " << Workers << ",\n"

@@ -2,6 +2,7 @@
 
 #include "oct/octagon.h"
 
+#include "oct/blocked_layout.h"
 #include "oct/closure_dense.h"
 #include "oct/closure_incremental.h"
 #include "oct/closure_reference.h"
@@ -47,6 +48,12 @@ OctConfig configFromEnv() {
     if (End != T && Value >= 0.0 && Value <= 1.0)
       C.SparsityThreshold = Value;
   }
+  if (const char *T = std::getenv("OPTOCT_BLOCK_CUTOFF")) {
+    char *End = nullptr;
+    unsigned long Value = std::strtoul(T, &End, 10);
+    if (End != T && *End == '\0')
+      C.BlockedCutoffVars = static_cast<unsigned>(Value);
+  }
   return C;
 }
 
@@ -73,6 +80,9 @@ void optoct::reserveClosureScratch(unsigned NumVars) {
   ClosureScratch &S = Octagon::scratch();
   S.ensure(2 * NumVars);
   S.DenseTmp.resizeDiscard(NumVars);
+  // The lattice operators' blocked component layout shares the same
+  // per-worker pre-sizing hook.
+  reserveBlockScratch(NumVars);
 }
 
 //===----------------------------------------------------------------------===//

@@ -10,23 +10,31 @@
 /// All operators stream over contiguous packed half-DBM spans instead
 /// of per-element coherence-indexed at() calls: row i stores columns
 /// j = 0..(i|1) consecutively, so the Dense case is one flat pass over
-/// the 2n(n+1) buffer and the Decomposed case vectorizes over the runs
-/// of consecutive variables inside each component (oct/vector_ops.h).
-/// Scalar entry()-based loops remain only where the union-merged
-/// partition can relate pairs neither input materialized (meet,
-/// narrowing on partial inputs) or where this side's buffer is not
-/// fully meaningful (inclusion against a Decomposed receiver).
+/// the 2n(n+1) buffer. The Decomposed case uses the blocked component
+/// layout (oct/blocked_layout.h): each component's sub-DBM is packed
+/// into contiguous scratch, all components below the
+/// octConfig().BlockedCutoffVars cutoff are laid end to end, and one
+/// span-kernel dispatch covers the whole batch — k tiny components pay
+/// one call, not k × rows × runs. Components at or above the cutoff
+/// stream their row runs directly (walkComponentSpans), where the
+/// kernel already amortizes and pack+scatter would only add traffic.
+/// Union-merged partitions (meet, narrowing on partial inputs,
+/// inclusion/equality against Decomposed receivers) pack through
+/// entry()'s implicit-trivia semantics instead of falling back to
+/// scalar element loops.
 ///
 /// With octConfig().EnableVectorization off, every operator instead runs
 /// the original pointwise implementation (dense copy + in-place min/max,
 /// coherence-indexed at()/entry() loops elsewhere), kept verbatim and
 /// pinned scalar: the ablation measures the whole optimization —
 /// restructuring plus SIMD — against the code it replaced, and the
-/// differential tests (tests/test_vector_ops.cpp) check both legs agree
-/// on every observable (DBM entries, nni, partition, emptiness).
+/// differential tests (tests/test_vector_ops.cpp, tests/test_blocked.cpp)
+/// check both legs agree on every observable (DBM entries, nni,
+/// partition, emptiness).
 ///
 //===----------------------------------------------------------------------===//
 
+#include "oct/blocked_layout.h"
 #include "oct/config.h"
 #include "oct/octagon.h"
 #include "oct/vector_ops.h"
@@ -172,6 +180,39 @@ void walkComponentSpansSplit(const std::vector<unsigned> &Vars,
   }
 }
 
+/// The components one operator call batches through the blocked layout:
+/// their blocks are packed end to end in the per-thread scratch and a
+/// single kernel dispatch covers Total doubles.
+struct BlockBatch {
+  std::vector<const std::vector<unsigned> *> Comps;
+  std::size_t Total = 0;
+
+  void add(const std::vector<unsigned> &Vars) {
+    Comps.push_back(&Vars);
+    Total += blockSize(Vars.size());
+  }
+  bool empty() const { return Comps.empty(); }
+};
+
+/// Scatters the batched result blocks in \p S.R back into \p RM.
+void scatterBatch(const BlockBatch &Batch, const BlockScratch &S, HalfDbm &RM) {
+  std::size_t Off = 0;
+  for (const std::vector<unsigned> *Vars : Batch.Comps) {
+    scatterComponent(S.R.data() + Off, RM, *Vars);
+    Off += blockSize(Vars->size());
+  }
+}
+
+/// The per-element widening rule (identical to the kernels'): keep a
+/// stable bound, jump a grown one to the smallest dominating threshold
+/// of the sorted table, +inf when none dominates.
+double widenBound(double VO, double VN, const double *Thr, std::size_t ThrN) {
+  if (VN <= VO)
+    return VO;
+  const double *It = std::lower_bound(Thr, Thr + ThrN, VN);
+  return It == Thr + ThrN ? Infinity : *It;
+}
+
 } // namespace
 
 Octagon Octagon::meet(const Octagon &A, const Octagon &B) {
@@ -208,10 +249,35 @@ Octagon Octagon::meet(const Octagon &A, const Octagon &B) {
       R.NniExplicit =
           minSpanCount(R.M.data(), A.M.data(), B.M.data(), R.M.size());
     }
-  } else {
+  } else if (octConfig().EnableVectorization) {
     // The union-merged partition can relate pairs that neither input
-    // materialized, so the reads must go through entry()'s implicit
-    // trivia; stays scalar.
+    // materialized, so the packs read through entry()'s implicit trivia
+    // (pure span copies whenever a component sits inside one block of
+    // an input — the common case of agreeing partitions). All
+    // components batch into one kernel dispatch regardless of size:
+    // the alternative here is the per-element entry() loop, not a
+    // direct span walk.
+    BlockBatch Batch;
+    for (std::size_t C = 0, E = R.P.numComponents(); C != E; ++C)
+      Batch.add(R.P.component(C));
+    std::size_t Count = 0;
+    if (!Batch.empty()) {
+      BlockScratch &S = blockScratch();
+      S.ensure(Batch.Total);
+      std::size_t Off = 0;
+      for (const std::vector<unsigned> *Vars : Batch.Comps) {
+        packComponentEntry(S.A.data() + Off, A.M, A.P, A.FullyInit, *Vars);
+        packComponentEntry(S.B.data() + Off, B.M, B.P, B.FullyInit, *Vars);
+        Off += blockSize(Vars->size());
+      }
+      Count = minSpanCount(S.R.data(), S.A.data(), S.B.data(), Batch.Total);
+      scatterBatch(Batch, S, R.M);
+    }
+    R.FullyInit = R.P.isWhole();
+    R.NniExplicit = Count;
+  } else {
+    // Ablation leg: per-element reads through entry()'s implicit
+    // trivia, as in the original operator.
     std::size_t Count = 0;
     for (std::size_t C = 0, E = R.P.numComponents(); C != E; ++C)
       forEachComponentSlot(R.P.component(C), [&](unsigned I, unsigned J) {
@@ -273,22 +339,39 @@ Octagon Octagon::join(Octagon &A, Octagon &B) {
     // Only the submatrices of the *intersected* components are read and
     // written (Fig. 4); everything else is implicitly trivial. A pair
     // inside a refined component lies inside one component of *each*
-    // input, so both buffers are initialized there and the span kernels
-    // can stream the raw rows, skipping the per-entry partition
-    // lookups. The kernels count finite lanes as they go, keeping nni
-    // exact without a second pass.
+    // input, so both buffers are initialized there and the pure-copy
+    // pack / direct row streaming are valid. The kernels count finite
+    // lanes as they go, keeping nni exact without a second pass.
     std::size_t Count = 0;
     std::vector<VarRun> Runs;
+    const unsigned Cutoff = octConfig().BlockedCutoffVars;
+    BlockBatch Batch;
     for (std::size_t C = 0, E = R.P.numComponents(); C != E; ++C) {
       const std::vector<unsigned> &Vars = R.P.component(C);
-      componentRuns(Vars, Runs);
-      walkComponentSpans(Vars, Runs,
-                         [&](unsigned I, unsigned J0, unsigned Len) {
-                           Count += maxSpanCount(R.M.row(I) + J0,
-                                                 A.M.row(I) + J0,
-                                                 B.M.row(I) + J0, Len);
-                           return true;
-                         });
+      if (Vars.size() >= Cutoff) {
+        componentRuns(Vars, Runs);
+        walkComponentSpans(Vars, Runs,
+                           [&](unsigned I, unsigned J0, unsigned Len) {
+                             Count += maxSpanCount(R.M.row(I) + J0,
+                                                   A.M.row(I) + J0,
+                                                   B.M.row(I) + J0, Len);
+                             return true;
+                           });
+      } else {
+        Batch.add(Vars);
+      }
+    }
+    if (!Batch.empty()) {
+      BlockScratch &S = blockScratch();
+      S.ensure(Batch.Total);
+      std::size_t Off = 0;
+      for (const std::vector<unsigned> *Vars : Batch.Comps) {
+        packComponent(S.A.data() + Off, A.M, *Vars);
+        packComponent(S.B.data() + Off, B.M, *Vars);
+        Off += blockSize(Vars->size());
+      }
+      Count += maxSpanCount(S.R.data(), S.A.data(), S.B.data(), Batch.Total);
+      scatterBatch(Batch, S, R.M);
     }
     R.FullyInit = R.P.isWhole();
     R.NniExplicit = Count;
@@ -328,8 +411,8 @@ Octagon Octagon::widenWithThresholds(const Octagon &Old, Octagon &New,
 
   // Thresholds are variable-level bounds: unary DBM entries (which
   // encode 2x the variable bound) land on 2t, binary entries on t. Both
-  // sets are prepared once per call — the kernels binary-search them
-  // only for entries that actually grew.
+  // sets are prepared once per call — the kernels scan them only for
+  // entries that actually grew.
   std::vector<double> Doubled;
   Doubled.reserve(Thresholds.size());
   for (double T : Thresholds)
@@ -376,19 +459,65 @@ Octagon Octagon::widenWithThresholds(const Octagon &Old, Octagon &New,
                            R.M.size(), nullptr, 0);
   } else {
     std::vector<VarRun> Runs;
+    const unsigned Cutoff = octConfig().BlockedCutoffVars;
+    BlockBatch Batch;
     for (std::size_t C = 0, E = R.P.numComponents(); C != E; ++C) {
       const std::vector<unsigned> &Vars = R.P.component(C);
-      componentRuns(Vars, Runs);
-      walkComponentSpansSplit(
-          Vars, Runs,
-          [&](unsigned I, unsigned J0, unsigned Len) {
-            Count += widenSpanCount(R.M.row(I) + J0, Old.M.row(I) + J0,
-                                    New.M.row(I) + J0, Len, BinThr, BinN);
-          },
-          [&](unsigned I, unsigned J0) {
-            Count += widenSpanCount(R.M.row(I) + J0, Old.M.row(I) + J0,
-                                    New.M.row(I) + J0, 2, UnThr, UnN);
-          });
+      if (Vars.size() >= Cutoff) {
+        componentRuns(Vars, Runs);
+        walkComponentSpansSplit(
+            Vars, Runs,
+            [&](unsigned I, unsigned J0, unsigned Len) {
+              Count += widenSpanCount(R.M.row(I) + J0, Old.M.row(I) + J0,
+                                      New.M.row(I) + J0, Len, BinThr, BinN);
+            },
+            [&](unsigned I, unsigned J0) {
+              Count += widenSpanCount(R.M.row(I) + J0, Old.M.row(I) + J0,
+                                      New.M.row(I) + J0, 2, UnThr, UnN);
+            });
+      } else {
+        Batch.add(Vars);
+      }
+    }
+    if (!Batch.empty()) {
+      // One kernel dispatch widens every small component under the
+      // binary thresholds; the unary diagonal-block slots (two per
+      // variable, which must widen against the doubled set) are then
+      // patched with the identical scalar rule, adjusting the finite
+      // count by the delta. With no thresholds the two rules coincide
+      // and the patch pass is skipped.
+      BlockScratch &S = blockScratch();
+      S.ensure(Batch.Total);
+      std::size_t Off = 0;
+      for (const std::vector<unsigned> *Vars : Batch.Comps) {
+        packComponent(S.A.data() + Off, Old.M, *Vars);
+        packComponent(S.B.data() + Off, New.M, *Vars);
+        Off += blockSize(Vars->size());
+      }
+      Count += widenSpanCount(S.R.data(), S.A.data(), S.B.data(), Batch.Total,
+                              BinThr, BinN);
+      if (BinN != 0) {
+        Off = 0;
+        for (const std::vector<unsigned> *Vars : Batch.Comps) {
+          for (std::size_t A = 0, NumV = Vars->size(); A != NumV; ++A) {
+            unsigned UpRow = 2 * static_cast<unsigned>(A);
+            const std::size_t Slots[2] = {
+                Off + HalfDbm::index(UpRow, UpRow + 1),
+                Off + HalfDbm::index(UpRow + 1, UpRow)};
+            for (std::size_t Idx : Slots) {
+              double V = widenBound(S.A[Idx], S.B[Idx], UnThr, UnN);
+              double Cur = S.R[Idx];
+              if (V != Cur) {
+                Count -= isFinite(Cur);
+                Count += isFinite(V);
+                S.R[Idx] = V;
+              }
+            }
+          }
+          Off += blockSize(Vars->size());
+        }
+      }
+      scatterBatch(Batch, S, R.M);
     }
   }
   R.FullyInit = R.P.isWhole();
@@ -413,34 +542,39 @@ Octagon Octagon::narrow(Octagon &Old, const Octagon &New) {
   R.P = Partition::unionMerge(Old.P, New.P);
 
   // Standard narrowing: refine only the unbounded entries.
-  if (Old.FullyInit && New.FullyInit && octConfig().EnableVectorization) {
-    if (R.P.isWhole()) {
-      // Both buffers fully meaningful and one component covering every
-      // variable: one flat select over the packed storage materializes
-      // the result and counts it in the same pass.
-      R.NniExplicit =
-          narrowSpanCount(R.M.data(), Old.M.data(), New.M.data(), R.M.size());
-      R.FullyInit = true;
-    } else {
-      // Fully meaningful inputs but a fragmented partition: stream the
-      // component row runs so the count keeps the scalar leg's
-      // convention (only covered slots).
-      std::size_t Count = 0;
-      std::vector<VarRun> Runs;
-      for (std::size_t C = 0, E = R.P.numComponents(); C != E; ++C) {
-        const std::vector<unsigned> &Vars = R.P.component(C);
-        componentRuns(Vars, Runs);
-        walkComponentSpans(Vars, Runs,
-                           [&](unsigned I, unsigned J0, unsigned Len) {
-                             Count += narrowSpanCount(R.M.row(I) + J0,
-                                                      Old.M.row(I) + J0,
-                                                      New.M.row(I) + J0, Len);
-                             return true;
-                           });
+  if (Old.FullyInit && New.FullyInit && octConfig().EnableVectorization &&
+      R.P.isWhole()) {
+    // Both buffers fully meaningful and one component covering every
+    // variable: one flat select over the packed storage materializes
+    // the result and counts it in the same pass.
+    R.NniExplicit =
+        narrowSpanCount(R.M.data(), Old.M.data(), New.M.data(), R.M.size());
+    R.FullyInit = true;
+  } else if (octConfig().EnableVectorization) {
+    // Fragmented or partial inputs: the union-merged components pack
+    // through entry()'s implicit trivia (pure copies when fully
+    // initialized or block-aligned) and one kernel dispatch covers the
+    // whole batch, as in meet.
+    BlockBatch Batch;
+    for (std::size_t C = 0, E = R.P.numComponents(); C != E; ++C)
+      Batch.add(R.P.component(C));
+    std::size_t Count = 0;
+    if (!Batch.empty()) {
+      BlockScratch &S = blockScratch();
+      S.ensure(Batch.Total);
+      std::size_t Off = 0;
+      for (const std::vector<unsigned> *Vars : Batch.Comps) {
+        packComponentEntry(S.A.data() + Off, Old.M, Old.P, Old.FullyInit,
+                           *Vars);
+        packComponentEntry(S.B.data() + Off, New.M, New.P, New.FullyInit,
+                           *Vars);
+        Off += blockSize(Vars->size());
       }
-      R.FullyInit = false;
-      R.NniExplicit = Count;
+      Count = narrowSpanCount(S.R.data(), S.A.data(), S.B.data(), Batch.Total);
+      scatterBatch(Batch, S, R.M);
     }
+    R.FullyInit = R.P.isWhole();
+    R.NniExplicit = Count;
   } else {
     std::size_t Count = 0;
     for (std::size_t C = 0, E = R.P.numComponents(); C != E; ++C)
@@ -482,24 +616,28 @@ bool Octagon::leq(Octagon &Other) {
     // (anything <= +inf; both diagonals are 0).
     return spanLeq(M.data(), Other.M.data(), M.size());
   }
-  std::vector<VarRun> Runs;
   for (std::size_t C = 0, E = Other.P.numComponents(); C != E; ++C) {
     const std::vector<unsigned> &Vars = Other.P.component(C);
-    if (octConfig().EnableVectorization && FullyInit) {
-      // This side reads raw rows (every slot meaningful); Other's rows
-      // are valid inside its own components by definition. The kernel
-      // movemask-exits on the first violating lane.
-      componentRuns(Vars, Runs);
-      if (!walkComponentSpans(Vars, Runs,
-                              [&](unsigned I, unsigned J0, unsigned Len) {
-                                return spanLeq(M.row(I) + J0,
-                                               Other.M.row(I) + J0, Len);
-                              }))
-        return false;
+    if (octConfig().EnableVectorization) {
+      // Pack and compare one row pair at a time: this side through
+      // entry()'s implicit trivia (the receiver's partition may split
+      // Other's component), Other with pure copies (its own component
+      // rows are materialized by definition). Flushing per row pair
+      // keeps the pointwise leg's early-exit profile — a violation in
+      // the first rows costs one tiny pack and one kernel call, not a
+      // whole-component gather.
+      BlockScratch &S = blockScratch();
+      S.ensure(4 * Vars.size());
+      for (std::size_t A = 0, NumV = Vars.size(); A != NumV; ++A) {
+        std::size_t Len = packRowPairEntry(S.A.data(), M, P, FullyInit, Vars, A);
+        packRowPair(S.B.data(), Other.M, Vars, A);
+        if (!spanLeq(S.A.data(), S.B.data(), Len))
+          return false;
+      }
       continue;
     }
-    // Decomposed receiver (or the ablation leg): per-element reads
-    // through entry()'s implicit trivia, as in the original operator.
+    // Ablation leg: per-element reads through entry()'s implicit
+    // trivia, as in the original operator.
     for (std::size_t A = 0; A != Vars.size(); ++A)
       for (std::size_t B = 0; B <= A; ++B)
         for (unsigned R = 0; R != 2; ++R)
@@ -528,6 +666,46 @@ bool Octagon::equals(Octagon &Other) {
     // flat early-exit compare of the packed storage.
     return spanEq(M.data(), Other.M.data(), M.size());
   }
+  if (octConfig().EnableVectorization) {
+    // Any non-trivial entry of either side lies inside a component of
+    // its own partition, so two one-sided sweeps cover every pair that
+    // could differ: first all pairs inside Other's components (the
+    // receiver read through entry()'s implicit trivia), then pairs
+    // inside this side's components — skipping blocks the first sweep
+    // already verified in full because they exist identically in
+    // Other's partition (the common fixpoint-iterate case). Pairs
+    // covered by neither partition are trivial on both sides. No
+    // merged partition is materialized, so equality stays
+    // allocation-free, and flushing one row pair per kernel call keeps
+    // the pointwise leg's early-exit profile on unequal inputs.
+    BlockScratch &S = blockScratch();
+    for (std::size_t C = 0, E = Other.P.numComponents(); C != E; ++C) {
+      const std::vector<unsigned> &Vars = Other.P.component(C);
+      S.ensure(4 * Vars.size());
+      for (std::size_t A = 0, NumV = Vars.size(); A != NumV; ++A) {
+        std::size_t Len = packRowPairEntry(S.A.data(), M, P, FullyInit, Vars, A);
+        packRowPair(S.B.data(), Other.M, Vars, A);
+        if (!spanEq(S.A.data(), S.B.data(), Len))
+          return false;
+      }
+    }
+    for (std::size_t C = 0, E = P.numComponents(); C != E; ++C) {
+      const std::vector<unsigned> &Vars = P.component(C);
+      int CB = Other.P.componentOf(Vars[0]);
+      if (CB >= 0 && Other.P.component(static_cast<std::size_t>(CB)) == Vars)
+        continue;
+      S.ensure(4 * Vars.size());
+      for (std::size_t A = 0, NumV = Vars.size(); A != NumV; ++A) {
+        std::size_t Len = packRowPair(S.A.data(), M, Vars, A);
+        packRowPairEntry(S.B.data(), Other.M, Other.P, Other.FullyInit, Vars,
+                         A);
+        if (!spanEq(S.A.data(), S.B.data(), Len))
+          return false;
+      }
+    }
+    return true;
+  }
+  // Ablation leg: the original full coherence scan through entry().
   unsigned D = M.dim();
   for (unsigned I = 0; I != D; ++I)
     for (unsigned J = 0; J <= (I | 1u); ++J)

@@ -1,0 +1,153 @@
+//===- oct/simd_dispatch.cpp - Startup SIMD tier selection ---------------===//
+
+#include "oct/simd_dispatch.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace optoct;
+
+namespace optoct::detail {
+
+// Constinit: valid before any dynamic initializer runs, so even kernel
+// calls from other TUs' static constructors dispatch safely (to scalar).
+constinit std::atomic<const SpanKernels *> ActiveSpanKernels{
+    &SpanKernelsScalar};
+
+} // namespace optoct::detail
+
+const char *optoct::simdTierName(SimdTier Tier) {
+  switch (Tier) {
+  case SimdTier::Scalar:
+    return "scalar";
+  case SimdTier::Avx2:
+    return "avx2";
+  case SimdTier::Avx512:
+    return "avx512";
+  }
+  return "scalar";
+}
+
+bool optoct::simdParseTier(const char *Value, SimdTier &Tier) {
+  if (!Value)
+    return false;
+  if (std::strcmp(Value, "scalar") == 0) {
+    Tier = SimdTier::Scalar;
+    return true;
+  }
+  if (std::strcmp(Value, "avx2") == 0) {
+    Tier = SimdTier::Avx2;
+    return true;
+  }
+  if (std::strcmp(Value, "avx512") == 0) {
+    Tier = SimdTier::Avx512;
+    return true;
+  }
+  return false;
+}
+
+bool optoct::simdTierSupported(SimdTier Tier) {
+  switch (Tier) {
+  case SimdTier::Scalar:
+    return true;
+#if OPTOCT_SIMD_X86
+  case SimdTier::Avx2:
+    return __builtin_cpu_supports("avx2");
+  case SimdTier::Avx512:
+    // libgcc's probe already checks XCR0, so "supported" implies the OS
+    // saves the zmm state, not just that the CPU has the silicon.
+    return __builtin_cpu_supports("avx512f") &&
+           __builtin_cpu_supports("avx512dq") &&
+           __builtin_cpu_supports("avx512bw") &&
+           __builtin_cpu_supports("avx512vl");
+#endif
+  default:
+    return false;
+  }
+}
+
+SimdTier optoct::simdBestTier() {
+  if (simdTierSupported(SimdTier::Avx512))
+    return SimdTier::Avx512;
+  if (simdTierSupported(SimdTier::Avx2))
+    return SimdTier::Avx2;
+  return SimdTier::Scalar;
+}
+
+SimdTier optoct::simdSelectTier(const char *EnvValue, std::string *LogOut) {
+  SimdTier Best = simdBestTier();
+  if (!EnvValue || !*EnvValue)
+    return Best;
+  SimdTier Requested;
+  if (!simdParseTier(EnvValue, Requested)) {
+    if (LogOut)
+      *LogOut = std::string("optoct: ignoring unknown OPTOCT_SIMD value \"") +
+                EnvValue + "\" (expected scalar|avx2|avx512); using " +
+                simdTierName(Best) + "\n";
+    return Best;
+  }
+  if (simdTierSupported(Requested))
+    return Requested;
+  // An explicit request that the machine cannot honor: degrade to the
+  // best supported tier and say so — perf reports from the field must
+  // name the tier actually running.
+  SimdTier Fallback = Requested > Best ? Best : SimdTier::Scalar;
+  if (LogOut)
+    *LogOut = std::string("optoct: OPTOCT_SIMD=") + EnvValue +
+              " not supported on this cpu; downgrading to " +
+              simdTierName(Fallback) + "\n";
+  return Fallback;
+}
+
+namespace {
+
+const SpanKernels &tableFor(SimdTier Tier) {
+  switch (Tier) {
+#if OPTOCT_SIMD_X86
+  case SimdTier::Avx2:
+    return SpanKernelsAvx2;
+  case SimdTier::Avx512:
+    return SpanKernelsAvx512;
+#endif
+  default:
+    return SpanKernelsScalar;
+  }
+}
+
+/// Runs during dynamic initialization, while the process is still
+/// single-threaded; every later read of the active table is relaxed.
+const bool StartupSelected = [] {
+  simdResetTier();
+  return true;
+}();
+
+} // namespace
+
+SimdTier optoct::activeSimdTier() {
+  const SpanKernels *Active = detail::ActiveSpanKernels.load();
+#if OPTOCT_SIMD_X86
+  if (Active == &SpanKernelsAvx512)
+    return SimdTier::Avx512;
+  if (Active == &SpanKernelsAvx2)
+    return SimdTier::Avx2;
+#endif
+  (void)Active;
+  return SimdTier::Scalar;
+}
+
+SimdTier optoct::simdForceTier(SimdTier Tier) {
+  if (!simdTierSupported(Tier))
+    Tier = simdBestTier() < Tier ? simdBestTier() : SimdTier::Scalar;
+  detail::ActiveSpanKernels.store(&tableFor(Tier));
+  return Tier;
+}
+
+SimdTier optoct::simdResetTier() {
+  std::string Log;
+  SimdTier Tier = simdSelectTier(std::getenv("OPTOCT_SIMD"), &Log);
+  if (!Log.empty())
+    std::fputs(Log.c_str(), stderr);
+  detail::ActiveSpanKernels.store(&tableFor(Tier));
+  return Tier;
+}

@@ -1,0 +1,105 @@
+//===- oct/simd_kernels.h - Per-ISA kernel table (runtime dispatch) -*- C++ -*-===//
+///
+/// \file
+/// One vtable of every SIMD-sensitive kernel in the domain: the span
+/// kernels of the quadratic lattice operators (join/meet/widen/narrow/
+/// leq/eq — see oct/vector_ops.h for the operator-level conventions)
+/// and the min-plus family of the dense closure and strengthening
+/// (oct/vector_min.h). Each tier — pinned scalar, AVX2, AVX-512 — is a
+/// separate translation unit compiled with function target attributes,
+/// so one binary carries all three and `simd_dispatch.h` selects the
+/// best supported tier once at startup. The thin inline wrappers in
+/// vector_ops.h / vector_min.h keep every call site unchanged.
+///
+/// Contract shared by all tiers (tests/test_vector_ops.cpp and
+/// tests/test_simd_dispatch.cpp enforce it): for identical inputs,
+/// every tier produces bitwise-identical outputs *and* identical
+/// finite-entry counts. Ties resolve like MAXPD/MINPD (second operand),
+/// no FMA contraction is permitted, and the threshold search of the
+/// widening kernel resolves to exactly the std::lower_bound result.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPTOCT_OCT_SIMD_KERNELS_H
+#define OPTOCT_OCT_SIMD_KERNELS_H
+
+#include <cstddef>
+
+/// The scalar tier doubles as the ablation baseline, so -O3 must not
+/// silently turn it back into SIMD: on GCC the kernel is compiled with
+/// auto-vectorization off, on Clang the loops carry a
+/// vectorize(disable) pragma. (Intrinsic bodies in the AVX tiers are
+/// unaffected — they are explicit builtins, not loop transforms.)
+#if defined(__clang__)
+#define OPTOCT_SCALAR_KERNEL
+#define OPTOCT_SCALAR_LOOP                                                     \
+  _Pragma("clang loop vectorize(disable) interleave(disable)")
+#elif defined(__GNUC__)
+#define OPTOCT_SCALAR_KERNEL                                                   \
+  __attribute__((optimize("no-tree-vectorize", "no-tree-slp-vectorize")))
+#define OPTOCT_SCALAR_LOOP
+#else
+#define OPTOCT_SCALAR_KERNEL
+#define OPTOCT_SCALAR_LOOP
+#endif
+
+/// The AVX tiers exist only on x86; elsewhere the scalar table is the
+/// one and only tier.
+#if defined(__x86_64__) || defined(__i386__)
+#define OPTOCT_SIMD_X86 1
+#endif
+
+namespace optoct {
+
+/// Function-pointer table for one ISA tier. Pointers are filled by the
+/// per-tier translation units (simd_kernels_{scalar,avx2,avx512}.cpp);
+/// the active table is selected once by simd_dispatch.cpp and read via
+/// relaxed atomic loads from any number of analysis threads.
+struct SpanKernels {
+  /// Tier name as reported in logs, bench headers, and OPTOCT_SIMD.
+  const char *Name;
+
+  // --- Lattice-operator span kernels (oct/vector_ops.h wrappers) ---
+  void (*MaxSpan)(double *Dst, const double *A, const double *B,
+                  std::size_t Len);
+  void (*MinSpan)(double *Dst, const double *A, const double *B,
+                  std::size_t Len);
+  std::size_t (*MaxSpanCount)(double *Dst, const double *A, const double *B,
+                              std::size_t Len);
+  std::size_t (*MinSpanCount)(double *Dst, const double *A, const double *B,
+                              std::size_t Len);
+  std::size_t (*NarrowSpanCount)(double *Dst, const double *OldS,
+                                 const double *NewS, std::size_t Len);
+  std::size_t (*WidenSpanCount)(double *Dst, const double *OldS,
+                                const double *NewS, std::size_t Len,
+                                const double *Thr, std::size_t ThrN);
+  bool (*SpanLeq)(const double *A, const double *B, std::size_t Len);
+  bool (*SpanEq)(const double *A, const double *B, std::size_t Len);
+
+  // --- Closure/strengthening min-plus kernels (oct/vector_min.h) ---
+  void (*MinPlusRow2)(double *Dst, const double *RowA, double A,
+                      const double *RowB, double B, std::size_t Len);
+  void (*MinPlusRow1)(double *Dst, const double *RowA, double A,
+                      std::size_t Len);
+  void (*StrengthenRow)(double *Dst, const double *T, double Di,
+                        std::size_t Len);
+  void (*MinRows)(double *Dst, const double *Src, std::size_t Len);
+  void (*MaxRows)(double *Dst, const double *Src, std::size_t Len);
+};
+
+/// The pinned-scalar tier: always present, genuinely scalar (the
+/// ablation leg and the OPTOCT_SIMD=scalar override both land here).
+extern const SpanKernels SpanKernelsScalar;
+
+#if OPTOCT_SIMD_X86
+/// 256-bit AVX2 tier: the kernels PR 4 shipped, now compiled with
+/// target attributes so a portable (OPTOCT_NATIVE=OFF) build still
+/// carries them.
+extern const SpanKernels SpanKernelsAvx2;
+/// 512-bit tier (avx512f/dq/bw/vl) with masked tails.
+extern const SpanKernels SpanKernelsAvx512;
+#endif
+
+} // namespace optoct
+
+#endif // OPTOCT_OCT_SIMD_KERNELS_H

@@ -3,9 +3,13 @@
 /// \file
 /// The inner-loop kernels of the dense closure and strengthening steps
 /// (Section 5.2), written with AVX intrinsics like the paper's
-/// implementation, with scalar fallbacks selected at runtime via
-/// octConfig().EnableVectorization (for the ablation benchmarks) or at
-/// compile time when AVX2 is unavailable.
+/// implementation. Since the runtime-dispatch rework the bodies live in
+/// the per-ISA kernel tables (oct/simd_kernels.h) and these wrappers
+/// pick between the startup-selected tier and the pinned-scalar table
+/// via octConfig().EnableVectorization — the closure call sites do not
+/// re-check the flag themselves, so the ablation benchmarks
+/// (OPTOCT_VECTORIZE=0) land on the genuinely scalar tier through this
+/// check. Per-row spans amortize the extra load well below noise.
 ///
 /// All kernels perform element-wise minimization into \p Dst and use
 /// unaligned loads because packed half-DBM rows start at arbitrary
@@ -21,14 +25,20 @@
 #define OPTOCT_OCT_VECTOR_MIN_H
 
 #include "oct/config.h"
+#include "oct/simd_dispatch.h"
 
 #include <cstddef>
 
-#if defined(__AVX__)
-#include <immintrin.h>
-#endif
-
 namespace optoct {
+
+namespace detail {
+/// The startup-selected tier when vectorization is on; the pinned
+/// scalar table when the ablation turns it off.
+inline const SpanKernels &minPlusKernels() {
+  return octConfig().EnableVectorization ? activeSpanKernels()
+                                         : SpanKernelsScalar;
+}
+} // namespace detail
 
 /// Dst[j] = min(Dst[j], A + RowA[j], B + RowB[j]) for j in [0, Len).
 /// This is the remaining-entries update of the dense shortest-path
@@ -36,27 +46,7 @@ namespace optoct {
 /// O(i,2k) and O(i,2k+1); RowA/RowB are the buffered pivot rows.
 inline void minPlusRow2(double *Dst, const double *RowA, double A,
                         const double *RowB, double B, std::size_t Len) {
-  std::size_t J = 0;
-#if defined(__AVX__)
-  if (octConfig().EnableVectorization) {
-    __m256d VA = _mm256_set1_pd(A);
-    __m256d VB = _mm256_set1_pd(B);
-    for (; J + 4 <= Len; J += 4) {
-      __m256d D = _mm256_loadu_pd(Dst + J);
-      __m256d TA = _mm256_add_pd(VA, _mm256_loadu_pd(RowA + J));
-      __m256d TB = _mm256_add_pd(VB, _mm256_loadu_pd(RowB + J));
-      D = _mm256_min_pd(D, _mm256_min_pd(TA, TB));
-      _mm256_storeu_pd(Dst + J, D);
-    }
-  }
-#endif
-  for (; J != Len; ++J) {
-    double T1 = A + RowA[J];
-    double T2 = B + RowB[J];
-    double T = T1 < T2 ? T1 : T2;
-    if (T < Dst[J])
-      Dst[J] = T;
-  }
+  detail::minPlusKernels().MinPlusRow2(Dst, RowA, A, RowB, B, Len);
 }
 
 /// Dst[j] = min(Dst[j], A + RowA[j]) for j in [0, Len). Single-pivot
@@ -64,22 +54,7 @@ inline void minPlusRow2(double *Dst, const double *RowA, double A,
 /// Floyd-Warshall.
 inline void minPlusRow1(double *Dst, const double *RowA, double A,
                         std::size_t Len) {
-  std::size_t J = 0;
-#if defined(__AVX__)
-  if (octConfig().EnableVectorization) {
-    __m256d VA = _mm256_set1_pd(A);
-    for (; J + 4 <= Len; J += 4) {
-      __m256d D = _mm256_loadu_pd(Dst + J);
-      __m256d T = _mm256_add_pd(VA, _mm256_loadu_pd(RowA + J));
-      _mm256_storeu_pd(Dst + J, _mm256_min_pd(D, T));
-    }
-  }
-#endif
-  for (; J != Len; ++J) {
-    double T = A + RowA[J];
-    if (T < Dst[J])
-      Dst[J] = T;
-  }
+  detail::minPlusKernels().MinPlusRow1(Dst, RowA, A, Len);
 }
 
 /// Dst[j] = min(Dst[j], (Di + T[j]) / 2) for j in [0, Len): the
@@ -87,60 +62,19 @@ inline void minPlusRow1(double *Dst, const double *RowA, double A,
 /// contiguous array T (Section 5.2, "vectorization for strengthening").
 inline void strengthenRow(double *Dst, const double *T, double Di,
                           std::size_t Len) {
-  std::size_t J = 0;
-#if defined(__AVX__)
-  if (octConfig().EnableVectorization) {
-    __m256d VD = _mm256_set1_pd(Di);
-    __m256d Half = _mm256_set1_pd(0.5);
-    for (; J + 4 <= Len; J += 4) {
-      __m256d S =
-          _mm256_mul_pd(_mm256_add_pd(VD, _mm256_loadu_pd(T + J)), Half);
-      __m256d D = _mm256_loadu_pd(Dst + J);
-      _mm256_storeu_pd(Dst + J, _mm256_min_pd(D, S));
-    }
-  }
-#endif
-  for (; J != Len; ++J) {
-    double S = (Di + T[J]) * 0.5;
-    if (S < Dst[J])
-      Dst[J] = S;
-  }
+  detail::minPlusKernels().StrengthenRow(Dst, T, Di, Len);
 }
 
 /// Dst[j] = min(Dst[j], Src[j]) for j in [0, Len): the meet operator's
 /// inner loop on dense matrices.
 inline void minRows(double *Dst, const double *Src, std::size_t Len) {
-  std::size_t J = 0;
-#if defined(__AVX__)
-  if (octConfig().EnableVectorization) {
-    for (; J + 4 <= Len; J += 4) {
-      __m256d D = _mm256_loadu_pd(Dst + J);
-      __m256d S = _mm256_loadu_pd(Src + J);
-      _mm256_storeu_pd(Dst + J, _mm256_min_pd(D, S));
-    }
-  }
-#endif
-  for (; J != Len; ++J)
-    if (Src[J] < Dst[J])
-      Dst[J] = Src[J];
+  detail::minPlusKernels().MinRows(Dst, Src, Len);
 }
 
 /// Dst[j] = max(Dst[j], Src[j]) for j in [0, Len): the join operator's
 /// inner loop on dense matrices.
 inline void maxRows(double *Dst, const double *Src, std::size_t Len) {
-  std::size_t J = 0;
-#if defined(__AVX__)
-  if (octConfig().EnableVectorization) {
-    for (; J + 4 <= Len; J += 4) {
-      __m256d D = _mm256_loadu_pd(Dst + J);
-      __m256d S = _mm256_loadu_pd(Src + J);
-      _mm256_storeu_pd(Dst + J, _mm256_max_pd(D, S));
-    }
-  }
-#endif
-  for (; J != Len; ++J)
-    if (Src[J] > Dst[J])
-      Dst[J] = Src[J];
+  detail::minPlusKernels().MaxRows(Dst, Src, Len);
 }
 
 } // namespace optoct

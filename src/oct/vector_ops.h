@@ -8,307 +8,100 @@
 /// half-DBM storage, so for row i the stored span j in [0, i|1] is one
 /// contiguous run and the whole Dense case is a single flat pass over
 /// the 2n(n+1) buffer (oct/octagon_ops.cpp drives these kernels over
-/// per-component row runs in the Decomposed case).
+/// contiguous blocked component layouts in the Decomposed case).
 ///
-/// Conventions shared by every kernel:
-///   * AVX body behind octConfig().EnableVectorization, with a scalar
-///     fallback that the compiler is forbidden to auto-vectorize
-///     (OPTOCT_SCALAR_LOOP / the GCC optimize attribute) — the ablation
-///     benchmarks rely on the fallback being genuinely scalar. (The
-///     operators additionally dispatch on the same flag one level up:
-///     with vectorization off they run the original pointwise
-///     implementations rather than these kernels' scalar tails.)
-///   * Kernel scalar and vector paths are bitwise-identical in outputs
-///     *and* in the returned finite-entry counts, and the two operator
-///     legs agree on every observable (tests/test_vector_ops.cpp
-///     enforces both), so flipping EnableVectorization never changes an
-///     analysis result, only its speed.
+/// Since the runtime-dispatch rework these are thin wrappers over the
+/// per-ISA kernel table (oct/simd_kernels.h): scalar, AVX2, and AVX-512
+/// bodies live in their own translation units and simd_dispatch.h picks
+/// one at startup. Conventions shared by every kernel, unchanged:
+///   * All tiers are bitwise-identical in outputs *and* in the returned
+///     finite-entry counts (tests/test_vector_ops.cpp and
+///     tests/test_simd_dispatch.cpp enforce it), so neither the tier
+///     nor OPTOCT_SIMD ever changes an analysis result, only its speed.
 ///   * Counting kernels return the number of finite entries written
 ///     (popcount on the lanewise finiteness mask) so the operators can
 ///     maintain nni exactly without a second scan over the result.
 ///   * Unaligned loads throughout: packed half-DBM rows start at
 ///     arbitrary offsets.
+///   * These wrappers do NOT consult octConfig().EnableVectorization:
+///     the operators dispatch on that flag one level up (with
+///     vectorization off they run the original pointwise
+///     implementations, never these kernels), so the check here would
+///     only tax the hot path. The ablation contract lives in the
+///     operator legs; the kernel-level scalar/vector contract lives in
+///     the tier tables.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef OPTOCT_OCT_VECTOR_OPS_H
 #define OPTOCT_OCT_VECTOR_OPS_H
 
-#include "oct/config.h"
-#include "oct/value.h"
+#include "oct/simd_dispatch.h"
 
-#include <algorithm>
 #include <cstddef>
 
-#if defined(__AVX__)
-#include <immintrin.h>
-#endif
-
-/// The scalar fallbacks double as the ablation baseline, so -O3 must
-/// not silently turn them back into SIMD: on GCC the whole kernel is
-/// compiled with auto-vectorization off (the intrinsic bodies are
-/// unaffected — they are explicit builtins, not loop transforms), on
-/// Clang the loops carry a vectorize(disable) pragma.
-#if defined(__clang__)
-#define OPTOCT_SCALAR_KERNEL
-#define OPTOCT_SCALAR_LOOP                                                     \
-  _Pragma("clang loop vectorize(disable) interleave(disable)")
-#elif defined(__GNUC__)
-#define OPTOCT_SCALAR_KERNEL                                                   \
-  __attribute__((optimize("no-tree-vectorize", "no-tree-slp-vectorize")))
-#define OPTOCT_SCALAR_LOOP
-#else
-#define OPTOCT_SCALAR_KERNEL
-#define OPTOCT_SCALAR_LOOP
-#endif
-
 namespace optoct {
-
-#if defined(__AVX__)
-namespace detail {
-/// Number of lanes of \p V holding a finite bound (!= +inf; matches
-/// isFinite, which deliberately counts -inf and NaN as "finite").
-inline int finiteLanes(__m256d V) {
-  __m256d Inf = _mm256_set1_pd(Infinity);
-  return __builtin_popcount(
-      _mm256_movemask_pd(_mm256_cmp_pd(V, Inf, _CMP_NEQ_UQ)));
-}
-} // namespace detail
-#endif
 
 /// Dst[j] = max(A[j], B[j]) for j in [0, Len): the join operator's span
 /// map. Two-source (not in-place) so the Dense/Dense join is one pass
 /// with no preparatory buffer copy.
-OPTOCT_SCALAR_KERNEL
 inline void maxSpan(double *Dst, const double *A, const double *B,
                     std::size_t Len) {
-  std::size_t J = 0;
-#if defined(__AVX__)
-  if (octConfig().EnableVectorization) {
-    for (; J + 4 <= Len; J += 4) {
-      __m256d VA = _mm256_loadu_pd(A + J);
-      __m256d VB = _mm256_loadu_pd(B + J);
-      _mm256_storeu_pd(Dst + J, _mm256_max_pd(VA, VB));
-    }
-  }
-#endif
-  OPTOCT_SCALAR_LOOP
-  for (; J != Len; ++J) {
-    double VA = A[J], VB = B[J];
-    // VB on ties, like MAXPD, so scalar and vector agree bitwise.
-    Dst[J] = VA > VB ? VA : VB;
-  }
+  activeSpanKernels().MaxSpan(Dst, A, B, Len);
 }
 
 /// Dst[j] = min(A[j], B[j]) for j in [0, Len): the meet operator's span
 /// map (two-source variant of vector_min.h's in-place minRows).
-OPTOCT_SCALAR_KERNEL
 inline void minSpan(double *Dst, const double *A, const double *B,
                     std::size_t Len) {
-  std::size_t J = 0;
-#if defined(__AVX__)
-  if (octConfig().EnableVectorization) {
-    for (; J + 4 <= Len; J += 4) {
-      __m256d VA = _mm256_loadu_pd(A + J);
-      __m256d VB = _mm256_loadu_pd(B + J);
-      _mm256_storeu_pd(Dst + J, _mm256_min_pd(VA, VB));
-    }
-  }
-#endif
-  OPTOCT_SCALAR_LOOP
-  for (; J != Len; ++J) {
-    double VA = A[J], VB = B[J];
-    Dst[J] = VA < VB ? VA : VB;
-  }
+  activeSpanKernels().MinSpan(Dst, A, B, Len);
 }
 
 /// maxSpan returning the number of finite entries written, for the
 /// component paths that must keep nni exact.
-OPTOCT_SCALAR_KERNEL
 inline std::size_t maxSpanCount(double *Dst, const double *A, const double *B,
                                 std::size_t Len) {
-  std::size_t J = 0, Count = 0;
-#if defined(__AVX__)
-  if (octConfig().EnableVectorization) {
-    for (; J + 4 <= Len; J += 4) {
-      __m256d VA = _mm256_loadu_pd(A + J);
-      __m256d VB = _mm256_loadu_pd(B + J);
-      __m256d D = _mm256_max_pd(VA, VB);
-      _mm256_storeu_pd(Dst + J, D);
-      Count += detail::finiteLanes(D);
-    }
-  }
-#endif
-  OPTOCT_SCALAR_LOOP
-  for (; J != Len; ++J) {
-    double VA = A[J], VB = B[J];
-    double V = VA > VB ? VA : VB;
-    Dst[J] = V;
-    Count += isFinite(V);
-  }
-  return Count;
+  return activeSpanKernels().MaxSpanCount(Dst, A, B, Len);
 }
 
 /// minSpan returning the number of finite entries written.
-OPTOCT_SCALAR_KERNEL
 inline std::size_t minSpanCount(double *Dst, const double *A, const double *B,
                                 std::size_t Len) {
-  std::size_t J = 0, Count = 0;
-#if defined(__AVX__)
-  if (octConfig().EnableVectorization) {
-    for (; J + 4 <= Len; J += 4) {
-      __m256d VA = _mm256_loadu_pd(A + J);
-      __m256d VB = _mm256_loadu_pd(B + J);
-      __m256d D = _mm256_min_pd(VA, VB);
-      _mm256_storeu_pd(Dst + J, D);
-      Count += detail::finiteLanes(D);
-    }
-  }
-#endif
-  OPTOCT_SCALAR_LOOP
-  for (; J != Len; ++J) {
-    double VA = A[J], VB = B[J];
-    double V = VA < VB ? VA : VB;
-    Dst[J] = V;
-    Count += isFinite(V);
-  }
-  return Count;
+  return activeSpanKernels().MinSpanCount(Dst, A, B, Len);
 }
 
 /// Standard-narrowing span: Dst[j] = Old[j] if finite, else New[j]
 /// (refine only the unbounded entries). Returns the finite count.
-OPTOCT_SCALAR_KERNEL
 inline std::size_t narrowSpanCount(double *Dst, const double *OldS,
                                    const double *NewS, std::size_t Len) {
-  std::size_t J = 0, Count = 0;
-#if defined(__AVX__)
-  if (octConfig().EnableVectorization) {
-    __m256d Inf = _mm256_set1_pd(Infinity);
-    for (; J + 4 <= Len; J += 4) {
-      __m256d VO = _mm256_loadu_pd(OldS + J);
-      __m256d VN = _mm256_loadu_pd(NewS + J);
-      __m256d FiniteOld = _mm256_cmp_pd(VO, Inf, _CMP_NEQ_UQ);
-      __m256d D = _mm256_blendv_pd(VN, VO, FiniteOld);
-      _mm256_storeu_pd(Dst + J, D);
-      Count += detail::finiteLanes(D);
-    }
-  }
-#endif
-  OPTOCT_SCALAR_LOOP
-  for (; J != Len; ++J) {
-    double VO = OldS[J];
-    double V = isFinite(VO) ? VO : NewS[J];
-    Dst[J] = V;
-    Count += isFinite(V);
-  }
-  return Count;
+  return activeSpanKernels().NarrowSpanCount(Dst, OldS, NewS, Len);
 }
 
 /// Widening span: a bound survives iff it did not grow (New <= Old);
 /// growing bounds jump to the smallest dominating threshold in the
 /// sorted array [Thr, Thr+ThrN) or to +inf. The threshold-set choice
 /// (binary thresholds vs the doubled unary ones) is hoisted to the call
-/// site — octagon_ops.cpp passes the unary diagonal-block columns as
-/// their own 2-wide spans — and the binary search runs only for lanes
-/// that actually grew: fully stable vector blocks, and all blocks under
-/// empty thresholds, never touch the threshold array at all. Returns
-/// the finite count.
-OPTOCT_SCALAR_KERNEL
+/// site — octagon_ops.cpp runs blocked batches under the binary set and
+/// patches the unary diagonal-block slots afterwards — and the
+/// threshold scan runs only for lanes that actually grew. Returns the
+/// finite count.
 inline std::size_t widenSpanCount(double *Dst, const double *OldS,
                                   const double *NewS, std::size_t Len,
                                   const double *Thr, std::size_t ThrN) {
-  std::size_t J = 0, Count = 0;
-#if defined(__AVX__)
-  if (octConfig().EnableVectorization) {
-    __m256d Inf = _mm256_set1_pd(Infinity);
-    for (; J + 4 <= Len; J += 4) {
-      __m256d VO = _mm256_loadu_pd(OldS + J);
-      __m256d VN = _mm256_loadu_pd(NewS + J);
-      __m256d Stable = _mm256_cmp_pd(VN, VO, _CMP_LE_OQ);
-      if (ThrN == 0 || _mm256_movemask_pd(Stable) == 0xF) {
-        __m256d D = _mm256_blendv_pd(Inf, VO, Stable);
-        _mm256_storeu_pd(Dst + J, D);
-        Count += detail::finiteLanes(D);
-        continue;
-      }
-      // Some lane grew and thresholds exist: resolve the block's lanes
-      // with the scalar rule (identical to the fallback below).
-      for (std::size_t K = 0; K != 4; ++K) {
-        double VOk = OldS[J + K], VNk = NewS[J + K];
-        double V;
-        if (VNk <= VOk) {
-          V = VOk;
-        } else {
-          const double *It = std::lower_bound(Thr, Thr + ThrN, VNk);
-          V = It == Thr + ThrN ? Infinity : *It;
-        }
-        Dst[J + K] = V;
-        Count += isFinite(V);
-      }
-    }
-  }
-#endif
-  OPTOCT_SCALAR_LOOP
-  for (; J != Len; ++J) {
-    double VO = OldS[J], VN = NewS[J];
-    double V;
-    if (VN <= VO) {
-      V = VO;
-    } else if (ThrN == 0) {
-      V = Infinity;
-    } else {
-      const double *It = std::lower_bound(Thr, Thr + ThrN, VN);
-      V = It == Thr + ThrN ? Infinity : *It;
-    }
-    Dst[J] = V;
-    Count += isFinite(V);
-  }
-  return Count;
+  return activeSpanKernels().WidenSpanCount(Dst, OldS, NewS, Len, Thr, ThrN);
 }
 
 /// True iff A[j] <= B[j] for all j in [0, Len): the inclusion test's
-/// span predicate. Early-exits on the first 4-lane block containing a
-/// violating lane (movemask of the greater-than compare).
-OPTOCT_SCALAR_KERNEL
+/// span predicate. Early-exits on the first vector block containing a
+/// violating lane.
 inline bool spanLeq(const double *A, const double *B, std::size_t Len) {
-  std::size_t J = 0;
-#if defined(__AVX__)
-  if (octConfig().EnableVectorization) {
-    for (; J + 4 <= Len; J += 4) {
-      __m256d VA = _mm256_loadu_pd(A + J);
-      __m256d VB = _mm256_loadu_pd(B + J);
-      if (_mm256_movemask_pd(_mm256_cmp_pd(VA, VB, _CMP_GT_OQ)) != 0)
-        return false;
-    }
-  }
-#endif
-  OPTOCT_SCALAR_LOOP
-  for (; J != Len; ++J)
-    if (A[J] > B[J])
-      return false;
-  return true;
+  return activeSpanKernels().SpanLeq(A, B, Len);
 }
 
 /// True iff A[j] == B[j] for all j in [0, Len): the equality test's
 /// span predicate, with the same first-violating-lane early exit.
-OPTOCT_SCALAR_KERNEL
 inline bool spanEq(const double *A, const double *B, std::size_t Len) {
-  std::size_t J = 0;
-#if defined(__AVX__)
-  if (octConfig().EnableVectorization) {
-    for (; J + 4 <= Len; J += 4) {
-      __m256d VA = _mm256_loadu_pd(A + J);
-      __m256d VB = _mm256_loadu_pd(B + J);
-      if (_mm256_movemask_pd(_mm256_cmp_pd(VA, VB, _CMP_NEQ_UQ)) != 0)
-        return false;
-    }
-  }
-#endif
-  OPTOCT_SCALAR_LOOP
-  for (; J != Len; ++J)
-    if (A[J] != B[J])
-      return false;
-  return true;
+  return activeSpanKernels().SpanEq(A, B, Len);
 }
 
 } // namespace optoct

@@ -26,10 +26,12 @@ namespace optoct::support {
 /// kernels run their AVX bodies only when both compiled_avx and the
 /// runtime EnableVectorization flag hold.
 struct CpuFeatures {
-  bool Avx = false;          ///< CPU supports AVX (runtime probe).
-  bool Avx2 = false;         ///< CPU supports AVX2 (runtime probe).
-  bool CompiledAvx = false;  ///< Binary built with __AVX__.
-  bool CompiledAvx2 = false; ///< Binary built with __AVX2__.
+  bool Avx = false;            ///< CPU supports AVX (runtime probe).
+  bool Avx2 = false;           ///< CPU supports AVX2 (runtime probe).
+  bool Avx512 = false;         ///< CPU+OS support AVX-512 F/DQ/BW/VL.
+  bool CompiledAvx = false;    ///< Binary built with __AVX__.
+  bool CompiledAvx2 = false;   ///< Binary built with __AVX2__.
+  bool CompiledAvx512 = false; ///< Binary built with __AVX512F__.
 };
 
 inline CpuFeatures cpuFeatures() {
@@ -37,12 +39,19 @@ inline CpuFeatures cpuFeatures() {
 #if defined(__x86_64__) || defined(__i386__)
   F.Avx = __builtin_cpu_supports("avx");
   F.Avx2 = __builtin_cpu_supports("avx2");
+  F.Avx512 = __builtin_cpu_supports("avx512f") &&
+             __builtin_cpu_supports("avx512dq") &&
+             __builtin_cpu_supports("avx512bw") &&
+             __builtin_cpu_supports("avx512vl");
 #endif
 #if defined(__AVX__)
   F.CompiledAvx = true;
 #endif
 #if defined(__AVX2__)
   F.CompiledAvx2 = true;
+#endif
+#if defined(__AVX512F__)
+  F.CompiledAvx512 = true;
 #endif
   return F;
 }
@@ -78,8 +87,14 @@ inline std::string jsonEscape(const std::string &S) {
 }
 
 /// The `"env": {...},\n  "cpu": {...}` fragment of a bench JSON header
-/// (no leading indent on the first line, no trailing comma).
-inline std::string benchContextJson() {
+/// (no leading indent on the first line, no trailing comma). \p SimdTier
+/// names the kernel tier runtime dispatch actually selected
+/// (optoct::simdTierName(activeSimdTier()) — passed in as a string so
+/// this support-layer header need not depend on oct/); when non-null it
+/// is recorded alongside the raw feature probes, since with runtime
+/// dispatch the compiled-with flags alone no longer determine which
+/// kernels ran.
+inline std::string benchContextJson(const char *SimdTier = nullptr) {
   std::string Out = "\"env\": {";
   bool First = true;
   for (const auto &[Name, Value] : optoctEnv()) {
@@ -93,8 +108,13 @@ inline std::string benchContextJson() {
   auto Flag = [](bool B) { return B ? "true" : "false"; };
   Out += std::string("\"avx\": ") + Flag(F.Avx) +
          ", \"avx2\": " + Flag(F.Avx2) +
+         ", \"avx512\": " + Flag(F.Avx512) +
          ", \"compiled_avx\": " + Flag(F.CompiledAvx) +
-         ", \"compiled_avx2\": " + Flag(F.CompiledAvx2) + "}";
+         ", \"compiled_avx2\": " + Flag(F.CompiledAvx2) +
+         ", \"compiled_avx512\": " + Flag(F.CompiledAvx512);
+  if (SimdTier)
+    Out += std::string(", \"simd_tier\": \"") + jsonEscape(SimdTier) + "\"";
+  Out += "}";
   return Out;
 }
 

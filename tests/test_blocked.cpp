@@ -1,0 +1,409 @@
+//===- tests/test_blocked.cpp - Blocked component layout ------------------===//
+///
+/// \file
+/// Covers oct/blocked_layout.h and the blocked operator legs of
+/// oct/octagon_ops.cpp:
+///
+///   * pack/scatter unit tests against a slot-by-slot reference mapping
+///     (contiguous, fragmented, and fully interleaved components), and
+///     scatter touching exactly the slots pack read;
+///   * packComponentEntry against replicated Octagon::entry() semantics
+///     on union-merged components whose cross pairs were never
+///     materialized;
+///   * operator-level differentials on adversarial partitions
+///     (singletons, one giant component, interleaved variable indices,
+///     top, bottom) sweeping the batching cutoff so every operator runs
+///     both its direct-walk and its batched-block path;
+///   * the same differential under every supported SIMD tier — the
+///     pack -> kernel -> scatter pipeline must be bitwise identical to
+///     the scalar pointwise leg on every tier, nni included.
+///
+//===----------------------------------------------------------------------===//
+
+#include "oct/blocked_layout.h"
+
+#include "oct/config.h"
+#include "oct/constraint.h"
+#include "oct/octagon.h"
+#include "oct/simd_dispatch.h"
+#include "oct/value.h"
+#include "support/random.h"
+
+#include "gtest/gtest.h"
+
+#include <algorithm>
+#include <vector>
+
+using namespace optoct;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Pack/scatter unit tests against the slot mapping.
+//===----------------------------------------------------------------------===//
+
+/// Fills every stored slot of \p M with a value unique to its packed
+/// index, so any mis-mapped copy is visible.
+void fillDistinct(HalfDbm &M) {
+  for (std::size_t K = 0; K != M.size(); ++K)
+    M.data()[K] = static_cast<double>(K) + 0.5;
+}
+
+/// The defining property of packComponent: block slot (2a+r, 2b+s) —
+/// the component's variables renumbered 0..m-1 — holds the source slot
+/// (2*Vars[a]+r, 2*Vars[b]+s).
+void expectPackedAgainstSource(const std::vector<double> &Block,
+                               const HalfDbm &M,
+                               const std::vector<unsigned> &Vars) {
+  for (std::size_t A = 0; A != Vars.size(); ++A)
+    for (unsigned R = 0; R != 2; ++R)
+      for (std::size_t B = 0; B <= A; ++B)
+        for (unsigned S = 0; S != 2; ++S) {
+          std::size_t Slot = HalfDbm::index(2 * A + R, 2 * B + S);
+          ASSERT_EQ(Block[Slot], M.get(2 * Vars[A] + R, 2 * Vars[B] + S))
+              << "vars (" << Vars[A] << "," << Vars[B] << ") at block ("
+              << 2 * A + R << "," << 2 * B + S << ")";
+        }
+}
+
+TEST(Blocked, BlockSizeMatchesStandaloneOctagon) {
+  for (unsigned m : {0u, 1u, 2u, 5u, 32u})
+    EXPECT_EQ(blockSize(m), HalfDbm::matSize(m));
+}
+
+TEST(Blocked, PackComponentShapes) {
+  const unsigned N = 9;
+  HalfDbm M(N);
+  fillDistinct(M);
+  // Contiguous run, fragmented runs, fully interleaved (every chunk a
+  // single variable), singleton, and the whole universe.
+  const std::vector<std::vector<unsigned>> Shapes = {
+      {2, 3, 4}, {0, 1, 5, 6, 8}, {0, 2, 4, 6, 8}, {7}, {0, 1, 2, 3, 4, 5, 6, 7, 8}};
+  for (const std::vector<unsigned> &Vars : Shapes) {
+    std::vector<double> Block(blockSize(Vars.size()), -1.0);
+    packComponent(Block.data(), M, Vars);
+    expectPackedAgainstSource(Block, M, Vars);
+  }
+}
+
+TEST(Blocked, PackEmptyComponentIsANoop) {
+  HalfDbm M(3);
+  fillDistinct(M);
+  std::vector<unsigned> Vars;
+  packComponent(nullptr, M, Vars); // blockSize(0) == 0: must not touch Dst.
+}
+
+TEST(Blocked, ScatterIsExactInverseAndTouchesOnlyComponentSlots) {
+  const unsigned N = 8;
+  const std::vector<unsigned> Vars = {1, 2, 5, 7}; // fragmented
+  HalfDbm M(N);
+  fillDistinct(M);
+  const std::vector<double> Original(M.data(), M.data() + M.size());
+
+  std::vector<double> Block(blockSize(Vars.size()));
+  packComponent(Block.data(), M, Vars);
+  for (double &V : Block)
+    V += 1000.0;
+  scatterComponent(Block.data(), M, Vars);
+
+  // Every slot whose variable pair lies inside the component moved by
+  // exactly +1000; every other slot is untouched.
+  auto InComp = [&](unsigned Var) {
+    return std::find(Vars.begin(), Vars.end(), Var) != Vars.end();
+  };
+  for (unsigned I = 0; I != M.dim(); ++I)
+    for (unsigned J = 0; J <= (I | 1u); ++J) {
+      std::size_t K = HalfDbm::index(I, J);
+      bool Inside = InComp(I / 2) && InComp(J / 2);
+      ASSERT_EQ(M.data()[K], Original[K] + (Inside ? 1000.0 : 0.0))
+          << "slot (" << I << "," << J << ")";
+    }
+
+  // And packing again reads back the scattered values bitwise.
+  std::vector<double> Again(blockSize(Vars.size()));
+  packComponent(Again.data(), M, Vars);
+  EXPECT_EQ(Again, Block);
+}
+
+TEST(Blocked, PackEntryMatchesEntrySemanticsOnMergedComponents) {
+  // Partition P: {0,3} and {1,4}; variables 2 and 5 uncovered. Only the
+  // slots inside P's components are meaningful — everything else holds
+  // garbage the pack must never leak.
+  const unsigned N = 6;
+  HalfDbm M(N);
+  for (std::size_t K = 0; K != M.size(); ++K)
+    M.data()[K] = -777.0; // garbage sentinel
+  Partition P(N);
+  P.relate(0, 3);
+  P.relate(1, 4);
+  Rng R(42);
+  for (std::size_t C = 0; C != P.numComponents(); ++C) {
+    const std::vector<unsigned> &Vars = P.component(C);
+    for (unsigned U : Vars)
+      for (unsigned V : Vars) {
+        M.initPairTrivial(U, V);
+        if (U != V) {
+          unsigned Lo = std::min(U, V), Hi = std::max(U, V);
+          for (unsigned A = 0; A != 2; ++A)
+            for (unsigned B = 0; B != 2; ++B)
+              M.at(2 * Hi + A, 2 * Lo + B) = R.intIn(-9, 9);
+        }
+      }
+    for (unsigned U : Vars) {
+      M.at(2 * U, 2 * U + 1) = R.intIn(-9, 9);
+      M.at(2 * U + 1, 2 * U) = R.intIn(-9, 9);
+    }
+  }
+
+  /// Octagon::entry() replicated for a bare (M, P) pair.
+  auto EntryRef = [&](unsigned I, unsigned J) -> double {
+    if (I == J)
+      return 0.0;
+    unsigned Va = I / 2, Vb = J / 2;
+    if (Va == Vb)
+      return P.contains(Va) ? M.get(I, J) : Infinity;
+    int CA = P.componentOf(Va);
+    if (CA >= 0 && CA == P.componentOf(Vb))
+      return M.get(I, J);
+    return Infinity;
+  };
+
+  // A union-merged component relating pairs M never materialized
+  // ({0,3} x {1,4}), plus the uncovered variable 2.
+  Partition Other(N);
+  Other.relate(3, 1);
+  Other.relate(0, 2);
+  Partition Q = Partition::unionMerge(P, Other);
+  ASSERT_EQ(Q.numComponents(), 1u);
+  const std::vector<unsigned> &Vars = Q.component(0);
+  ASSERT_EQ(Vars.size(), 5u); // {0,1,2,3,4}
+
+  std::vector<double> Block(blockSize(Vars.size()), -1.0);
+  packComponentEntry(Block.data(), M, P, /*FullyInit=*/false, Vars);
+  for (std::size_t A = 0; A != Vars.size(); ++A)
+    for (unsigned Rr = 0; Rr != 2; ++Rr)
+      for (std::size_t B = 0; B <= A; ++B)
+        for (unsigned S = 0; S != 2; ++S) {
+          std::size_t Slot = HalfDbm::index(2 * A + Rr, 2 * B + S);
+          ASSERT_EQ(Block[Slot], EntryRef(2 * Vars[A] + Rr, 2 * Vars[B] + S))
+              << "vars (" << Vars[A] << "," << Vars[B] << ")";
+        }
+
+  // Single-source-block fast path: packing one of P's own components
+  // through the entry pack must equal the pure-copy pack bitwise.
+  for (std::size_t C = 0; C != P.numComponents(); ++C) {
+    const std::vector<unsigned> &CV = P.component(C);
+    std::vector<double> Pure(blockSize(CV.size())), Entry(blockSize(CV.size()));
+    packComponent(Pure.data(), M, CV);
+    packComponentEntry(Entry.data(), M, P, /*FullyInit=*/false, CV);
+    EXPECT_EQ(Entry, Pure);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Operator-level differentials on adversarial partitions.
+//===----------------------------------------------------------------------===//
+
+/// Partition shapes chosen to stress the blocked legs, not precision.
+enum class PartShape {
+  Singletons,  ///< every covered variable its own component
+  Giant,       ///< one chain component over all variables
+  Interleaved, ///< two components with alternating variable indices
+  Stripes,     ///< several 2-3 variable components, gaps between them
+  Top,         ///< no constraints
+  Bottom,      ///< contradictory constraints
+};
+
+Octagon adversarialOct(unsigned N, PartShape S, Rng &R) {
+  Octagon O(N);
+  std::vector<OctCons> Cs;
+  switch (S) {
+  case PartShape::Singletons:
+    for (unsigned I = 0; I != N; ++I)
+      if (R.chance(0.8))
+        Cs.push_back(OctCons::upper(I, R.intIn(-2, 24)));
+    break;
+  case PartShape::Giant:
+    for (unsigned I = 0; I + 1 != N; ++I)
+      Cs.push_back(OctCons::diff(I + 1, I, R.intIn(-2, 24)));
+    break;
+  case PartShape::Interleaved:
+    // Evens chained together, odds chained together: every pack chunk
+    // is a single variable.
+    for (unsigned I = 0; I + 2 < N; ++I)
+      if (R.chance(0.9))
+        Cs.push_back(OctCons::sum(I + 2, I, R.intIn(-2, 24)));
+    break;
+  case PartShape::Stripes: {
+    unsigned V = 0;
+    while (V + 1 < N) {
+      unsigned Size = std::min<unsigned>(R.chance(0.5) ? 2 : 3, N - V);
+      for (unsigned A = 1; A != Size; ++A)
+        Cs.push_back(OctCons::diff(V + A, V + A - 1, R.intIn(-2, 24)));
+      V += Size + 1; // always leave an uncovered gap variable
+    }
+    break;
+  }
+  case PartShape::Top:
+    break;
+  case PartShape::Bottom:
+    Cs.push_back(OctCons::upper(0, -1));
+    Cs.push_back(OctCons::lower(0, 0));
+    break;
+  }
+  O.addConstraints(Cs);
+  return O;
+}
+
+/// Same contract as test_vector_ops.cpp's expectOctIdentical.
+void expectOctIdentical(Octagon &Vec, Octagon &Scalar, const char *What) {
+  ASSERT_EQ(Vec.numVars(), Scalar.numVars()) << What;
+  EXPECT_EQ(Vec.kind(), Scalar.kind()) << What;
+  EXPECT_EQ(Vec.isClosed(), Scalar.isClosed()) << What;
+  EXPECT_TRUE(Vec.partition() == Scalar.partition()) << What;
+  bool VecBottom = Vec.isBottom();
+  ASSERT_EQ(VecBottom, Scalar.isBottom()) << What;
+  if (VecBottom)
+    return;
+  EXPECT_EQ(Vec.nni(), Scalar.nni()) << What;
+  unsigned D = 2 * Vec.numVars();
+  for (unsigned I = 0; I != D; ++I)
+    for (unsigned J = 0; J != D; ++J)
+      ASSERT_EQ(Vec.entry(I, J), Scalar.entry(I, J))
+          << What << ": entry (" << I << "," << J << ")";
+}
+
+class BlockedDifferentialTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    SavedVec = octConfig().EnableVectorization;
+    SavedCutoff = octConfig().BlockedCutoffVars;
+    SavedTier = activeSimdTier();
+  }
+  void TearDown() override {
+    octConfig().EnableVectorization = SavedVec;
+    octConfig().BlockedCutoffVars = SavedCutoff;
+    simdForceTier(SavedTier);
+  }
+
+  /// Runs \p Op blocked/vectorized (current tier + cutoff) vs the
+  /// pointwise scalar leg and asserts identical results, including the
+  /// in-place closures the operator performed on its arguments.
+  template <typename OpT>
+  void diffOp(const Octagon &A, const Octagon &B, OpT Op, const char *What) {
+    octConfig().EnableVectorization = true;
+    Octagon CA = A, CB = B;
+    Octagon Vec = Op(CA, CB);
+    octConfig().EnableVectorization = false;
+    Octagon SA = A, SB = B;
+    Octagon Scalar = Op(SA, SB);
+    expectOctIdentical(Vec, Scalar, What);
+    expectOctIdentical(CA, SA, What);
+    expectOctIdentical(CB, SB, What);
+  }
+
+  template <typename PredT>
+  void diffPred(const Octagon &A, const Octagon &B, PredT Pred,
+                const char *What) {
+    octConfig().EnableVectorization = true;
+    Octagon CA = A, CB = B;
+    bool Vec = Pred(CA, CB);
+    octConfig().EnableVectorization = false;
+    Octagon SA = A, SB = B;
+    bool Scalar = Pred(SA, SB);
+    EXPECT_EQ(Vec, Scalar) << What;
+    expectOctIdentical(CA, SA, What);
+    expectOctIdentical(CB, SB, What);
+  }
+
+  void runAllOps(const Octagon &A, const Octagon &B) {
+    const std::vector<double> Thresholds = {-2.0, 0.0, 1.0, 5.0, 10.0, 20.0};
+    diffOp(A, B,
+           [](Octagon &X, Octagon &Y) { return Octagon::meet(X, Y); }, "meet");
+    diffOp(A, B,
+           [](Octagon &X, Octagon &Y) { return Octagon::join(X, Y); }, "join");
+    diffOp(A, B,
+           [](Octagon &X, Octagon &Y) { return Octagon::widen(X, Y); },
+           "widen");
+    diffOp(A, B,
+           [&](Octagon &X, Octagon &Y) {
+             return Octagon::widenWithThresholds(X, Y, Thresholds);
+           },
+           "widenWithThresholds");
+    diffOp(A, B,
+           [](Octagon &X, Octagon &Y) { return Octagon::narrow(X, Y); },
+           "narrow");
+    diffPred(A, B, [](Octagon &X, Octagon &Y) { return X.leq(Y); }, "leq");
+    diffPred(A, B, [](Octagon &X, Octagon &Y) { return X.equals(Y); },
+             "equals");
+  }
+
+  bool SavedVec;
+  unsigned SavedCutoff;
+  SimdTier SavedTier;
+};
+
+TEST_F(BlockedDifferentialTest, AdversarialPartitionsAcrossCutoffs) {
+  // Cutoff 0: every component takes the direct per-span walk. Cutoff
+  // 1000: every component is batched into the shared block. Cutoff 4:
+  // mixed — small components batch while larger ones walk, within one
+  // operator call.
+  const PartShape Shapes[] = {PartShape::Singletons, PartShape::Giant,
+                              PartShape::Interleaved, PartShape::Stripes,
+                              PartShape::Top, PartShape::Bottom};
+  for (unsigned Cutoff : {0u, 4u, 1000u}) {
+    octConfig().BlockedCutoffVars = Cutoff;
+    for (unsigned N : {5u, 9u})
+      for (PartShape SA : Shapes)
+        for (PartShape SB : Shapes) {
+          Rng R(N * 100 + static_cast<unsigned>(SA) * 10 +
+                static_cast<unsigned>(SB));
+          Octagon A = adversarialOct(N, SA, R);
+          Octagon B = adversarialOct(N, SB, R);
+          runAllOps(A, B);
+        }
+  }
+}
+
+TEST_F(BlockedDifferentialTest, EveryTierMatchesPointwiseScalar) {
+  // The acceptance property for runtime dispatch: under every tier this
+  // machine can run, the blocked legs produce DBMs and nni bitwise
+  // identical to the pointwise scalar leg.
+  std::vector<SimdTier> Tiers{SimdTier::Scalar};
+  if (simdTierSupported(SimdTier::Avx2))
+    Tiers.push_back(SimdTier::Avx2);
+  if (simdTierSupported(SimdTier::Avx512))
+    Tiers.push_back(SimdTier::Avx512);
+  const PartShape Shapes[] = {PartShape::Giant, PartShape::Interleaved,
+                              PartShape::Stripes};
+  for (SimdTier Tier : Tiers) {
+    simdForceTier(Tier);
+    for (unsigned Cutoff : {0u, 1000u}) {
+      octConfig().BlockedCutoffVars = Cutoff;
+      for (PartShape SA : Shapes)
+        for (PartShape SB : Shapes) {
+          Rng R(9000 + static_cast<unsigned>(SA) * 10 +
+                static_cast<unsigned>(SB));
+          Octagon A = adversarialOct(13, SA, R);
+          Octagon B = adversarialOct(13, SB, R);
+          runAllOps(A, B);
+        }
+    }
+  }
+}
+
+TEST_F(BlockedDifferentialTest, FuzzRandomShapesAndCutoffs) {
+  for (unsigned Seed = 0; Seed != 20; ++Seed) {
+    Rng R(31337 + Seed * 7);
+    unsigned N = 3 + static_cast<unsigned>(R.indexBelow(18));
+    const unsigned Cutoffs[] = {0u, 2u, 4u, 8u, 1000u};
+    octConfig().BlockedCutoffVars = Cutoffs[R.indexBelow(5)];
+    PartShape SA = static_cast<PartShape>(R.indexBelow(6));
+    PartShape SB = static_cast<PartShape>(R.indexBelow(6));
+    Octagon A = adversarialOct(N, SA, R);
+    Octagon B = adversarialOct(N, SB, R);
+    runAllOps(A, B);
+  }
+}
+
+} // namespace

@@ -4,11 +4,12 @@
 /// Two layers of vector/scalar parity checks for the span kernels of
 /// oct/vector_ops.h:
 ///
-///   1. Kernel-level: each kernel run with EnableVectorization on and
-///      off on random spans (with infinities) must produce bitwise
-///      identical outputs, identical early-exit verdicts, and identical
-///      returned finite-entry counts — which must also match a manual
-///      recount.
+///   1. Kernel-level: each kernel run under every SIMD tier this
+///      machine supports (scalar / AVX2 / AVX-512, forced through
+///      simdForceTier) on random spans (with infinities) must produce
+///      bitwise identical outputs, identical early-exit verdicts, and
+///      identical returned finite-entry counts — which must also match
+///      a manual recount against the pinned-scalar table.
 ///
 ///   2. Operator-level differential: random octagon pairs of every
 ///      shape (dense, block-decomposed, sparse, unary-heavy, top,
@@ -17,6 +18,9 @@
 ///      identical nni / kind / partition / closedness, and identical
 ///      boolean verdicts for inclusion and equality. Flipping
 ///      EnableVectorization may only change speed, never a result.
+///      (tests/test_blocked.cpp repeats this sweep per SIMD tier and on
+///      adversarial partitions; tests/test_simd_dispatch.cpp covers the
+///      tier-selection policy itself.)
 ///
 //===----------------------------------------------------------------------===//
 
@@ -25,6 +29,7 @@
 #include "oct/config.h"
 #include "oct/constraint.h"
 #include "oct/octagon.h"
+#include "oct/simd_dispatch.h"
 #include "oct/value.h"
 #include "support/random.h"
 
@@ -44,11 +49,24 @@ std::vector<double> randomSpan(Rng &R, std::size_t Len, double InfProb) {
   return S;
 }
 
+/// Every SIMD tier this machine can execute, scalar included. Each
+/// kernel test runs its body once per tier (forced via simdForceTier)
+/// and compares against the pinned-scalar reference table, so on an
+/// AVX-512 machine one test exercises all three code paths.
+std::vector<SimdTier> supportedTiers() {
+  std::vector<SimdTier> Tiers{SimdTier::Scalar};
+  if (simdTierSupported(SimdTier::Avx2))
+    Tiers.push_back(SimdTier::Avx2);
+  if (simdTierSupported(SimdTier::Avx512))
+    Tiers.push_back(SimdTier::Avx512);
+  return Tiers;
+}
+
 class SpanKernelTest : public ::testing::TestWithParam<std::size_t> {
 protected:
-  void SetUp() override { Saved = octConfig().EnableVectorization; }
-  void TearDown() override { octConfig().EnableVectorization = Saved; }
-  bool Saved;
+  void SetUp() override { Saved = activeSimdTier(); }
+  void TearDown() override { simdForceTier(Saved); }
+  SimdTier Saved;
 };
 
 TEST_P(SpanKernelTest, MaxMinSpanMatchScalar) {
@@ -57,19 +75,21 @@ TEST_P(SpanKernelTest, MaxMinSpanMatchScalar) {
   std::vector<double> A = randomSpan(R, Len, 0.3);
   std::vector<double> B = randomSpan(R, Len, 0.3);
 
-  std::vector<double> VecMax(Len), ScalarMax(Len);
-  std::vector<double> VecMin(Len), ScalarMin(Len);
-  octConfig().EnableVectorization = true;
-  maxSpan(VecMax.data(), A.data(), B.data(), Len);
-  minSpan(VecMin.data(), A.data(), B.data(), Len);
-  octConfig().EnableVectorization = false;
-  maxSpan(ScalarMax.data(), A.data(), B.data(), Len);
-  minSpan(ScalarMin.data(), A.data(), B.data(), Len);
-  EXPECT_EQ(VecMax, ScalarMax);
-  EXPECT_EQ(VecMin, ScalarMin);
+  std::vector<double> ScalarMax(Len), ScalarMin(Len);
+  SpanKernelsScalar.MaxSpan(ScalarMax.data(), A.data(), B.data(), Len);
+  SpanKernelsScalar.MinSpan(ScalarMin.data(), A.data(), B.data(), Len);
   for (std::size_t I = 0; I != Len; ++I) {
-    EXPECT_EQ(VecMax[I], std::max(A[I], B[I]));
-    EXPECT_EQ(VecMin[I], std::min(A[I], B[I]));
+    EXPECT_EQ(ScalarMax[I], std::max(A[I], B[I]));
+    EXPECT_EQ(ScalarMin[I], std::min(A[I], B[I]));
+  }
+
+  for (SimdTier Tier : supportedTiers()) {
+    simdForceTier(Tier);
+    std::vector<double> VecMax(Len), VecMin(Len);
+    maxSpan(VecMax.data(), A.data(), B.data(), Len);
+    minSpan(VecMin.data(), A.data(), B.data(), Len);
+    EXPECT_EQ(VecMax, ScalarMax) << simdTierName(Tier);
+    EXPECT_EQ(VecMin, ScalarMin) << simdTierName(Tier);
   }
 }
 
@@ -79,30 +99,34 @@ TEST_P(SpanKernelTest, MaxMinSpanCountMatchScalar) {
   std::vector<double> A = randomSpan(R, Len, 0.4);
   std::vector<double> B = randomSpan(R, Len, 0.4);
 
-  std::vector<double> VecOut(Len), ScalarOut(Len);
-  octConfig().EnableVectorization = true;
-  std::size_t VecMaxN = maxSpanCount(VecOut.data(), A.data(), B.data(), Len);
-  octConfig().EnableVectorization = false;
+  std::vector<double> ScalarOut(Len);
   std::size_t ScalarMaxN =
-      maxSpanCount(ScalarOut.data(), A.data(), B.data(), Len);
-  EXPECT_EQ(VecOut, ScalarOut);
-  EXPECT_EQ(VecMaxN, ScalarMaxN);
+      SpanKernelsScalar.MaxSpanCount(ScalarOut.data(), A.data(), B.data(), Len);
   std::size_t Manual = 0;
-  for (double V : VecOut)
+  for (double V : ScalarOut)
     Manual += isFinite(V);
-  EXPECT_EQ(VecMaxN, Manual);
+  EXPECT_EQ(ScalarMaxN, Manual);
+  for (SimdTier Tier : supportedTiers()) {
+    simdForceTier(Tier);
+    std::vector<double> VecOut(Len);
+    std::size_t VecMaxN = maxSpanCount(VecOut.data(), A.data(), B.data(), Len);
+    EXPECT_EQ(VecOut, ScalarOut) << simdTierName(Tier);
+    EXPECT_EQ(VecMaxN, ScalarMaxN) << simdTierName(Tier);
+  }
 
-  octConfig().EnableVectorization = true;
-  std::size_t VecMinN = minSpanCount(VecOut.data(), A.data(), B.data(), Len);
-  octConfig().EnableVectorization = false;
   std::size_t ScalarMinN =
-      minSpanCount(ScalarOut.data(), A.data(), B.data(), Len);
-  EXPECT_EQ(VecOut, ScalarOut);
-  EXPECT_EQ(VecMinN, ScalarMinN);
+      SpanKernelsScalar.MinSpanCount(ScalarOut.data(), A.data(), B.data(), Len);
   Manual = 0;
-  for (double V : VecOut)
+  for (double V : ScalarOut)
     Manual += isFinite(V);
-  EXPECT_EQ(VecMinN, Manual);
+  EXPECT_EQ(ScalarMinN, Manual);
+  for (SimdTier Tier : supportedTiers()) {
+    simdForceTier(Tier);
+    std::vector<double> VecOut(Len);
+    std::size_t VecMinN = minSpanCount(VecOut.data(), A.data(), B.data(), Len);
+    EXPECT_EQ(VecOut, ScalarOut) << simdTierName(Tier);
+    EXPECT_EQ(VecMinN, ScalarMinN) << simdTierName(Tier);
+  }
 }
 
 TEST_P(SpanKernelTest, NarrowSpanCountMatchesScalar) {
@@ -113,20 +137,24 @@ TEST_P(SpanKernelTest, NarrowSpanCountMatchesScalar) {
   std::vector<double> Old = randomSpan(R, Len, 0.6);
   std::vector<double> New = randomSpan(R, Len, 0.3);
 
-  std::vector<double> VecOut(Len), ScalarOut(Len);
-  octConfig().EnableVectorization = true;
-  std::size_t VecN = narrowSpanCount(VecOut.data(), Old.data(), New.data(), Len);
-  octConfig().EnableVectorization = false;
-  std::size_t ScalarN =
-      narrowSpanCount(ScalarOut.data(), Old.data(), New.data(), Len);
-  EXPECT_EQ(VecOut, ScalarOut);
-  EXPECT_EQ(VecN, ScalarN);
+  std::vector<double> ScalarOut(Len);
+  std::size_t ScalarN = SpanKernelsScalar.NarrowSpanCount(
+      ScalarOut.data(), Old.data(), New.data(), Len);
   std::size_t Manual = 0;
   for (std::size_t I = 0; I != Len; ++I) {
-    EXPECT_EQ(VecOut[I], isFinite(Old[I]) ? Old[I] : New[I]);
-    Manual += isFinite(VecOut[I]);
+    EXPECT_EQ(ScalarOut[I], isFinite(Old[I]) ? Old[I] : New[I]);
+    Manual += isFinite(ScalarOut[I]);
   }
-  EXPECT_EQ(VecN, Manual);
+  EXPECT_EQ(ScalarN, Manual);
+
+  for (SimdTier Tier : supportedTiers()) {
+    simdForceTier(Tier);
+    std::vector<double> VecOut(Len);
+    std::size_t VecN =
+        narrowSpanCount(VecOut.data(), Old.data(), New.data(), Len);
+    EXPECT_EQ(VecOut, ScalarOut) << simdTierName(Tier);
+    EXPECT_EQ(VecN, ScalarN) << simdTierName(Tier);
+  }
 }
 
 TEST_P(SpanKernelTest, WidenSpanCountMatchesScalar) {
@@ -139,16 +167,11 @@ TEST_P(SpanKernelTest, WidenSpanCountMatchesScalar) {
     std::vector<double> Old = randomSpan(R, Len, 0.3);
     std::vector<double> New = randomSpan(R, Len, 0.3);
 
-    std::vector<double> VecOut(Len), ScalarOut(Len);
-    octConfig().EnableVectorization = true;
-    std::size_t VecN = widenSpanCount(VecOut.data(), Old.data(), New.data(),
-                                      Len, Thresholds.data(), ThrN);
-    octConfig().EnableVectorization = false;
-    std::size_t ScalarN = widenSpanCount(ScalarOut.data(), Old.data(),
+    std::vector<double> ScalarOut(Len);
+    std::size_t ScalarN =
+        SpanKernelsScalar.WidenSpanCount(ScalarOut.data(), Old.data(),
                                          New.data(), Len, Thresholds.data(),
                                          ThrN);
-    EXPECT_EQ(VecOut, ScalarOut);
-    EXPECT_EQ(VecN, ScalarN);
     std::size_t Manual = 0;
     for (std::size_t I = 0; I != Len; ++I) {
       double Expect;
@@ -159,10 +182,45 @@ TEST_P(SpanKernelTest, WidenSpanCountMatchesScalar) {
                                    Thresholds.begin() + ThrN, New[I]);
         Expect = It == Thresholds.begin() + ThrN ? Infinity : *It;
       }
-      EXPECT_EQ(VecOut[I], Expect) << "ThrN=" << ThrN << " at " << I;
-      Manual += isFinite(VecOut[I]);
+      EXPECT_EQ(ScalarOut[I], Expect) << "ThrN=" << ThrN << " at " << I;
+      Manual += isFinite(ScalarOut[I]);
     }
-    EXPECT_EQ(VecN, Manual);
+    EXPECT_EQ(ScalarN, Manual);
+
+    for (SimdTier Tier : supportedTiers()) {
+      simdForceTier(Tier);
+      std::vector<double> VecOut(Len);
+      std::size_t VecN = widenSpanCount(VecOut.data(), Old.data(), New.data(),
+                                        Len, Thresholds.data(), ThrN);
+      EXPECT_EQ(VecOut, ScalarOut) << simdTierName(Tier) << " ThrN=" << ThrN;
+      EXPECT_EQ(VecN, ScalarN) << simdTierName(Tier) << " ThrN=" << ThrN;
+    }
+  }
+}
+
+/// Wide threshold tables (> BranchlessThrMax = 32 entries) push the
+/// vector tiers off the branchless blend scan onto their per-lane
+/// lower_bound fallback; both flavors must agree with scalar bitwise.
+TEST_P(SpanKernelTest, WidenSpanCountWideThresholdTable) {
+  std::size_t Len = GetParam();
+  Rng R(Len * 13 + 6);
+  std::vector<double> Thresholds;
+  for (int T = -40; T <= 40; T += 2) // 41 sorted entries > 32.
+    Thresholds.push_back(T);
+  std::vector<double> Old = randomSpan(R, Len, 0.3);
+  std::vector<double> New = randomSpan(R, Len, 0.3);
+
+  std::vector<double> ScalarOut(Len);
+  std::size_t ScalarN = SpanKernelsScalar.WidenSpanCount(
+      ScalarOut.data(), Old.data(), New.data(), Len, Thresholds.data(),
+      Thresholds.size());
+  for (SimdTier Tier : supportedTiers()) {
+    simdForceTier(Tier);
+    std::vector<double> VecOut(Len);
+    std::size_t VecN = widenSpanCount(VecOut.data(), Old.data(), New.data(),
+                                      Len, Thresholds.data(), Thresholds.size());
+    EXPECT_EQ(VecOut, ScalarOut) << simdTierName(Tier);
+    EXPECT_EQ(VecN, ScalarN) << simdTierName(Tier);
   }
 }
 
@@ -190,27 +248,30 @@ TEST_P(SpanKernelTest, LeqEqPredicatesMatchScalar) {
   }
 
   for (const std::vector<double> &B : Others) {
-    octConfig().EnableVectorization = true;
-    bool VecLeq = spanLeq(A.data(), B.data(), Len);
-    bool VecEq = spanEq(A.data(), B.data(), Len);
-    octConfig().EnableVectorization = false;
-    bool ScalarLeq = spanLeq(A.data(), B.data(), Len);
-    bool ScalarEq = spanEq(A.data(), B.data(), Len);
-    EXPECT_EQ(VecLeq, ScalarLeq);
-    EXPECT_EQ(VecEq, ScalarEq);
+    bool ScalarLeq = SpanKernelsScalar.SpanLeq(A.data(), B.data(), Len);
+    bool ScalarEq = SpanKernelsScalar.SpanEq(A.data(), B.data(), Len);
     // Semantic cross-check against the direct definition.
     bool RefLeq = true, RefEq = true;
     for (std::size_t I = 0; I != Len; ++I) {
       RefLeq &= !(A[I] > B[I]);
       RefEq &= A[I] == B[I];
     }
-    EXPECT_EQ(VecLeq, RefLeq);
-    EXPECT_EQ(VecEq, RefEq);
+    EXPECT_EQ(ScalarLeq, RefLeq);
+    EXPECT_EQ(ScalarEq, RefEq);
+
+    for (SimdTier Tier : supportedTiers()) {
+      simdForceTier(Tier);
+      EXPECT_EQ(spanLeq(A.data(), B.data(), Len), ScalarLeq)
+          << simdTierName(Tier);
+      EXPECT_EQ(spanEq(A.data(), B.data(), Len), ScalarEq)
+          << simdTierName(Tier);
+    }
   }
 }
 
-// Lengths straddling the 4-wide vector body: empty, sub-vector, exact
-// multiples, and multiples plus remainders.
+// Lengths straddling both the 4-wide (AVX2) and 8-wide (AVX-512) vector
+// bodies: empty, sub-vector, exact multiples, and multiples plus
+// remainders.
 INSTANTIATE_TEST_SUITE_P(Lengths, SpanKernelTest,
                          ::testing::Values(0u, 1u, 2u, 3u, 4u, 5u, 7u, 8u, 9u,
                                            15u, 16u, 31u, 33u, 64u, 130u));

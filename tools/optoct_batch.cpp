@@ -77,6 +77,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "oct/simd_dispatch.h"
 #include "runtime/batch.h"
 #include "runtime/journal.h"
 #include "runtime/shard.h"
@@ -410,7 +411,7 @@ int run(int Argc, char **Argv) {
   if (Report.AuditIncidentTotal)
     std::printf(", %llu audit incidents",
                 static_cast<unsigned long long>(Report.AuditIncidentTotal));
-  std::printf(") on %u %s in %.1f ms (%.1f jobs/s), "
+  std::printf(") on %u %s in %.1f ms (%.1f jobs/s, simd tier %s), "
               "%u/%u assertions proven\n",
               Report.Workers,
               Opts.UseShard
@@ -420,7 +421,8 @@ int run(int Argc, char **Argv) {
                                                : "worker processes")
                         : (Report.Workers == 1 ? "worker" : "workers"),
               Report.WallSeconds * 1e3, Report.throughput(),
-              Report.AssertsProven, Report.AssertsTotal);
+              simdTierName(activeSimdTier()), Report.AssertsProven,
+              Report.AssertsTotal);
   if (Report.Supervisor.WorkersSpawned != 0)
     std::printf("supervisor: %u spawned, %u crashed, %u recycled, "
                 "%u hard kills\n",

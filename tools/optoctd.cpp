@@ -82,6 +82,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "oct/simd_dispatch.h"
 #include "runtime/journal.h"
 #include "server/client.h"
 #include "server/server.h"
@@ -344,10 +345,13 @@ int runDaemon(const DaemonCliOptions &Opts) {
   ::sigaction(SIGTERM, &SA, nullptr);
   ::sigaction(SIGINT, &SA, nullptr);
 
-  std::fprintf(stderr, "optoctd: serving on %s (%u workers, %zu MiB cache)\n",
+  std::fprintf(stderr,
+               "optoctd: serving on %s (%u workers, %zu MiB cache, "
+               "simd tier %s)\n",
                Opts.Server.SocketPath.c_str(),
                static_cast<unsigned>(Daemon.stats().Workers),
-               Opts.Server.CacheMaxBytes >> 20);
+               Opts.Server.CacheMaxBytes >> 20,
+               simdTierName(activeSimdTier()));
   Daemon.serve();
   ActiveServer = nullptr;
 
