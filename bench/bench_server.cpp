@@ -20,6 +20,13 @@
 /// K-1 duplicates per round), the shed rate, and whether every reply in
 /// a round carried byte-identical result records.
 ///
+/// A fourth, failover leg replays the stream through the replica tier
+/// (server/replica.h) over two daemons and stops the preferred one
+/// halfway: reports the healthy-path p50 (the replica layer's overhead
+/// over the plain client), the latency of the single request that paid
+/// the failover detection, the p50 on the surviving replica — and
+/// whether every reply stayed byte-identical to the cold pass.
+///
 ///   --requests=<n>  stream length per pass           (default 400)
 ///   --repeat=<r>    fraction of repeated programs     (default 0.5)
 ///   --workers=<n>   daemon worker processes           (default 2)
@@ -31,6 +38,7 @@
 
 #include "oct/simd_dispatch.h"
 #include "server/client.h"
+#include "server/replica.h"
 #include "server/server.h"
 #include "support/cpuinfo.h"
 #include "support/fnv.h"
@@ -302,9 +310,96 @@ int main(int Argc, char **Argv) {
                 Cont.ByteIdentical ? "yes" : "NO (BUG)");
   }
 
+  // --- Failover leg: kill the preferred replica mid-stream -----------
+  // A replica client over [daemon A, fresh daemon B] replays the
+  // stream; halfway through, daemon A is stopped. Measures what the
+  // replica tier costs when healthy (vs the plain client above), what
+  // the one failover request pays, and steady-state after — with every
+  // reply still byte-identical to the cold pass (B recomputes misses
+  // through the same canonicalizing pipeline A did).
+  struct FailoverStats {
+    std::uint64_t Requests = 0, Failovers = 0, Primaries = 0;
+    double PrimaryP50Ms = 0.0; ///< p50 before the kill (path=primary)
+    double FailoverMs = 0.0;   ///< the request that crossed the kill
+    double AfterP50Ms = 0.0;   ///< p50 after the kill (on replica B)
+    bool ByteIdentical = true;
+    bool Ran = false;
+  } Fo;
+  bool DaemonAStopped = false;
+  if (AllServed) {
+    server::ServerOptions OptsB = Opts;
+    OptsB.SocketPath =
+        "bench_server_b." + std::to_string(::getpid()) + ".sock";
+    server::Server DaemonB(OptsB);
+    if (!DaemonB.start(Error)) {
+      std::fprintf(stderr, "error: failover leg: %s\n", Error.c_str());
+    } else {
+      std::thread ThreadB([&] { DaemonB.serve(); });
+      server::ReplicaOptions RO;
+      RO.Endpoints = {Opts.SocketPath, OptsB.SocketPath};
+      RO.Retry.MaxAttempts = 4;
+      RO.Retry.Seed = 7; // deterministic schedule for a bench
+      server::ReplicaClient Replica(std::move(RO));
+      std::vector<double> BeforeMs, AfterMs;
+      const std::size_t KillAt = Stream.size() / 2;
+      Fo.Ran = true;
+      for (std::size_t I = 0; I != Stream.size(); ++I) {
+        if (I == KillAt) {
+          Daemon.requestStop(); // replica A dies mid-stream
+          ServerThread.join();
+          DaemonAStopped = true;
+        }
+        server::AnalyzeRequest Req;
+        Req.Job.Name = "loop" + std::to_string(Stream[I]);
+        Req.Job.Source = loopProgram(Stream[I]);
+        server::AnalyzeResponse Resp;
+        server::ReplicaReplyInfo Info;
+        auto T0 = std::chrono::steady_clock::now();
+        if (!Replica.analyze(Req, Resp, Error, &Info) || !Resp.Ok) {
+          std::fprintf(stderr, "error: failover request failed: %s%s\n",
+                       Error.c_str(), Resp.Error.c_str());
+          AllServed = false;
+          break;
+        }
+        double Ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - T0)
+                        .count();
+        ++Fo.Requests;
+        if (Info.Path == server::ReplyPath::Failover && Fo.Failovers == 0)
+          Fo.FailoverMs = Ms; // the request that paid the detection
+        else if (I < KillAt)
+          BeforeMs.push_back(Ms);
+        else
+          AfterMs.push_back(Ms);
+        if (Info.Path == server::ReplyPath::Failover)
+          ++Fo.Failovers;
+        if (Info.Path == server::ReplyPath::Primary)
+          ++Fo.Primaries;
+        if (support::fnv1a64(Resp.ResultRecord) != Digests[0][I])
+          Fo.ByteIdentical = false; // must match the cold pass bytes
+      }
+      std::sort(BeforeMs.begin(), BeforeMs.end());
+      std::sort(AfterMs.begin(), AfterMs.end());
+      Fo.PrimaryP50Ms = percentile(BeforeMs, 0.50);
+      Fo.AfterP50Ms = percentile(AfterMs, 0.50);
+      DaemonB.requestStop();
+      ThreadB.join();
+      std::remove(OptsB.SocketPath.c_str());
+      std::printf("failover: %llu requests, kill at %zu: p50 %.3f ms "
+                  "before, failover request %.3f ms, p50 %.3f ms after, "
+                  "%llu failovers, replies byte-identical: %s\n\n",
+                  static_cast<unsigned long long>(Fo.Requests), KillAt,
+                  Fo.PrimaryP50Ms, Fo.FailoverMs, Fo.AfterP50Ms,
+                  static_cast<unsigned long long>(Fo.Failovers),
+                  Fo.ByteIdentical ? "yes" : "NO (BUG)");
+    }
+  }
+
   Client.close();
-  Daemon.requestStop();
-  ServerThread.join();
+  if (!DaemonAStopped) {
+    Daemon.requestStop();
+    ServerThread.join();
+  }
 
   // Replaying an identical stream must replay identical bytes: the
   // canonicalized record for a key never depends on which pass (or
@@ -361,9 +456,20 @@ int main(int Argc, char **Argv) {
       << ", \"requests_per_sec\": " << Cont.ReqPerSec
       << ", \"replies_byte_identical\": "
       << (Cont.ByteIdentical ? "true" : "false") << "},\n"
+      << "  \"failover\": {\"ran\": " << (Fo.Ran ? "true" : "false")
+      << ", \"requests\": " << Fo.Requests
+      << ", \"primary_replies\": " << Fo.Primaries
+      << ", \"failover_replies\": " << Fo.Failovers
+      << ", \"primary_p50_ms\": " << Fo.PrimaryP50Ms
+      << ", \"failover_request_ms\": " << Fo.FailoverMs
+      << ", \"after_kill_p50_ms\": " << Fo.AfterP50Ms
+      << ", \"replies_byte_identical\": "
+      << (Fo.ByteIdentical ? "true" : "false") << "},\n"
       << "  \"replay_byte_identical\": " << (Deterministic ? "true" : "false")
       << "\n}\n";
   std::printf("wrote %s\n", JsonPath.c_str());
 
-  return AllServed && Deterministic && Cont.ByteIdentical ? 0 : 1;
+  return AllServed && Deterministic && Cont.ByteIdentical && Fo.ByteIdentical
+             ? 0
+             : 1;
 }

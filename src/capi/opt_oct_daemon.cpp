@@ -4,17 +4,26 @@
 
 #include "runtime/journal.h"
 #include "server/client.h"
+#include "server/replica.h"
+
+#include <memory>
+#include <sstream>
 
 using namespace optoct;
 
 struct opt_oct_daemon_t {
-  server::DaemonClient Client;
-  server::RetryPolicy Policy; ///< MaxAttempts forced to 1 on connect.
+  server::DaemonClient Client; ///< Single-endpoint mode.
+  server::RetryPolicy Policy;  ///< MaxAttempts forced to 1 on connect.
+  /// Replica-tier mode (opt_oct_daemon_connect_replicas); when set,
+  /// Client is unused and Policy lives inside the replica options.
+  std::unique_ptr<server::ReplicaClient> Replica;
 };
 
 struct opt_oct_daemon_result_t {
   server::AnalyzeResponse Response;
   runtime::JobResult Result; ///< Decoded record; valid when Response.Ok.
+  /// replyPathName for replica-tier results; "" for single-endpoint.
+  std::string Path;
 };
 
 namespace {
@@ -48,11 +57,18 @@ opt_oct_daemon_result_t *analyzeImpl(opt_oct_daemon_t *D, const char *Name,
     Req.Engine = Engine;
     Req.MaxDbmCells = MaxDbmCells;
     server::AnalyzeResponse Resp;
+    server::ReplicaReplyInfo Info;
     std::string Error;
-    if (!D->Client.analyzeRetry(Req, D->Policy, Resp, Error))
+    if (D->Replica) {
+      if (!D->Replica->analyze(Req, Resp, Error, &Info))
+        return nullptr; // every replica down and local fallback off
+    } else if (!D->Client.analyzeRetry(Req, D->Policy, Resp, Error)) {
       return nullptr; // transport failure: the connection is dead
+    }
     auto *R = new opt_oct_daemon_result_t;
     R->Response = std::move(Resp);
+    if (D->Replica)
+      R->Path = server::replyPathName(Info.Path);
     if (R->Response.Ok &&
         !runtime::deserializeJobResult(R->Response.ResultRecord, R->Result,
                                        Error)) {
@@ -88,6 +104,31 @@ opt_oct_daemon_t *opt_oct_daemon_connect(const char *socket_path) {
   }
 }
 
+opt_oct_daemon_t *opt_oct_daemon_connect_replicas(const char *endpoints,
+                                                  uint64_t hedge_after_ms,
+                                                  int local_fallback) {
+  if (!endpoints)
+    return nullptr;
+  try {
+    server::ReplicaOptions RO;
+    std::stringstream List(endpoints);
+    std::string Item;
+    while (std::getline(List, Item, ','))
+      if (!Item.empty())
+        RO.Endpoints.push_back(Item);
+    if (RO.Endpoints.empty())
+      return nullptr;
+    RO.HedgeAfterMs = hedge_after_ms;
+    RO.LocalFallback = local_fallback != 0;
+    RO.Retry.MaxAttempts = 1; // single sweep unless set_retry opts in
+    auto *D = new opt_oct_daemon_t;
+    D->Replica = std::make_unique<server::ReplicaClient>(std::move(RO));
+    return D;
+  } catch (...) {
+    return nullptr;
+  }
+}
+
 void opt_oct_daemon_disconnect(opt_oct_daemon_t *d) { delete d; }
 
 void opt_oct_daemon_set_retry(opt_oct_daemon_t *d, unsigned max_attempts,
@@ -96,10 +137,11 @@ void opt_oct_daemon_set_retry(opt_oct_daemon_t *d, unsigned max_attempts,
   if (!d)
     return;
   server::RetryPolicy Defaults;
-  d->Policy.MaxAttempts = max_attempts != 0 ? max_attempts : 1;
-  d->Policy.BaseBackoffMs =
+  server::RetryPolicy &P = d->Replica ? d->Replica->retryPolicy() : d->Policy;
+  P.MaxAttempts = max_attempts != 0 ? max_attempts : 1;
+  P.BaseBackoffMs =
       base_backoff_ms != 0 ? base_backoff_ms : Defaults.BaseBackoffMs;
-  d->Policy.MaxBackoffMs =
+  P.MaxBackoffMs =
       max_backoff_ms != 0 ? max_backoff_ms : Defaults.MaxBackoffMs;
 }
 
@@ -164,6 +206,10 @@ opt_oct_daemon_result_asserts_proven(const opt_oct_daemon_result_t *r) {
 unsigned
 opt_oct_daemon_result_asserts_total(const opt_oct_daemon_result_t *r) {
   return r && r->Response.Ok ? r->Result.AssertsTotal : 0;
+}
+
+const char *opt_oct_daemon_result_path(const opt_oct_daemon_result_t *r) {
+  return r ? r->Path.c_str() : "";
 }
 
 size_t

@@ -33,9 +33,23 @@ extern "C" {
 typedef struct opt_oct_daemon_t opt_oct_daemon_t;
 typedef struct opt_oct_daemon_result_t opt_oct_daemon_result_t;
 
-/* Connects to the daemon listening on `socket_path`. NULL if none. */
+/* Connects to the daemon listening on `socket_path` — a Unix socket
+ * path or a "tcp:host:port" endpoint. NULL if none. */
 opt_oct_daemon_t *opt_oct_daemon_connect(const char *socket_path);
 void opt_oct_daemon_disconnect(opt_oct_daemon_t *d);
+
+/* Replica-tier handle over a comma-separated endpoint list (Unix paths
+ * and/or tcp:host:port): each analyze fails over across replicas from
+ * the last one that answered, optionally hedges a second request after
+ * `hedge_after_ms` (0 = off), and — when `local_fallback` is nonzero —
+ * degrades to in-process analysis when every replica is down, byte-
+ * identical to a daemon reply and flagged "local" in
+ * opt_oct_daemon_result_path. Connections are opened lazily, so this
+ * returns non-NULL even with every replica down (availability is
+ * decided per request); NULL only on invalid arguments. */
+opt_oct_daemon_t *opt_oct_daemon_connect_replicas(const char *endpoints,
+                                                  uint64_t hedge_after_ms,
+                                                  int local_fallback);
 
 /* Retry policy for subsequent analyze calls on this handle. By default
  * (max_attempts 1) every call is single-shot, exactly the historical
@@ -88,6 +102,10 @@ int opt_oct_daemon_result_status(const opt_oct_daemon_result_t *r);
 const char *opt_oct_daemon_result_error(const opt_oct_daemon_result_t *r);
 unsigned opt_oct_daemon_result_asserts_proven(const opt_oct_daemon_result_t *r);
 unsigned opt_oct_daemon_result_asserts_total(const opt_oct_daemon_result_t *r);
+/* How a replica-tier result was obtained: "primary", "failover",
+ * "hedged", or "local". "" for results from a single-endpoint handle
+ * (or NULL input). */
+const char *opt_oct_daemon_result_path(const opt_oct_daemon_result_t *r);
 /* Loop-head invariants, in RPO; i < .._num_invariants(r). */
 size_t opt_oct_daemon_result_num_invariants(const opt_oct_daemon_result_t *r);
 const char *opt_oct_daemon_result_invariant(const opt_oct_daemon_result_t *r,

@@ -45,6 +45,7 @@ enum class MsgType : std::uint32_t {
   Lease = 5,     ///< Shard coordinator -> node: lease of a job shard.
   Trim = 6,      ///< Coordinator -> node: drop these leased jobs (stolen).
   Heartbeat = 7, ///< Node -> coordinator: progress / lease renewal.
+  Hello = 8,     ///< Daemon <-> client: version handshake / health probe.
 };
 
 /// Default sanity bound on a frame body; anything larger is treated as

@@ -3,11 +3,19 @@
 #include "server/cache.h"
 
 #include "runtime/journal.h"
+#include "support/faultinject.h"
 #include "support/fnv.h"
 #include "support/textcodec.h"
 
+#include <cerrno>
+#include <cstring>
 #include <fstream>
 #include <sstream>
+#include <vector>
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
 
 using namespace optoct;
 using namespace optoct::server;
@@ -23,6 +31,64 @@ constexpr const char *CacheMagic = "optoct-cache v1";
 
 std::size_t entryCost(const std::string &Record) {
   return Record.size() + InvariantCache::EntryOverheadBytes;
+}
+
+void appendEntry(std::ostream &Out, std::uint64_t Key,
+                 const std::string &Record) {
+  Out << "ent " << hex64(Key) << " " << Record.size() << " "
+      << hex64(fnv1a64(Record)) << "\n"
+      << Record;
+}
+
+struct ParsedEntry {
+  std::uint64_t Key = 0;
+  std::string Record;
+};
+
+/// Parses a save() blob into entries, file order preserved. Salvage
+/// semantics match load(): stop at the first bad record keeping the
+/// valid prefix (returns true with Stats filled); only bad magic is
+/// false. Shared by load() and by saveShared()'s merge pass.
+bool parseCacheBlob(const std::string &Data, std::vector<ParsedEntry> &Out,
+                    CacheLoadStats &S, std::string &Error) {
+  std::size_t Pos = Data.find('\n');
+  if (Pos == std::string::npos || Data.substr(0, Pos) != CacheMagic) {
+    Error = "bad cache magic";
+    S.BytesDiscarded = Data.size();
+    return false;
+  }
+  ++Pos;
+  auto Salvage = [&](const char *Why) {
+    S.Corruption = Why;
+    S.BytesKept = Pos;
+    S.BytesDiscarded = Data.size() - Pos;
+    return true;
+  };
+  while (Pos < Data.size()) {
+    std::size_t Nl = Data.find('\n', Pos);
+    if (Nl == std::string::npos)
+      return Salvage("torn entry header");
+    std::string Line = Data.substr(Pos, Nl - Pos);
+    if (Line.rfind("ent ", 0) != 0)
+      return Salvage("unrecognized entry line");
+    std::istringstream Fields(Line.substr(4));
+    std::string KeyS, LenS, SumS;
+    std::uint64_t Key = 0, Len = 0, Sum = 0;
+    if (!(Fields >> KeyS >> LenS >> SumS) || !parseHex64(KeyS, Key) ||
+        !parseU64(LenS, Len) || !parseHex64(SumS, Sum))
+      return Salvage("malformed entry header");
+    std::size_t BodyStart = Nl + 1;
+    if (Len > Data.size() - BodyStart)
+      return Salvage("truncated record body");
+    std::string Record = Data.substr(BodyStart, static_cast<std::size_t>(Len));
+    if (fnv1a64(Record) != Sum)
+      return Salvage("record checksum mismatch");
+    Pos = BodyStart + static_cast<std::size_t>(Len);
+    Out.push_back(ParsedEntry{Key, std::move(Record)});
+    ++S.EntriesLoaded;
+    S.BytesKept = Pos;
+  }
+  return true;
 }
 
 } // namespace
@@ -76,9 +142,7 @@ bool InvariantCache::save(const std::string &Path, std::string &Error) const {
   // Cold to hot: load() inserts in file order and insertion promotes,
   // so the reloaded cache ends with the same recency ranking.
   for (auto It = Lru.rbegin(); It != Lru.rend(); ++It)
-    Out << "ent " << hex64(It->Key) << " " << It->Record.size() << " "
-        << hex64(fnv1a64(It->Record)) << "\n"
-        << It->Record;
+    appendEntry(Out, It->Key, It->Record);
   return runtime::writeFileAtomic(Path, Out.str(), Error);
 }
 
@@ -99,44 +163,79 @@ bool InvariantCache::load(const std::string &Path, std::string &Error,
   Whole << In.rdbuf();
   std::string Data = Whole.str();
 
-  std::size_t Pos = Data.find('\n');
-  if (Pos == std::string::npos || Data.substr(0, Pos) != CacheMagic) {
-    Error = "bad cache magic";
-    S.BytesDiscarded = Data.size();
+  std::vector<ParsedEntry> Entries;
+  if (!parseCacheBlob(Data, Entries, S, Error))
+    return false;
+  for (const ParsedEntry &E : Entries)
+    insert(E.Key, E.Record);
+  return true;
+}
+
+bool InvariantCache::saveShared(const std::string &Path,
+                                std::string &Error) const {
+  // The lock rides a sidecar file: writeFileAtomic's rename swaps the
+  // data file's *inode*, so an flock on the data file itself would
+  // guard a corpse after the first save.
+  std::string LockPath = Path + ".lock";
+  int LockFd = ::open(LockPath.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+  if (LockFd < 0) {
+    Error = "open " + LockPath + ": " + std::strerror(errno);
     return false;
   }
-  ++Pos;
-  // Stop at the first bad record, keeping the salvaged prefix and
-  // recording why and how much of the file was thrown away.
-  auto Salvage = [&](const char *Why) {
-    S.Corruption = Why;
-    S.BytesKept = Pos;
-    S.BytesDiscarded = Data.size() - Pos;
-    return true;
-  };
-  while (Pos < Data.size()) {
-    std::size_t Nl = Data.find('\n', Pos);
-    if (Nl == std::string::npos)
-      return Salvage("torn entry header");
-    std::string Line = Data.substr(Pos, Nl - Pos);
-    if (Line.rfind("ent ", 0) != 0)
-      return Salvage("unrecognized entry line");
-    std::istringstream Fields(Line.substr(4));
-    std::string KeyS, LenS, SumS;
-    std::uint64_t Key = 0, Len = 0, Sum = 0;
-    if (!(Fields >> KeyS >> LenS >> SumS) || !parseHex64(KeyS, Key) ||
-        !parseU64(LenS, Len) || !parseHex64(SumS, Sum))
-      return Salvage("malformed entry header");
-    std::size_t BodyStart = Nl + 1;
-    if (Len > Data.size() - BodyStart)
-      return Salvage("truncated record body");
-    std::string Record = Data.substr(BodyStart, static_cast<std::size_t>(Len));
-    if (fnv1a64(Record) != Sum)
-      return Salvage("record checksum mismatch");
-    Pos = BodyStart + static_cast<std::size_t>(Len);
-    insert(Key, Record);
-    ++S.EntriesLoaded;
-    S.BytesKept = Pos;
+  if (::flock(LockFd, LOCK_EX) != 0) {
+    Error = "flock " + LockPath + ": " + std::strerror(errno);
+    ::close(LockFd);
+    return false;
   }
-  return true;
+
+  // Merge pass: entries a sibling replica persisted that we never saw
+  // must survive our save. Our own keys are re-emitted from memory (at
+  // least as fresh); foreign keys ride along under whatever headroom
+  // our byte budget leaves, preferring the file's hot end.
+  std::vector<ParsedEntry> Foreign;
+  {
+    std::ifstream In(Path, std::ios::binary);
+    if (In) {
+      std::ostringstream Whole;
+      Whole << In.rdbuf();
+      std::string Data = Whole.str();
+      std::vector<ParsedEntry> OnDisk;
+      CacheLoadStats S;
+      std::string ParseError;
+      // Bad magic or a torn tail just shrinks the merge set — a save
+      // must never fail because a sibling's snapshot was damaged.
+      parseCacheBlob(Data, OnDisk, S, ParseError);
+      for (ParsedEntry &E : OnDisk)
+        if (Map.find(E.Key) == Map.end())
+          Foreign.push_back(std::move(E));
+    }
+  }
+  std::size_t Headroom = MaxBytes_ > Bytes ? MaxBytes_ - Bytes : 0;
+  std::size_t Keep = Foreign.size(); // keep suffix [Keep, end): hottest
+  std::size_t Acc = 0;
+  while (Keep > 0) {
+    std::size_t Cost = entryCost(Foreign[Keep - 1].Record);
+    if (Acc + Cost > Headroom)
+      break;
+    Acc += Cost;
+    --Keep;
+  }
+
+  std::ostringstream Out;
+  Out << CacheMagic << "\n";
+  // Foreign survivors first (they were colder), file order preserved;
+  // then ours cold-to-hot, exactly as save() writes them.
+  for (std::size_t I = Keep; I != Foreign.size(); ++I)
+    appendEntry(Out, Foreign[I].Key, Foreign[I].Record);
+  for (auto It = Lru.rbegin(); It != Lru.rend(); ++It)
+    appendEntry(Out, It->Key, It->Record);
+
+  // Crash-during-persist drill point: a kill here must leave the
+  // previous snapshot intact (writeFileAtomic has not renamed yet).
+  support::faultPoint("cache.persist");
+
+  bool Ok = runtime::writeFileAtomic(Path, Out.str(), Error);
+  ::flock(LockFd, LOCK_UN);
+  ::close(LockFd);
+  return Ok;
 }

@@ -82,6 +82,19 @@ public:
   /// Atomic whole-cache snapshot to \p Path (cold-to-hot order).
   bool save(const std::string &Path, std::string &Error) const;
 
+  /// save() for a cache file shared between N daemons: takes an
+  /// exclusive flock on "<Path>.lock" (a sidecar file, because the
+  /// atomic rename replaces the data file's inode and any lock on it),
+  /// re-reads whatever snapshot is on disk, and writes our entries
+  /// *merged over* the foreign ones — entries persisted by sibling
+  /// replicas that we never saw survive our save, trimmed cold-first to
+  /// the byte budget. Crash-safety is save()'s: rename is atomic, so a
+  /// reader (or a replica killed mid-save) sees the previous valid
+  /// snapshot, never a torn one. The deterministic fault site
+  /// "cache.persist" fires between the merge and the rename, for
+  /// crash-during-persist tests.
+  bool saveShared(const std::string &Path, std::string &Error) const;
+
   /// Loads a save() file into the current cache (entries insert in file
   /// order, restoring recency). A missing file is a fresh start (true);
   /// a bad record stops the load keeping the valid prefix (true, with

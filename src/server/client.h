@@ -2,10 +2,12 @@
 ///
 /// \file
 /// The client side of the daemon protocol: connect to optoctd's Unix
-/// socket, send one Request frame, block for the matching Response.
+/// socket or TCP port ("tcp:host:port"), handshake protocol versions
+/// (Hello), send one Request frame, block for the matching Response.
 /// Shared by the optoctd --client mode, the C API
-/// (capi/opt_oct_daemon.h), the server benchmark, and the tests — one
-/// implementation of the round trip, everywhere.
+/// (capi/opt_oct_daemon.h), the replica client (server/replica.h), the
+/// server benchmark, and the tests — one implementation of the round
+/// trip, everywhere.
 ///
 /// Strictly sequential (one request in flight per connection); the
 /// daemon itself multiplexes across *connections*, so concurrency means
@@ -28,7 +30,9 @@
 #include "server/protocol.h"
 #include "support/random.h"
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 
 namespace optoct::server {
@@ -41,7 +45,12 @@ struct RetryPolicy {
   /// Delay is drawn uniformly from [d*(1-Jitter), d*(1+Jitter)] so a
   /// shed burst does not retry in lockstep. Clamped to [0, 1].
   double Jitter = 0.5;
-  std::uint64_t Seed = 0x6f637464; ///< Jitter stream seed ("octd").
+  /// Jitter stream seed. 0 (the default) derives a per-process seed
+  /// from pid + monotonic time at retry time (derivedRetrySeed) — a
+  /// fleet of clients restarted together must not jitter in lockstep,
+  /// which is exactly what a shared compile-time constant produced.
+  /// Tests that assert a specific schedule set an explicit seed.
+  std::uint64_t Seed = 0;
   /// Reconnect and resend on transport errors (daemon restarted). When
   /// false, transport errors fail immediately — only sheds retry.
   bool ReconnectTransportErrors = true;
@@ -54,6 +63,11 @@ struct RetryPolicy {
 std::uint64_t retryDelayMs(const RetryPolicy &P, unsigned Attempt,
                            std::uint64_t HintMs, Rng &R);
 
+/// The seed a RetryPolicy with Seed == 0 jitters with: mixed from the
+/// pid and the monotonic clock, so two clients — or two retry loops in
+/// one client — never share a jitter stream by accident.
+std::uint64_t derivedRetrySeed();
+
 class DaemonClient {
 public:
   DaemonClient() = default;
@@ -61,11 +75,36 @@ public:
   DaemonClient(const DaemonClient &) = delete;
   DaemonClient &operator=(const DaemonClient &) = delete;
 
-  /// Connects to \p SocketPath. False with \p Error if the daemon is
-  /// not there (no retry loop — callers own their backoff policy).
-  bool connect(const std::string &SocketPath, std::string &Error);
+  /// Connects to \p Endpoint and performs the Hello handshake:
+  ///   * "tcp:<host>:<port>" — TCP to a numeric IPv4 address or
+  ///     "localhost"; everything else is a Unix socket path.
+  /// The handshake (send our ProtocolVersion, read the daemon's) makes
+  /// every successful connect a health probe — the daemon answered from
+  /// its event loop, not just its accept queue — and fails cleanly with
+  /// "protocol version mismatch" against a replica from another build.
+  /// False with \p Error if the daemon is not there (no retry loop —
+  /// callers own their backoff policy).
+  bool connect(const std::string &Endpoint, std::string &Error);
   void close();
   bool connected() const { return Fd >= 0; }
+
+  /// Bounds every recv on this connection (SO_RCVTIMEO); past the
+  /// timeout the read fails like any transport error. 0 = no bound.
+  /// The replica client arms this so a SIGSTOPped or half-open daemon
+  /// costs a bounded stall and a failover, never a hang.
+  void setRecvTimeoutMs(std::uint64_t Ms) { RecvTimeoutMs = Ms; }
+
+  /// Hard-aborts the connection from another thread: shutdown(2) on the
+  /// fd wakes any blocked send/recv with an error, after which the
+  /// owning thread's call fails and close()s as usual. The hedging path
+  /// uses this to cancel the losing request. The fd itself is *not*
+  /// closed here (the owner still holds it). The abort is sticky: if it
+  /// lands while the owner is *between* sockets (closed the old fd, not
+  /// yet connected the next), the owner's next connect() step fails
+  /// instead of opening a fresh connection the abort would miss —
+  /// clearAbort() re-arms the client for its next request.
+  void abortConnection();
+  void clearAbort() { Aborted.store(false, std::memory_order_relaxed); }
 
   /// One analyze round trip. \p Req.Id is overwritten with a
   /// connection-unique id. Returns false only on transport failure
@@ -95,9 +134,18 @@ private:
   bool roundTrip(const std::string &ReqBody, std::string &RespBody,
                  std::string &Error);
 
-  int Fd = -1;
+  /// Fd is atomic and its lifecycle transitions (publish in connect,
+  /// close, shutdown in abortConnection) are serialized by FdMutex:
+  /// abortConnection must never shutdown(2) an fd number the owner has
+  /// already closed and the kernel re-issued to someone else. Blocking
+  /// I/O on the fd happens outside the lock, so an abort can always
+  /// reach the live fd and wake it.
+  std::atomic<int> Fd{-1};
+  std::atomic<bool> Aborted{false};
+  std::mutex FdMutex;
   std::uint64_t NextId = 1;
   std::string Path; ///< Last connect() target; analyzeRetry reconnects here.
+  std::uint64_t RecvTimeoutMs = 0; ///< Applied to the fd at connect().
 };
 
 } // namespace optoct::server

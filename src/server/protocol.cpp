@@ -100,6 +100,20 @@ bool parseDoubleStrict(const std::string &Val, double &Out) {
 
 } // namespace
 
+std::string optoct::server::encodeHello(std::uint32_t Version) {
+  return "helo " + std::to_string(Version) + "\nend\n";
+}
+
+bool optoct::server::decodeHello(const std::string &Body,
+                                 std::uint32_t &Version) {
+  std::uint64_t V = 0;
+  if (parseTagLine(Body, "helo", V) == std::string::npos ||
+      V > 0xffffffffull)
+    return false;
+  Version = static_cast<std::uint32_t>(V);
+  return true;
+}
+
 RequestKind optoct::server::peekRequestKind(const std::string &Body) {
   if (Body.rfind("areq ", 0) == 0)
     return RequestKind::Analyze;
@@ -293,6 +307,8 @@ std::string optoct::server::encodeStatsResponse(std::uint64_t Id,
   Out << "quarantined_keys " << S.QuarantinedKeys << "\n";
   Out << "quarantined_total " << S.QuarantinedTotal << "\n";
   Out << "drained_jobs " << S.DrainedJobs << "\n";
+  Out << "hellos " << S.Hellos << "\n";
+  Out << "version_rejects " << S.VersionRejects << "\n";
   Out << "end\n";
   return Out.str();
 }
@@ -361,6 +377,10 @@ bool optoct::server::decodeStatsResponse(const std::string &Body,
           Field = &S.QuarantinedTotal;
         else if (Key == "drained_jobs")
           Field = &S.DrainedJobs;
+        else if (Key == "hellos")
+          Field = &S.Hellos;
+        else if (Key == "version_rejects")
+          Field = &S.VersionRejects;
         else
           return true;
         return parseU64(Val, *Field);

@@ -35,6 +35,21 @@
 
 namespace optoct::server {
 
+/// Version of the daemon wire protocol, negotiated by the Hello
+/// handshake (MsgType::Hello): the client sends its version on connect,
+/// the daemon echoes its own, and each side rejects a mismatch cleanly
+/// instead of misparsing a peer from a different build. Bump on any
+/// incompatible change to the frame bodies below.
+///   1: PR 6-7 Unix-socket protocol (no handshake).
+///   2: Hello handshake + TCP transport (this version).
+constexpr std::uint32_t ProtocolVersion = 2;
+
+/// Hello body ("helo <version>\nend\n"), symmetric in both directions.
+/// Doubles as the replica client's health probe: a daemon that answers
+/// Hello has a live event loop, not just a listening socket.
+std::string encodeHello(std::uint32_t Version);
+bool decodeHello(const std::string &Body, std::uint32_t &Version);
+
 /// First-line dispatch over a Request frame body.
 enum class RequestKind {
   Analyze, ///< "areq": run (or replay from cache) one analysis.
@@ -127,6 +142,9 @@ struct DaemonStats {
   std::uint64_t QuarantinedTotal = 0; ///< Keys ever quarantined.
   std::uint64_t DrainedJobs = 0;      ///< In-flight jobs finished
                                       ///< during graceful drain.
+  std::uint64_t Hellos = 0;           ///< Hello handshakes answered.
+  std::uint64_t VersionRejects = 0;   ///< Hellos rejected for a
+                                      ///< mismatched protocol version.
 };
 
 std::string encodeStatsResponse(std::uint64_t Id, const DaemonStats &S);

@@ -10,7 +10,10 @@
 #include <cstring>
 #include <thread>
 
+#include <arpa/inet.h>
 #include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -28,19 +31,61 @@ bool setNonBlocking(int Fd) {
   return Flags >= 0 && ::fcntl(Fd, F_SETFL, Flags | O_NONBLOCK) == 0;
 }
 
+/// Parses "host:port" with a numeric IPv4 host (or "localhost").
+/// Hostname resolution is deliberately out of scope: replica fleets
+/// are addressed by IP, and getaddrinfo in a daemon's bind path is a
+/// startup hang waiting to happen.
+bool parseTcpBind(const std::string &Spec, sockaddr_in &Addr,
+                  std::string &Error) {
+  std::size_t Colon = Spec.rfind(':');
+  if (Colon == std::string::npos || Colon == 0 ||
+      Colon + 1 == Spec.size()) {
+    Error = "TCP bind spec must be host:port, got '" + Spec + "'";
+    return false;
+  }
+  std::string Host = Spec.substr(0, Colon);
+  if (Host == "localhost")
+    Host = "127.0.0.1";
+  std::string PortS = Spec.substr(Colon + 1);
+  char *End = nullptr;
+  unsigned long Port = std::strtoul(PortS.c_str(), &End, 10);
+  if (*End != '\0' || Port > 65535) {
+    Error = "bad TCP port in '" + Spec + "'";
+    return false;
+  }
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(static_cast<std::uint16_t>(Port));
+  if (::inet_pton(AF_INET, Host.c_str(), &Addr.sin_addr) != 1) {
+    Error = "bad IPv4 host in '" + Spec + "' (numeric or localhost only)";
+    return false;
+  }
+  return true;
+}
+
 } // namespace
 
 Server::Server(ServerOptions Opts)
     : Opts(std::move(Opts)), Cache(this->Opts.CacheMaxBytes) {}
 
-Server::~Server() { shutdown(); }
+Server::~Server() {
+  shutdown();
+  if (WakePipe[0] >= 0) {
+    ::close(WakePipe[0]);
+    ::close(WakePipe[1]);
+    WakePipe[0] = WakePipe[1] = -1;
+  }
+}
 
 bool Server::spawnWorker(WorkerSlot &Slot, std::string &Error) {
   // A forked worker must not hold open any fd whose EOF someone waits
   // on: the listener, every client, every sibling worker pipe, and the
   // wake pipe.
   std::vector<int> CloseFds;
-  CloseFds.push_back(ListenFd);
+  if (ListenFd >= 0)
+    CloseFds.push_back(ListenFd);
+  if (TcpListenFd >= 0)
+    CloseFds.push_back(TcpListenFd);
   CloseFds.push_back(WakePipe[0]);
   CloseFds.push_back(WakePipe[1]);
   for (const auto &KV : Clients)
@@ -63,8 +108,8 @@ bool Server::spawnWorker(WorkerSlot &Slot, std::string &Error) {
 }
 
 bool Server::start(std::string &Error) {
-  if (Opts.SocketPath.empty()) {
-    Error = "no socket path configured";
+  if (Opts.SocketPath.empty() && Opts.TcpBind.empty()) {
+    Error = "no socket path or TCP bind configured";
     return false;
   }
   sockaddr_un Addr;
@@ -74,8 +119,9 @@ bool Server::start(std::string &Error) {
     Error = "socket path too long: " + Opts.SocketPath;
     return false;
   }
-  std::memcpy(Addr.sun_path, Opts.SocketPath.c_str(),
-              Opts.SocketPath.size() + 1);
+  if (!Opts.SocketPath.empty())
+    std::memcpy(Addr.sun_path, Opts.SocketPath.c_str(),
+                Opts.SocketPath.size() + 1);
 
   // EPIPE over SIGPIPE for the daemon's lifetime (a client may vanish
   // between poll and write).
@@ -85,33 +131,76 @@ bool Server::start(std::string &Error) {
   ::sigaction(SIGPIPE, &SA, &OldSigPipe);
   SigPipeSaved = true;
 
-  if (::pipe(WakePipe) != 0) {
-    Error = std::string("pipe: ") + std::strerror(errno);
-    shutdown();
-    return false;
+  if (WakePipe[0] < 0) {
+    if (::pipe(WakePipe) != 0) {
+      Error = std::string("pipe: ") + std::strerror(errno);
+      shutdown();
+      return false;
+    }
+    setNonBlocking(WakePipe[0]);
+    setNonBlocking(WakePipe[1]);
+  } else {
+    // Restart: the pipe outlives serve() (see shutdown()); drain any
+    // stale stop pokes so they don't wake the new loop immediately.
+    char Drain[64];
+    while (::read(WakePipe[0], Drain, sizeof(Drain)) > 0) {
+    }
   }
-  setNonBlocking(WakePipe[0]);
-  setNonBlocking(WakePipe[1]);
 
-  ListenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (ListenFd < 0) {
-    Error = std::string("socket: ") + std::strerror(errno);
-    shutdown();
-    return false;
+  if (!Opts.SocketPath.empty()) {
+    ListenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (ListenFd < 0) {
+      Error = std::string("socket: ") + std::strerror(errno);
+      shutdown();
+      return false;
+    }
+    // A previous daemon's socket file would make bind fail with
+    // EADDRINUSE; connecting to tell a live daemon apart from a stale
+    // file is racy, so we do what most daemons do — unlink and rebind.
+    ::unlink(Opts.SocketPath.c_str());
+    if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) !=
+            0 ||
+        ::listen(ListenFd, 64) != 0) {
+      Error = std::string("bind/listen ") + Opts.SocketPath + ": " +
+              std::strerror(errno);
+      shutdown();
+      return false;
+    }
+    setNonBlocking(ListenFd);
   }
-  // A previous daemon's socket file would make bind fail with
-  // EADDRINUSE; connecting to tell a live daemon apart from a stale
-  // file is racy, so we do what most daemons do — unlink and rebind.
-  ::unlink(Opts.SocketPath.c_str());
-  if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) !=
-          0 ||
-      ::listen(ListenFd, 64) != 0) {
-    Error = std::string("bind/listen ") + Opts.SocketPath + ": " +
-            std::strerror(errno);
-    shutdown();
-    return false;
+
+  if (!Opts.TcpBind.empty()) {
+    sockaddr_in TcpAddr;
+    if (!parseTcpBind(Opts.TcpBind, TcpAddr, Error)) {
+      shutdown();
+      return false;
+    }
+    TcpListenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (TcpListenFd < 0) {
+      Error = std::string("tcp socket: ") + std::strerror(errno);
+      shutdown();
+      return false;
+    }
+    int One = 1;
+    ::setsockopt(TcpListenFd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+    if (::bind(TcpListenFd, reinterpret_cast<sockaddr *>(&TcpAddr),
+               sizeof(TcpAddr)) != 0 ||
+        ::listen(TcpListenFd, 64) != 0) {
+      Error = std::string("tcp bind/listen ") + Opts.TcpBind + ": " +
+              std::strerror(errno);
+      shutdown();
+      return false;
+    }
+    setNonBlocking(TcpListenFd);
+    // Read the bound port back so port 0 (ephemeral — the test and
+    // bench default, no port collisions across parallel runs) is
+    // discoverable by clients.
+    sockaddr_in Bound;
+    socklen_t BoundLen = sizeof(Bound);
+    if (::getsockname(TcpListenFd, reinterpret_cast<sockaddr *>(&Bound),
+                      &BoundLen) == 0)
+      TcpPort = ntohs(Bound.sin_port);
   }
-  setNonBlocking(ListenFd);
 
   if (!Opts.CachePath.empty()) {
     std::string LoadError;
@@ -163,8 +252,14 @@ void Server::serve() {
     Fds.push_back({WakePipe[0], POLLIN, 0});
     ClientOfFd.push_back(0);
     if (Clients.size() < Opts.MaxClients) {
-      Fds.push_back({ListenFd, POLLIN, 0});
-      ClientOfFd.push_back(0);
+      if (ListenFd >= 0) {
+        Fds.push_back({ListenFd, POLLIN, 0});
+        ClientOfFd.push_back(0);
+      }
+      if (TcpListenFd >= 0) {
+        Fds.push_back({TcpListenFd, POLLIN, 0});
+        ClientOfFd.push_back(0);
+      }
     }
     for (auto &KV : Clients) {
       short Ev = POLLIN;
@@ -196,8 +291,9 @@ void Server::serve() {
         }
         continue;
       }
-      if (Fds[I].fd == ListenFd && I < WorkerBase) {
-        acceptClients();
+      if ((Fds[I].fd == ListenFd || Fds[I].fd == TcpListenFd) &&
+          I < WorkerBase && ClientOfFd[I] == 0 && Fds[I].fd >= 0) {
+        acceptClients(Fds[I].fd);
         continue;
       }
       if (I >= WorkerBase) {
@@ -220,6 +316,10 @@ void Server::serve() {
         It = Clients.find(Seq);
         if (It == Clients.end())
           continue;
+        if (It->second.Drop && It->second.OutPos >= It->second.OutBuf.size()) {
+          dropClient(Seq); // version-rejected peer: reply flushed, close
+          continue;
+        }
       }
       if (Fds[I].revents & (POLLIN | POLLHUP))
         readClient(Seq);
@@ -229,14 +329,20 @@ void Server::serve() {
   shutdown();
 }
 
-void Server::acceptClients() {
+void Server::acceptClients(int ListenerFd) {
   for (;;) {
     if (Clients.size() >= Opts.MaxClients)
       return;
-    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    int Fd = ::accept(ListenerFd, nullptr, nullptr);
     if (Fd < 0)
       return; // EAGAIN or a transient error; poll will retry
     setNonBlocking(Fd);
+    if (ListenerFd == TcpListenFd) {
+      // Request/response frames are small and latency-bound; never let
+      // Nagle hold a reply hostage to the next write.
+      int One = 1;
+      ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+    }
     ClientConn C;
     C.Fd = Fd;
     C.Reader.setMaxFrameBytes(Opts.MaxFrameBytes);
@@ -332,8 +438,32 @@ void Server::dropClient(std::uint64_t Seq) {
 
 void Server::handleFrame(std::uint64_t Seq, MsgType Type,
                          const std::string &Body) {
+  if (Type == MsgType::Hello) {
+    // Version handshake / health probe. A matching client gets our
+    // Hello back and proceeds; a mismatched one still gets our Hello —
+    // so it can *report* the daemon's version — and is then dropped,
+    // before either side misparses bodies from a different build.
+    auto It = Clients.find(Seq);
+    if (It == Clients.end())
+      return;
+    std::uint32_t PeerVersion = 0;
+    if (!decodeHello(Body, PeerVersion)) {
+      dropClient(Seq); // malformed handshake: protocol violation
+      return;
+    }
+    It->second.OutBuf += runtime::ipc::frameBytes(
+        MsgType::Hello, encodeHello(ProtocolVersion));
+    if (PeerVersion != ProtocolVersion) {
+      ++Counters.VersionRejects;
+      It->second.Drop = true; // flush the reply, then close
+    } else {
+      ++Counters.Hellos;
+    }
+    flushClient(It->second);
+    return;
+  }
   if (Type != MsgType::Request) {
-    dropClient(Seq); // only clients speak Request on this socket
+    dropClient(Seq); // only clients speak Request/Hello on this socket
     return;
   }
   switch (peekRequestKind(Body)) {
@@ -743,12 +873,18 @@ void Server::drain() {
     return; // never started, or already torn down
   Draining = true;
 
-  // Stop accepting immediately: the socket file disappears, so fresh
-  // connects fail fast instead of queueing behind a dying daemon.
+  // Stop accepting immediately: the socket file disappears (and the
+  // TCP port starts refusing), so fresh connects fail fast instead of
+  // queueing behind a dying daemon.
   if (ListenFd >= 0) {
     ::close(ListenFd);
     ListenFd = -1;
-    ::unlink(Opts.SocketPath.c_str());
+    if (!Opts.SocketPath.empty())
+      ::unlink(Opts.SocketPath.c_str());
+  }
+  if (TcpListenFd >= 0) {
+    ::close(TcpListenFd);
+    TcpListenFd = -1;
   }
 
   // Shed everything queued but not yet on a worker: those clients can
@@ -837,7 +973,12 @@ void Server::shutdown() {
   if (ListenFd >= 0) {
     ::close(ListenFd);
     ListenFd = -1;
-    ::unlink(Opts.SocketPath.c_str());
+    if (!Opts.SocketPath.empty())
+      ::unlink(Opts.SocketPath.c_str());
+  }
+  if (TcpListenFd >= 0) {
+    ::close(TcpListenFd);
+    TcpListenFd = -1;
   }
   for (auto &KV : Clients)
     ::close(KV.second.Fd);
@@ -869,15 +1010,17 @@ void Server::shutdown() {
   }
   Pool.clear();
 
-  if (WakePipe[0] >= 0) {
-    ::close(WakePipe[0]);
-    ::close(WakePipe[1]);
-    WakePipe[0] = WakePipe[1] = -1;
-  }
+  // The wake pipe is deliberately NOT closed here: requestStop() may be
+  // called from another thread at any point in the object's lifetime,
+  // and closing the fds under it would let a late stop request write
+  // into whatever fd the kernel reused. The destructor closes them
+  // once no other thread can hold a reference.
 
   if (!Opts.CachePath.empty() && Cache.entries() != 0) {
     std::string Error;
-    if (!Cache.save(Opts.CachePath, Error))
+    // saveShared, not save: N replicas may point at one cache file, and
+    // a plain overwrite would clobber whatever a sibling persisted.
+    if (!Cache.saveShared(Opts.CachePath, Error))
       std::fprintf(stderr, "optoctd: cache save failed: %s\n", Error.c_str());
   }
 

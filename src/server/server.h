@@ -2,7 +2,10 @@
 ///
 /// \file
 /// The optoctd core: a single-threaded poll(2) event loop that accepts
-/// analysis requests over a Unix-domain stream socket and multiplexes
+/// analysis requests over a Unix-domain stream socket and/or a TCP
+/// listener (ServerOptions::TcpBind — both speak the same checksummed
+/// frames, and a Hello handshake pins the protocol version so
+/// mixed-version replicas reject cleanly) and multiplexes
 /// them onto a pool of supervised fork workers — the same fenced,
 /// recyclable workers the batch supervisor runs (runtime/supervisor.h),
 /// so one segfaulting request costs one worker and one "crashed"
@@ -72,15 +75,27 @@
 namespace optoct::server {
 
 struct ServerOptions {
+  /// Unix-domain listener. May be empty when TcpBind is set — a
+  /// TCP-only replica needs no socket file.
   std::string SocketPath;
+
+  /// TCP listener as "host:port" (numeric IPv4 or "localhost"; port 0
+  /// binds an ephemeral port readable via Server::tcpPort()). Empty =
+  /// Unix socket only. Both listeners speak the identical framed
+  /// protocol; the TCP edge is what replica clients fail over across.
+  std::string TcpBind;
 
   /// Worker processes; 0 = one per hardware thread.
   unsigned Workers = 1;
 
   /// Invariant cache byte budget (the --cache-mb knob).
   std::size_t CacheMaxBytes = 64u << 20;
-  /// Cache persistence file; empty = in-memory only. Loaded on start,
-  /// written atomically on shutdown.
+  /// Cache persistence file; empty = in-memory only. Loaded on start
+  /// (the warm handoff: a fresh replica starts from the newest valid
+  /// snapshot), written on shutdown under an flock guard with an
+  /// atomic rename — N replicas may share one cache file, and a saver
+  /// merges entries persisted by its siblings instead of clobbering
+  /// them (see InvariantCache::saveShared).
   std::string CachePath;
 
   /// Per-frame body bound for *client* connections — the hostile-input
@@ -150,8 +165,12 @@ public:
   /// Idempotent teardown; serve() calls it, the destructor backstops.
   void shutdown();
 
-  bool started() const { return ListenFd >= 0; }
+  bool started() const { return ListenFd >= 0 || TcpListenFd >= 0; }
   const ServerOptions &options() const { return Opts; }
+
+  /// Port the TCP listener actually bound (resolves port 0), 0 when
+  /// TCP is not enabled. Valid after start().
+  unsigned tcpPort() const { return TcpPort; }
 
   /// Counters merged with the live cache statistics.
   DaemonStats stats() const;
@@ -200,7 +219,7 @@ private:
   };
 
   bool spawnWorker(WorkerSlot &Slot, std::string &Error);
-  void acceptClients();
+  void acceptClients(int Fd);
   void readClient(std::uint64_t Seq);
   bool flushClient(ClientConn &C);
   void dropClient(std::uint64_t Seq);
@@ -232,7 +251,9 @@ private:
   InvariantCache Cache;
   DaemonStats Counters; ///< Cache fields filled lazily by stats().
 
-  int ListenFd = -1;
+  int ListenFd = -1;    ///< Unix-domain listener (-1 = disabled).
+  int TcpListenFd = -1; ///< TCP listener (-1 = disabled).
+  unsigned TcpPort = 0; ///< Bound TCP port (ephemeral ports resolved).
   int WakePipe[2] = {-1, -1}; ///< Self-pipe: requestStop pokes [1].
   std::atomic<bool> StopFlag{false}; ///< Lock-free: signal-handler safe.
   /// Writes to a vanished peer must fail with EPIPE, not kill the

@@ -19,6 +19,10 @@
 ///   * "oct.alloc"      — every Octagon buffer construction
 ///   * "oct.constraint" — every constraint meet (PoisonBound target)
 ///   * "journal.append" — after each durable batch-journal append
+///   * "cache.persist"  — in the daemon cache's shared-save path,
+///                        after taking the flock but before the atomic
+///                        rename (Crash here must leave the previous
+///                        valid snapshot on disk)
 ///
 /// Fault kinds: AllocFail throws std::bad_alloc, Slow sleeps,
 /// Timeout raises BudgetExceeded(Deadline), PoisonBound overwrites the

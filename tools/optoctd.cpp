@@ -10,6 +10,11 @@
 /// crashed to that one client; everyone else keeps being served.
 ///
 ///   optoctd --socket=<path> [options]
+///     --tcp=<host:port>   additionally (or, without --socket, only)
+///                         listen on TCP — same framed protocol, for
+///                         replicas on other hosts; port 0 binds an
+///                         ephemeral port, announced on stderr as
+///                         "optoctd: tcp port <n>"
 ///     --workers=N         worker processes (default 1; 0 = one per
 ///                         hardware thread)
 ///     --cache-mb=N        invariant-cache budget in MiB (default 64)
@@ -51,8 +56,21 @@
 ///
 /// Client mode: connect to a running daemon, submit programs, print
 /// one line per response plus (with --stats) the daemon's counters.
+/// --socket also accepts a "tcp:host:port" endpoint.
 ///
 ///   optoctd --client --socket=<path> [files.imp...]
+///     --endpoints=<e1,e2,...>
+///                         replica mode: a comma-separated endpoint
+///                         list (Unix paths and/or tcp:host:port)
+///                         behind one ReplicaClient — failover across
+///                         replicas, optional hedging, and local
+///                         in-process degrade when all are down. Each
+///                         response line gains a trailing
+///                         path=<primary|failover|hedged|local>
+///     --hedge-ms=<n>      replica mode: race the next replica if the
+///                         preferred one has not answered in n ms
+///     --no-local-fallback replica mode: all-replicas-down is a
+///                         transport error instead of local analysis
 ///     --generated         submit the 17 generated paper workloads
 ///     --repeat=<n>        submit the whole job list n times (cache
 ///                         exercise; default 1)
@@ -85,6 +103,7 @@
 #include "oct/simd_dispatch.h"
 #include "runtime/journal.h"
 #include "server/client.h"
+#include "server/replica.h"
 #include "server/server.h"
 #include "support/faultinject.h"
 #include "support/fnv.h"
@@ -96,6 +115,7 @@
 #include <cstring>
 #include <exception>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -120,23 +140,30 @@ struct DaemonCliOptions {
   analysis::AnalysisOptions Engine;
   std::uint64_t MaxDbmCells = 0;
   server::RetryPolicy Retry;
+
+  // Replica-tier client state (--endpoints).
+  std::vector<std::string> Endpoints;
+  std::uint64_t HedgeAfterMs = 0;
+  bool LocalFallback = true;
 };
 
 void usage(const char *Argv0) {
   std::fprintf(
       stderr,
-      "usage: %s --socket=<path> [--workers=N] [--cache-mb=N]\n"
-      "       [--cache-file=<path>] [--deadline-ms=<n>] [--max-rss-mb=<n>]\n"
-      "       [--recycle-after=<n>] [--retries=<n>] [--max-frame-mb=<n>]\n"
-      "       [--max-clients=<n>] [--max-queue=<n>] [--max-pending=<n>]\n"
-      "       [--overload-retry-ms=<n>] [--quarantine-after=<n>]\n"
-      "       [--quarantine-ttl-ms=<n>] [--max-request-ms=<n>]\n"
-      "       [--drain-ms=<n>] [--inject=<spec>] [--fault-seed=<n>]\n"
-      "   or: %s --client --socket=<path> [files.imp...] [--generated]\n"
-      "       [--repeat=<n>] [--no-cache] [--stats] [--invariants]\n"
-      "       [--retry-attempts=<n>] [--retry-base-ms=<n>]\n"
-      "       [--widening-delay=<k>] [--narrowing=<k>] [--no-linearize]\n"
-      "       [--thresholds=a,b,...] [--max-cells=<n>]\n",
+      "usage: %s [--socket=<path>] [--tcp=<host:port>] [--workers=N]\n"
+      "       [--cache-mb=N] [--cache-file=<path>] [--deadline-ms=<n>]\n"
+      "       [--max-rss-mb=<n>] [--recycle-after=<n>] [--retries=<n>]\n"
+      "       [--max-frame-mb=<n>] [--max-clients=<n>] [--max-queue=<n>]\n"
+      "       [--max-pending=<n>] [--overload-retry-ms=<n>]\n"
+      "       [--quarantine-after=<n>] [--quarantine-ttl-ms=<n>]\n"
+      "       [--max-request-ms=<n>] [--drain-ms=<n>] [--inject=<spec>]\n"
+      "       [--fault-seed=<n>]\n"
+      "   or: %s --client --socket=<path|tcp:host:port> [files.imp...]\n"
+      "       [--endpoints=<e1,e2,...>] [--hedge-ms=<n>]\n"
+      "       [--no-local-fallback] [--generated] [--repeat=<n>]\n"
+      "       [--no-cache] [--stats] [--invariants] [--retry-attempts=<n>]\n"
+      "       [--retry-base-ms=<n>] [--widening-delay=<k>] [--narrowing=<k>]\n"
+      "       [--no-linearize] [--thresholds=a,b,...] [--max-cells=<n>]\n",
       Argv0, Argv0);
 }
 
@@ -184,6 +211,19 @@ bool parseArgs(int Argc, char **Argv, DaemonCliOptions &Opts) {
       Opts.ClientMode = true;
     else if (Arg.rfind("--socket=", 0) == 0)
       Opts.Server.SocketPath = Arg.substr(9);
+    else if (Arg.rfind("--tcp=", 0) == 0)
+      Opts.Server.TcpBind = Arg.substr(6);
+    else if (Arg.rfind("--endpoints=", 0) == 0) {
+      std::stringstream List(Arg.substr(12));
+      std::string Item;
+      while (std::getline(List, Item, ','))
+        if (!Item.empty())
+          Opts.Endpoints.push_back(Item);
+    } else if (Arg.rfind("--hedge-ms=", 0) == 0) {
+      if (!parseU64(Arg.substr(11), "--hedge-ms", Opts.HedgeAfterMs))
+        return false;
+    } else if (Arg == "--no-local-fallback")
+      Opts.LocalFallback = false;
     else if (Arg.rfind("--workers=", 0) == 0) {
       if (!parseUnsigned(Arg.substr(10), "--workers", Opts.Server.Workers))
         return false;
@@ -304,8 +344,16 @@ bool parseArgs(int Argc, char **Argv, DaemonCliOptions &Opts) {
     } else
       Opts.Files.push_back(Arg);
   }
-  if (Opts.Server.SocketPath.empty()) {
-    std::fprintf(stderr, "error: --socket=<path> is required\n");
+  if (!Opts.ClientMode && Opts.Server.SocketPath.empty() &&
+      Opts.Server.TcpBind.empty()) {
+    std::fprintf(stderr, "error: --socket=<path> or --tcp=<host:port> "
+                         "is required\n");
+    return false;
+  }
+  if (Opts.ClientMode && Opts.Server.SocketPath.empty() &&
+      Opts.Endpoints.empty()) {
+    std::fprintf(stderr, "error: --socket=<endpoint> or "
+                         "--endpoints=<e1,e2,...> is required\n");
     return false;
   }
   if (!Opts.ClientMode && (Opts.AddGenerated || !Opts.Files.empty())) {
@@ -345,10 +393,19 @@ int runDaemon(const DaemonCliOptions &Opts) {
   ::sigaction(SIGTERM, &SA, nullptr);
   ::sigaction(SIGINT, &SA, nullptr);
 
+  std::string Where = Opts.Server.SocketPath;
+  if (Daemon.tcpPort() != 0) {
+    if (!Where.empty())
+      Where += " + ";
+    Where += "tcp port " + std::to_string(Daemon.tcpPort());
+    // Machine-greppable line: with --tcp=host:0 this is how a harness
+    // learns the ephemeral port it must hand to clients.
+    std::fprintf(stderr, "optoctd: tcp port %u\n", Daemon.tcpPort());
+  }
   std::fprintf(stderr,
                "optoctd: serving on %s (%u workers, %zu MiB cache, "
                "simd tier %s)\n",
-               Opts.Server.SocketPath.c_str(),
+               Where.c_str(),
                static_cast<unsigned>(Daemon.stats().Workers),
                Opts.Server.CacheMaxBytes >> 20,
                simdTierName(activeSimdTier()));
@@ -377,7 +434,8 @@ void printStats(const server::DaemonStats &S) {
               "shed_client_cap=%llu shed_draining=%llu queue_depth=%llu "
               "queue_peak=%llu coalesced_replies=%llu "
               "quarantine_replies=%llu quarantined_keys=%llu "
-              "quarantined_total=%llu drained_jobs=%llu\n",
+              "quarantined_total=%llu drained_jobs=%llu hellos=%llu "
+              "version_rejects=%llu\n",
               static_cast<unsigned long long>(S.Requests),
               static_cast<unsigned long long>(S.Served),
               static_cast<unsigned long long>(S.Rejected),
@@ -402,7 +460,9 @@ void printStats(const server::DaemonStats &S) {
               static_cast<unsigned long long>(S.QuarantineReplies),
               static_cast<unsigned long long>(S.QuarantinedKeys),
               static_cast<unsigned long long>(S.QuarantinedTotal),
-              static_cast<unsigned long long>(S.DrainedJobs));
+              static_cast<unsigned long long>(S.DrainedJobs),
+              static_cast<unsigned long long>(S.Hellos),
+              static_cast<unsigned long long>(S.VersionRejects));
 }
 
 int runClient(const DaemonCliOptions &Opts) {
@@ -421,9 +481,20 @@ int runClient(const DaemonCliOptions &Opts) {
     for (const workloads::WorkloadSpec &Spec : workloads::paperBenchmarks())
       Jobs.push_back({Spec.Name, workloads::generateProgram(Spec)});
 
+  // Replica mode (--endpoints) routes every request through the
+  // failover/hedging/local-degrade tier; single-endpoint mode keeps the
+  // plain blocking client and its retry loop.
+  std::unique_ptr<server::ReplicaClient> Replica;
   server::DaemonClient Client;
   std::string Error;
-  if (!Client.connect(Opts.Server.SocketPath, Error)) {
+  if (!Opts.Endpoints.empty()) {
+    server::ReplicaOptions RO;
+    RO.Endpoints = Opts.Endpoints;
+    RO.Retry = Opts.Retry;
+    RO.HedgeAfterMs = Opts.HedgeAfterMs;
+    RO.LocalFallback = Opts.LocalFallback;
+    Replica = std::make_unique<server::ReplicaClient>(std::move(RO));
+  } else if (!Client.connect(Opts.Server.SocketPath, Error)) {
     std::fprintf(stderr, "optoctd: %s\n", Error.c_str());
     return 2;
   }
@@ -437,16 +508,29 @@ int runClient(const DaemonCliOptions &Opts) {
       Req.MaxDbmCells = Opts.MaxDbmCells;
       Req.NoCache = Opts.NoCache;
       server::AnalyzeResponse Resp;
+      server::ReplicaReplyInfo Info;
       unsigned Attempts = 0;
-      if (!Client.analyzeRetry(Req, Opts.Retry, Resp, Error, &Attempts)) {
+      bool Delivered =
+          Replica ? Replica->analyze(Req, Resp, Error, &Info)
+                  : Client.analyzeRetry(Req, Opts.Retry, Resp, Error,
+                                        &Attempts);
+      if (Replica)
+        Attempts = Info.Cycles;
+      if (!Delivered) {
         std::fprintf(stderr, "optoctd: %s: %s\n", Job.Name.c_str(),
                      Error.c_str());
         return 2;
       }
+      // Replica mode appends its provenance as a trailing column; the
+      // single-endpoint line stays exactly as the CI smoke parses it.
+      std::string PathCol =
+          Replica ? std::string(" path=") + server::replyPathName(Info.Path)
+                  : std::string();
       if (Resp.Overloaded) {
-        std::printf("%-24s OVERLOADED after %u attempts (retry_ms=%llu)\n",
+        std::printf("%-24s OVERLOADED after %u attempts (retry_ms=%llu)%s\n",
                     Job.Name.c_str(), Attempts,
-                    static_cast<unsigned long long>(Resp.RetryMs));
+                    static_cast<unsigned long long>(Resp.RetryMs),
+                    PathCol.c_str());
         AllProven = false;
         continue;
       }
@@ -469,10 +553,11 @@ int runClient(const DaemonCliOptions &Opts) {
                           : R.Status == runtime::JobStatus::Timeout
                               ? "TIMEOUT"
                               : "CRASHED";
-      std::printf("%-24s %s %u/%u cached=%d key=%s digest=%s\n",
+      std::printf("%-24s %s %u/%u cached=%d key=%s digest=%s%s\n",
                   R.Name.c_str(), Label, R.AssertsProven, R.AssertsTotal,
                   Resp.Cached ? 1 : 0, support::hex64(Resp.Key).c_str(),
-                  support::hex64(support::fnv1a64(Resp.ResultRecord)).c_str());
+                  support::hex64(support::fnv1a64(Resp.ResultRecord)).c_str(),
+                  PathCol.c_str());
       if (R.Status == runtime::JobStatus::Crashed) {
         AnyCrashed = true;
         std::printf("    %s\n", R.Error.c_str());
@@ -488,10 +573,15 @@ int runClient(const DaemonCliOptions &Opts) {
 
   if (Opts.PrintStats) {
     server::DaemonStats S;
-    if (!Client.queryStats(S, Error)) {
+    std::string StatsFrom;
+    bool Got = Replica ? Replica->queryStats(S, Error, &StatsFrom)
+                       : Client.queryStats(S, Error);
+    if (!Got) {
       std::fprintf(stderr, "optoctd: stats: %s\n", Error.c_str());
       return 2;
     }
+    if (!StatsFrom.empty())
+      std::printf("stats_from %s\n", StatsFrom.c_str());
     printStats(S);
   }
   if (AnyCrashed)
